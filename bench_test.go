@@ -1,0 +1,598 @@
+// Benchmark harness: one benchmark per experiment in EXPERIMENTS.md
+// (E1..E9), regenerating every figure/table of the paper's evaluation and
+// every quantified claim in its text. Custom metrics carry the series the
+// paper reports:
+//
+//	attempts/op      backward-step attempts (RES search effort)
+//	states/op        forward-synthesis states explored (baseline effort)
+//	depth/op         suffix length at which the root cause was found
+//	found/op         1 when the analysis succeeded
+//	f1/op            pairwise bucketing F1 (triage)
+//	detected/op      hardware-error detection rate
+//	falsepos/op      false-positive rate
+//
+// Run with: go test -bench=. -benchmem
+package res_test
+
+import (
+	"fmt"
+	"testing"
+
+	"res"
+	"res/internal/breadcrumb"
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/hwerr"
+	"res/internal/prog"
+	"res/internal/rootcause"
+	"res/internal/solver"
+	"res/internal/synth"
+	"res/internal/taint"
+	"res/internal/triage"
+	"res/internal/vm"
+	"res/internal/workload"
+)
+
+// mustFail produces the bug's dump once (outside timed sections).
+func mustFail(b *testing.B, bug *workload.Bug, seeds int) *coredump.Dump {
+	b.Helper()
+	d, _, err := bug.FindFailure(seeds)
+	if err != nil {
+		b.Fatalf("%s: %v", bug.Name, err)
+	}
+	return d
+}
+
+// BenchmarkE1Figure1 reproduces Figure 1: predecessor disambiguation plus
+// root-cause pinpointing for the buffer overflow.
+func BenchmarkE1Figure1(b *testing.B) {
+	bug := workload.Fig1()
+	p := bug.Program()
+	d := mustFail(b, bug, 4)
+	var attempts, infeasible, correct int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := res.Analyze(p, d, res.Options{MaxDepth: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		attempts += r.Report.Stats.Attempts
+		infeasible += r.Report.Stats.Infeasible
+		if r.Cause != nil && r.Cause.Kind == rootcause.BufferOverflow {
+			correct++
+		}
+	}
+	b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+	b.ReportMetric(float64(infeasible)/float64(b.N), "infeasible/op")
+	b.ReportMetric(float64(correct)/float64(b.N), "correct/op")
+}
+
+// BenchmarkE2ConcurrencyBugs reproduces the §4 evaluation: the three
+// synthetic concurrency bugs, root cause identified, no false positives,
+// well under the paper's one-minute bound (the ns/op column IS the
+// time-to-root-cause).
+func BenchmarkE2ConcurrencyBugs(b *testing.B) {
+	for _, bug := range workload.ConcurrencyBugs() {
+		bug := bug
+		b.Run(bug.Name, func(b *testing.B) {
+			p := bug.Program()
+			d := mustFail(b, bug, 50)
+			racy, err := p.GlobalAddr(bug.RacyGlobal)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var correct, faithful, depth int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := res.Analyze(p, d, res.Options{MaxDepth: 16, MaxNodes: 4000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Cause != nil &&
+					(r.Cause.Kind == rootcause.DataRace || r.Cause.Kind == rootcause.AtomicityViolation) &&
+					r.Cause.Addr == racy {
+					correct++
+				}
+				if r.Replay != nil && r.Replay.Matches {
+					faithful++
+				}
+				depth += r.CauseDepth
+			}
+			b.ReportMetric(float64(correct)/float64(b.N), "correct/op")
+			b.ReportMetric(float64(faithful)/float64(b.N), "faithful/op")
+			b.ReportMetric(float64(depth)/float64(b.N), "depth/op")
+		})
+	}
+}
+
+// BenchmarkE3ArbitraryLength is the headline claim: RES effort is flat in
+// execution length, forward synthesis explodes. Sub-benchmarks sweep the
+// benign prefix length.
+func BenchmarkE3ArbitraryLength(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		n := n
+		b.Run(fmt.Sprintf("res-prefix-%d", n), func(b *testing.B) {
+			bug := workload.LongPrefix(n)
+			p := bug.Program()
+			d := mustFail(b, bug, 2)
+			var attempts, found int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := res.Analyze(p, d, res.Options{MaxDepth: 8, MaxNodes: 2000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				attempts += r.Report.Stats.Attempts
+				if r.Cause != nil {
+					found++
+				}
+			}
+			b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+			b.ReportMetric(float64(found)/float64(b.N), "found/op")
+			b.ReportMetric(float64(d.Steps), "execblocks")
+		})
+	}
+	for _, n := range []int{30, 100, 300, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("forward-prefix-%d", n), func(b *testing.B) {
+			bug := workload.LongPrefix(n)
+			p := bug.Program()
+			d := mustFail(b, bug, 2)
+			var states, found int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := synth.Synthesize(p, d, synth.Options{MaxStates: 3000, MatchGlobals: false})
+				states += r.StatesExplored
+				if r.Found {
+					found++
+				}
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+			b.ReportMetric(float64(found)/float64(b.N), "found/op")
+			b.ReportMetric(float64(d.Steps), "execblocks")
+		})
+	}
+}
+
+// BenchmarkE4SuffixDepth sweeps the root-cause distance (§2's enabler and
+// §6's limiting factor): effort vs how far the cause sits from the
+// failure.
+func BenchmarkE4SuffixDepth(b *testing.B) {
+	for _, dist := range []int{1, 2, 4, 8, 16, 32} {
+		dist := dist
+		b.Run(fmt.Sprintf("distance-%d", dist), func(b *testing.B) {
+			bug := workload.DistanceChain(dist)
+			p := bug.Program()
+			d := mustFail(b, bug, 2)
+			var attempts, reached int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := core.New(p, core.Options{MaxDepth: dist + 4, MaxNodes: 10000})
+				rep, err := eng.Analyze(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				attempts += rep.Stats.Attempts
+				// The root cause (the input write) is reached when the
+				// search unwinds to the entry block.
+				if rep.FullReconstruction != nil || rep.Stats.MaxDepth >= dist+1 {
+					reached++
+				}
+			}
+			b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+			b.ReportMetric(float64(reached)/float64(b.N), "reached/op")
+		})
+	}
+}
+
+// buildTriageCorpus generates the E5 report corpus (outside timing).
+func buildTriageCorpus(b *testing.B, perBug int) []triage.Item {
+	b.Helper()
+	race, direct := workload.SharedSiteCorpus()
+	bugs := []*workload.Bug{workload.MultiSiteRace(), race, direct, workload.RaceCounter(), workload.AtomViolation()}
+	var corpus []triage.Item
+	for _, bug := range bugs {
+		p := bug.Program()
+		quota := (perBug + len(bug.Configs) - 1) / len(bug.Configs)
+		found := 0
+		for _, base := range bug.Configs {
+			got := 0
+			for s := int64(0); s < 300 && got < quota && found < perBug; s++ {
+				cfg := base
+				cfg.Seed = s
+				d, err := res.Run(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d == nil || d.Fault.Kind == coredump.FaultBudget {
+					continue
+				}
+				if bug.WantFault != coredump.FaultNone && d.Fault.Kind != bug.WantFault {
+					continue
+				}
+				corpus = append(corpus, triage.Item{Label: bug.Name, App: bug.AppName(), Dump: d, Prog: p})
+				found++
+				got++
+			}
+		}
+		if found == 0 {
+			b.Fatalf("bug %s never manifested", bug.Name)
+		}
+	}
+	return corpus
+}
+
+// BenchmarkE5Triage compares WER-style stack bucketing against RES
+// root-cause bucketing on the report corpus (§3.1; WER mis-buckets up to
+// 37% of reports — here measured as pairwise F1 plus over-splits and
+// collisions).
+func BenchmarkE5Triage(b *testing.B) {
+	corpus := buildTriageCorpus(b, 4)
+	rcClassifier := func(it triage.Item) (string, error) {
+		r, err := res.Analyze(it.Prog, it.Dump, res.Options{MaxDepth: 14, MaxNodes: 3000})
+		if err != nil {
+			return "", err
+		}
+		if r.Cause == nil {
+			return "", fmt.Errorf("no cause")
+		}
+		return it.App + "|" + r.Cause.Key(), nil
+	}
+	b.Run("wer-stack", func(b *testing.B) {
+		var ev triage.Evaluation
+		for i := 0; i < b.N; i++ {
+			ev = triage.Evaluate(corpus, triage.StackClassifier())
+		}
+		b.ReportMetric(ev.F1, "f1/op")
+		b.ReportMetric(float64(ev.OverSplit), "oversplit/op")
+		b.ReportMetric(float64(ev.Collisions), "collisions/op")
+		b.ReportMetric(float64(ev.Buckets), "buckets/op")
+	})
+	b.Run("res-rootcause", func(b *testing.B) {
+		var ev triage.Evaluation
+		for i := 0; i < b.N; i++ {
+			ev = triage.Evaluate(corpus, rcClassifier)
+		}
+		b.ReportMetric(ev.F1, "f1/op")
+		b.ReportMetric(float64(ev.OverSplit), "oversplit/op")
+		b.ReportMetric(float64(ev.Collisions), "collisions/op")
+		b.ReportMetric(float64(ev.Buckets), "buckets/op")
+	})
+}
+
+// BenchmarkE6HardwareErrors measures §3.2: detection rate over injected
+// memory/register corruption, and the false-positive rate over genuine
+// software-bug dumps.
+func BenchmarkE6HardwareErrors(b *testing.B) {
+	bug := workload.HealthyCompute()
+	p := bug.Program()
+	clean := mustFail(b, bug, 2)
+	g, _ := p.GlobalAddr("g")
+	h, _ := p.GlobalAddr("h")
+
+	type caseT struct {
+		name string
+		dump *coredump.Dump
+		want bool // hardware?
+	}
+	var cases []caseT
+	for bit := uint(0); bit < 8; bit++ {
+		cd, _ := hwerr.FlipMemoryBit(clean, g, bit)
+		cases = append(cases, caseT{fmt.Sprintf("memflip-g-%d", bit), cd, true})
+		cd2, _ := hwerr.FlipMemoryBit(clean, h, bit)
+		cases = append(cases, caseT{fmt.Sprintf("memflip-h-%d", bit), cd2, true})
+	}
+	for bit := uint(0); bit < 4; bit++ {
+		cd, _, err := hwerr.FlipRegisterBit(clean, clean.Fault.Thread, 3, bit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, caseT{fmt.Sprintf("regflip-%d", bit), cd, true})
+	}
+	cases = append(cases, caseT{"genuine-assert", clean, false})
+	race := workload.AtomViolation()
+	cases = append(cases, caseT{"genuine-race", mustFail(b, race, 50), false})
+	progOf := func(name string) *prog.Program {
+		if name == "genuine-race" {
+			return race.Program()
+		}
+		return p
+	}
+
+	b.ResetTimer()
+	var detected, falsePos, total, cleanTotal float64
+	for i := 0; i < b.N; i++ {
+		detected, falsePos, total, cleanTotal = 0, 0, 0, 0
+		for _, c := range cases {
+			v, err := hwerr.Classify(progOf(c.name), c.dump, core.Options{MaxDepth: 8, MaxNodes: 2000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.want {
+				total++
+				if v.HardwareSuspect {
+					detected++
+				}
+			} else {
+				cleanTotal++
+				if v.HardwareSuspect {
+					falsePos++
+				}
+			}
+		}
+	}
+	b.ReportMetric(detected/total, "detected/op")
+	b.ReportMetric(falsePos/cleanTotal, "falsepos/op")
+	b.ReportMetric(total+cleanTotal, "cases")
+}
+
+// BenchmarkE7Breadcrumbs sweeps the LBR ring size and the filtered-LBR
+// extension (§2.4): search effort with breadcrumb pruning.
+func BenchmarkE7Breadcrumbs(b *testing.B) {
+	mkDump := func(size int, skipCond bool) (*prog.Program, *coredump.Dump) {
+		bug := workload.AmbiguousDispatch(10)
+		p := bug.Program()
+		cfg := bug.Configs[0]
+		cfg.LBRSize = size
+		cfg.LBRSkipConditional = skipCond
+		v, err := vm.New(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := v.Run()
+		if err != nil || d == nil {
+			b.Fatalf("no dump: %v %v", d, err)
+		}
+		return p, d
+	}
+	for _, k := range []int{-1, 4, 8, 16, 32} {
+		k := k
+		name := fmt.Sprintf("lbr-%d", k)
+		if k == -1 {
+			name = "no-lbr"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, d := mkDump(k, false)
+			opt := core.Options{MaxDepth: 34, MaxNodes: 10000}
+			if k > 0 {
+				opt.Filter = breadcrumb.LBRFilter(p, d.LBR, breadcrumb.RecordAll)
+			}
+			var attempts, depth int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := core.New(p, opt)
+				rep, err := eng.Analyze(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				attempts += rep.Stats.Attempts
+				depth += rep.Stats.MaxDepth
+			}
+			b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+			b.ReportMetric(float64(depth)/float64(b.N), "depth/op")
+		})
+	}
+	b.Run("lbr-16-filtered", func(b *testing.B) {
+		p, d := mkDump(16, true)
+		opt := core.Options{
+			MaxDepth: 34, MaxNodes: 10000,
+			Filter: breadcrumb.LBRFilter(p, d.LBR, breadcrumb.SkipConditional),
+		}
+		var attempts, depth int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := core.New(p, opt)
+			rep, err := eng.Analyze(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			attempts += rep.Stats.Attempts
+			depth += rep.Stats.MaxDepth
+		}
+		b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+		b.ReportMetric(float64(depth)/float64(b.N), "depth/op")
+	})
+}
+
+// BenchmarkE8Exploitability compares the taint-based verdict against the
+// !exploitable-style heuristic on crashes with known controllability.
+func BenchmarkE8Exploitability(b *testing.B) {
+	type caseT struct {
+		bug         *workload.Bug
+		exploitable bool
+	}
+	cases := []caseT{
+		{workload.TaintedOverflow(), true},
+		{workload.UntaintedCrash(), false},
+	}
+	type prepared struct {
+		caseT
+		p    *prog.Program
+		dump *coredump.Dump
+	}
+	var prep []prepared
+	for _, c := range cases {
+		prep = append(prep, prepared{c, c.bug.Program(), mustFail(b, c.bug, 4)})
+	}
+	b.ResetTimer()
+	var taintCorrect, heurCorrect float64
+	for i := 0; i < b.N; i++ {
+		taintCorrect, heurCorrect = 0, 0
+		for _, c := range prep {
+			r, err := res.Analyze(c.p, c.dump, res.Options{MaxDepth: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tExp := r.Exploitability != nil && r.Exploitability.Exploitable
+			if tExp == c.exploitable {
+				taintCorrect++
+			}
+			hExp := triage.HeuristicSeverity(c.p, c.dump) >= triage.SeverityProbable
+			if hExp == c.exploitable {
+				heurCorrect++
+			}
+		}
+	}
+	b.ReportMetric(taintCorrect/float64(len(prep)), "taint-acc/op")
+	b.ReportMetric(heurCorrect/float64(len(prep)), "heuristic-acc/op")
+}
+
+// BenchmarkE9HashConstruct measures §6: a non-invertible hash between the
+// input and the failure. With the input spilled to memory RES re-executes
+// the hash concretely and crosses it; without the spill the construct is
+// an honest Unknown wall.
+func BenchmarkE9HashConstruct(b *testing.B) {
+	for _, spill := range []bool{true, false} {
+		spill := spill
+		name := "spilled-input"
+		if !spill {
+			name = "no-spill"
+		}
+		b.Run(name, func(b *testing.B) {
+			bug := workload.HashConstruct(spill)
+			p := bug.Program()
+			d := mustFail(b, bug, 2)
+			var crossed, unknowns int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := core.New(p, core.Options{MaxDepth: 8, Solver: solver.Options{RandomTries: 64}})
+				rep, err := eng.Analyze(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Crossing the hash means the search unwound past the
+				// hash block (depth >= 2 beyond the base case).
+				if rep.Stats.MaxDepth >= 2 {
+					crossed++
+				}
+				unknowns += rep.Stats.Unknown
+			}
+			b.ReportMetric(float64(crossed)/float64(b.N), "crossed/op")
+			b.ReportMetric(float64(unknowns)/float64(b.N), "unknown/op")
+		})
+	}
+}
+
+// --- Microbenchmarks of the substrate (the usual library health metrics).
+
+func BenchmarkVMExecution(b *testing.B) {
+	bug := workload.LongPrefix(3000)
+	p := bug.Program()
+	cfg := bug.Configs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := vm.New(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverLinearChain(b *testing.B) {
+	bug := workload.DistanceChain(8)
+	p := bug.Program()
+	d := mustFail(b, bug, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.New(p, core.Options{MaxDepth: 10})
+		if _, err := eng.Analyze(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDumpSerialization(b *testing.B) {
+	bug := workload.Fig1()
+	d := mustFail(b, bug, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := d.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := coredump.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTaintAnalysis(b *testing.B) {
+	bug := workload.TaintedOverflow()
+	p := bug.Program()
+	d := mustFail(b, bug, 4)
+	eng := core.New(p, core.Options{MaxDepth: 10})
+	rep, err := eng.Analyze(d)
+	if err != nil || len(rep.Suffixes) == 0 {
+		b.Fatalf("setup: %v", err)
+	}
+	syn, err := eng.Concretize(rep.Suffixes[len(rep.Suffixes)-1], d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taint.Analyze(p, syn, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationForcedBindings quantifies the design choice DESIGN.md
+// calls out: the register-only pre-pass whose forced (logically implied)
+// bindings resolve stack-relative addresses during backward execution.
+// Without it, call/return unwinding degrades to Unknown and the search
+// cannot cross function boundaries.
+func BenchmarkAblationForcedBindings(b *testing.B) {
+	src := `
+.global g 1
+func main:
+    const r0, 6
+    call work
+    storeg r0, &g
+    loadg r1, &g
+    addi r2, r1, -21
+    assert r2
+    halt
+func work:
+    addi sp, sp, -1
+    store sp, r0, 0
+    load r3, sp, 0
+    addi sp, sp, 1
+    mul r0, r3, r0
+    addi r0, r0, -15
+    ret
+`
+	p, err := res.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := res.Run(p, res.RunConfig{})
+	if err != nil || d == nil {
+		b.Fatalf("setup: %v %v", d, err)
+	}
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		name := "with-probe"
+		if disable {
+			name = "no-probe"
+		}
+		b.Run(name, func(b *testing.B) {
+			var unknowns, depth int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := core.New(p, core.Options{MaxDepth: 12, DisableProbe: disable})
+				rep, err := eng.Analyze(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				unknowns += rep.Stats.Unknown
+				depth += rep.Stats.MaxDepth
+			}
+			b.ReportMetric(float64(unknowns)/float64(b.N), "unknown/op")
+			b.ReportMetric(float64(depth)/float64(b.N), "depth/op")
+		})
+	}
+}

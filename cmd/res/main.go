@@ -1,0 +1,81 @@
+// Command res performs reverse execution synthesis on a coredump: it
+// reconstructs a replayable execution suffix, identifies the failure's
+// root cause, classifies exploitability, and flags dumps that no feasible
+// execution explains (likely hardware errors).
+//
+// Usage:
+//
+//	res -prog crash.s -dump core.dump [-lbr] [-outputs] [-depth 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"res"
+	"res/internal/breadcrumb"
+	"res/internal/cli"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "assembly source file (required)")
+		dumpPath = flag.String("dump", "", "coredump file (required)")
+		depth    = flag.Int("depth", 0, "maximum suffix length in blocks (0 = default)")
+		nodes    = flag.Int("nodes", 0, "backward-step attempt budget (0 = default)")
+		useLBR   = flag.Bool("lbr", false, "prune the search with the dump's branch ring")
+		lbrSkip  = flag.Bool("lbr-skip-cond", false, "interpret the ring as filtered-LBR hardware")
+		outputs  = flag.Bool("outputs", false, "prune with error-log breadcrumbs")
+		showSfx  = flag.Bool("suffix", false, "print the synthesized suffix schedule")
+		stats    = flag.Bool("stats", false, "print search statistics")
+	)
+	flag.Parse()
+	if *progPath == "" || *dumpPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := cli.LoadProgram(*progPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	d, err := cli.LoadDump(*dumpPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	opt := res.Options{
+		MaxDepth:     *depth,
+		MaxNodes:     *nodes,
+		UseLBR:       *useLBR,
+		MatchOutputs: *outputs,
+	}
+	if *lbrSkip {
+		opt.LBRMode = breadcrumb.SkipConditional
+	}
+
+	fmt.Printf("failure: %s\n", d.Fault)
+	r, err := res.Analyze(p, d, opt)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Println(r.Describe())
+	if r.HardwareSuspect {
+		fmt.Println("verdict: the coredump is inconsistent with every feasible execution suffix")
+	}
+	if *showSfx && r.Suffix != nil {
+		fmt.Println(r.Suffix)
+		if len(r.Suffix.Inputs) > 0 {
+			fmt.Printf("synthesized inputs: %v\n", r.Suffix.Inputs)
+		}
+		fmt.Printf("read set: %v\nwrite set: %v\n", r.Synthesized.ReadSet, r.Synthesized.WriteSet)
+	}
+	if *stats {
+		s := r.Report.Stats
+		fmt.Printf("stats: attempts=%d feasible=%d infeasible=%d unknown=%d solver-calls=%d max-depth=%d\n",
+			s.Attempts, s.Feasible, s.Infeasible, s.Unknown, s.SolverCalls, s.MaxDepth)
+	}
+	if r.Replay != nil && r.Replay.Matches {
+		fmt.Println("replay: suffix deterministically reproduces the coredump")
+	}
+}

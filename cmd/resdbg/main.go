@@ -1,0 +1,167 @@
+// Command resdbg is the interactive debugger over a synthesized suffix:
+// the paper's §3.3 experience of stepping (forward AND backward) through
+// the reconstructed last milliseconds of a failed production execution,
+// with no recording of the original run.
+//
+// Usage:
+//
+//	resdbg -prog crash.s -dump core.dump
+//
+// Commands: step (s), rstep (rs), continue (c), break <pc>, watch <addr>,
+// regs [tid], mem <addr> [n], where, restart, fault, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"res"
+	"res/internal/cli"
+	"res/internal/replay"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "assembly source file (required)")
+		dumpPath = flag.String("dump", "", "coredump file (required)")
+		depth    = flag.Int("depth", 0, "maximum suffix length (0 = default)")
+	)
+	flag.Parse()
+	if *progPath == "" || *dumpPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := cli.LoadProgram(*progPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	d, err := cli.LoadDump(*dumpPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+
+	fmt.Printf("failure: %s\nsynthesizing execution suffix...\n", d.Fault)
+	r, err := res.Analyze(p, d, res.Options{MaxDepth: *depth})
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if r.Synthesized == nil {
+		if r.HardwareSuspect {
+			fmt.Println("no feasible suffix: likely hardware error; nothing to debug")
+		} else {
+			fmt.Println("no suffix synthesized within budget")
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("suffix: %d blocks; root cause: %s\n", r.Suffix.Len(), r.Cause)
+
+	dbg, err := replay.NewDebugger(p, r.Synthesized, d)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	repl(p, dbg)
+}
+
+func repl(p *res.Program, dbg *replay.Debugger) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(resdbg) ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("(resdbg) ")
+			continue
+		}
+		arg := func(i int) (int64, bool) {
+			if i >= len(fields) {
+				return 0, false
+			}
+			v, err := strconv.ParseInt(fields[i], 0, 64)
+			return v, err == nil
+		}
+		switch fields[0] {
+		case "q", "quit", "exit":
+			return
+		case "s", "step":
+			fmt.Println(dbg.Step())
+		case "rs", "rstep":
+			s, err := dbg.ReverseStep()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%v (pos %d/%d)\n", s, dbg.Pos(), dbg.Len())
+			}
+		case "c", "continue":
+			fmt.Println(dbg.Continue())
+		case "fault":
+			fmt.Println(dbg.RunToFault())
+		case "break", "b":
+			if pc, ok := arg(1); ok {
+				dbg.Break(int(pc))
+				fmt.Printf("breakpoint at pc %d\n", pc)
+			} else {
+				fmt.Println("usage: break <pc>")
+			}
+		case "watch", "w":
+			if a, ok := arg(1); ok {
+				dbg.Watch(uint32(a))
+				fmt.Printf("watchpoint at mem[%d]\n", a)
+			} else {
+				fmt.Println("usage: watch <addr>")
+			}
+		case "regs":
+			tid := int64(0)
+			if v, ok := arg(1); ok {
+				tid = v
+			}
+			regs, err := dbg.Regs(int(tid))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			for i, v := range regs {
+				if v != 0 {
+					fmt.Printf("  r%-2d = %d\n", i, v)
+				}
+			}
+		case "mem":
+			a, ok := arg(1)
+			if !ok {
+				fmt.Println("usage: mem <addr> [count]")
+				break
+			}
+			n := int64(1)
+			if v, ok := arg(2); ok {
+				n = v
+			}
+			for i := int64(0); i < n; i++ {
+				v, err := dbg.ReadMem(uint32(a + i))
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				fmt.Printf("  mem[%d] = %d\n", a+i, v)
+			}
+		case "where":
+			tid, pc, fn := dbg.Where()
+			fmt.Printf("next: t%d at pc %d (%s), pos %d/%d\n", tid, pc, fn, dbg.Pos(), dbg.Len())
+			if pc >= 0 && pc < len(p.Code) {
+				fmt.Printf("  %s\n", p.Code[pc].String())
+			}
+		case "restart":
+			if err := dbg.Restart(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("rewound to suffix start")
+			}
+		case "help", "h":
+			fmt.Println("commands: step rstep continue fault break <pc> watch <addr> regs [tid] mem <addr> [n] where restart quit")
+		default:
+			fmt.Printf("unknown command %q (try help)\n", fields[0])
+		}
+		fmt.Print("(resdbg) ")
+	}
+}

@@ -1,0 +1,77 @@
+// Command resrun executes a RES-VM assembly program in production mode and
+// writes a coredump when it fails — the front half of the paper's
+// workflow: nothing is recorded, and the dump is all a developer gets.
+//
+// Usage:
+//
+//	resrun -prog crash.s -seed 7 -preempt 50 -input 0=10,20 -o crash.dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"res/internal/cli"
+	"res/internal/vm"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "assembly source file (required)")
+		out      = flag.String("o", "core.dump", "coredump output path on failure")
+		seed     = flag.Int64("seed", 0, "scheduler seed")
+		preempt  = flag.Int("preempt", 0, "preemption probability at block boundaries (0-100)")
+		maxSteps = flag.Uint64("max-steps", 0, "block execution budget (0 = default)")
+		lbrSize  = flag.Int("lbr", 0, "branch-record ring size (0 = default 16)")
+		lbrSkip  = flag.Bool("lbr-skip-cond", false, "simulate filtered LBR (skip conditional branches)")
+		verbose  = flag.Bool("v", false, "print execution statistics")
+	)
+	var inputs cli.InputSpecs
+	flag.Var(&inputs, "input", "input channel values, ch=v1,v2,... (repeatable)")
+	flag.Parse()
+
+	if *progPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := cli.LoadProgram(*progPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	ins, err := cli.ParseInputs(inputs)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	v, err := vm.New(p, vm.Config{
+		Seed:               *seed,
+		PreemptPct:         *preempt,
+		MaxSteps:           *maxSteps,
+		Inputs:             ins,
+		LBRSize:            *lbrSize,
+		LBRSkipConditional: *lbrSkip,
+	})
+	if err != nil {
+		cli.Fatal(err)
+	}
+	d, err := v.Run()
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if *verbose {
+		fmt.Printf("executed %d basic blocks across %d thread(s)\n", v.Steps(), len(v.Threads))
+		for _, o := range v.Outputs() {
+			fmt.Printf("output pc=%d tag=%d value=%d\n", o.PC, o.Tag, o.Value)
+		}
+	}
+	if d == nil {
+		fmt.Println("clean exit")
+		return
+	}
+	fmt.Printf("FAILURE: %s after %d blocks\n", d.Fault, d.Steps)
+	if err := cli.SaveDump(*out, d); err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Printf("coredump written to %s\n", *out)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command restriage compares bug-report bucketing strategies (§3.1): the
+// WER-style call-stack baseline against RES root-cause bucketing, over a
+// corpus of coredumps.
+//
+// With -demo it generates the built-in corpus (several bugs, several
+// schedule-dependent manifestations each) and prints both evaluations;
+// with -manifest it reads lines of the form
+//
+//	<program.s> <dump file> <ground truth label>
+//
+// and evaluates those.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"res"
+	"res/internal/cli"
+	"res/internal/coredump"
+	"res/internal/prog"
+	"res/internal/triage"
+	"res/internal/workload"
+)
+
+func main() {
+	var (
+		demo     = flag.Bool("demo", false, "run on the built-in workload corpus")
+		manifest = flag.String("manifest", "", "manifest file: prog dump label per line")
+		perBug   = flag.Int("per-bug", 4, "demo: reports generated per bug")
+		depth    = flag.Int("depth", 14, "RES suffix depth budget")
+		buckets  = flag.Bool("buckets", false, "print bucket composition")
+	)
+	flag.Parse()
+
+	var corpus []triage.Item
+	switch {
+	case *demo:
+		corpus = demoCorpus(*perBug)
+	case *manifest != "":
+		var err error
+		corpus, err = loadManifest(*manifest)
+		if err != nil {
+			cli.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("corpus: %d reports\n\n", len(corpus))
+
+	wer := triage.StackClassifier()
+	rc := func(it triage.Item) (string, error) {
+		r, err := res.Analyze(it.Prog, it.Dump, res.Options{MaxDepth: *depth})
+		if err != nil {
+			return "", err
+		}
+		if r.Cause == nil {
+			return "", fmt.Errorf("no root cause")
+		}
+		return it.App + "|" + r.Cause.Key(), nil
+	}
+
+	fmt.Printf("WER-style (stack):      %v\n", triage.Evaluate(corpus, wer))
+	fmt.Printf("RES (root cause):       %v\n", triage.Evaluate(corpus, rc))
+	if *buckets {
+		fmt.Println("\nstack buckets:")
+		fmt.Print(triage.BucketSummary(corpus, wer))
+		fmt.Println("\nroot-cause buckets:")
+		fmt.Print(triage.BucketSummary(corpus, rc))
+	}
+}
+
+func demoCorpus(perBug int) []triage.Item {
+	var corpus []triage.Item
+	for _, bug := range workload.TriageCorpus() {
+		p := bug.Program()
+		quota := (perBug + len(bug.Configs) - 1) / len(bug.Configs)
+		found := 0
+		for _, base := range bug.Configs {
+			got := 0
+			for s := int64(0); s < 300 && got < quota && found < perBug; s++ {
+				cfg := base
+				cfg.Seed = s
+				d, err := res.Run(p, cfg)
+				if err != nil {
+					cli.Fatal(err)
+				}
+				if d == nil || d.Fault.Kind == coredump.FaultBudget {
+					continue
+				}
+				if bug.WantFault != coredump.FaultNone && d.Fault.Kind != bug.WantFault {
+					continue
+				}
+				corpus = append(corpus, triage.Item{Label: bug.Name, App: bug.AppName(), Dump: d, Prog: p})
+				found++
+				got++
+			}
+		}
+	}
+	return corpus
+}
+
+func loadManifest(path string) ([]triage.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	progs := make(map[string]*prog.Program)
+	var corpus []triage.Item
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'prog dump label'", path, line)
+		}
+		p, ok := progs[fields[0]]
+		if !ok {
+			var err error
+			p, err = cli.LoadProgram(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			progs[fields[0]] = p
+		}
+		d, err := cli.LoadDump(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, triage.Item{Label: fields[2], Dump: d, Prog: p})
+	}
+	return corpus, sc.Err()
+}

@@ -1,0 +1,61 @@
+// Figure 1 walkthrough: a heap buffer overflow whose crash happens later,
+// through a corrupted pointer. RES starts from the coredump (x == 1,
+// y == 10), discards the predecessor path that could not have produced
+// that state, and the checked replay of the synthesized suffix pinpoints
+// the overflowing store — not the crash site — as the root cause.
+//
+// Run with: go run ./examples/bufferoverflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"res"
+	"res/internal/core"
+	"res/internal/rootcause"
+	"res/internal/workload"
+)
+
+func main() {
+	bug := workload.Fig1()
+	p := bug.Program()
+
+	dump, _, err := bug.FindFailure(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, _ := p.GlobalAddr("x")
+	y, _ := p.GlobalAddr("y")
+	fmt.Println("=== Figure 1: buffer overflow at a distance ===")
+	fmt.Printf("crash:     %s\n", dump.Fault)
+	fmt.Printf("coredump:  x = %d, y = %d   (the paper's running example state)\n\n",
+		dump.Mem.Load(x), dump.Mem.Load(y))
+
+	r, err := res.Analyze(p, dump, res.Options{MaxDepth: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An exhaustive search (no early stop) shows the disambiguation work.
+	eng := core.New(p, core.Options{MaxDepth: 12})
+	full, err := eng.Analyze(dump)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RES navigates the CFG backward from the crash. The join block has")
+	fmt.Println("two predecessors: Pred1 overflows buffer[y] and sets x=1; Pred2 just")
+	fmt.Println("sets x=2. Since the dump says x == 1, only Pred1 survives the")
+	fmt.Println("symbolic-snapshot compatibility check:")
+	fmt.Printf("  candidates tried: %d, proven infeasible: %d (the Pred2 hypothesis)\n\n",
+		full.Stats.Attempts, full.Stats.Infeasible)
+
+	fmt.Printf("root cause: %s\n", r.Cause)
+	if r.Cause.Kind == rootcause.BufferOverflow {
+		pc := r.Cause.PCs[0]
+		fmt.Printf("  pc %d is %q — the overflow store, found by replaying the\n", pc, p.Code[pc].String())
+		fmt.Println("  suffix with allocator checking on; in production the store was")
+		fmt.Println("  silent and the crash surfaced three blocks later.")
+	}
+	fmt.Printf("\nsuffix (%d blocks): %v\n", r.Suffix.Len(), r.Suffix)
+}

@@ -1,0 +1,73 @@
+// Race triage: the §3.1 story. A corpus of crash reports arrives from the
+// field. WER-style bucketing (fault + call stack) splits one race bug
+// across buckets (its crash site depends on scheduling and inputs) and
+// merges two different bugs that crash at the same site. RES buckets by
+// root cause and gets both right.
+//
+// Run with: go run ./examples/racetriage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"res"
+	"res/internal/coredump"
+	"res/internal/triage"
+	"res/internal/workload"
+)
+
+func main() {
+	fmt.Println("=== Bug-report triage: stacks vs root causes ===")
+	race, direct := workload.SharedSiteCorpus()
+	bugs := []*workload.Bug{workload.MultiSiteRace(), race, direct}
+
+	var corpus []triage.Item
+	for _, bug := range bugs {
+		p := bug.Program()
+		per := 3
+		quota := (per + len(bug.Configs) - 1) / len(bug.Configs)
+		found := 0
+		for _, base := range bug.Configs {
+			got := 0
+			for s := int64(0); s < 300 && got < quota && found < per; s++ {
+				cfg := base
+				cfg.Seed = s
+				d, err := res.Run(p, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if d == nil || d.Fault.Kind == coredump.FaultBudget {
+					continue
+				}
+				if bug.WantFault != coredump.FaultNone && d.Fault.Kind != bug.WantFault {
+					continue
+				}
+				corpus = append(corpus, triage.Item{Label: bug.Name, App: bug.AppName(), Dump: d, Prog: p})
+				found++
+				got++
+			}
+		}
+		fmt.Printf("collected %d reports for %s\n", found, bug.Name)
+	}
+
+	wer := triage.StackClassifier()
+	rc := func(it triage.Item) (string, error) {
+		r, err := res.Analyze(it.Prog, it.Dump, res.Options{MaxDepth: 14})
+		if err != nil {
+			return "", err
+		}
+		if r.Cause == nil {
+			return "", fmt.Errorf("no cause")
+		}
+		return it.App + "|" + r.Cause.Key(), nil
+	}
+
+	fmt.Println("\nWER-style buckets (fault kind + call stack):")
+	fmt.Print(triage.BucketSummary(corpus, wer))
+	fmt.Printf("score: %v\n", triage.Evaluate(corpus, wer))
+
+	fmt.Println("\nRES buckets (root cause):")
+	fmt.Print(triage.BucketSummary(corpus, rc))
+	fmt.Printf("score: %v\n", triage.Evaluate(corpus, rc))
+}

@@ -1,0 +1,379 @@
+// Package asm implements a two-pass textual assembler for the RES virtual
+// machine ISA. The source format:
+//
+//	; comments run to end of line (also #)
+//	.global counter 1            ; reserve 1 word
+//	.global table 4 = 7 8 9 10   ; reserve 4 words with initial values
+//
+//	func main:
+//	    const r1, 3
+//	loop:
+//	    addi r1, r1, -1
+//	    br r1, loop, done
+//	done:
+//	    halt
+//
+// Operands are registers (r0..r15, sp), signed immediates (decimal or
+// 0x-hex), `&name` for the address of a global, or label/function names
+// for control-flow targets. Labels are file-scoped and must be unique.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"res/internal/isa"
+	"res/internal/prog"
+)
+
+// Error is an assembly error annotated with a source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type line struct {
+	num    int
+	fields []string // mnemonic + operands, commas stripped
+}
+
+type pendingGlobal struct {
+	name string
+	size uint32
+	init []int64
+	line int
+}
+
+// Assemble parses src and returns the resolved program, using the default
+// layout sized to the declared globals.
+func Assemble(src string) (*prog.Program, error) {
+	return AssembleWithLayout(src, nil)
+}
+
+// AssembleWithLayout is Assemble with an explicit layout override. If
+// layout is nil, prog.DefaultLayout is used. The layout's HeapBase is
+// adjusted to sit after the declared globals.
+func AssembleWithLayout(src string, layout *prog.Layout) (*prog.Program, error) {
+	lines, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: globals, labels, functions, instruction counting.
+	var globals []pendingGlobal
+	globalNames := make(map[string]int)
+	labels := make(map[string]int) // label -> instruction index
+	labelLine := make(map[string]int)
+	funcs := make(map[string]int)
+	pc := 0
+	for _, ln := range lines {
+		f := ln.fields
+		switch {
+		case f[0] == ".global":
+			g, err := parseGlobal(ln)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := globalNames[g.name]; dup {
+				return nil, errf(ln.num, "duplicate global %q", g.name)
+			}
+			globalNames[g.name] = len(globals)
+			globals = append(globals, g)
+		case f[0] == "func":
+			if len(f) != 2 || !strings.HasSuffix(f[1], ":") {
+				return nil, errf(ln.num, "func syntax: func name:")
+			}
+			name := strings.TrimSuffix(f[1], ":")
+			if err := defineLabel(labels, labelLine, name, pc, ln.num); err != nil {
+				return nil, err
+			}
+			if _, dup := funcs[name]; dup {
+				return nil, errf(ln.num, "duplicate function %q", name)
+			}
+			funcs[name] = pc
+		case len(f) == 1 && strings.HasSuffix(f[0], ":"):
+			name := strings.TrimSuffix(f[0], ":")
+			if name == "" {
+				return nil, errf(ln.num, "empty label")
+			}
+			if err := defineLabel(labels, labelLine, name, pc, ln.num); err != nil {
+				return nil, err
+			}
+		default:
+			pc++
+		}
+	}
+
+	// Assign global addresses.
+	var lay prog.Layout
+	var totalGlobals uint32
+	for _, g := range globals {
+		totalGlobals += g.size
+	}
+	if layout != nil {
+		lay = *layout
+		lay.HeapBase = lay.GlobalBase + totalGlobals
+	} else {
+		lay = prog.DefaultLayout(totalGlobals)
+	}
+	var pglobals []prog.Global
+	addr := lay.GlobalBase
+	globalAddr := make(map[string]uint32, len(globals))
+	for _, g := range globals {
+		pglobals = append(pglobals, prog.Global{Name: g.name, Addr: addr, Size: g.size, Init: g.init})
+		globalAddr[g.name] = addr
+		addr += g.size
+	}
+
+	// Pass 2: emit instructions.
+	a := &assembler{labels: labels, funcs: funcs, globalAddr: globalAddr}
+	code := make([]isa.Instr, 0, pc)
+	for _, ln := range lines {
+		f := ln.fields
+		if f[0] == ".global" || f[0] == "func" && strings.HasSuffix(f[len(f)-1], ":") {
+			continue
+		}
+		if len(f) == 1 && strings.HasSuffix(f[0], ":") {
+			continue
+		}
+		in, err := a.emit(ln)
+		if err != nil {
+			return nil, err
+		}
+		code = append(code, in)
+	}
+
+	p, err := prog.Build(code, funcs, pglobals, lay)
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+func defineLabel(labels, labelLine map[string]int, name string, pc, lineNum int) error {
+	if prev, dup := labels[name]; dup {
+		_ = prev
+		return errf(lineNum, "duplicate label %q (first defined at line %d)", name, labelLine[name])
+	}
+	labels[name] = pc
+	labelLine[name] = lineNum
+	return nil
+}
+
+func tokenize(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		s := raw
+		if idx := strings.IndexAny(s, ";#"); idx >= 0 {
+			s = s[:idx]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		s = strings.ReplaceAll(s, ",", " ")
+		fields := strings.Fields(s)
+		out = append(out, line{num: i + 1, fields: fields})
+	}
+	return out, nil
+}
+
+func parseGlobal(ln line) (pendingGlobal, error) {
+	f := ln.fields
+	// .global name size [= v0 v1 ...]
+	if len(f) < 3 {
+		return pendingGlobal{}, errf(ln.num, ".global syntax: .global name size [= values...]")
+	}
+	size, err := strconv.ParseUint(f[2], 0, 32)
+	if err != nil || size == 0 {
+		return pendingGlobal{}, errf(ln.num, "bad global size %q", f[2])
+	}
+	g := pendingGlobal{name: f[1], size: uint32(size), line: ln.num}
+	if len(f) > 3 {
+		if f[3] != "=" {
+			return pendingGlobal{}, errf(ln.num, "expected '=' before initial values")
+		}
+		for _, v := range f[4:] {
+			x, err := strconv.ParseInt(v, 0, 64)
+			if err != nil {
+				return pendingGlobal{}, errf(ln.num, "bad initial value %q", v)
+			}
+			g.init = append(g.init, x)
+		}
+		if uint32(len(g.init)) > g.size {
+			return pendingGlobal{}, errf(ln.num, "%d initial values exceed size %d", len(g.init), g.size)
+		}
+	}
+	return g, nil
+}
+
+type assembler struct {
+	labels     map[string]int
+	funcs      map[string]int
+	globalAddr map[string]uint32
+}
+
+func (a *assembler) reg(s string, ln int) (isa.Reg, error) {
+	if s == "sp" {
+		return isa.SP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, errf(ln, "bad register %q", s)
+}
+
+func (a *assembler) imm(s string, ln int) (int64, error) {
+	if strings.HasPrefix(s, "&") {
+		addr, ok := a.globalAddr[s[1:]]
+		if !ok {
+			return 0, errf(ln, "unknown global %q", s[1:])
+		}
+		return int64(addr), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, errf(ln, "bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func (a *assembler) target(s string, ln int) (int, error) {
+	if t, ok := a.labels[s]; ok {
+		return t, nil
+	}
+	return 0, errf(ln, "unknown label %q", s)
+}
+
+func (a *assembler) funcTarget(s string, ln int) (int, error) {
+	if t, ok := a.funcs[s]; ok {
+		return t, nil
+	}
+	return 0, errf(ln, "unknown function %q", s)
+}
+
+func (a *assembler) emit(ln line) (isa.Instr, error) {
+	f := ln.fields
+	op, ok := isa.ByName(f[0])
+	if !ok {
+		return isa.Instr{}, errf(ln.num, "unknown mnemonic %q", f[0])
+	}
+	args := f[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return errf(ln.num, "%s expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	in := isa.Instr{Op: op}
+	var err error
+	switch op {
+	case isa.OpNop, isa.OpRet, isa.OpYield, isa.OpHalt:
+		err = need(0)
+	case isa.OpConst:
+		if err = need(2); err == nil {
+			if in.Rd, err = a.reg(args[0], ln.num); err == nil {
+				in.Imm, err = a.imm(args[1], ln.num)
+			}
+		}
+	case isa.OpMov, isa.OpNot, isa.OpNeg, isa.OpAlloc:
+		if err = need(2); err == nil {
+			if in.Rd, err = a.reg(args[0], ln.num); err == nil {
+				in.Rs1, err = a.reg(args[1], ln.num)
+			}
+		}
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpCmpEq, isa.OpCmpNe, isa.OpCmpLt, isa.OpCmpLe:
+		if err = need(3); err == nil {
+			if in.Rd, err = a.reg(args[0], ln.num); err == nil {
+				if in.Rs1, err = a.reg(args[1], ln.num); err == nil {
+					in.Rs2, err = a.reg(args[2], ln.num)
+				}
+			}
+		}
+	case isa.OpAddI, isa.OpMulI, isa.OpAndI, isa.OpXorI, isa.OpLoad:
+		if err = need(3); err == nil {
+			if in.Rd, err = a.reg(args[0], ln.num); err == nil {
+				if in.Rs1, err = a.reg(args[1], ln.num); err == nil {
+					in.Imm, err = a.imm(args[2], ln.num)
+				}
+			}
+		}
+	case isa.OpStore:
+		if err = need(3); err == nil {
+			if in.Rs1, err = a.reg(args[0], ln.num); err == nil {
+				if in.Rs2, err = a.reg(args[1], ln.num); err == nil {
+					in.Imm, err = a.imm(args[2], ln.num)
+				}
+			}
+		}
+	case isa.OpLoadG, isa.OpInput:
+		if err = need(2); err == nil {
+			if in.Rd, err = a.reg(args[0], ln.num); err == nil {
+				in.Imm, err = a.imm(args[1], ln.num)
+			}
+		}
+	case isa.OpStoreG, isa.OpOutput:
+		if err = need(2); err == nil {
+			if in.Rs1, err = a.reg(args[0], ln.num); err == nil {
+				in.Imm, err = a.imm(args[1], ln.num)
+			}
+		}
+	case isa.OpJmp:
+		if err = need(1); err == nil {
+			in.Sym = args[0]
+			in.Target, err = a.target(args[0], ln.num)
+		}
+	case isa.OpBr:
+		if err = need(3); err == nil {
+			if in.Rs1, err = a.reg(args[0], ln.num); err == nil {
+				in.Sym = args[1]
+				if in.Target, err = a.target(args[1], ln.num); err == nil {
+					in.Target2, err = a.target(args[2], ln.num)
+				}
+			}
+		}
+	case isa.OpCall:
+		if err = need(1); err == nil {
+			in.Sym = args[0]
+			in.Target, err = a.funcTarget(args[0], ln.num)
+		}
+	case isa.OpSpawn:
+		if err = need(2); err == nil {
+			in.Sym = args[0]
+			if in.Target, err = a.funcTarget(args[0], ln.num); err == nil {
+				in.Rs1, err = a.reg(args[1], ln.num)
+			}
+		}
+	case isa.OpFree, isa.OpLock, isa.OpUnlock, isa.OpAssert:
+		if err = need(1); err == nil {
+			in.Rs1, err = a.reg(args[0], ln.num)
+		}
+	default:
+		err = errf(ln.num, "unhandled mnemonic %q", f[0])
+	}
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	return in, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and examples.
+func MustAssemble(src string) *prog.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

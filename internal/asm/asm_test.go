@@ -1,0 +1,227 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"res/internal/isa"
+)
+
+const simpleSrc = `
+; a tiny counting program
+.global counter 1
+.global table 3 = 10 20 30
+
+func main:
+    const r1, 3
+loop:
+    loadg r2, &counter
+    addi r2, r2, 1
+    storeg r2, &counter
+    addi r1, r1, -1
+    br r1, loop, done
+done:
+    halt
+`
+
+func TestAssembleSimple(t *testing.T) {
+	p, err := Assemble(simpleSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Code) != 7 {
+		t.Fatalf("got %d instructions, want 7\n%s", len(p.Code), p.Disassemble())
+	}
+	if p.Code[0].Op != isa.OpConst || p.Code[0].Rd != 1 || p.Code[0].Imm != 3 {
+		t.Errorf("instr 0 = %s", p.Code[0].String())
+	}
+	br := p.Code[5]
+	if br.Op != isa.OpBr || br.Target != 1 || br.Target2 != 6 {
+		t.Errorf("br = %+v", br)
+	}
+	ctr, err := p.GlobalAddr("counter")
+	if err != nil || ctr != p.Layout.GlobalBase {
+		t.Errorf("counter addr = %d, %v", ctr, err)
+	}
+	tbl, _ := p.GlobalAddr("table")
+	if tbl != ctr+1 {
+		t.Errorf("table addr = %d, want %d", tbl, ctr+1)
+	}
+	g := p.GlobalByName["table"]
+	if len(g.Init) != 3 || g.Init[0] != 10 || g.Init[2] != 30 {
+		t.Errorf("table init = %v", g.Init)
+	}
+	// The loadg should have resolved &counter.
+	if p.Code[1].Op != isa.OpLoadG || p.Code[1].Imm != int64(ctr) {
+		t.Errorf("loadg = %s", p.Code[1].String())
+	}
+}
+
+func TestAssembleCFG(t *testing.T) {
+	p := MustAssemble(simpleSrc)
+	main := p.FuncByName["main"]
+	if main == nil {
+		t.Fatal("no main")
+	}
+	// Blocks: [const], [loadg..br], [halt]
+	if len(main.Blocks) != 3 {
+		t.Fatalf("got %d blocks:\n%s", len(main.Blocks), p.Disassemble())
+	}
+	b0, b1, b2 := main.Blocks[0], main.Blocks[1], main.Blocks[2]
+	if len(b0.Succs) != 1 || b0.Succs[0] != b1.ID {
+		t.Errorf("b0 succs = %v", b0.Succs)
+	}
+	wantSuccs := map[int]bool{b1.ID: true, b2.ID: true}
+	if len(b1.Succs) != 2 || !wantSuccs[b1.Succs[0]] || !wantSuccs[b1.Succs[1]] {
+		t.Errorf("b1 succs = %v", b1.Succs)
+	}
+	if len(b2.Preds) != 1 || b2.Preds[0] != b1.ID {
+		t.Errorf("b2 preds = %v", b2.Preds)
+	}
+	// ExecPreds of the loop block: entry block and itself.
+	preds := p.ExecPreds(b1)
+	if len(preds) != 2 {
+		t.Errorf("ExecPreds(b1) = %v", preds)
+	}
+}
+
+func TestAssembleCallGraph(t *testing.T) {
+	src := `
+func main:
+    const r0, 4
+    call helper
+    assert r0
+    halt
+func helper:
+    addi r0, r0, 1
+    ret
+`
+	p := MustAssemble(src)
+	helper := p.FuncByName["helper"]
+	if helper == nil {
+		t.Fatal("no helper")
+	}
+	if len(helper.RetBlocks) != 1 {
+		t.Fatalf("helper RetBlocks = %v", helper.RetBlocks)
+	}
+	sites := p.CallSites(helper.Entry)
+	if len(sites) != 1 {
+		t.Fatalf("CallSites = %v", sites)
+	}
+	// The block after the call has the callee's RET block as its exec pred.
+	callBlock := p.Block(sites[0])
+	after, err := p.BlockAt(callBlock.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := p.ExecPreds(after)
+	if len(preds) != 1 || preds[0] != helper.RetBlocks[0] {
+		t.Errorf("ExecPreds(after call) = %v, want [%d]", preds, helper.RetBlocks[0])
+	}
+	// The helper entry's exec preds include the call site.
+	entryBlock, _ := p.BlockAt(helper.Entry)
+	preds = p.ExecPreds(entryBlock)
+	if len(preds) != 1 || preds[0] != callBlock.ID {
+		t.Errorf("ExecPreds(helper entry) = %v, want [%d]", preds, callBlock.ID)
+	}
+}
+
+func TestAssembleSpawn(t *testing.T) {
+	src := `
+func main:
+    const r2, 7
+    spawn worker, r2
+    halt
+func worker:
+    mov r1, r0
+    halt
+`
+	p := MustAssemble(src)
+	w := p.FuncByName["worker"]
+	sites := p.SpawnSites(w.Entry)
+	if len(sites) != 1 {
+		t.Fatalf("SpawnSites = %v", sites)
+	}
+	entryBlock, _ := p.BlockAt(w.Entry)
+	preds := p.ExecPreds(entryBlock)
+	if len(preds) != 1 || preds[0] != sites[0] {
+		t.Errorf("ExecPreds(worker entry) = %v", preds)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "func main:\n frob r1\n halt", "unknown mnemonic"},
+		{"unknown label", "func main:\n jmp nowhere\n halt", "unknown label"},
+		{"unknown function", "func main:\n call nowhere\n halt", "unknown function"},
+		{"unknown global", "func main:\n loadg r1, &nope\n halt", "unknown global"},
+		{"bad register", "func main:\n mov r77, r1\n halt", "bad register"},
+		{"duplicate label", "func main:\nx:\nx:\n halt", "duplicate label"},
+		{"duplicate global", ".global a 1\n.global a 1\nfunc main:\n halt", "duplicate global"},
+		{"operand count", "func main:\n add r1, r2\n halt", "expects 3 operands"},
+		{"fallthrough end", "func main:\n const r1, 1", "falls through"},
+		{"call as last", "func main:\n call main", "falling-through terminator"},
+		{"bad immediate", "func main:\n const r1, zz\n halt", "bad immediate"},
+		{"global too many init", ".global g 1 = 1 2\nfunc main:\n halt", "exceed size"},
+		{"code before func", " const r1, 1\nfunc main:\n halt", "before the first function"},
+	}
+	for _, tc := range tests {
+		_, err := Assemble(tc.src)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestAssembleHexAndNegative(t *testing.T) {
+	p := MustAssemble("func main:\n const r1, 0x10\n const r2, -3\n halt")
+	if p.Code[0].Imm != 16 || p.Code[1].Imm != -3 {
+		t.Errorf("imms = %d, %d", p.Code[0].Imm, p.Code[1].Imm)
+	}
+}
+
+func TestLayoutAssignments(t *testing.T) {
+	p := MustAssemble(".global a 2\n.global b 5\nfunc main:\n halt")
+	if p.Layout.HeapBase != p.Layout.GlobalBase+7 {
+		t.Errorf("heap base = %d", p.Layout.HeapBase)
+	}
+	if p.Layout.StackTop(0) != p.Layout.MemSize {
+		t.Errorf("stack top(0) = %d", p.Layout.StackTop(0))
+	}
+	if p.Layout.StackFloor(0) != p.Layout.MemSize-p.Layout.StackSize {
+		t.Errorf("stack floor(0) = %d", p.Layout.StackFloor(0))
+	}
+	if p.Layout.StackTop(1) != p.Layout.StackFloor(0) {
+		t.Error("stacks should be adjacent")
+	}
+}
+
+func TestDisassembleRoundTripish(t *testing.T) {
+	p := MustAssemble(simpleSrc)
+	d := p.Disassemble()
+	for _, want := range []string{"func main:", "const r1, 3", "br r1, loop", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestBranchLeavingFunctionRejected(t *testing.T) {
+	src := `
+func main:
+    jmp inner
+    halt
+func other:
+inner:
+    halt
+`
+	if _, err := Assemble(src); err == nil || !strings.Contains(err.Error(), "leaves function") {
+		t.Errorf("err = %v, want leaves function", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package breadcrumb turns the cheap post-crash execution hints the paper
+// identifies (§2.4 "Execution breadcrumbs") into search filters for RES:
+//
+//   - the Last Branch Record ring — the source/destination pairs of the
+//     most recent control transfers, collected by hardware for free;
+//   - the filtered-LBR extension: hardware configured to skip recording
+//     branch classes RES can re-derive offline (taken conditional
+//     branches), which stretches the ring's effective history;
+//   - the program's own output log (error-log breadcrumbs), matched
+//     against the OUTPUT records of candidate suffixes by core itself.
+package breadcrumb
+
+import (
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/prog"
+)
+
+// Mode selects which transfer classes the (simulated) hardware recorded.
+type Mode uint8
+
+const (
+	// RecordAll mirrors stock LBR: every jmp/br/call/ret transfer.
+	RecordAll Mode = iota
+	// SkipConditional is the paper's extension: conditional branches are
+	// not recorded (RES re-derives them from the CFG), so the 16 slots
+	// cover more history.
+	SkipConditional
+)
+
+// LBRFilter builds a core search filter that prunes candidate backward
+// steps whose control transfer contradicts the dump's branch ring. A
+// candidate beyond the ring's recorded horizon is always allowed.
+//
+// The prog parameter is needed in SkipConditional mode to classify the
+// candidate's transfer (conditional branches neither match nor consume
+// ring entries).
+func LBRFilter(p *prog.Program, lbr []coredump.BranchRec, mode Mode) core.Filter {
+	ring := append([]coredump.BranchRec(nil), lbr...)
+	return func(used int, hasTransfer bool, from, to int) (bool, bool) {
+		if !hasTransfer {
+			return true, false
+		}
+		if mode == SkipConditional && from >= 0 && from < len(p.Code) && p.Code[from].Op == isa.OpBr {
+			// Not recorded by the filtered hardware: no evidence either way.
+			return true, false
+		}
+		idx := len(ring) - 1 - used
+		if idx < 0 {
+			return true, false // beyond the recorded horizon
+		}
+		want := ring[idx]
+		if want.From != from || want.To != to {
+			return false, false
+		}
+		return true, true
+	}
+}
+
+// FilterRing post-processes a full branch ring the way filtered hardware
+// would have recorded it: conditional-branch entries are dropped and the
+// most recent `size` survivors kept. Used by experiment harnesses to
+// derive the SkipConditional view from a stock recording.
+func FilterRing(p *prog.Program, lbr []coredump.BranchRec, size int) []coredump.BranchRec {
+	var kept []coredump.BranchRec
+	for _, b := range lbr {
+		if b.From >= 0 && b.From < len(p.Code) && p.Code[b.From].Op == isa.OpBr {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	if len(kept) > size {
+		kept = kept[len(kept)-size:]
+	}
+	return kept
+}
+
+// Truncate keeps the most recent n entries of a branch ring (harness
+// helper for sweeping the ring size).
+func Truncate(lbr []coredump.BranchRec, n int) []coredump.BranchRec {
+	if n < 0 {
+		return nil
+	}
+	if len(lbr) > n {
+		return append([]coredump.BranchRec(nil), lbr[len(lbr)-n:]...)
+	}
+	return append([]coredump.BranchRec(nil), lbr...)
+}

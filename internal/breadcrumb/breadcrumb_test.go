@@ -1,0 +1,175 @@
+package breadcrumb_test
+
+import (
+	"testing"
+
+	"res/internal/asm"
+	"res/internal/breadcrumb"
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/vm"
+	"res/internal/workload"
+)
+
+func TestLBRFilterMatching(t *testing.T) {
+	p := asm.MustAssemble(`
+func main:
+    const r1, 1
+    br r1, a, b
+a:
+    jmp c
+b:
+    jmp c
+c:
+    halt
+`)
+	ring := []coredump.BranchRec{
+		{From: 1, To: 2}, // br took 'a'
+		{From: 2, To: 4}, // jmp to c
+	}
+	f := breadcrumb.LBRFilter(p, ring, breadcrumb.RecordAll)
+
+	// Most recent transfer first (used = 0): jmp@2 -> 4 matches.
+	ok, consume := f(0, true, 2, 4)
+	if !ok || !consume {
+		t.Errorf("matching transfer rejected: %v %v", ok, consume)
+	}
+	// A contradicting transfer is pruned.
+	ok, _ = f(0, true, 3, 4)
+	if ok {
+		t.Error("contradicting transfer allowed")
+	}
+	// Next entry backward (used = 1): the br.
+	ok, consume = f(1, true, 1, 2)
+	if !ok || !consume {
+		t.Error("second entry mismatch")
+	}
+	// Beyond the horizon: anything goes, nothing consumed.
+	ok, consume = f(2, true, 3, 4)
+	if !ok || consume {
+		t.Errorf("beyond horizon: %v %v", ok, consume)
+	}
+	// Non-transfer candidates are always allowed.
+	ok, consume = f(0, false, 0, 0)
+	if !ok || consume {
+		t.Error("non-transfer treatment wrong")
+	}
+}
+
+func TestLBRFilterSkipConditional(t *testing.T) {
+	p := asm.MustAssemble(`
+func main:
+    const r1, 1
+    br r1, a, b
+a:
+    jmp c
+b:
+    jmp c
+c:
+    halt
+`)
+	// Filtered hardware did not record the br; ring holds only the jmp.
+	ring := []coredump.BranchRec{{From: 2, To: 4}}
+	f := breadcrumb.LBRFilter(p, ring, breadcrumb.SkipConditional)
+	// The conditional branch candidate neither matches nor consumes.
+	ok, consume := f(0, true, 1, 2)
+	if !ok || consume {
+		t.Errorf("conditional branch under filter: %v %v", ok, consume)
+	}
+	// The jmp must still match.
+	ok, consume = f(0, true, 2, 4)
+	if !ok || !consume {
+		t.Errorf("jmp under filter: %v %v", ok, consume)
+	}
+}
+
+func TestTruncateAndFilterRing(t *testing.T) {
+	p := asm.MustAssemble(`
+func main:
+    const r1, 1
+    br r1, a, b
+a:
+    jmp c
+b:
+    jmp c
+c:
+    halt
+`)
+	ring := []coredump.BranchRec{{From: 1, To: 2}, {From: 2, To: 4}}
+	if got := breadcrumb.Truncate(ring, 1); len(got) != 1 || got[0].From != 2 {
+		t.Errorf("Truncate = %v", got)
+	}
+	if got := breadcrumb.Truncate(ring, 0); len(got) != 0 {
+		t.Errorf("Truncate(0) = %v", got)
+	}
+	filtered := breadcrumb.FilterRing(p, ring, 16)
+	if len(filtered) != 1 || filtered[0].From != 2 {
+		t.Errorf("FilterRing = %v", filtered)
+	}
+}
+
+// TestLBRPrunesSearch is the E7 smoke test: with the branch ring wired in,
+// RES explores no more (and typically fewer) candidate snapshots, and the
+// result is the same.
+func TestLBRPrunesSearch(t *testing.T) {
+	bug := workload.DistanceChain(10)
+	p := bug.Program()
+	d, _, err := bug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.New(p, core.Options{MaxDepth: 14})
+	baseRep, err := base.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := core.New(p, core.Options{
+		MaxDepth: 14,
+		Filter:   breadcrumb.LBRFilter(p, d.LBR, breadcrumb.RecordAll),
+	})
+	prunedRep, err := pruned.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prunedRep.Stats.MaxDepth < baseRep.Stats.MaxDepth {
+		t.Errorf("pruned search lost depth: %d vs %d", prunedRep.Stats.MaxDepth, baseRep.Stats.MaxDepth)
+	}
+	if prunedRep.Stats.Attempts > baseRep.Stats.Attempts {
+		t.Errorf("LBR pruning increased work: %d vs %d", prunedRep.Stats.Attempts, baseRep.Stats.Attempts)
+	}
+}
+
+// TestOutputBreadcrumbs checks the error-log integration end to end: the
+// OUTPUT values in the dump pin the synthesized inputs.
+func TestOutputBreadcrumbs(t *testing.T) {
+	src := `
+func main:
+    input r1, 0
+    output r1, 7
+    const r2, 0
+    assert r2
+    halt
+`
+	p := asm.MustAssemble(src)
+	v, _ := vm.New(p, vm.Config{Inputs: map[int64][]int64{0: {55}}})
+	d, _ := v.Run()
+	if d == nil || len(d.Outputs) != 1 {
+		t.Fatalf("dump outputs = %+v", d)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 4, MatchOutputs: true})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suffixes) == 0 {
+		t.Fatalf("no suffixes; stats %+v", rep.Stats)
+	}
+	deepest := rep.Suffixes[len(rep.Suffixes)-1]
+	syn, err := eng.Concretize(deepest, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syn.Suffix.Inputs) > 0 && syn.Suffix.Inputs[0].Value != 55 {
+		t.Errorf("log breadcrumb did not pin the input: %v", syn.Suffix.Inputs)
+	}
+}

@@ -1,0 +1,99 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// parsing of input-channel specs, dump/program loading, and uniform error
+// reporting.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"res/internal/asm"
+	"res/internal/coredump"
+	"res/internal/prog"
+)
+
+// ParseInputs parses repeated "-input ch=v1,v2,..." specs into the VM's
+// input map.
+func ParseInputs(specs []string) (map[int64][]int64, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out := make(map[int64][]int64)
+	for _, spec := range specs {
+		ch, vals, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("input spec %q: want ch=v1,v2,...", spec)
+		}
+		c, err := strconv.ParseInt(strings.TrimSpace(ch), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("input spec %q: bad channel: %v", spec, err)
+		}
+		for _, v := range strings.Split(vals, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			x, err := strconv.ParseInt(v, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("input spec %q: bad value %q: %v", spec, v, err)
+			}
+			out[c] = append(out[c], x)
+		}
+	}
+	return out, nil
+}
+
+// InputSpecs is a repeatable string flag.
+type InputSpecs []string
+
+func (s *InputSpecs) String() string { return strings.Join(*s, ";") }
+
+// Set appends one occurrence of the flag.
+func (s *InputSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// LoadProgram assembles a program from a source file.
+func LoadProgram(path string) (*prog.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// LoadDump reads a serialized coredump.
+func LoadDump(path string) (*coredump.Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return coredump.Read(f)
+}
+
+// SaveDump writes a coredump to a file.
+func SaveDump(path string, d *coredump.Dump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Fatal prints an error and exits non-zero.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,546 @@
+// Package core implements reverse execution synthesis (RES) proper: the
+// backward search over candidate (thread, predecessor-block) steps that
+// grows an execution suffix from a coredump, exactly as §2 of the paper
+// describes. Each search node holds a symbolic snapshot; extending a node
+// runs symvm.BackExec for one candidate and keeps the result only when the
+// constraint system "executing the candidate from the havocked pre-state
+// reproduces the post-state" is satisfiable.
+//
+// The search is breadth-first in suffix length (the paper wants the
+// shortest suffix containing the root cause) with optional beam capping,
+// and candidate enumeration supports every edge kind of the execution
+// model: straight-line and branch edges, call descent, return edges,
+// thread un-spawning, halt unwinding for exited threads, and the base-case
+// partial block of the faulting thread.
+package core
+
+import (
+	"fmt"
+
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/mem"
+	"res/internal/prog"
+	"res/internal/solver"
+	"res/internal/symstate"
+	"res/internal/symvm"
+	"res/internal/symx"
+)
+
+// StepKind classifies a backward step.
+type StepKind uint8
+
+const (
+	StepNormal  StepKind = iota
+	StepPartial          // the base-case partial block of the faulting thread
+	StepSpawn            // un-spawning a child thread
+	StepHalt             // unwinding an exited thread's final block
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepPartial:
+		return "partial"
+	case StepSpawn:
+		return "spawn"
+	case StepHalt:
+		return "halt"
+	}
+	return "normal"
+}
+
+// StepRec records one reconstructed step (in backward discovery order; the
+// suffix presents them oldest-first).
+type StepRec struct {
+	Kind           StepKind
+	Tid            int // executing thread
+	Block          int // block id
+	StartPC, EndPC int
+	SpawnChild     int
+	Inputs         []symvm.InputUse
+	Outputs        []symvm.OutputUse
+	Accesses       []symvm.MemAccess
+}
+
+// Node is one point of the backward search tree.
+type Node struct {
+	Snap   *symstate.Snapshot
+	Parent *Node
+	Step   StepRec // the step that produced this node from Parent (zero for root)
+	Depth  int     // number of steps from the dump (root partial step = 1)
+	// lbrUsed counts LBR-visible control transfers consumed along this
+	// path, for breadcrumb pruning.
+	lbrUsed int
+	// outUsed counts output-log entries consumed along this path.
+	outUsed int
+}
+
+// Steps returns the node's suffix steps, oldest first. Each node's Step is
+// the one that produced it from its parent, and deeper nodes correspond to
+// temporally earlier steps, so walking up from the node yields the steps
+// already ordered oldest to newest.
+func (n *Node) Steps() []StepRec {
+	var out []StepRec
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		out = append(out, cur.Step)
+	}
+	return out
+}
+
+// Filter vets a candidate backward step before it is attempted (the
+// breadcrumb integration point). used is the number of breadcrumb entries
+// the path has consumed so far; hasTransfer is false when the candidate's
+// terminator produces no LBR record (fallthrough terminators). The filter
+// returns whether the candidate is allowed and whether accepting it
+// consumes a breadcrumb entry (filtered-LBR modes record only some
+// transfer kinds, so not every transfer consumes).
+type Filter func(used int, hasTransfer bool, from, to int) (ok, consume bool)
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxDepth bounds the suffix length in blocks (including the base-case
+	// partial step). Zero means the package default of 24.
+	MaxDepth int
+	// MaxNodes bounds the total backward-step attempts. Zero = 100000.
+	MaxNodes int
+	// BeamWidth caps the number of frontier nodes kept per depth;
+	// zero = unlimited.
+	BeamWidth int
+	// Solver tunes the underlying constraint solving.
+	Solver solver.Options
+	// DisableProbe forwards the symvm ablation knob (see symvm.Options).
+	DisableProbe bool
+	// Filter, when non-nil, prunes candidates (breadcrumb integration).
+	Filter Filter
+	// OnSuffix is invoked for every feasible node (depth >= 1). Returning
+	// true stops the search. When nil, the search runs to its budgets.
+	OnSuffix func(*Node) bool
+	// MatchOutputs constrains the suffix's OUTPUT records against the
+	// tail of the dump's output log (error-log breadcrumbs).
+	MatchOutputs bool
+}
+
+func (o Options) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return 24
+	}
+	return o.MaxDepth
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes == 0 {
+		return 100000
+	}
+	return o.MaxNodes
+}
+
+// Stats aggregates search effort; the experiment harness reports these.
+type Stats struct {
+	Attempts    int // BackExec invocations
+	Feasible    int
+	Infeasible  int
+	Unknown     int
+	SolverCalls int
+	MaxDepth    int
+}
+
+// Report is the outcome of an analysis.
+type Report struct {
+	Stats Stats
+	// Suffixes holds every feasible node discovered, in discovery order
+	// (shortest first). The caller concretizes the ones it cares about.
+	Suffixes []*Node
+	// Stopped is true if OnSuffix requested the stop.
+	Stopped bool
+	// HardwareSuspect is set when the base case or every depth-1 candidate
+	// is infeasible with no Unknowns: no feasible execution ends at this
+	// coredump, so the dump is inconsistent with the program — the
+	// signature of a hardware error (§3.2).
+	HardwareSuspect bool
+	// FullReconstruction is set when the search unwound an entire
+	// execution back to the program's initial state.
+	FullReconstruction *Node
+}
+
+// Engine analyzes coredumps of one program.
+type Engine struct {
+	P    *prog.Program
+	opt  Options
+	pool *symx.Pool
+}
+
+// New creates an engine.
+func New(p *prog.Program, opt Options) *Engine {
+	return &Engine{P: p, opt: opt, pool: symx.NewPool()}
+}
+
+// Pool exposes the engine's variable pool (for rendering expressions).
+func (e *Engine) Pool() *symx.Pool { return e.pool }
+
+// Analyze runs the backward search from the dump.
+func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
+	rep := &Report{}
+	root, err := e.baseCase(d, rep)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		// Base case infeasible: the dump's own fault state is inconsistent.
+		rep.HardwareSuspect = rep.Stats.Unknown == 0
+		return rep, nil
+	}
+
+	frontier := []*Node{root}
+	if root.Depth >= 1 {
+		rep.Suffixes = append(rep.Suffixes, root)
+		if e.opt.OnSuffix != nil && e.opt.OnSuffix(root) {
+			rep.Stopped = true
+			return rep, nil
+		}
+	}
+
+	depth1Feasible := 0
+	depth1Unknown := 0
+	for len(frontier) > 0 && rep.Stats.Attempts < e.opt.maxNodes() {
+		var next []*Node
+		for _, node := range frontier {
+			if node.Depth >= e.opt.maxDepth() {
+				continue
+			}
+			if rep.Stats.Attempts >= e.opt.maxNodes() {
+				break
+			}
+			for _, cand := range e.candidates(node) {
+				if rep.Stats.Attempts >= e.opt.maxNodes() {
+					break
+				}
+				child, verdict := e.attempt(node, cand, d, rep)
+				switch verdict {
+				case symvm.Feasible:
+					if node == root || node.Depth == 0 {
+						depth1Feasible++
+					}
+					if child.Depth > rep.Stats.MaxDepth {
+						rep.Stats.MaxDepth = child.Depth
+					}
+					rep.Suffixes = append(rep.Suffixes, child)
+					if e.opt.OnSuffix != nil && e.opt.OnSuffix(child) {
+						rep.Stopped = true
+						return rep, nil
+					}
+					if full := e.checkFullReconstruction(child); full {
+						rep.FullReconstruction = child
+						return rep, nil
+					}
+					next = append(next, child)
+				case symvm.Unknown:
+					if node == root || node.Depth == 0 {
+						depth1Unknown++
+					}
+				}
+			}
+		}
+		if e.opt.BeamWidth > 0 && len(next) > e.opt.BeamWidth {
+			next = next[:e.opt.BeamWidth]
+		}
+		frontier = next
+	}
+	if len(rep.Suffixes) == 0 && depth1Feasible == 0 && depth1Unknown == 0 {
+		rep.HardwareSuspect = true
+	}
+	return rep, nil
+}
+
+// baseCase builds the root node. For a thread fault it executes the
+// partial final block of the faulting thread with the fault condition as
+// an extra constraint; for global faults (deadlock, budget) the root is
+// the dump itself at depth 0.
+func (e *Engine) baseCase(d *coredump.Dump, rep *Report) (*Node, error) {
+	snap := symstate.FromDump(d, e.P.Layout.HeapBase, e.pool)
+	if d.Fault.Thread < 0 {
+		return &Node{Snap: snap}, nil
+	}
+	t, err := d.Thread(d.Fault.Thread)
+	if err != nil {
+		return nil, err
+	}
+	if t.PC != d.Fault.PC {
+		return nil, fmt.Errorf("core: dump thread pc %d disagrees with fault pc %d", t.PC, d.Fault.PC)
+	}
+	block, err := e.P.BlockAt(d.Fault.PC)
+	if err != nil {
+		return nil, err
+	}
+	req := symvm.Req{
+		P:          e.P,
+		Post:       snap,
+		Tid:        d.Fault.Thread,
+		StartPC:    block.Start,
+		EndPC:      d.Fault.PC,
+		Partial:    true,
+		SpawnChild: -1,
+		FaultCons:  e.faultCons(d),
+	}
+	res := symvm.BackExec(req, symvm.Options{Solver: e.opt.Solver, DisableProbe: e.opt.DisableProbe})
+	rep.Stats.Attempts++
+	rep.Stats.SolverCalls += res.SolverCalls
+	switch res.Verdict {
+	case symvm.Feasible:
+		rep.Stats.Feasible++
+	case symvm.Infeasible:
+		rep.Stats.Infeasible++
+		return nil, nil
+	default:
+		rep.Stats.Unknown++
+		return nil, nil
+	}
+	node := &Node{
+		Snap:  res.Pre,
+		Step:  StepRec{Kind: StepPartial, Tid: d.Fault.Thread, Block: block.ID, StartPC: block.Start, EndPC: d.Fault.PC, Inputs: res.Inputs, Outputs: res.Outputs, Accesses: res.Accesses},
+		Depth: 1,
+	}
+	node.Parent = &Node{Snap: snap} // sentinel root so Steps() includes the partial step
+	rep.Stats.MaxDepth = 1
+	return node, nil
+}
+
+// faultCons translates the dump's fault descriptor into constraints over
+// the register state at the faulting instruction: the reconstructed
+// execution must fault in exactly the observed way.
+func (e *Engine) faultCons(d *coredump.Dump) func([isa.NumRegs]*symx.Expr) []solver.Constraint {
+	in := &e.P.Code[d.Fault.PC]
+	kind := d.Fault.Kind
+	addr := int64(d.Fault.Addr)
+	return func(regs [isa.NumRegs]*symx.Expr) []solver.Constraint {
+		switch kind {
+		case coredump.FaultNullDeref, coredump.FaultOOB, coredump.FaultHeapOOB, coredump.FaultUseAfterFree:
+			var addrExpr *symx.Expr
+			switch in.Op {
+			case isa.OpLoad, isa.OpStore:
+				addrExpr = symx.Binary(symx.OpAdd, regs[in.Rs1], symx.Const(in.Imm))
+			case isa.OpLoadG, isa.OpStoreG:
+				addrExpr = symx.Const(in.Imm)
+			case isa.OpLock, isa.OpUnlock, isa.OpFree:
+				addrExpr = regs[in.Rs1]
+			case isa.OpRet, isa.OpCall:
+				addrExpr = regs[isa.SP]
+				if in.Op == isa.OpCall {
+					addrExpr = symx.Binary(symx.OpAdd, addrExpr, symx.Const(-1))
+				}
+			default:
+				return nil
+			}
+			if kind == coredump.FaultOOB {
+				// The recorded address is truncated to 32 bits; constrain
+				// only when it is representable.
+				return []solver.Constraint{solver.Eq(symx.Binary(symx.OpAnd, addrExpr, symx.Const(0xffffffff)), symx.Const(addr))}
+			}
+			return []solver.Constraint{solver.Eq(addrExpr, symx.Const(addr))}
+		case coredump.FaultDivByZero:
+			return []solver.Constraint{solver.Eq(regs[in.Rs2], symx.Const(0))}
+		case coredump.FaultAssert:
+			return []solver.Constraint{solver.Falsy(regs[in.Rs1])}
+		}
+		return nil
+	}
+}
+
+// candidate describes one backward-step possibility.
+type candidate struct {
+	kind       StepKind
+	tid        int
+	block      *prog.Block
+	spawnChild int
+	// transfer info for LBR pruning
+	hasTransfer bool
+	from, to    int
+}
+
+// candidates enumerates the backward steps possible from a node.
+func (e *Engine) candidates(n *Node) []candidate {
+	var out []candidate
+	maxTid := n.Snap.MaxThreadID()
+	for _, tid := range n.Snap.ThreadIDs() {
+		t := n.Snap.Thread(tid)
+		switch t.State {
+		case coredump.ThreadExited:
+			block, err := e.P.BlockAt(t.PC)
+			if err != nil || block.End-1 != t.PC {
+				continue
+			}
+			if e.P.Code[t.PC].Op != isa.OpHalt {
+				continue
+			}
+			out = append(out, candidate{kind: StepHalt, tid: tid, block: block, spawnChild: -1})
+		case coredump.ThreadRunnable, coredump.ThreadBlocked:
+			cur, err := e.P.BlockAt(t.PC)
+			if err != nil || cur.Start != t.PC {
+				continue
+			}
+			for _, pid := range e.P.ExecPreds(cur) {
+				pred := e.P.Block(pid)
+				term := pred.Terminator(e.P.Code)
+				termPC := pred.End - 1
+				switch term.Op {
+				case isa.OpSpawn:
+					if term.Target == cur.Start && pred.End != cur.Start {
+						// tid is the child at its entry: a spawn by some
+						// other thread parked right after the spawn block.
+						if tid != maxTid {
+							continue
+						}
+						for _, ptid := range n.Snap.ThreadIDs() {
+							if ptid == tid {
+								continue
+							}
+							pt := n.Snap.Thread(ptid)
+							if pt.State == coredump.ThreadExited || pt.PC != pred.End {
+								continue
+							}
+							out = append(out, candidate{kind: StepSpawn, tid: ptid, block: pred, spawnChild: tid})
+						}
+						continue
+					}
+					// Fallthrough edge: tid itself executed the spawn and
+					// continued; the child it created must be unwindable.
+					child := maxTid
+					if child == tid {
+						continue
+					}
+					ct := n.Snap.Thread(child)
+					if ct == nil || ct.PC != term.Target {
+						continue
+					}
+					out = append(out, candidate{kind: StepSpawn, tid: tid, block: pred, spawnChild: child})
+				case isa.OpJmp, isa.OpBr:
+					out = append(out, candidate{kind: StepNormal, tid: tid, block: pred, spawnChild: -1, hasTransfer: true, from: termPC, to: cur.Start})
+				case isa.OpCall:
+					out = append(out, candidate{kind: StepNormal, tid: tid, block: pred, spawnChild: -1, hasTransfer: true, from: termPC, to: cur.Start})
+				case isa.OpRet:
+					out = append(out, candidate{kind: StepNormal, tid: tid, block: pred, spawnChild: -1, hasTransfer: true, from: termPC, to: cur.Start})
+				default:
+					// Fallthrough terminators (yield, lock) produce no LBR
+					// record.
+					out = append(out, candidate{kind: StepNormal, tid: tid, block: pred, spawnChild: -1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// attempt runs one backward step and builds the child node on success.
+func (e *Engine) attempt(n *Node, c candidate, d *coredump.Dump, rep *Report) (*Node, symvm.Verdict) {
+	consume := false
+	if e.opt.Filter != nil {
+		ok, cons := e.opt.Filter(n.lbrUsed, c.hasTransfer, c.from, c.to)
+		if !ok {
+			return nil, symvm.Infeasible
+		}
+		consume = cons
+	}
+	req := symvm.Req{
+		P:          e.P,
+		Post:       n.Snap,
+		Tid:        c.tid,
+		StartPC:    c.block.Start,
+		EndPC:      c.block.End,
+		SpawnChild: c.spawnChild,
+		HaltStep:   c.kind == StepHalt,
+	}
+	res := symvm.BackExec(req, symvm.Options{Solver: e.opt.Solver, DisableProbe: e.opt.DisableProbe})
+	rep.Stats.Attempts++
+	rep.Stats.SolverCalls += res.SolverCalls
+	switch res.Verdict {
+	case symvm.Infeasible:
+		rep.Stats.Infeasible++
+		return nil, res.Verdict
+	case symvm.Unknown:
+		rep.Stats.Unknown++
+		return nil, res.Verdict
+	}
+	rep.Stats.Feasible++
+	child := &Node{
+		Snap:   res.Pre,
+		Parent: n,
+		Depth:  n.Depth + 1,
+		Step: StepRec{
+			Kind: c.kind, Tid: c.tid, Block: c.block.ID,
+			StartPC: c.block.Start, EndPC: c.block.End,
+			SpawnChild: c.spawnChild,
+			Inputs:     res.Inputs, Outputs: res.Outputs, Accesses: res.Accesses,
+		},
+		lbrUsed: n.lbrUsed,
+		outUsed: n.outUsed,
+	}
+	if consume {
+		child.lbrUsed++
+	}
+	// Error-log breadcrumbs: the step's OUTPUT records must match the
+	// tail of the dump's output log, newest first (§2.4: "existing error
+	// logs can provide RES with useful, coarse-grained breadcrumbs").
+	if e.opt.MatchOutputs && len(res.Outputs) > 0 {
+		for i := len(res.Outputs) - 1; i >= 0; i-- {
+			ou := res.Outputs[i]
+			idx := len(d.Outputs) - 1 - child.outUsed
+			if idx < 0 {
+				break // beyond the recorded log horizon
+			}
+			want := d.Outputs[idx]
+			if want.PC != ou.PC || want.Tag != ou.Tag {
+				rep.Stats.Feasible--
+				rep.Stats.Infeasible++
+				return nil, symvm.Infeasible
+			}
+			child.Snap.AddCons(solver.Eq(ou.Value, symx.Const(want.Value)))
+			child.outUsed++
+		}
+		chk := solver.Check(child.Snap.Cons, e.opt.Solver)
+		rep.Stats.SolverCalls++
+		if chk.Verdict == solver.Unsat {
+			rep.Stats.Feasible--
+			rep.Stats.Infeasible++
+			return nil, symvm.Infeasible
+		}
+	}
+	return child, symvm.Feasible
+}
+
+// checkFullReconstruction reports whether the node has unwound the whole
+// execution: only the main thread remains, parked at the program entry,
+// and the snapshot is consistent with the initial machine state.
+func (e *Engine) checkFullReconstruction(n *Node) bool {
+	ids := n.Snap.ThreadIDs()
+	if len(ids) != 1 || ids[0] != 0 {
+		return false
+	}
+	entry, err := e.P.Entry()
+	if err != nil {
+		return false
+	}
+	t := n.Snap.Thread(0)
+	if t.PC != entry {
+		return false
+	}
+	// Initial state: zero registers (sp = stack top), memory = zeros plus
+	// global initializers.
+	init := mem.NewImage(e.P.Layout.MemSize)
+	for _, g := range e.P.Globals {
+		for i, val := range g.Init {
+			init.Store(g.Addr+uint32(i), val)
+		}
+	}
+	cs := append([]solver.Constraint{}, n.Snap.Cons...)
+	for r := 0; r < isa.NumRegs; r++ {
+		want := int64(0)
+		if isa.Reg(r) == isa.SP {
+			want = int64(e.P.Layout.StackTop(0))
+		}
+		cs = append(cs, solver.Eq(t.Regs[r], symx.Const(want)))
+	}
+	for a := range n.Snap.Mem {
+		cs = append(cs, solver.Eq(n.Snap.MemAt(a), symx.Const(init.Load(a))))
+	}
+	res := solver.Check(cs, e.opt.Solver)
+	return res.Verdict == solver.Sat
+}

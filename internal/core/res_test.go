@@ -1,0 +1,401 @@
+package core_test
+
+import (
+	"testing"
+
+	"res/internal/asm"
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/replay"
+	"res/internal/vm"
+)
+
+// crash runs the program to its failure and returns the dump.
+func crash(t *testing.T, src string, cfg vm.Config) (*coredump.Dump, *vm.VM) {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	v, err := vm.New(p, cfg)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	d, err := v.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d == nil {
+		t.Fatal("program did not fail")
+	}
+	return d, v
+}
+
+func TestStraightLineAssert(t *testing.T) {
+	src := `
+.global g 1
+func main:
+    const r1, 5
+    storeg r1, &g
+    loadg r2, &g
+    addi r2, r2, -5
+    assert r2
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{})
+	if d.Fault.Kind != coredump.FaultAssert {
+		t.Fatalf("fault = %v", d.Fault)
+	}
+	eng := core.New(p, core.Options{})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(rep.Suffixes) == 0 {
+		t.Fatalf("no suffixes found; stats %+v", rep.Stats)
+	}
+	if rep.HardwareSuspect {
+		t.Error("spurious hardware suspicion")
+	}
+	// The base-case suffix replays to the exact dump.
+	syn, err := eng.Concretize(rep.Suffixes[0], d)
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	rr, err := replay.Run(p, syn, d, replay.Config{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rr.Divergence != nil {
+		t.Fatalf("divergence: %v", rr.Divergence)
+	}
+	if !rr.Matches {
+		t.Fatalf("replay does not match dump; memdiff=%v fault=%v", rr.MemDiff, rr.Fault)
+	}
+}
+
+func TestBranchDisambiguationFigure1Style(t *testing.T) {
+	// The Figure 1 structure: two predecessors write different constants
+	// into x; the dump has x == 1, so only Pred1 is part of a feasible
+	// suffix.
+	src := `
+.global x 1
+func main:
+    input r1, 0
+    br r1, p1, p2
+p1:
+    const r3, 1
+    storeg r3, &x
+    jmp join
+p2:
+    const r3, 2
+    storeg r3, &x
+    jmp join
+join:
+    loadg r4, &x
+    addi r5, r4, -1
+    assert r5
+    halt
+`
+	p := asm.MustAssemble(src)
+	// Input 1 takes p1: x = 1, assert(1-1) fails.
+	d, _ := crash(t, src, vm.Config{Inputs: map[int64][]int64{0: {1}}})
+	if d.Fault.Kind != coredump.FaultAssert {
+		t.Fatalf("fault = %v", d.Fault)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 8})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(rep.Suffixes) < 2 {
+		t.Fatalf("expected suffixes beyond the base case; stats %+v", rep.Stats)
+	}
+	// Every depth-2 suffix must go through p1 (block containing pc 2),
+	// never p2 (block containing pc 5).
+	p1Block, _ := p.BlockAt(2)
+	p2Block, _ := p.BlockAt(5)
+	sawP1 := false
+	for _, n := range rep.Suffixes {
+		for _, s := range n.Steps() {
+			if s.Block == p2Block.ID {
+				t.Errorf("infeasible predecessor p2 (block %d) appears in a suffix", p2Block.ID)
+			}
+			if s.Block == p1Block.ID {
+				sawP1 = true
+			}
+		}
+	}
+	if !sawP1 {
+		t.Error("feasible predecessor p1 never appears")
+	}
+	if rep.Stats.Infeasible == 0 {
+		t.Error("expected the p2 candidate to be proven infeasible")
+	}
+}
+
+func TestSuffixReplaysWithInputs(t *testing.T) {
+	// The crash depends on an input value; RES must synthesize an input
+	// that reproduces the same failure state (x must equal the dumped
+	// value exactly, so the solver must pick the same input).
+	src := `
+.global x 1
+func main:
+    input r1, 0
+    addi r2, r1, 3
+    storeg r2, &x
+    loadg r3, &x
+    addi r4, r3, -10
+    assert r4
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{Inputs: map[int64][]int64{0: {7}}})
+	if d.Fault.Kind != coredump.FaultAssert {
+		t.Fatalf("fault = %v", d.Fault)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 4})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(rep.Suffixes) == 0 {
+		t.Fatalf("no suffixes; stats %+v", rep.Stats)
+	}
+	// The deepest suffix includes the INPUT; its synthesized value must
+	// be 7 (forced by x == 10 in the dump).
+	deepest := rep.Suffixes[len(rep.Suffixes)-1]
+	syn, err := eng.Concretize(deepest, d)
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	if len(syn.Suffix.Inputs) > 0 {
+		if got := syn.Suffix.Inputs[0].Value; got != 7 {
+			t.Errorf("synthesized input = %d, want 7", got)
+		}
+	}
+	rr, err := replay.Run(p, syn, d, replay.Config{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rr.Divergence != nil {
+		t.Fatalf("divergence: %v", rr.Divergence)
+	}
+	if !rr.Matches {
+		t.Fatalf("replay mismatch; memdiff=%v fault=%v vs %v", rr.MemDiff, rr.Fault, d.Fault)
+	}
+}
+
+func TestLoopUnwinding(t *testing.T) {
+	// A countdown loop that ends in a failure: RES should unwind several
+	// loop iterations, each a feasible backward step.
+	src := `
+.global g 1
+func main:
+    const r1, 4
+loop:
+    loadg r2, &g
+    addi r2, r2, 1
+    storeg r2, &g
+    addi r1, r1, -1
+    br r1, loop, done
+done:
+    loadg r3, &g
+    addi r3, r3, -4
+    assert r3
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{})
+	eng := core.New(p, core.Options{MaxDepth: 10})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.Stats.MaxDepth < 4 {
+		t.Fatalf("expected to unwind several loop iterations; stats %+v", rep.Stats)
+	}
+	// Deep suffixes replay exactly.
+	var deep *core.Node
+	for _, n := range rep.Suffixes {
+		if deep == nil || n.Depth > deep.Depth {
+			deep = n
+		}
+	}
+	syn, err := eng.Concretize(deep, d)
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	rr, err := replay.Run(p, syn, d, replay.Config{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rr.Divergence != nil || !rr.Matches {
+		t.Fatalf("replay: divergence=%v matches=%v diff=%v", rr.Divergence, rr.Matches, rr.MemDiff)
+	}
+}
+
+func TestCallReturnUnwinding(t *testing.T) {
+	src := `
+.global g 1
+func main:
+    const r0, 6
+    call double
+    storeg r0, &g
+    loadg r1, &g
+    addi r2, r1, -12
+    assert r2
+    halt
+func double:
+    add r0, r0, r0
+    ret
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{})
+	eng := core.New(p, core.Options{MaxDepth: 8})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// The search must pass backward through the RET and the CALL.
+	sawRet, sawCall := false, false
+	for _, n := range rep.Suffixes {
+		for _, s := range n.Steps() {
+			blk := p.Block(s.Block)
+			term := blk.Terminator(p.Code)
+			switch term.Op.String() {
+			case "ret":
+				sawRet = true
+			case "call":
+				sawCall = true
+			}
+		}
+	}
+	if !sawRet || !sawCall {
+		t.Errorf("ret unwound: %v, call unwound: %v; stats %+v", sawRet, sawCall, rep.Stats)
+	}
+	if rep.FullReconstruction == nil {
+		t.Errorf("expected full reconstruction of this short execution; stats %+v", rep.Stats)
+	}
+}
+
+func TestFullReconstructionOfShortProgram(t *testing.T) {
+	src := `
+.global g 1
+func main:
+    const r1, 3
+    storeg r1, &g
+    loadg r2, &g
+    addi r2, r2, -3
+    assert r2
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{})
+	eng := core.New(p, core.Options{MaxDepth: 6})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// The whole execution is one partial block from the entry: the root
+	// IS the full reconstruction; accept either representation.
+	if rep.FullReconstruction == nil && len(rep.Suffixes) == 0 {
+		t.Fatalf("nothing reconstructed; stats %+v", rep.Stats)
+	}
+}
+
+func TestHardwareInconsistencyDetected(t *testing.T) {
+	// Corrupt the dump: the program provably wrote 5 into g just before
+	// the failure, but the dump says 6 — a memory bit flip. No feasible
+	// suffix exists.
+	src := `
+.global g 1
+func main:
+    const r1, 5
+    storeg r1, &g
+    const r2, 0
+    assert r2
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{})
+	addr, _ := p.GlobalAddr("g")
+	d.Mem.Store(addr, 6) // inject the "bit flip"
+	eng := core.New(p, core.Options{MaxDepth: 6})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if !rep.HardwareSuspect {
+		t.Errorf("hardware error not flagged; stats %+v, suffixes %d", rep.Stats, len(rep.Suffixes))
+	}
+}
+
+func TestNullDerefFaultConstraint(t *testing.T) {
+	// The faulting address must be reconstructed: r2 gets its value from
+	// an input; the fault constraint pins it to the dumped fault address.
+	src := `
+func main:
+    input r2, 0
+    load r3, r2, 0
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{Inputs: map[int64][]int64{0: {3}}})
+	if d.Fault.Kind != coredump.FaultNullDeref || d.Fault.Addr != 3 {
+		t.Fatalf("fault = %v", d.Fault)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 3})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(rep.Suffixes) == 0 {
+		t.Fatalf("no suffix; stats %+v", rep.Stats)
+	}
+	syn, err := eng.Concretize(rep.Suffixes[0], d)
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	if len(syn.Suffix.Inputs) != 1 || syn.Suffix.Inputs[0].Value != 3 {
+		t.Fatalf("inputs = %v, want the faulting address 3", syn.Suffix.Inputs)
+	}
+	rr, err := replay.Run(p, syn, d, replay.Config{})
+	if err != nil || rr.Divergence != nil || !rr.Matches {
+		t.Fatalf("replay: err=%v div=%v matches=%v", err, rr.Divergence, rr.Matches)
+	}
+}
+
+func TestSpawnUnwinding(t *testing.T) {
+	// The child thread crashes immediately; unwinding must cross the
+	// spawn edge and reconstruct the argument handoff.
+	src := `
+func main:
+    const r2, 0
+    spawn worker, r2
+wait:
+    jmp wait
+func worker:
+    load r3, r0, 0
+    halt
+`
+	p := asm.MustAssemble(src)
+	d, _ := crash(t, src, vm.Config{Seed: 1, PreemptPct: 50, MaxSteps: 10000})
+	if d.Fault.Kind != coredump.FaultNullDeref {
+		t.Fatalf("fault = %v", d.Fault)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 6})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	sawSpawn := false
+	for _, n := range rep.Suffixes {
+		for _, s := range n.Steps() {
+			if s.Kind == core.StepSpawn {
+				sawSpawn = true
+			}
+		}
+	}
+	if !sawSpawn {
+		t.Errorf("spawn edge never unwound; stats %+v", rep.Stats)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/mem"
+	"res/internal/solver"
+	"res/internal/symx"
+	"res/internal/trace"
+)
+
+// Synthesized is a concretized execution suffix: the paper's output
+// <Ti, Mi> — a schedule plus the partial memory image to start from, with
+// the external inputs pinned to concrete values by the solver's model.
+type Synthesized struct {
+	Node   *Node
+	Suffix *trace.Suffix
+	Model  symx.Model
+
+	// The reconstructed pre-state Mi.
+	PreMem      *mem.Image
+	PreRegs     map[int][isa.NumRegs]int64
+	PreStates   map[int]coredump.ThreadState
+	PreLocks    map[uint32]int
+	PreHeap     []coredump.HeapObject
+	PreHeapNext uint32
+
+	// ReadSet and WriteSet are the resolved data addresses the suffix
+	// touches (§3.3: "RES automatically focuses developers' attention on
+	// the recently read or written state").
+	ReadSet, WriteSet []uint32
+}
+
+// Concretize solves the node's constraint system and materializes the
+// suffix: schedule, inputs, and the pre-image Mi. The dump supplies the
+// failure point (the pc at which the final partial step stops).
+func (e *Engine) Concretize(n *Node, d *coredump.Dump) (*Synthesized, error) {
+	res := solver.Check(n.Snap.Cons, e.opt.Solver)
+	if res.Verdict != solver.Sat {
+		return nil, fmt.Errorf("core: node constraints not solvable: %v (%s)", res.Verdict, res.Reason)
+	}
+	model := res.Model
+
+	steps := n.Steps()
+	suffix := &trace.Suffix{
+		EndPC:    d.Fault.PC,
+		StartPCs: make(map[int]int),
+	}
+	for _, tid := range n.Snap.ThreadIDs() {
+		suffix.StartPCs[tid] = n.Snap.Thread(tid).PC
+	}
+	readSet := make(map[uint32]bool)
+	writeSet := make(map[uint32]bool)
+	for _, s := range steps {
+		suffix.Steps = append(suffix.Steps, trace.Step{Tid: s.Tid, Block: s.Block})
+		for _, iu := range s.Inputs {
+			suffix.Inputs = append(suffix.Inputs, trace.InputRec{
+				Tid:     s.Tid,
+				Channel: iu.Channel,
+				Value:   model[iu.Var],
+			})
+		}
+		for _, a := range s.Accesses {
+			if a.Write {
+				writeSet[a.Addr] = true
+			} else {
+				readSet[a.Addr] = true
+			}
+		}
+	}
+
+	syn := &Synthesized{
+		Node:        n,
+		Suffix:      suffix,
+		Model:       model,
+		PreMem:      n.Snap.ConcretizeMem(model),
+		PreRegs:     make(map[int][isa.NumRegs]int64),
+		PreStates:   make(map[int]coredump.ThreadState),
+		PreLocks:    make(map[uint32]int, len(n.Snap.Locks)),
+		PreHeap:     append([]coredump.HeapObject(nil), n.Snap.Heap...),
+		PreHeapNext: n.Snap.HeapNext,
+	}
+	for _, tid := range n.Snap.ThreadIDs() {
+		regs, err := n.Snap.ConcretizeRegs(tid, model)
+		if err != nil {
+			return nil, err
+		}
+		syn.PreRegs[tid] = regs
+		syn.PreStates[tid] = n.Snap.Thread(tid).State
+	}
+	for a, o := range n.Snap.Locks {
+		syn.PreLocks[a] = o
+	}
+	for a := range readSet {
+		syn.ReadSet = append(syn.ReadSet, a)
+	}
+	for a := range writeSet {
+		syn.WriteSet = append(syn.WriteSet, a)
+	}
+	sortU32(syn.ReadSet)
+	sortU32(syn.WriteSet)
+	return syn, nil
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Describe renders a synthesized suffix for human consumption.
+func (s *Synthesized) Describe() string {
+	out := fmt.Sprintf("%s\n", s.Suffix)
+	out += fmt.Sprintf("inputs: %v\n", s.Suffix.Inputs)
+	out += fmt.Sprintf("read set: %v\nwrite set: %v\n", s.ReadSet, s.WriteSet)
+	return out
+}

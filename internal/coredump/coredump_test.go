@@ -1,0 +1,150 @@
+package coredump
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"res/internal/mem"
+)
+
+func sampleDump(rng *rand.Rand) *Dump {
+	d := &Dump{
+		Mem:   mem.NewImage(256),
+		Locks: map[uint32]int{40: 1},
+		Heap: []HeapObject{
+			{Base: 30, Size: 4, AllocPC: 2, FreePC: -1},
+			{Base: 35, Size: 2, Freed: true, AllocPC: 3, FreePC: 9},
+		},
+		Fault:   Fault{Kind: FaultAssert, Thread: 1, PC: 17, Addr: 5, Detail: "x"},
+		Outputs: []OutputRec{{PC: 4, Tag: 9, Value: -3}},
+		LBR:     []BranchRec{{From: 3, To: 7}, {From: 7, To: 3}},
+		Steps:   991,
+	}
+	for i := 0; i < 2; i++ {
+		th := Thread{ID: i, PC: 10 + i, State: ThreadRunnable}
+		for r := range th.Regs {
+			th.Regs[r] = rng.Int63() - rng.Int63()
+		}
+		d.Threads = append(d.Threads, th)
+	}
+	d.Mem.Store(33, 123)
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sampleDump(rand.New(rand.NewSource(4)))
+	b, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fault != d.Fault || got.Steps != d.Steps {
+		t.Errorf("fault/steps mismatch: %+v vs %+v", got.Fault, d.Fault)
+	}
+	if len(got.Threads) != 2 || got.Threads[1] != d.Threads[1] {
+		t.Errorf("threads mismatch")
+	}
+	if got.Locks[40] != 1 || len(got.Locks) != 1 {
+		t.Errorf("locks = %v", got.Locks)
+	}
+	if len(got.Heap) != 2 || got.Heap[1] != d.Heap[1] {
+		t.Errorf("heap = %+v", got.Heap)
+	}
+	if len(got.Outputs) != 1 || got.Outputs[0] != d.Outputs[0] {
+		t.Errorf("outputs = %+v", got.Outputs)
+	}
+	if len(got.LBR) != 2 || got.LBR[0] != d.LBR[0] {
+		t.Errorf("lbr = %+v", got.LBR)
+	}
+	if diff := got.Mem.Diff(d.Mem); len(diff) != 0 {
+		t.Errorf("mem differs at %v", diff)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	d := sampleDump(rand.New(rand.NewSource(5)))
+	b, _ := d.Marshal()
+	for cut := 1; cut < len(b); cut += 7 {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnmarshalBadMagic(t *testing.T) {
+	if _, err := Unmarshal([]byte("NOTADUMPxxxx")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := sampleDump(rand.New(rand.NewSource(6)))
+	c := d.Clone()
+	c.Mem.Store(33, 999)
+	c.Locks[41] = 0
+	c.Threads[0].Regs[0] = 42
+	if d.Mem.Load(33) == 999 || len(d.Locks) != 1 || d.Threads[0].Regs[0] == 42 {
+		t.Error("clone shares state")
+	}
+}
+
+func TestThreadLookup(t *testing.T) {
+	d := sampleDump(rand.New(rand.NewSource(7)))
+	th, err := d.Thread(1)
+	if err != nil || th.ID != 1 {
+		t.Errorf("Thread(1) = %v, %v", th, err)
+	}
+	if _, err := d.Thread(9); err == nil {
+		t.Error("Thread(9) should fail")
+	}
+	if ft := d.FaultingThread(); ft == nil || ft.ID != 1 {
+		t.Errorf("FaultingThread = %v", ft)
+	}
+}
+
+func TestLiveObjectAt(t *testing.T) {
+	d := sampleDump(rand.New(rand.NewSource(8)))
+	if _, ok := d.LiveObjectAt(31); !ok {
+		t.Error("address in live object not found")
+	}
+	if _, ok := d.LiveObjectAt(36); ok {
+		t.Error("freed object reported live")
+	}
+	if _, ok := d.LiveObjectAt(200); ok {
+		t.Error("unallocated address reported live")
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	for k := FaultNone; k <= FaultBudget; k++ {
+		if strings.HasPrefix(k.String(), "fault(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	f := Fault{Kind: FaultNullDeref, Thread: 2, PC: 9, Addr: 3, Detail: "d"}
+	s := f.String()
+	for _, want := range []string{"null-deref", "pc=9", "tid=2", "addr=3", "(d)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fault string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestStackKeyStability(t *testing.T) {
+	f := Fault{Kind: FaultAssert}
+	frames := []Frame{{Func: "inner", PC: 5, CallPC: -1}, {Func: "main", PC: 2, CallPC: 1}}
+	k1 := StackKey(f, frames)
+	k2 := StackKey(f, frames)
+	if k1 != k2 || !strings.Contains(k1, "inner") || !strings.Contains(k1, "main") {
+		t.Errorf("key = %q", k1)
+	}
+	// Different stack, different key.
+	k3 := StackKey(f, frames[:1])
+	if k3 == k1 {
+		t.Error("distinct stacks share a key")
+	}
+}

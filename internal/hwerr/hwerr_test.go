@@ -1,0 +1,133 @@
+package hwerr_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"res/internal/core"
+	"res/internal/hwerr"
+	"res/internal/isa"
+	"res/internal/workload"
+)
+
+func TestBitFlipDetected(t *testing.T) {
+	// Flip a bit in a word the failing suffix provably wrote: no feasible
+	// suffix can explain the corrupted dump.
+	bug := workload.HealthyCompute()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaddr, _ := p.GlobalAddr("g")
+	corrupt, inj := hwerr.FlipMemoryBit(d, gaddr, 3)
+	t.Log(inj)
+	v, err := hwerr.Classify(p, corrupt, core.Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.HardwareSuspect {
+		t.Errorf("memory bit flip not detected: %+v", v)
+	}
+}
+
+func TestRegisterFlipDetected(t *testing.T) {
+	// A CPU-miscompute signature: the dumped register disagrees with what
+	// every feasible suffix computes.
+	bug := workload.HealthyCompute()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r3 holds 42 (6*7) at the fault; flip a bit.
+	corrupt, inj, err := hwerr.FlipRegisterBit(d, d.Fault.Thread, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(inj)
+	v, err := hwerr.Classify(p, corrupt, core.Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.HardwareSuspect {
+		t.Errorf("register flip not detected: %+v", v)
+	}
+}
+
+func TestSoftwareBugNotFlagged(t *testing.T) {
+	// The uncorrupted dump of a genuine software bug must NOT be flagged:
+	// zero false positives on the control group.
+	for _, bug := range []*workload.Bug{workload.HealthyCompute(), workload.AtomViolation()} {
+		p := bug.Program()
+		d, _, err := bug.FindFailure(50)
+		if err != nil {
+			t.Fatalf("%s: %v", bug.Name, err)
+		}
+		v, err := hwerr.Classify(p, d, core.Options{MaxDepth: 8, MaxNodes: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.HardwareSuspect {
+			t.Errorf("%s: software bug misclassified as hardware error", bug.Name)
+		}
+	}
+}
+
+func TestStaleDataFlipUndetectable(t *testing.T) {
+	// Flipping a word that no nearby suffix writes is undetectable with a
+	// short search horizon — the paper's honesty point: "diagnosing a
+	// hardware error with full accuracy requires exploring all possible
+	// execution suffixes".
+	bug := workload.HealthyCompute()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A word in untouched heap space: no suffix constrains it.
+	corrupt, _ := hwerr.FlipMemoryBit(d, p.Layout.HeapBase+100, 7)
+	v, err := hwerr.Classify(p, corrupt, core.Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.HardwareSuspect {
+		t.Error("flip in unconstrained memory should not be provably inconsistent")
+	}
+}
+
+func TestRandomMemoryFlip(t *testing.T) {
+	bug := workload.HealthyCompute()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaddr, _ := p.GlobalAddr("g")
+	haddr, _ := p.GlobalAddr("h")
+	rng := rand.New(rand.NewSource(1))
+	corrupt, inj, err := hwerr.RandomMemoryFlip(d, []uint32{gaddr, haddr}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt.Mem.Load(inj.Addr) == d.Mem.Load(inj.Addr) {
+		t.Error("injection did not change memory")
+	}
+	if _, _, err := hwerr.RandomMemoryFlip(d, nil, rng); err == nil {
+		t.Error("expected error with no candidates")
+	}
+}
+
+func TestFlipRegisterBadThread(t *testing.T) {
+	bug := workload.HealthyCompute()
+	d, _, err := bug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hwerr.FlipRegisterBit(d, 99, 0, 0); err == nil {
+		t.Error("expected error for unknown thread")
+	}
+	if _, inj, err := hwerr.FlipRegisterBit(d, 0, int(isa.SP), 1); err != nil || inj.Kind != "reg-bitflip" {
+		t.Errorf("sp flip: %v %v", inj, err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package isa defines the instruction set architecture of the word-addressed
+// virtual machine that serves as the execution substrate for reverse
+// execution synthesis (RES).
+//
+// The machine is a RISC-like three-address register machine:
+//
+//   - 16 general-purpose 64-bit registers r0..r15; r15 doubles as the stack
+//     pointer (SP) by software convention (CALL/RET use it).
+//   - A flat, word-addressed memory of 64-bit words. Addresses are word
+//     indices, not byte offsets. Address 0 is an unmapped "null page"
+//     sentinel: any access to it faults, which gives the workloads a
+//     realistic null-dereference failure mode.
+//   - Control flow by instruction index (the program counter is an index
+//     into the instruction stream, not a byte address).
+//
+// The ISA is deliberately small but complete enough to express the
+// workloads of the RES paper: arithmetic, memory traffic, conditional
+// control flow, function calls with an in-memory stack, dynamic
+// allocation, threads, locks, external input, and logging.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the general-purpose registers.
+type Reg uint8
+
+// NumRegs is the number of general-purpose registers per thread.
+const NumRegs = 16
+
+// SP is the conventional stack-pointer register. CALL and RET implicitly
+// use it; everything else treats it as a normal register.
+const SP Reg = 15
+
+// String returns the assembly name of the register ("r0".."r14", "sp").
+func (r Reg) String() string {
+	if r == SP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Valid reports whether r names an existing register.
+func (r Reg) Valid() bool { return uint8(r) < NumRegs }
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. The comment after each opcode gives the assembly syntax and
+// semantics; "m[x]" denotes the memory word at address x.
+const (
+	OpNop Op = iota // nop
+
+	// Data movement.
+	OpConst // const rd, imm        rd <- imm
+	OpMov   // mov rd, rs1          rd <- rs1
+
+	// ALU, register-register.
+	OpAdd // add rd, rs1, rs2     rd <- rs1 + rs2
+	OpSub // sub rd, rs1, rs2     rd <- rs1 - rs2
+	OpMul // mul rd, rs1, rs2     rd <- rs1 * rs2
+	OpDiv // div rd, rs1, rs2     rd <- rs1 / rs2   (faults if rs2 == 0)
+	OpMod // mod rd, rs1, rs2     rd <- rs1 % rs2   (faults if rs2 == 0)
+	OpAnd // and rd, rs1, rs2     rd <- rs1 & rs2
+	OpOr  // or rd, rs1, rs2      rd <- rs1 | rs2
+	OpXor // xor rd, rs1, rs2     rd <- rs1 ^ rs2
+	OpShl // shl rd, rs1, rs2     rd <- rs1 << (rs2 & 63)
+	OpShr // shr rd, rs1, rs2     rd <- rs1 >> (rs2 & 63) (arithmetic)
+
+	// ALU, register-immediate.
+	OpAddI // addi rd, rs1, imm    rd <- rs1 + imm
+	OpMulI // muli rd, rs1, imm    rd <- rs1 * imm
+	OpAndI // andi rd, rs1, imm    rd <- rs1 & imm
+	OpXorI // xori rd, rs1, imm    rd <- rs1 ^ imm
+
+	// Unary.
+	OpNot // not rd, rs1           rd <- ^rs1
+	OpNeg // neg rd, rs1           rd <- -rs1
+
+	// Comparisons (result is 0 or 1).
+	OpCmpEq // cmpeq rd, rs1, rs2  rd <- rs1 == rs2
+	OpCmpNe // cmpne rd, rs1, rs2  rd <- rs1 != rs2
+	OpCmpLt // cmplt rd, rs1, rs2  rd <- rs1 <  rs2 (signed)
+	OpCmpLe // cmple rd, rs1, rs2  rd <- rs1 <= rs2 (signed)
+
+	// Memory.
+	OpLoad   // load rd, rs1, imm    rd <- m[rs1 + imm]
+	OpStore  // store rs1, rs2, imm  m[rs1 + imm] <- rs2
+	OpLoadG  // loadg rd, imm        rd <- m[imm]
+	OpStoreG // storeg rs1, imm      m[imm] <- rs1
+
+	// Control flow. Targets are instruction indices after assembly.
+	OpJmp  // jmp L                 pc <- L
+	OpBr   // br rs1, LT, LF        pc <- rs1 != 0 ? LT : LF
+	OpCall // call F                sp--; m[sp] <- pc+1; pc <- F
+	OpRet  // ret                   pc <- m[sp]; sp++
+
+	// Heap.
+	OpAlloc // alloc rd, rs1        rd <- base of fresh rs1-word object
+	OpFree  // free rs1             release object with base rs1
+
+	// Concurrency.
+	OpSpawn  // spawn F, rs1        start thread at F with r0 = rs1
+	OpYield  // yield               scheduler hint (possible preemption)
+	OpLock   // lock rs1            acquire mutex at address rs1 (blocking)
+	OpUnlock // unlock rs1          release mutex at address rs1
+
+	// Environment.
+	OpInput  // input rd, imm       rd <- next value of input channel imm
+	OpOutput // output rs1, imm     append (pc, imm, rs1) to the output log
+	OpAssert // assert rs1          fault if rs1 == 0
+	OpHalt   // halt                stop this thread (exit program if main)
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddI: "addi", OpMulI: "muli", OpAndI: "andi", OpXorI: "xori",
+	OpNot: "not", OpNeg: "neg",
+	OpCmpEq: "cmpeq", OpCmpNe: "cmpne", OpCmpLt: "cmplt", OpCmpLe: "cmple",
+	OpLoad: "load", OpStore: "store", OpLoadG: "loadg", OpStoreG: "storeg",
+	OpJmp: "jmp", OpBr: "br", OpCall: "call", OpRet: "ret",
+	OpAlloc: "alloc", OpFree: "free",
+	OpSpawn: "spawn", OpYield: "yield", OpLock: "lock", OpUnlock: "unlock",
+	OpInput: "input", OpOutput: "output", OpAssert: "assert", OpHalt: "halt",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// ByName maps an assembly mnemonic back to its opcode. The second result
+// is false if the mnemonic is unknown.
+func ByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return OpNop, false
+}
+
+// Instr is a single decoded instruction. Not every field is meaningful for
+// every opcode; Validate enforces the per-opcode shape.
+type Instr struct {
+	Op  Op
+	Rd  Reg   // destination register
+	Rs1 Reg   // first source register
+	Rs2 Reg   // second source register
+	Imm int64 // immediate operand / memory offset / channel id
+
+	// Target and Target2 are resolved control-flow targets (instruction
+	// indices). For OpBr, Target is the taken (non-zero) destination and
+	// Target2 the fall-through (zero) destination. For OpCall and OpSpawn,
+	// Target is the callee entry. Sym preserves the label/function name
+	// from assembly for diagnostics.
+	Target  int
+	Target2 int
+	Sym     string
+}
+
+// operand shape descriptors.
+type shape struct {
+	rd, rs1, rs2, imm, target, target2 bool
+}
+
+var shapes = map[Op]shape{
+	OpNop:    {},
+	OpConst:  {rd: true, imm: true},
+	OpMov:    {rd: true, rs1: true},
+	OpAdd:    {rd: true, rs1: true, rs2: true},
+	OpSub:    {rd: true, rs1: true, rs2: true},
+	OpMul:    {rd: true, rs1: true, rs2: true},
+	OpDiv:    {rd: true, rs1: true, rs2: true},
+	OpMod:    {rd: true, rs1: true, rs2: true},
+	OpAnd:    {rd: true, rs1: true, rs2: true},
+	OpOr:     {rd: true, rs1: true, rs2: true},
+	OpXor:    {rd: true, rs1: true, rs2: true},
+	OpShl:    {rd: true, rs1: true, rs2: true},
+	OpShr:    {rd: true, rs1: true, rs2: true},
+	OpAddI:   {rd: true, rs1: true, imm: true},
+	OpMulI:   {rd: true, rs1: true, imm: true},
+	OpAndI:   {rd: true, rs1: true, imm: true},
+	OpXorI:   {rd: true, rs1: true, imm: true},
+	OpNot:    {rd: true, rs1: true},
+	OpNeg:    {rd: true, rs1: true},
+	OpCmpEq:  {rd: true, rs1: true, rs2: true},
+	OpCmpNe:  {rd: true, rs1: true, rs2: true},
+	OpCmpLt:  {rd: true, rs1: true, rs2: true},
+	OpCmpLe:  {rd: true, rs1: true, rs2: true},
+	OpLoad:   {rd: true, rs1: true, imm: true},
+	OpStore:  {rs1: true, rs2: true, imm: true},
+	OpLoadG:  {rd: true, imm: true},
+	OpStoreG: {rs1: true, imm: true},
+	OpJmp:    {target: true},
+	OpBr:     {rs1: true, target: true, target2: true},
+	OpCall:   {target: true},
+	OpRet:    {},
+	OpAlloc:  {rd: true, rs1: true},
+	OpFree:   {rs1: true},
+	OpSpawn:  {rs1: true, target: true},
+	OpYield:  {},
+	OpLock:   {rs1: true},
+	OpUnlock: {rs1: true},
+	OpInput:  {rd: true, imm: true},
+	OpOutput: {rs1: true, imm: true},
+	OpAssert: {rs1: true},
+	OpHalt:   {},
+}
+
+// Shape reports which operand fields are meaningful for the opcode.
+func (o Op) shape() shape { return shapes[o] }
+
+// Validate checks that the instruction is well formed: known opcode,
+// registers in range for the fields its shape uses. Control-flow target
+// range checking is done by prog when the instruction stream is known.
+func (in *Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	s := in.Op.shape()
+	if s.rd && !in.Rd.Valid() {
+		return fmt.Errorf("isa: %s: invalid rd %d", in.Op, uint8(in.Rd))
+	}
+	if s.rs1 && !in.Rs1.Valid() {
+		return fmt.Errorf("isa: %s: invalid rs1 %d", in.Op, uint8(in.Rs1))
+	}
+	if s.rs2 && !in.Rs2.Valid() {
+		return fmt.Errorf("isa: %s: invalid rs2 %d", in.Op, uint8(in.Rs2))
+	}
+	return nil
+}
+
+// IsTerminator reports whether the instruction ends a basic block:
+// unconditional or conditional jumps, calls, returns, and halt. SPAWN is a
+// terminator too so the spawn point is a block boundary, which gives the
+// scheduler (and RES's backward walk) a clean edge for the new thread.
+// LOCK and YIELD are also terminators: the concrete scheduler may switch
+// threads there, so they must sit on block boundaries for the
+// block-granularity schedule to be exact.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpJmp, OpBr, OpCall, OpRet, OpHalt, OpSpawn, OpYield, OpLock:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the instruction writes a general-purpose
+// register, and which one. CALL/RET/ALLOC manipulate SP implicitly;
+// that is reported here as well so read/write set computations are exact.
+func (in *Instr) WritesReg() (Reg, bool) {
+	s := in.Op.shape()
+	if s.rd {
+		return in.Rd, true
+	}
+	switch in.Op {
+	case OpCall, OpRet:
+		return SP, true
+	}
+	return 0, false
+}
+
+// ReadsRegs appends the registers the instruction reads to dst and returns
+// the extended slice.
+func (in *Instr) ReadsRegs(dst []Reg) []Reg {
+	s := in.Op.shape()
+	if s.rs1 {
+		dst = append(dst, in.Rs1)
+	}
+	if s.rs2 {
+		dst = append(dst, in.Rs2)
+	}
+	switch in.Op {
+	case OpCall, OpRet:
+		dst = append(dst, SP)
+	}
+	return dst
+}
+
+// ReadsMem reports whether the instruction reads memory.
+func (in *Instr) ReadsMem() bool {
+	switch in.Op {
+	case OpLoad, OpLoadG, OpRet:
+		return true
+	}
+	return false
+}
+
+// WritesMem reports whether the instruction writes memory.
+func (in *Instr) WritesMem() bool {
+	switch in.Op {
+	case OpStore, OpStoreG, OpCall:
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in assembly syntax (with resolved numeric
+// targets when no symbol is available).
+func (in *Instr) String() string {
+	target := func(t int) string {
+		if in.Sym != "" {
+			return in.Sym
+		}
+		return fmt.Sprintf("@%d", t)
+	}
+	switch in.Op {
+	case OpNop, OpRet, OpYield, OpHalt:
+		return in.Op.String()
+	case OpConst:
+		return fmt.Sprintf("const %s, %d", in.Rd, in.Imm)
+	case OpMov, OpNot, OpNeg:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEq, OpCmpNe, OpCmpLt, OpCmpLe:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddI, OpMulI, OpAndI, OpXorI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load %s, %s, %d", in.Rd, in.Rs1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store %s, %s, %d", in.Rs1, in.Rs2, in.Imm)
+	case OpLoadG:
+		return fmt.Sprintf("loadg %s, %d", in.Rd, in.Imm)
+	case OpStoreG:
+		return fmt.Sprintf("storeg %s, %d", in.Rs1, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", target(in.Target))
+	case OpBr:
+		t2 := fmt.Sprintf("@%d", in.Target2)
+		return fmt.Sprintf("br %s, %s, %s", in.Rs1, target(in.Target), t2)
+	case OpCall:
+		return fmt.Sprintf("call %s", target(in.Target))
+	case OpAlloc:
+		return fmt.Sprintf("alloc %s, %s", in.Rd, in.Rs1)
+	case OpFree:
+		return fmt.Sprintf("free %s", in.Rs1)
+	case OpSpawn:
+		return fmt.Sprintf("spawn %s, %s", target(in.Target), in.Rs1)
+	case OpLock, OpUnlock, OpAssert:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case OpInput:
+		return fmt.Sprintf("input %s, %d", in.Rd, in.Imm)
+	case OpOutput:
+		return fmt.Sprintf("output %s, %d", in.Rs1, in.Imm)
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,167 @@
+// Package mem provides the flat word-addressed memory image shared by the
+// concrete VM, coredumps, and the symbolic snapshot machinery.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Word is the machine word: 64-bit signed.
+type Word = int64
+
+// Addr is a word address.
+type Addr = uint32
+
+// Image is a flat memory of 64-bit words.
+type Image struct {
+	words []Word
+}
+
+// NewImage allocates a zeroed image of size words.
+func NewImage(size uint32) *Image {
+	return &Image{words: make([]Word, size)}
+}
+
+// Size returns the number of words in the image.
+func (m *Image) Size() uint32 { return uint32(len(m.words)) }
+
+// InRange reports whether addr is a valid address.
+func (m *Image) InRange(addr Addr) bool { return int(addr) < len(m.words) }
+
+// Load returns the word at addr. It panics on out-of-range access; callers
+// (the VM) are expected to bounds-check and fault gracefully first.
+func (m *Image) Load(addr Addr) Word { return m.words[addr] }
+
+// Store writes the word at addr.
+func (m *Image) Store(addr Addr, v Word) { m.words[addr] = v }
+
+// Clone returns a deep copy of the image.
+func (m *Image) Clone() *Image {
+	w := make([]Word, len(m.words))
+	copy(w, m.words)
+	return &Image{words: w}
+}
+
+// Words exposes the backing slice (read-only by convention); used by
+// serialization and diffing.
+func (m *Image) Words() []Word { return m.words }
+
+// Diff returns the addresses at which m and other differ. Images of
+// different sizes differ at every address past the shorter one.
+func (m *Image) Diff(other *Image) []Addr {
+	var out []Addr
+	n := len(m.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		if m.words[i] != other.words[i] {
+			out = append(out, Addr(i))
+		}
+	}
+	longer := len(m.words)
+	if len(other.words) > longer {
+		longer = len(other.words)
+	}
+	for i := n; i < longer; i++ {
+		out = append(out, Addr(i))
+	}
+	return out
+}
+
+// WriteTo serializes the image. It uses a simple run-length encoding of
+// zero words, since images are typically sparse.
+func (m *Image) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		k, err := w.Write(scratch[:n])
+		total += int64(k)
+		return err
+	}
+	if err := put(uint64(len(m.words))); err != nil {
+		return total, err
+	}
+	i := 0
+	for i < len(m.words) {
+		if m.words[i] == 0 {
+			j := i
+			for j < len(m.words) && m.words[j] == 0 {
+				j++
+			}
+			// 0 tag = zero run.
+			if err := put(0); err != nil {
+				return total, err
+			}
+			if err := put(uint64(j - i)); err != nil {
+				return total, err
+			}
+			i = j
+			continue
+		}
+		j := i
+		for j < len(m.words) && m.words[j] != 0 {
+			j++
+		}
+		// 1 tag = literal run.
+		if err := put(1); err != nil {
+			return total, err
+		}
+		if err := put(uint64(j - i)); err != nil {
+			return total, err
+		}
+		for k := i; k < j; k++ {
+			if err := put(uint64(m.words[k])); err != nil {
+				return total, err
+			}
+		}
+		i = j
+	}
+	return total, nil
+}
+
+// ReadImage deserializes an image written by WriteTo.
+func ReadImage(r io.ByteReader) (*Image, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("mem: reading size: %w", err)
+	}
+	const maxWords = 1 << 28
+	if size > maxWords {
+		return nil, fmt.Errorf("mem: unreasonable image size %d", size)
+	}
+	img := NewImage(uint32(size))
+	i := uint64(0)
+	for i < size {
+		tag, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("mem: reading run tag: %w", err)
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("mem: reading run length: %w", err)
+		}
+		if n == 0 || i+n > size {
+			return nil, fmt.Errorf("mem: bad run length %d at word %d", n, i)
+		}
+		switch tag {
+		case 0:
+			i += n
+		case 1:
+			for k := uint64(0); k < n; k++ {
+				v, err := binary.ReadUvarint(r)
+				if err != nil {
+					return nil, fmt.Errorf("mem: reading word: %w", err)
+				}
+				img.words[i] = Word(v)
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("mem: bad run tag %d", tag)
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,61 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"res/internal/isa"
+)
+
+// Dot renders the program's control-flow graph in Graphviz dot format:
+// one cluster per function, one node per basic block (labelled with its
+// instructions), solid edges for intra-procedural flow, dashed edges for
+// calls and spawns, dotted edges for returns. Useful when inspecting why
+// RES enumerated a particular set of backward candidates.
+func (p *Program) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n")
+	for fi, fn := range p.Functions {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", fi, fn.Name)
+		for _, blk := range fn.Blocks {
+			var label strings.Builder
+			fmt.Fprintf(&label, "b%d\\n", blk.ID)
+			for pc := blk.Start; pc < blk.End; pc++ {
+				fmt.Fprintf(&label, "%d: %s\\l", pc, escapeDot(p.Code[pc].String()))
+			}
+			fmt.Fprintf(&b, "    b%d [label=\"%s\"];\n", blk.ID, label.String())
+		}
+		b.WriteString("  }\n")
+	}
+	for _, blk := range p.blocks {
+		for _, succ := range blk.Succs {
+			fmt.Fprintf(&b, "  b%d -> b%d;\n", blk.ID, succ)
+		}
+		term := blk.Terminator(p.Code)
+		switch term.Op {
+		case isa.OpCall:
+			if callee, err := p.BlockAt(term.Target); err == nil {
+				fmt.Fprintf(&b, "  b%d -> b%d [style=dashed, label=\"call\"];\n", blk.ID, callee.ID)
+			}
+		case isa.OpSpawn:
+			if entry, err := p.BlockAt(term.Target); err == nil {
+				fmt.Fprintf(&b, "  b%d -> b%d [style=dashed, label=\"spawn\"];\n", blk.ID, entry.ID)
+			}
+		case isa.OpRet:
+			// Return edges to every caller's continuation.
+			for _, site := range p.callSites[blk.Func.Entry] {
+				caller := p.blocks[site]
+				if cont, err := p.BlockAt(caller.End); err == nil {
+					fmt.Fprintf(&b, "  b%d -> b%d [style=dotted, label=\"ret\"];\n", blk.ID, cont.ID)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

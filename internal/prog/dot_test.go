@@ -1,0 +1,42 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"res/internal/isa"
+)
+
+func TestDotExport(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.OpConst, Rd: 1, Imm: 1},
+		{Op: isa.OpBr, Rs1: 1, Target: 2, Target2: 3},
+		{Op: isa.OpCall, Target: 5},
+		{Op: isa.OpHalt},
+		{Op: isa.OpHalt},
+		{Op: isa.OpRet},
+	}
+	p, err := Build(code, map[string]int{"main": 0, "f": 5}, nil, DefaultLayout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := p.Dot()
+	for _, want := range []string{
+		"digraph cfg", "subgraph cluster_0", `label="main"`, `label="f"`,
+		"style=dashed, label=\"call\"", "style=dotted, label=\"ret\"",
+		"b0 -> b1", "b0 -> b2",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q\n%s", want, dot)
+		}
+	}
+	if strings.Count(dot, "}")-strings.Count(dot, "{") != 0 {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestDotEscaping(t *testing.T) {
+	if escapeDot(`a"b\c`) != `a\"b\\c` {
+		t.Errorf("escape = %q", escapeDot(`a"b\c`))
+	}
+}

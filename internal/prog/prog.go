@@ -1,0 +1,439 @@
+// Package prog models a loaded program: the instruction stream, its
+// functions, its global data layout, and the control-flow graph that RES
+// navigates backward. It is the shared static view used by the concrete
+// VM, the symbolic executor, and the baseline analyses.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"res/internal/isa"
+)
+
+// Layout describes the word-addressed memory layout of a program instance.
+// Addresses are word indices.
+//
+//	[0, GlobalBase)          null guard page: every access faults
+//	[GlobalBase, HeapBase)   globals, assigned by the assembler
+//	[HeapBase, stack floor)  heap, grows upward
+//	top of memory            per-thread stacks, thread i gets the i-th
+//	                         StackSize-word region from the top, growing down
+type Layout struct {
+	MemSize    uint32 // total words of memory
+	GlobalBase uint32 // first global address (size of the null guard page)
+	HeapBase   uint32 // first heap address
+	StackSize  uint32 // words of stack per thread
+	MaxThreads int    // maximum number of threads (stack regions reserved)
+}
+
+// HeapRedzone is the number of guard words the bump allocator leaves
+// between consecutive objects. Overflows into a redzone are detectable in
+// checked mode; in production they silently corrupt nothing until they
+// cross into the next object.
+const HeapRedzone = 1
+
+// DefaultLayout returns the layout used when the assembler is not given an
+// explicit one. globalWords is the number of words of globals to reserve.
+func DefaultLayout(globalWords uint32) Layout {
+	return Layout{
+		MemSize:    1 << 16,
+		GlobalBase: 16,
+		HeapBase:   16 + globalWords,
+		StackSize:  1024,
+		MaxThreads: 8,
+	}
+}
+
+// StackTop returns the initial stack pointer for thread tid: one past the
+// lowest address of the thread's region is its floor; SP starts at the
+// region's top (exclusive upper bound), and pushes pre-decrement.
+func (l Layout) StackTop(tid int) uint32 {
+	return l.MemSize - uint32(tid)*l.StackSize
+}
+
+// StackFloor returns the lowest valid stack address for thread tid.
+func (l Layout) StackFloor(tid int) uint32 {
+	return l.MemSize - uint32(tid+1)*l.StackSize
+}
+
+// HeapLimit returns the first address past the heap region.
+func (l Layout) HeapLimit() uint32 {
+	return l.MemSize - uint32(l.MaxThreads)*l.StackSize
+}
+
+// Validate checks internal consistency of the layout.
+func (l Layout) Validate() error {
+	if l.GlobalBase == 0 {
+		return fmt.Errorf("prog: layout must reserve a null guard page")
+	}
+	if l.HeapBase < l.GlobalBase {
+		return fmt.Errorf("prog: heap base %d below global base %d", l.HeapBase, l.GlobalBase)
+	}
+	if l.MaxThreads < 1 {
+		return fmt.Errorf("prog: MaxThreads must be >= 1")
+	}
+	if l.HeapLimit() <= l.HeapBase || l.HeapLimit() > l.MemSize {
+		return fmt.Errorf("prog: no room for heap (limit %d, base %d)", l.HeapLimit(), l.HeapBase)
+	}
+	return nil
+}
+
+// Global describes one named global variable.
+type Global struct {
+	Name string
+	Addr uint32
+	Size uint32  // words
+	Init []int64 // initial values; len <= Size, rest zero
+}
+
+// Block is one basic block: instructions [Start, End). The last instruction
+// is either a terminator or the block falls through to the next block (the
+// next leader). Succs/Preds are *intra-procedural* edges by block ID;
+// inter-procedural structure (calls, returns, spawns) is kept on Program.
+type Block struct {
+	ID    int
+	Func  *Function
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator(code []isa.Instr) *isa.Instr { return &code[b.End-1] }
+
+// Contains reports whether the instruction index pc lies in the block.
+func (b *Block) Contains(pc int) bool { return pc >= b.Start && pc < b.End }
+
+// Function is a contiguous range of instructions with a single entry.
+type Function struct {
+	Name      string
+	Entry     int // entry instruction index
+	EndPC     int // one past the last instruction of the function
+	Blocks    []*Block
+	RetBlocks []int // IDs of blocks whose terminator is RET
+}
+
+// Program is a fully resolved program image.
+type Program struct {
+	Code         []isa.Instr
+	Functions    []*Function
+	FuncByName   map[string]*Function
+	Globals      []Global
+	GlobalByName map[string]*Global
+	Layout       Layout
+
+	blocks     []*Block      // all blocks, indexed by ID
+	blockOf    []int         // instruction index -> block ID
+	funcOf     []int         // instruction index -> function index
+	callSites  map[int][]int // function entry pc -> block IDs ending in CALL to it
+	spawnSites map[int][]int // function entry pc -> block IDs ending in SPAWN of it
+}
+
+// Entry returns the entry pc of the main function.
+func (p *Program) Entry() (int, error) {
+	f, ok := p.FuncByName["main"]
+	if !ok {
+		return 0, fmt.Errorf("prog: no main function")
+	}
+	return f.Entry, nil
+}
+
+// Block returns the basic block with the given ID.
+func (p *Program) Block(id int) *Block { return p.blocks[id] }
+
+// NumBlocks returns the total number of basic blocks.
+func (p *Program) NumBlocks() int { return len(p.blocks) }
+
+// BlockAt returns the block containing instruction index pc.
+func (p *Program) BlockAt(pc int) (*Block, error) {
+	if pc < 0 || pc >= len(p.Code) {
+		return nil, fmt.Errorf("prog: pc %d out of range [0,%d)", pc, len(p.Code))
+	}
+	return p.blocks[p.blockOf[pc]], nil
+}
+
+// FuncAt returns the function containing instruction index pc.
+func (p *Program) FuncAt(pc int) (*Function, error) {
+	if pc < 0 || pc >= len(p.Code) {
+		return nil, fmt.Errorf("prog: pc %d out of range", pc)
+	}
+	return p.Functions[p.funcOf[pc]], nil
+}
+
+// CallSites returns the IDs of blocks whose terminator is a CALL to the
+// function whose entry pc is entry.
+func (p *Program) CallSites(entry int) []int { return p.callSites[entry] }
+
+// SpawnSites returns the IDs of blocks whose terminator is a SPAWN of the
+// function whose entry pc is entry.
+func (p *Program) SpawnSites(entry int) []int { return p.spawnSites[entry] }
+
+// ExecPreds returns the IDs of all blocks that can immediately precede
+// block b in a single thread's execution, following the paper's backward
+// CFG navigation:
+//
+//   - an intra-procedural predecessor whose terminator is not a CALL
+//     precedes b directly;
+//   - an intra-procedural predecessor ending in CALL means the thread
+//     returned into b, so the real predecessors are the callee's RET blocks;
+//   - if b is a function entry block, the predecessors are the CALL-site
+//     blocks and SPAWN-site blocks of the function (for a spawned thread,
+//     the SPAWN block executed by the parent precedes the entry block).
+func (p *Program) ExecPreds(b *Block) []int {
+	var out []int
+	for _, pid := range b.Preds {
+		pred := p.blocks[pid]
+		term := pred.Terminator(p.Code)
+		if term.Op == isa.OpCall {
+			callee, err := p.FuncAt(term.Target)
+			if err == nil {
+				out = append(out, callee.RetBlocks...)
+			}
+			continue
+		}
+		out = append(out, pid)
+	}
+	if b.Start == b.Func.Entry {
+		out = append(out, p.callSites[b.Func.Entry]...)
+		out = append(out, p.spawnSites[b.Func.Entry]...)
+	}
+	sort.Ints(out)
+	// Deduplicate.
+	j := 0
+	for i, v := range out {
+		if i == 0 || v != out[j-1] {
+			out[j] = v
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// Build constructs a Program from a resolved instruction stream, function
+// table (name -> entry pc, functions must be contiguous and sorted by
+// entry), globals, and layout. It validates control-flow targets and
+// computes blocks, CFG edges and call/spawn site maps.
+func Build(code []isa.Instr, funcs map[string]int, globals []Global, layout Layout) (*Program, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if len(code) == 0 {
+		return nil, fmt.Errorf("prog: empty program")
+	}
+	for i := range code {
+		if err := code[i].Validate(); err != nil {
+			return nil, fmt.Errorf("prog: instruction %d: %w", i, err)
+		}
+	}
+	// Validate targets.
+	inRange := func(t int) bool { return t >= 0 && t < len(code) }
+	funcEntries := make(map[int]bool, len(funcs))
+	for _, e := range funcs {
+		if !inRange(e) {
+			return nil, fmt.Errorf("prog: function entry %d out of range", e)
+		}
+		funcEntries[e] = true
+	}
+	for i := range code {
+		in := &code[i]
+		switch in.Op {
+		case isa.OpJmp:
+			if !inRange(in.Target) {
+				return nil, fmt.Errorf("prog: instr %d: jmp target %d out of range", i, in.Target)
+			}
+		case isa.OpBr:
+			if !inRange(in.Target) || !inRange(in.Target2) {
+				return nil, fmt.Errorf("prog: instr %d: br targets out of range", i)
+			}
+		case isa.OpCall, isa.OpSpawn:
+			if !inRange(in.Target) {
+				return nil, fmt.Errorf("prog: instr %d: %s target out of range", i, in.Op)
+			}
+			if !funcEntries[in.Target] {
+				return nil, fmt.Errorf("prog: instr %d: %s target %d is not a function entry", i, in.Op, in.Target)
+			}
+		}
+	}
+
+	p := &Program{
+		Code:         code,
+		FuncByName:   make(map[string]*Function, len(funcs)),
+		Globals:      globals,
+		GlobalByName: make(map[string]*Global, len(globals)),
+		Layout:       layout,
+		callSites:    make(map[int][]int),
+		spawnSites:   make(map[int][]int),
+	}
+	for i := range p.Globals {
+		g := &p.Globals[i]
+		p.GlobalByName[g.Name] = g
+	}
+
+	// Functions sorted by entry; each extends to the next entry.
+	type fe struct {
+		name  string
+		entry int
+	}
+	var fes []fe
+	for name, entry := range funcs {
+		fes = append(fes, fe{name, entry})
+	}
+	sort.Slice(fes, func(i, j int) bool { return fes[i].entry < fes[j].entry })
+	for i, f := range fes {
+		end := len(code)
+		if i+1 < len(fes) {
+			end = fes[i+1].entry
+		}
+		if f.entry >= end {
+			return nil, fmt.Errorf("prog: function %q is empty", f.name)
+		}
+		fn := &Function{Name: f.name, Entry: f.entry, EndPC: end}
+		p.Functions = append(p.Functions, fn)
+		p.FuncByName[f.name] = fn
+	}
+	if len(p.Functions) == 0 || p.Functions[0].Entry != 0 {
+		return nil, fmt.Errorf("prog: instructions before the first function")
+	}
+
+	p.funcOf = make([]int, len(code))
+	for fi, fn := range p.Functions {
+		for pc := fn.Entry; pc < fn.EndPC; pc++ {
+			p.funcOf[pc] = fi
+		}
+	}
+
+	if err := p.buildBlocks(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// buildBlocks computes leaders, blocks, intra-procedural edges and the
+// call/spawn site maps.
+func (p *Program) buildBlocks() error {
+	code := p.Code
+	leader := make([]bool, len(code)+1)
+	for _, fn := range p.Functions {
+		leader[fn.Entry] = true
+	}
+	for i := range code {
+		in := &code[i]
+		if in.IsTerminator() {
+			leader[i+1] = true
+		}
+		switch in.Op {
+		case isa.OpJmp:
+			leader[in.Target] = true
+		case isa.OpBr:
+			leader[in.Target] = true
+			leader[in.Target2] = true
+		case isa.OpLock:
+			// A blocking LOCK must be a block of its own: if the thread
+			// cannot acquire the mutex it parks *before* the block runs,
+			// so no partially-executed block state exists to unwind.
+			leader[i] = true
+		}
+	}
+	// Control must not fall off the end of a function into the next: the
+	// last instruction of every function must be a terminator (jmp/halt/ret).
+	for _, fn := range p.Functions {
+		last := &code[fn.EndPC-1]
+		if !last.IsTerminator() {
+			return fmt.Errorf("prog: function %q falls through its end (last instr %q)", fn.Name, last.String())
+		}
+		switch last.Op {
+		case isa.OpCall, isa.OpSpawn, isa.OpYield, isa.OpLock:
+			// These terminators fall through to the next instruction,
+			// which would be outside the function.
+			return fmt.Errorf("prog: function %q ends with falling-through terminator %q", fn.Name, last.String())
+		}
+	}
+	// Jump targets must stay within their function.
+	for i := range code {
+		in := &code[i]
+		if in.Op == isa.OpJmp || in.Op == isa.OpBr {
+			fi := p.funcOf[i]
+			if p.funcOf[in.Target] != fi || (in.Op == isa.OpBr && p.funcOf[in.Target2] != fi) {
+				return fmt.Errorf("prog: instr %d: branch leaves function %q", i, p.Functions[fi].Name)
+			}
+		}
+	}
+
+	p.blockOf = make([]int, len(code))
+	for _, fn := range p.Functions {
+		start := fn.Entry
+		for pc := fn.Entry + 1; pc <= fn.EndPC; pc++ {
+			if pc == fn.EndPC || leader[pc] {
+				b := &Block{ID: len(p.blocks), Func: fn, Start: start, End: pc}
+				p.blocks = append(p.blocks, b)
+				fn.Blocks = append(fn.Blocks, b)
+				for j := start; j < pc; j++ {
+					p.blockOf[j] = b.ID
+				}
+				start = pc
+			}
+		}
+	}
+
+	// Edges.
+	addEdge := func(from, toPC int) {
+		to := p.blockOf[toPC]
+		p.blocks[from].Succs = append(p.blocks[from].Succs, to)
+		p.blocks[to].Preds = append(p.blocks[to].Preds, from)
+	}
+	for _, b := range p.blocks {
+		term := b.Terminator(code)
+		switch term.Op {
+		case isa.OpJmp:
+			addEdge(b.ID, term.Target)
+		case isa.OpBr:
+			addEdge(b.ID, term.Target)
+			if term.Target2 != term.Target {
+				addEdge(b.ID, term.Target2)
+			}
+		case isa.OpRet:
+			b.Func.RetBlocks = append(b.Func.RetBlocks, b.ID)
+		case isa.OpHalt:
+			// no successors
+		case isa.OpCall:
+			p.callSites[term.Target] = append(p.callSites[term.Target], b.ID)
+			addEdge(b.ID, b.End) // intra-proc: continue after return
+		case isa.OpSpawn:
+			p.spawnSites[term.Target] = append(p.spawnSites[term.Target], b.ID)
+			addEdge(b.ID, b.End)
+		default:
+			// Fallthrough (yield/lock or implicit leader split).
+			if b.End < b.Func.EndPC {
+				addEdge(b.ID, b.End)
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalAddr returns the address of a named global.
+func (p *Program) GlobalAddr(name string) (uint32, error) {
+	g, ok := p.GlobalByName[name]
+	if !ok {
+		return 0, fmt.Errorf("prog: unknown global %q", name)
+	}
+	return g.Addr, nil
+}
+
+// Disassemble renders the whole program with function and block markers,
+// for debugging and golden tests.
+func (p *Program) Disassemble() string {
+	var out []byte
+	for _, fn := range p.Functions {
+		out = append(out, fmt.Sprintf("func %s:  ; pc %d..%d\n", fn.Name, fn.Entry, fn.EndPC)...)
+		for _, b := range fn.Blocks {
+			out = append(out, fmt.Sprintf("  ; block %d  succs=%v preds=%v\n", b.ID, b.Succs, b.Preds)...)
+			for pc := b.Start; pc < b.End; pc++ {
+				out = append(out, fmt.Sprintf("  %4d  %s\n", pc, p.Code[pc].String())...)
+			}
+		}
+	}
+	return string(out)
+}

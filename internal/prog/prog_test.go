@@ -1,0 +1,176 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"res/internal/isa"
+)
+
+// buildSimple constructs a two-function program by hand:
+//
+//	main:  0 const r1,2 ; 1 br r1 @3 @2 ; 2 halt ; 3 call f(@5) ; 4 halt
+//	f:     5 lock r1 ; 6 ret
+func buildSimple(t *testing.T) *Program {
+	t.Helper()
+	code := []isa.Instr{
+		{Op: isa.OpConst, Rd: 1, Imm: 2},
+		{Op: isa.OpBr, Rs1: 1, Target: 3, Target2: 2},
+		{Op: isa.OpHalt},
+		{Op: isa.OpCall, Target: 5},
+		{Op: isa.OpHalt},
+		{Op: isa.OpLock, Rs1: 1},
+		{Op: isa.OpRet},
+	}
+	p, err := Build(code, map[string]int{"main": 0, "f": 5}, nil, DefaultLayout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLayoutValidate(t *testing.T) {
+	l := DefaultLayout(10)
+	if err := l.Validate(); err != nil {
+		t.Errorf("default layout invalid: %v", err)
+	}
+	bad := l
+	bad.GlobalBase = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero guard page accepted")
+	}
+	bad = l
+	bad.MaxThreads = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero threads accepted")
+	}
+	bad = l
+	bad.HeapBase = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("heap below globals accepted")
+	}
+}
+
+func TestStackRegions(t *testing.T) {
+	l := DefaultLayout(0)
+	if l.StackTop(0) != l.MemSize {
+		t.Error("thread 0 stack top")
+	}
+	for tid := 0; tid < l.MaxThreads-1; tid++ {
+		if l.StackFloor(tid) != l.StackTop(tid+1) {
+			t.Errorf("stack regions not adjacent at %d", tid)
+		}
+	}
+	if l.HeapLimit() != l.StackFloor(l.MaxThreads-1) {
+		t.Error("heap limit should touch the last stack floor")
+	}
+}
+
+func TestBlocksAndEdges(t *testing.T) {
+	p := buildSimple(t)
+	// Blocks: [0..1], [2], [3], [4], [5], [6]
+	if p.NumBlocks() != 6 {
+		t.Fatalf("blocks = %d\n%s", p.NumBlocks(), p.Disassemble())
+	}
+	b0, _ := p.BlockAt(0)
+	if b0.Start != 0 || b0.End != 2 {
+		t.Errorf("b0 = [%d,%d)", b0.Start, b0.End)
+	}
+	if len(b0.Succs) != 2 {
+		t.Errorf("b0 succs = %v", b0.Succs)
+	}
+	// lock at 5 is its own block (leader by LOCK rule).
+	b5, _ := p.BlockAt(5)
+	if b5.Start != 5 || b5.End != 6 {
+		t.Errorf("lock block = [%d,%d)", b5.Start, b5.End)
+	}
+}
+
+func TestFuncLookup(t *testing.T) {
+	p := buildSimple(t)
+	f, err := p.FuncAt(6)
+	if err != nil || f.Name != "f" {
+		t.Errorf("FuncAt(6) = %v, %v", f, err)
+	}
+	m, err := p.FuncAt(0)
+	if err != nil || m.Name != "main" {
+		t.Errorf("FuncAt(0) = %v, %v", m, err)
+	}
+	if _, err := p.FuncAt(-1); err == nil {
+		t.Error("FuncAt(-1) should fail")
+	}
+	entry, err := p.Entry()
+	if err != nil || entry != 0 {
+		t.Errorf("Entry = %d, %v", entry, err)
+	}
+}
+
+func TestCallRetEdges(t *testing.T) {
+	p := buildSimple(t)
+	f := p.FuncByName["f"]
+	if len(f.RetBlocks) != 1 {
+		t.Fatalf("RetBlocks = %v", f.RetBlocks)
+	}
+	sites := p.CallSites(f.Entry)
+	if len(sites) != 1 {
+		t.Fatalf("CallSites = %v", sites)
+	}
+	// ExecPreds of the block after the call (pc 4) is f's ret block.
+	after, _ := p.BlockAt(4)
+	preds := p.ExecPreds(after)
+	if len(preds) != 1 || preds[0] != f.RetBlocks[0] {
+		t.Errorf("ExecPreds(after call) = %v", preds)
+	}
+	// ExecPreds of f's entry (the lock block) is the call-site block.
+	fentry, _ := p.BlockAt(5)
+	preds = p.ExecPreds(fentry)
+	if len(preds) != 1 || preds[0] != sites[0] {
+		t.Errorf("ExecPreds(f entry) = %v", preds)
+	}
+}
+
+func TestBuildRejections(t *testing.T) {
+	mk := func(code []isa.Instr, funcs map[string]int) error {
+		_, err := Build(code, funcs, nil, DefaultLayout(0))
+		return err
+	}
+	if err := mk(nil, nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	if err := mk([]isa.Instr{{Op: isa.OpJmp, Target: 99}, {Op: isa.OpHalt}}, map[string]int{"main": 0}); err == nil {
+		t.Error("out-of-range jmp accepted")
+	}
+	// A recursive call followed by halt is a perfectly valid program.
+	if err := mk([]isa.Instr{{Op: isa.OpCall, Target: 0}, {Op: isa.OpHalt}}, map[string]int{"main": 0}); err != nil {
+		t.Errorf("valid recursive program rejected: %v", err)
+	}
+	// A function ending in a falling-through terminator is not.
+	if err := mk([]isa.Instr{{Op: isa.OpCall, Target: 0}}, map[string]int{"main": 0}); err == nil || !strings.Contains(err.Error(), "falling-through") {
+		t.Errorf("trailing call accepted: %v", err)
+	}
+	if err := mk([]isa.Instr{{Op: isa.OpConst, Rd: 1}}, map[string]int{"main": 0}); err == nil {
+		t.Error("fall-off-end accepted")
+	}
+	if err := mk([]isa.Instr{{Op: isa.OpCall, Target: 1}, {Op: isa.OpHalt}}, map[string]int{"main": 0}); err == nil {
+		t.Error("call to non-entry accepted")
+	}
+	if err := mk([]isa.Instr{{Op: isa.OpHalt}}, map[string]int{"main": 0, "ghost": 0}); err == nil {
+		t.Error("empty function accepted")
+	}
+}
+
+func TestGlobalAddr(t *testing.T) {
+	code := []isa.Instr{{Op: isa.OpHalt}}
+	globals := []Global{{Name: "g", Addr: 16, Size: 2, Init: []int64{5}}}
+	p, err := Build(code, map[string]int{"main": 0}, globals, DefaultLayout(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.GlobalAddr("g")
+	if err != nil || a != 16 {
+		t.Errorf("GlobalAddr = %d, %v", a, err)
+	}
+	if _, err := p.GlobalAddr("nope"); err == nil {
+		t.Error("unknown global accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Package pse implements the other baseline the paper positions RES
+// against: post-mortem static analysis in the style of PSE (Manevich et
+// al., FSE 2004). Starting from the failure point it computes a backward
+// static slice over the CFG — the instructions that may have influenced
+// the faulting operands — without consulting any coredump values.
+//
+// Because the analysis is static it cannot discard infeasible
+// predecessors, so its answer is a *set* of candidate root-cause sites;
+// the experiment harness compares that set's size against RES's pinpointed
+// locations (precision), and its coverage of the true site (recall).
+package pse
+
+import (
+	"sort"
+
+	"res/internal/isa"
+	"res/internal/prog"
+)
+
+// Slice is the analysis result.
+type Slice struct {
+	// PCs is the backward slice: every instruction that may influence the
+	// failure, in ascending order.
+	PCs []int
+	// Candidates are the slice's state-changing sites (stores and input
+	// reads) — PSE's analog of "possible root causes".
+	Candidates []int
+	// VisitedBlocks counts analysis effort.
+	VisitedBlocks int
+}
+
+// Contains reports whether pc is in the slice.
+func (s *Slice) Contains(pc int) bool {
+	i := sort.SearchInts(s.PCs, pc)
+	return i < len(s.PCs) && s.PCs[i] == pc
+}
+
+// absVal abstracts the tracked dataflow facts: registers (per value) and
+// memory (a single abstract cell for all of memory plus per-address cells
+// for statically known global addresses).
+type fact struct {
+	reg    isa.Reg
+	isReg  bool
+	global uint32 // valid when !isReg && !allMem
+	allMem bool
+}
+
+type factSet map[fact]bool
+
+func (fs factSet) clone() factSet {
+	n := make(factSet, len(fs))
+	for f := range fs {
+		n[f] = true
+	}
+	return n
+}
+
+func (fs factSet) equal(o factSet) bool {
+	if len(fs) != len(o) {
+		return false
+	}
+	for f := range fs {
+		if !o[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyze computes the backward slice from the faulting instruction.
+func Analyze(p *prog.Program, faultPC int) *Slice {
+	if faultPC < 0 || faultPC >= len(p.Code) {
+		return &Slice{}
+	}
+	// Seed: the faulting instruction's register uses.
+	seed := make(factSet)
+	for _, r := range p.Code[faultPC].ReadsRegs(nil) {
+		seed[fact{reg: r, isReg: true}] = true
+	}
+
+	slicePCs := map[int]bool{faultPC: true}
+	visited := 0
+
+	// Worklist over (block, facts-at-block-end). Facts flow backward.
+	type item struct {
+		block int
+		out   factSet
+	}
+	fb, err := p.BlockAt(faultPC)
+	if err != nil {
+		return &Slice{}
+	}
+	best := make(map[int]factSet) // widest fact set seen per block
+	var work []item
+	push := func(b int, fs factSet) {
+		old, ok := best[b]
+		if ok {
+			merged := old.clone()
+			grew := false
+			for f := range fs {
+				if !merged[f] {
+					merged[f] = true
+					grew = true
+				}
+			}
+			if !grew {
+				return
+			}
+			best[b] = merged
+			work = append(work, item{b, merged})
+			return
+		}
+		best[b] = fs.clone()
+		work = append(work, item{b, fs.clone()})
+	}
+
+	// The fault block is processed from the fault pc upward first.
+	out := transferRange(p, fb.Start, faultPC, seed, slicePCs)
+	for _, pred := range p.ExecPreds(fb) {
+		push(pred, out)
+	}
+	visited++
+
+	const maxVisits = 100000
+	for len(work) > 0 && visited < maxVisits {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		visited++
+		b := p.Block(it.block)
+		in := transferRange(p, b.Start, b.End, it.out, slicePCs)
+		if len(in) == 0 {
+			continue
+		}
+		for _, pred := range p.ExecPreds(b) {
+			push(pred, in)
+		}
+	}
+
+	s := &Slice{VisitedBlocks: visited}
+	for pc := range slicePCs {
+		s.PCs = append(s.PCs, pc)
+	}
+	sort.Ints(s.PCs)
+	for _, pc := range s.PCs {
+		switch p.Code[pc].Op {
+		case isa.OpStore, isa.OpStoreG, isa.OpInput:
+			s.Candidates = append(s.Candidates, pc)
+		}
+	}
+	return s
+}
+
+// transferRange applies the backward transfer function over instructions
+// [start, end), mutating the slice membership map and returning the facts
+// live at the range's entry.
+func transferRange(p *prog.Program, start, end int, out factSet, slicePCs map[int]bool) factSet {
+	fs := out.clone()
+	for pc := end - 1; pc >= start; pc-- {
+		in := &p.Code[pc]
+		relevant := false
+		// Does this instruction define a tracked fact?
+		if rd, ok := in.WritesReg(); ok && fs[fact{reg: rd, isReg: true}] {
+			relevant = true
+			delete(fs, fact{reg: rd, isReg: true})
+		}
+		switch in.Op {
+		case isa.OpStoreG:
+			f := fact{global: uint32(in.Imm)}
+			if fs[f] || fs[fact{allMem: true}] {
+				relevant = true
+				delete(fs, f)
+			}
+		case isa.OpStore, isa.OpCall:
+			// Unknown address: may define any memory fact.
+			if fs[fact{allMem: true}] {
+				relevant = true
+			}
+			for f := range fs {
+				if !f.isReg {
+					relevant = true
+					break
+				}
+			}
+		}
+		// Branch conditions always influence reachability of the failure.
+		if in.Op == isa.OpBr {
+			relevant = true
+		}
+		if !relevant {
+			continue
+		}
+		slicePCs[pc] = true
+		// Uses become live.
+		for _, r := range in.ReadsRegs(nil) {
+			fs[fact{reg: r, isReg: true}] = true
+		}
+		switch in.Op {
+		case isa.OpLoadG:
+			fs[fact{global: uint32(in.Imm)}] = true
+		case isa.OpLoad, isa.OpRet:
+			fs[fact{allMem: true}] = true
+		case isa.OpInput:
+			// External input: a source; nothing upstream.
+		}
+	}
+	return fs
+}

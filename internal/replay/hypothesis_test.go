@@ -1,0 +1,115 @@
+package replay_test
+
+import (
+	"testing"
+
+	"res/internal/core"
+	"res/internal/replay"
+	"res/internal/vm"
+	"res/internal/workload"
+)
+
+func TestStateAtSamplesLoop(t *testing.T) {
+	p, d, syn := synthesize(t, loopCrashSrc, vm.Config{}, 8)
+	_ = d
+	addr, _ := p.GlobalAddr("g")
+	// pc 2 is the storeg inside the loop body; its block runs once per
+	// reconstructed iteration.
+	samples, err := replay.StateAt(p, syn, 2, []uint32{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples at the loop body pc")
+	}
+	// g grows by 2 per iteration; the samples must be monotonically
+	// increasing snapshots of that history.
+	last := int64(-1)
+	for _, s := range samples {
+		v := s.Mem[addr]
+		if v < last {
+			t.Errorf("state history not monotone: %d after %d", v, last)
+		}
+		last = v
+		if s.Tid != 0 {
+			t.Errorf("unexpected thread %d", s.Tid)
+		}
+	}
+}
+
+func TestLastWriter(t *testing.T) {
+	p, d, syn := synthesize(t, loopCrashSrc, vm.Config{}, 8)
+	_ = d
+	addr, _ := p.GlobalAddr("g")
+	events, err := replay.LastWriter(p, syn, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no writes observed")
+	}
+	// All writes come from the loop's storeg (pc 3 in loopCrashSrc).
+	for _, e := range events {
+		if e.Tid != 0 {
+			t.Errorf("writer tid %d", e.Tid)
+		}
+		if p.Code[e.PC].Op.String() != "storeg" {
+			t.Errorf("writer instruction %s", p.Code[e.PC].String())
+		}
+	}
+}
+
+func TestPreemptedBeforeWriteOnRace(t *testing.T) {
+	// On the lost-update bug, the hypothesis "was the incrementing thread
+	// preempted between reading and writing the counter" must hold in the
+	// reconstruction that explains the failure.
+	bug := workload.RaceCounter()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 16, MaxNodes: 4000})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caddr, _ := p.GlobalAddr("c")
+	preempted := false
+	for _, n := range rep.Suffixes {
+		syn, err := eng.Concretize(n, d)
+		if err != nil {
+			continue
+		}
+		rr, err := replay.Run(p, syn, d, replay.Config{})
+		if err != nil || !rr.Matches {
+			continue
+		}
+		for tid := 0; tid <= 1; tid++ {
+			got, err := replay.PreemptedBeforeWrite(p, syn, tid, caddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got {
+				preempted = true
+			}
+		}
+	}
+	if !preempted {
+		t.Error("no faithful suffix exhibits the read-modify-write preemption")
+	}
+}
+
+func TestPreemptedBeforeWriteNegative(t *testing.T) {
+	// Single-threaded program: no preemption can exist.
+	p, d, syn := synthesize(t, loopCrashSrc, vm.Config{}, 8)
+	_ = d
+	addr, _ := p.GlobalAddr("g")
+	got, err := replay.PreemptedBeforeWrite(p, syn, 0, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("phantom preemption in a single-threaded suffix")
+	}
+}

@@ -1,0 +1,128 @@
+package rootcause_test
+
+import (
+	"testing"
+
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/replay"
+	"res/internal/rootcause"
+	"res/internal/workload"
+)
+
+// deepestFaithful synthesizes suffixes for the bug and returns the deepest
+// one that replays to the dump.
+func deepestFaithful(t *testing.T, bug *workload.Bug, maxDepth, maxNodes int) (*core.Synthesized, *coredump.Dump) {
+	t.Helper()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(50)
+	if err != nil {
+		t.Fatalf("%s: %v", bug.Name, err)
+	}
+	eng := core.New(p, core.Options{MaxDepth: maxDepth, MaxNodes: maxNodes})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best *core.Synthesized
+	for _, n := range rep.Suffixes {
+		syn, err := eng.Concretize(n, d)
+		if err != nil {
+			continue
+		}
+		rr, err := replay.Run(p, syn, d, replay.Config{})
+		if err != nil || !rr.Matches {
+			continue
+		}
+		if best == nil || syn.Node.Depth > best.Node.Depth {
+			best = syn
+		}
+	}
+	if best == nil {
+		t.Fatalf("%s: no faithful suffix; stats %+v", bug.Name, rep.Stats)
+	}
+	return best, d
+}
+
+func TestAtomicityViolationDetected(t *testing.T) {
+	bug := workload.AtomViolation()
+	syn, d := deepestFaithful(t, bug, 12, 3000)
+	an, err := rootcause.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Cause == nil {
+		t.Fatal("no cause")
+	}
+	if an.Cause.Kind != rootcause.AtomicityViolation && an.Cause.Kind != rootcause.DataRace {
+		t.Errorf("kind = %v, want race family (%s)", an.Cause.Kind, an.Cause)
+	}
+	p := bug.Program()
+	racy, _ := p.GlobalAddr(bug.RacyGlobal)
+	if an.Cause.Addr != racy {
+		t.Errorf("blamed addr %d, want %d", an.Cause.Addr, racy)
+	}
+}
+
+func TestOverflowDetectedByCheckedReplay(t *testing.T) {
+	bug := workload.Fig1()
+	syn, d := deepestFaithful(t, bug, 12, 3000)
+	an, err := rootcause.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Cause == nil || an.Cause.Kind != rootcause.BufferOverflow {
+		t.Fatalf("cause = %v, want buffer-overflow", an.Cause)
+	}
+	if !an.Faithful {
+		t.Error("checked-replay overflow should count as faithful")
+	}
+}
+
+func TestFallbackToFaultCause(t *testing.T) {
+	bug := workload.DistanceChain(3)
+	syn, d := deepestFaithful(t, bug, 8, 2000)
+	an, err := rootcause.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Cause == nil || an.Cause.Kind != rootcause.AssertionFailure {
+		t.Fatalf("cause = %v, want assertion-failure", an.Cause)
+	}
+	if len(an.Cause.PCs) != 1 || an.Cause.PCs[0] != d.Fault.PC {
+		t.Errorf("pcs = %v, want [%d]", an.Cause.PCs, d.Fault.PC)
+	}
+}
+
+func TestCauseKeyStability(t *testing.T) {
+	// Two different failures of the same bug must map to the same key.
+	bug := workload.AtomViolation()
+	keys := make(map[string]bool)
+	for i := 0; i < 2; i++ {
+		syn, d := deepestFaithful(t, bug, 12, 3000)
+		an, err := rootcause.Analyze(bug.Program(), syn, d)
+		if err != nil || an.Cause == nil {
+			t.Fatalf("analysis %d failed: %v %v", i, err, an)
+		}
+		keys[an.Cause.Key()] = true
+	}
+	if len(keys) != 1 {
+		t.Errorf("unstable cause keys: %v", keys)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := rootcause.Unknown; k <= rootcause.OutOfBounds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	c := &rootcause.Cause{Kind: rootcause.DataRace, PCs: []int{3, 9}, Addr: 17}
+	if c.Key() != "data-race@addr17" {
+		t.Errorf("key = %q", c.Key())
+	}
+	c2 := &rootcause.Cause{Kind: rootcause.BufferOverflow, PCs: []int{14}, Addr: 31}
+	if c2.Key() != "buffer-overflow@14" {
+		t.Errorf("key = %q", c2.Key())
+	}
+}

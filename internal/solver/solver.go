@@ -1,0 +1,886 @@
+// Package solver implements the constraint solver behind RES's symbolic
+// snapshots. It decides satisfiability of conjunctions of relational
+// constraints over symx expressions and produces concrete models, which
+// RES uses both for the compatibility check S' ⊇ Spost ("is there any
+// pre-state for which this block produces the observed post-state?") and
+// for concretizing the inferred pre-image Mi before replay.
+//
+// The pipeline is: simplification → equality propagation with exact
+// arithmetic inversion (addition, xor, negation, complement, and
+// multiplication via modular inverses) and comparison decomposition →
+// interval propagation → bounded enumeration and seeded randomized
+// completion. Verdicts are three-valued; Unsat and Sat are sound (Sat
+// verdicts always carry a model that has been checked against the
+// original constraints), Unknown is the honest fallback.
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"res/internal/symx"
+)
+
+// Rel is a relational operator between two expressions.
+type Rel uint8
+
+const (
+	RelEq Rel = iota
+	RelNe
+	RelLt // signed
+	RelLe // signed
+)
+
+func (r Rel) String() string {
+	switch r {
+	case RelEq:
+		return "=="
+	case RelNe:
+		return "!="
+	case RelLt:
+		return "<"
+	case RelLe:
+		return "<="
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// Constraint asserts L Rel R.
+type Constraint struct {
+	L, R *symx.Expr
+	Rel  Rel
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Rel, c.R)
+}
+
+// Eq, Ne, Lt, Le build constraints.
+func Eq(l, r *symx.Expr) Constraint { return Constraint{L: l, R: r, Rel: RelEq} }
+func Ne(l, r *symx.Expr) Constraint { return Constraint{L: l, R: r, Rel: RelNe} }
+func Lt(l, r *symx.Expr) Constraint { return Constraint{L: l, R: r, Rel: RelLt} }
+func Le(l, r *symx.Expr) Constraint { return Constraint{L: l, R: r, Rel: RelLe} }
+
+// Truthy asserts that e is non-zero (a taken branch condition).
+func Truthy(e *symx.Expr) Constraint { return Ne(e, symx.Const(0)) }
+
+// Falsy asserts that e is zero (a fall-through branch condition).
+func Falsy(e *symx.Expr) Constraint { return Eq(e, symx.Const(0)) }
+
+// Holds evaluates the constraint under a model. The bool result is false
+// on evaluation failure (division by zero).
+func (c Constraint) Holds(m symx.Model) (bool, bool) {
+	a, ok := c.L.Eval(m)
+	if !ok {
+		return false, false
+	}
+	b, ok := c.R.Eval(m)
+	if !ok {
+		return false, false
+	}
+	switch c.Rel {
+	case RelEq:
+		return a == b, true
+	case RelNe:
+		return a != b, true
+	case RelLt:
+		return a < b, true
+	case RelLe:
+		return a <= b, true
+	}
+	return false, false
+}
+
+// Verdict is the solver's three-valued answer.
+type Verdict uint8
+
+const (
+	Unknown Verdict = iota
+	Sat
+	Unsat
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Options tunes solver effort.
+type Options struct {
+	// MaxEnum bounds the total models tried during enumeration.
+	MaxEnum int
+	// RandomTries bounds the randomized completion phase.
+	RandomTries int
+	// Seed drives the randomized phase deterministically.
+	Seed int64
+}
+
+// DefaultOptions returns the tuning used throughout the repo.
+func DefaultOptions() Options {
+	return Options{MaxEnum: 1 << 16, RandomTries: 4096, Seed: 1}
+}
+
+// Result carries the verdict, a model when Sat, and effort statistics.
+type Result struct {
+	Verdict Verdict
+	Model   symx.Model
+	// Forced holds the variable assignments that are logical consequences
+	// of the constraint set (derived by propagation, not search). Unlike
+	// Model entries, these hold in EVERY satisfying assignment, so callers
+	// may substitute them without losing solutions. Populated for Sat and
+	// Unknown verdicts.
+	Forced map[symx.Var]int64
+	// Stats
+	PropagationRounds int
+	ModelsTried       int
+	Reason            string // human-readable explanation for Unsat/Unknown
+}
+
+// Check decides the conjunction of cs. Zero-valued option fields take the
+// package defaults, so Check(cs, Options{}) is meaningful.
+func Check(cs []Constraint, opt Options) Result {
+	def := DefaultOptions()
+	if opt.MaxEnum == 0 {
+		opt.MaxEnum = def.MaxEnum
+	}
+	if opt.RandomTries == 0 {
+		opt.RandomTries = def.RandomTries
+	}
+	if opt.Seed == 0 {
+		opt.Seed = def.Seed
+	}
+	s := &state{
+		opt:       opt,
+		bindings:  make(map[symx.Var]int64),
+		defs:      nil,
+		intervals: make(map[symx.Var]interval),
+	}
+	for _, c := range cs {
+		s.pending = append(s.pending, c)
+	}
+	res := s.solve()
+	if res.Verdict != Unsat {
+		res.Forced = make(map[symx.Var]int64, len(s.bindings))
+		for v, c := range s.bindings {
+			res.Forced[v] = c
+		}
+	}
+	if res.Verdict == Sat {
+		// Safety net: a Sat verdict must satisfy the ORIGINAL constraints.
+		for _, c := range cs {
+			ok, def := c.Holds(res.Model)
+			if !def || !ok {
+				res.Verdict = Unknown
+				res.Reason = fmt.Sprintf("model failed recheck on %s", c)
+				res.Model = nil
+				break
+			}
+		}
+	}
+	return res
+}
+
+type interval struct {
+	lo, hi int64
+	hasLo  bool
+	hasHi  bool
+}
+
+func (iv interval) empty() bool { return iv.hasLo && iv.hasHi && iv.lo > iv.hi }
+
+func (iv interval) singleton() (int64, bool) {
+	if iv.hasLo && iv.hasHi && iv.lo == iv.hi {
+		return iv.lo, true
+	}
+	return 0, false
+}
+
+type def struct {
+	v symx.Var
+	e *symx.Expr
+}
+
+type state struct {
+	opt       Options
+	pending   []Constraint
+	bindings  map[symx.Var]int64 // concrete assignments discovered
+	defs      []def              // variable definitions x := e (e not ground yet)
+	intervals map[symx.Var]interval
+	rounds    int
+	tried     int
+	// enumComplete is set when enumeration walked the full candidate
+	// lattice without finding a model.
+	enumComplete bool
+}
+
+func (s *state) solve() Result {
+	if why, ok := s.propagate(); !ok {
+		return Result{Verdict: Unsat, Reason: why, PropagationRounds: s.rounds}
+	}
+	// All constraints discharged by propagation?
+	if len(s.pending) == 0 {
+		return Result{Verdict: Sat, Model: s.buildModel(nil), PropagationRounds: s.rounds}
+	}
+	// Search phase over the residual constraints.
+	vars := s.residualVars()
+	if m, ok := s.enumerate(vars); ok {
+		return Result{Verdict: Sat, Model: s.buildModel(m), PropagationRounds: s.rounds, ModelsTried: s.tried}
+	}
+	if m, ok := s.randomized(vars); ok {
+		return Result{Verdict: Sat, Model: s.buildModel(m), PropagationRounds: s.rounds, ModelsTried: s.tried}
+	}
+	// If every residual variable has a small finite interval and we
+	// covered the full product space during enumeration, the residue is
+	// exhaustively refuted.
+	if s.exhausted(vars) {
+		return Result{Verdict: Unsat, Reason: "finite domains exhausted", PropagationRounds: s.rounds, ModelsTried: s.tried}
+	}
+	return Result{Verdict: Unknown, Reason: "search budget exhausted", PropagationRounds: s.rounds, ModelsTried: s.tried}
+}
+
+// propagate runs simplification, inversion and interval narrowing to a
+// fixpoint. Returns (reason, false) on a sound contradiction.
+func (s *state) propagate() (string, bool) {
+	for {
+		s.rounds++
+		if s.rounds > 10000 {
+			return "", true // give up on propagation, fall through to search
+		}
+		changed := false
+		next := make([]Constraint, 0, len(s.pending))
+		for _, c := range s.pending {
+			cl := s.substitute(c.L)
+			cr := s.substitute(c.R)
+			nc := Constraint{L: cl, R: cr, Rel: c.Rel}
+			status, emit, why := s.step(nc)
+			switch status {
+			case stepUnsat:
+				return why, false
+			case stepDischarged:
+				changed = true
+			case stepRewritten:
+				changed = true
+				next = append(next, emit...)
+			case stepKeep:
+				if !cl.Equal(c.L) || !cr.Equal(c.R) {
+					changed = true
+				}
+				next = append(next, nc)
+			}
+		}
+		s.pending = next
+		if !changed {
+			return "", true
+		}
+	}
+}
+
+type stepStatus uint8
+
+const (
+	stepKeep stepStatus = iota
+	stepDischarged
+	stepRewritten
+	stepUnsat
+)
+
+// step processes a single constraint: evaluates ground ones, binds
+// variables, inverts arithmetic, decomposes comparisons, and narrows
+// intervals.
+func (s *state) step(c Constraint) (stepStatus, []Constraint, string) {
+	lc, lok := c.L.IsConst()
+	rc, rok := c.R.IsConst()
+	if lok && rok {
+		ok := false
+		switch c.Rel {
+		case RelEq:
+			ok = lc == rc
+		case RelNe:
+			ok = lc != rc
+		case RelLt:
+			ok = lc < rc
+		case RelLe:
+			ok = lc <= rc
+		}
+		if ok {
+			return stepDischarged, nil, ""
+		}
+		return stepUnsat, nil, fmt.Sprintf("ground contradiction: %d %s %d", lc, c.Rel, rc)
+	}
+	// Normalize: constant on the right.
+	if lok {
+		switch c.Rel {
+		case RelEq, RelNe:
+			c.L, c.R = c.R, c.L
+			lok, rok = rok, lok
+			lc, rc = rc, lc
+		case RelLt: // c < e  ==  e > c  ==  ¬(e <= c)... keep as interval form below
+			// rewrite to e >= c+1 i.e. Le(Const(c+1), e) stays const-left; handle in intervals.
+		}
+	}
+
+	switch c.Rel {
+	case RelEq:
+		return s.stepEq(c.L, c.R)
+	case RelNe:
+		// x != c with x bound elsewhere handled by substitution; otherwise
+		// keep for the search phase (and singleton-interval refutation).
+		if v, ok := c.L.IsVar(); ok && rok {
+			if single, isSingle := s.intervals[v].singleton(); isSingle && single == rc {
+				return stepUnsat, nil, fmt.Sprintf("v%d pinned to %d but must differ", uint32(v), rc)
+			}
+		}
+		return stepKeep, nil, ""
+	case RelLt, RelLe:
+		return s.stepOrder(c)
+	}
+	return stepKeep, nil, ""
+}
+
+// stepEq handles L == R with R canonical (constant on right if any).
+func (s *state) stepEq(l, r *symx.Expr) (stepStatus, []Constraint, string) {
+	// Bare variable on either side.
+	if v, ok := l.IsVar(); ok {
+		return s.bindOrDefine(v, r)
+	}
+	if v, ok := r.IsVar(); ok {
+		return s.bindOrDefine(v, l)
+	}
+	rcVal, rok := r.IsConst()
+	if !rok {
+		// expr == expr: try l - r == 0 if that simplifies to something
+		// invertible.
+		diff := symx.Binary(symx.OpSub, l, r)
+		if !diff.Equal(l) { // avoid no-progress loops
+			if dc, ok := diff.IsConst(); ok {
+				if dc == 0 {
+					return stepDischarged, nil, ""
+				}
+				return stepUnsat, nil, "expressions differ by nonzero constant"
+			}
+		}
+		return stepKeep, nil, ""
+	}
+
+	// Inversion on the left structure.
+	switch l.Kind {
+	case symx.KUnary:
+		switch l.Op {
+		case symx.OpNeg:
+			return stepRewritten, []Constraint{Eq(l.L, symx.Const(-rcVal))}, ""
+		case symx.OpNot:
+			return stepRewritten, []Constraint{Eq(l.L, symx.Const(^rcVal))}, ""
+		}
+	case symx.KBinary:
+		if c2, ok := l.R.IsConst(); ok {
+			switch l.Op {
+			case symx.OpAdd:
+				return stepRewritten, []Constraint{Eq(l.L, symx.Const(rcVal-c2))}, ""
+			case symx.OpSub:
+				return stepRewritten, []Constraint{Eq(l.L, symx.Const(rcVal+c2))}, ""
+			case symx.OpXor:
+				return stepRewritten, []Constraint{Eq(l.L, symx.Const(rcVal^c2))}, ""
+			case symx.OpMul:
+				return s.invertMul(l.L, c2, rcVal)
+			}
+		}
+		if c2, ok := l.L.IsConst(); ok && l.Op == symx.OpSub {
+			// c2 - x == r  =>  x == c2 - r
+			return stepRewritten, []Constraint{Eq(l.R, symx.Const(c2-rcVal))}, ""
+		}
+		// Comparison results are 0/1 only.
+		if l.Op.IsCmp() {
+			if rcVal != 0 && rcVal != 1 {
+				return stepUnsat, nil, fmt.Sprintf("comparison result equated to %d", rcVal)
+			}
+			pos := rcVal == 1
+			var out Constraint
+			switch l.Op {
+			case symx.OpEq:
+				if pos {
+					out = Eq(l.L, l.R)
+				} else {
+					out = Ne(l.L, l.R)
+				}
+			case symx.OpNe:
+				if pos {
+					out = Ne(l.L, l.R)
+				} else {
+					out = Eq(l.L, l.R)
+				}
+			case symx.OpLt:
+				if pos {
+					out = Lt(l.L, l.R)
+				} else {
+					out = Le(l.R, l.L)
+				}
+			case symx.OpLe:
+				if pos {
+					out = Le(l.L, l.R)
+				} else {
+					out = Lt(l.R, l.L)
+				}
+			}
+			return stepRewritten, []Constraint{out}, ""
+		}
+	}
+	return stepKeep, nil, ""
+}
+
+// invertMul solves x * c == r over 64-bit words: with g the largest power
+// of two dividing c, solutions exist iff g divides r, and then
+// x == (r/g) * inverse(c/g) mod 2^64 is one canonical solution; since the
+// odd part is invertible the solution set is exactly that value plus
+// multiples of 2^64/g in the high bits — we constrain only the canonical
+// solution when g == 1 (fully invertible) and otherwise keep the
+// constraint for the search phase to avoid losing solutions.
+func (s *state) invertMul(x *symx.Expr, c, r int64) (stepStatus, []Constraint, string) {
+	if c == 0 {
+		if r == 0 {
+			return stepDischarged, nil, ""
+		}
+		return stepUnsat, nil, "0*x equated to nonzero"
+	}
+	uc := uint64(c)
+	g := uc & -uc // power-of-two part
+	if uint64(r)%g != 0 {
+		return stepUnsat, nil, fmt.Sprintf("%d*x == %d has no solution (parity)", c, r)
+	}
+	if g == 1 {
+		inv := modInverse(uc)
+		return stepRewritten, []Constraint{Eq(x, symx.Const(int64(uint64(r)*inv)))}, ""
+	}
+	return stepKeep, nil, ""
+}
+
+// modInverse computes the multiplicative inverse of odd a modulo 2^64 by
+// Newton iteration.
+func modInverse(a uint64) uint64 {
+	x := a // 3 bits correct
+	for i := 0; i < 5; i++ {
+		x *= 2 - a*x
+	}
+	return x
+}
+
+// bindOrDefine records v == e: a concrete binding when e is ground, a
+// definition otherwise (with an occurs check to reject v == f(v) unless it
+// simplifies).
+func (s *state) bindOrDefine(v symx.Var, e *symx.Expr) (stepStatus, []Constraint, string) {
+	if c, ok := e.IsConst(); ok {
+		if iv, okIV := s.intervals[v]; okIV {
+			if (iv.hasLo && c < iv.lo) || (iv.hasHi && c > iv.hi) {
+				return stepUnsat, nil, fmt.Sprintf("binding v%d=%d violates interval", uint32(v), c)
+			}
+		}
+		if old, bound := s.bindings[v]; bound {
+			if old != c {
+				return stepUnsat, nil, fmt.Sprintf("v%d bound to both %d and %d", uint32(v), old, c)
+			}
+			return stepDischarged, nil, ""
+		}
+		s.bindings[v] = c
+		return stepDischarged, nil, ""
+	}
+	vars := make(map[symx.Var]bool)
+	e.Vars(vars)
+	if vars[v] {
+		// v == f(v): keep for search; may still be satisfiable (v == v+0
+		// already simplified away).
+		return stepKeep, nil, ""
+	}
+	// Avoid duplicate definitions for the same variable: keep the first,
+	// and turn the rest into equations between the definitions.
+	for _, d := range s.defs {
+		if d.v == v {
+			return stepRewritten, []Constraint{Eq(d.e, e)}, ""
+		}
+	}
+	s.defs = append(s.defs, def{v: v, e: e})
+	return stepDischarged, nil, ""
+}
+
+// stepOrder narrows intervals from order constraints with one variable
+// side and one constant side.
+func (s *state) stepOrder(c Constraint) (stepStatus, []Constraint, string) {
+	lc, lok := c.L.IsConst()
+	rc, rok := c.R.IsConst()
+	if v, ok := c.L.IsVar(); ok && rok {
+		// v < rc / v <= rc
+		hi := rc
+		if c.Rel == RelLt {
+			if rc == minInt64 {
+				return stepUnsat, nil, "v < MinInt64"
+			}
+			hi = rc - 1
+		}
+		return s.narrow(v, interval{hi: hi, hasHi: true})
+	}
+	if v, ok := c.R.IsVar(); ok && lok {
+		// lc < v / lc <= v
+		lo := lc
+		if c.Rel == RelLt {
+			if lc == maxInt64 {
+				return stepUnsat, nil, "MaxInt64 < v"
+			}
+			lo = lc + 1
+		}
+		return s.narrow(v, interval{lo: lo, hasLo: true})
+	}
+	// (x + c) <= rc  =>  x <= rc - c, when no overflow ambiguity: we only
+	// rewrite when the addition provably cannot wrap for any x in the
+	// current interval — conservatively, only when c == 0 (already
+	// simplified). Keep otherwise.
+	return stepKeep, nil, ""
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+func (s *state) narrow(v symx.Var, nv interval) (stepStatus, []Constraint, string) {
+	iv := s.intervals[v]
+	if nv.hasLo && (!iv.hasLo || nv.lo > iv.lo) {
+		iv.lo, iv.hasLo = nv.lo, true
+	}
+	if nv.hasHi && (!iv.hasHi || nv.hi < iv.hi) {
+		iv.hi, iv.hasHi = nv.hi, true
+	}
+	if iv.empty() {
+		return stepUnsat, nil, fmt.Sprintf("empty interval for v%d", uint32(v))
+	}
+	s.intervals[v] = iv
+	if c, ok := iv.singleton(); ok {
+		if old, bound := s.bindings[v]; bound && old != c {
+			return stepUnsat, nil, fmt.Sprintf("interval pins v%d to %d but it is bound to %d", uint32(v), c, old)
+		}
+		s.bindings[v] = c
+	}
+	// Check against existing binding.
+	if c, bound := s.bindings[v]; bound {
+		if (iv.hasLo && c < iv.lo) || (iv.hasHi && c > iv.hi) {
+			return stepUnsat, nil, fmt.Sprintf("binding v%d=%d outside interval", uint32(v), c)
+		}
+	}
+	return stepDischarged, nil, ""
+}
+
+// substitute applies concrete bindings and definitions to an expression.
+func (s *state) substitute(e *symx.Expr) *symx.Expr {
+	if !e.HasVars() {
+		return e
+	}
+	sub := make(map[symx.Var]*symx.Expr)
+	vars := make(map[symx.Var]bool)
+	e.Vars(vars)
+	for v := range vars {
+		if c, ok := s.bindings[v]; ok {
+			sub[v] = symx.Const(c)
+			continue
+		}
+		for _, d := range s.defs {
+			if d.v == v {
+				sub[v] = d.e
+				break
+			}
+		}
+	}
+	if len(sub) == 0 {
+		return e
+	}
+	return e.Subst(sub)
+}
+
+func (s *state) residualVars() []symx.Var {
+	set := make(map[symx.Var]bool)
+	for _, c := range s.pending {
+		c.L.Vars(set)
+		c.R.Vars(set)
+	}
+	out := make([]symx.Var, 0, len(set))
+	for v := range set {
+		if _, bound := s.bindings[v]; !bound {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// candidates returns the candidate values tried for a variable during
+// enumeration: interval endpoints, small integers, and the constants that
+// appear in the residual constraints with ±1 neighbours.
+func (s *state) candidates(v symx.Var) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	add := func(x int64) {
+		iv := s.intervals[v]
+		if iv.hasLo && x < iv.lo {
+			return
+		}
+		if iv.hasHi && x > iv.hi {
+			return
+		}
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	iv := s.intervals[v]
+	if iv.hasLo {
+		add(iv.lo)
+	}
+	if iv.hasHi {
+		add(iv.hi)
+	}
+	for _, x := range []int64{0, 1, -1, 2} {
+		add(x)
+	}
+	var walk func(e *symx.Expr)
+	walk = func(e *symx.Expr) {
+		switch e.Kind {
+		case symx.KConst:
+			add(e.Val)
+			if e.Val != maxInt64 {
+				add(e.Val + 1)
+			}
+			if e.Val != minInt64 {
+				add(e.Val - 1)
+			}
+		case symx.KUnary:
+			walk(e.L)
+		case symx.KBinary:
+			walk(e.L)
+			walk(e.R)
+		}
+	}
+	for _, c := range s.pending {
+		walk(c.L)
+		walk(c.R)
+	}
+	// Canonical solutions of residual even multiplications c*v == r: the
+	// propagation phase keeps these (the solution set has 2^k elements),
+	// but the small canonical representative is almost always the one
+	// real programs mean, so offer it to the enumerator.
+	for _, c := range s.pending {
+		if c.Rel != RelEq {
+			continue
+		}
+		l, r := c.L, c.R
+		rcv, rok := r.IsConst()
+		if !rok {
+			continue
+		}
+		if l.Kind != symx.KBinary || l.Op != symx.OpMul {
+			continue
+		}
+		mv, vok := l.L.IsVar()
+		mc, cok := l.R.IsConst()
+		if !vok || !cok || mv != v || mc == 0 {
+			continue
+		}
+		uc := uint64(mc)
+		g := uc & -uc
+		if uint64(rcv)%g != 0 {
+			continue
+		}
+		base := int64((uint64(rcv) / g) * modInverse(uc/g))
+		add(base)
+	}
+	return out
+}
+
+// residualHolds checks the residual constraint set under m.
+func (s *state) residualHolds(m symx.Model) bool {
+	for _, c := range s.pending {
+		ok, def := c.Holds(m)
+		if !def || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// enumerate tries the cross product of per-variable candidates.
+func (s *state) enumerate(vars []symx.Var) (symx.Model, bool) {
+	if len(vars) == 0 {
+		return nil, s.residualHolds(symx.Model{})
+	}
+	cands := make([][]int64, len(vars))
+	total := 1
+	for i, v := range vars {
+		cands[i] = s.candidates(v)
+		total *= len(cands[i])
+		if total > s.opt.MaxEnum || total < 0 {
+			total = s.opt.MaxEnum + 1
+			break
+		}
+	}
+	if total > s.opt.MaxEnum {
+		// Too many combinations: sample the lattice diagonally instead of
+		// enumerating; the randomized phase still follows.
+		return nil, false
+	}
+	idx := make([]int, len(vars))
+	m := make(symx.Model, len(vars))
+	for {
+		s.tried++
+		for i, v := range vars {
+			m[v] = cands[i][idx[i]]
+		}
+		if s.residualHolds(m) {
+			out := make(symx.Model, len(m))
+			for k, v := range m {
+				out[k] = v
+			}
+			return out, true
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(cands[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			s.enumComplete = true
+			return nil, false
+		}
+	}
+}
+
+// randomized samples models at random within intervals.
+func (s *state) randomized(vars []symx.Var) (symx.Model, bool) {
+	if len(vars) == 0 {
+		return nil, false
+	}
+	rng := rand.New(rand.NewSource(s.opt.Seed))
+	m := make(symx.Model, len(vars))
+	for try := 0; try < s.opt.RandomTries; try++ {
+		s.tried++
+		for _, v := range vars {
+			iv := s.intervals[v]
+			var x int64
+			switch {
+			case iv.hasLo && iv.hasHi:
+				span := uint64(iv.hi - iv.lo)
+				if span == 0 {
+					x = iv.lo
+				} else if span < 1<<62 {
+					x = iv.lo + int64(rng.Uint64()%(span+1))
+				} else {
+					x = int64(rng.Uint64())
+				}
+			case try%2 == 0:
+				// Small values dominate real workloads.
+				x = rng.Int63n(1<<16) - 1<<15
+			default:
+				x = int64(rng.Uint64())
+			}
+			m[v] = x
+		}
+		if s.residualHolds(m) {
+			out := make(symx.Model, len(m))
+			for k, v := range m {
+				out[k] = v
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// exhausted reports whether the enumeration covered the entire (finite)
+// solution space, making a negative result a sound Unsat.
+func (s *state) exhausted(vars []symx.Var) bool {
+	if !s.enumComplete {
+		return false
+	}
+	// Enumeration is complete only if every variable's candidate set
+	// covered its entire domain, i.e. the variable has a finite interval
+	// fully contained in its candidates. We approximate: singleton or
+	// two-point intervals only.
+	for _, v := range vars {
+		iv := s.intervals[v]
+		if !iv.hasLo || !iv.hasHi {
+			return false
+		}
+		if iv.hi-iv.lo > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildModel combines propagation bindings, definitions and the search
+// model into a full assignment.
+func (s *state) buildModel(search symx.Model) symx.Model {
+	m := make(symx.Model, len(s.bindings)+len(search))
+	for v, c := range s.bindings {
+		m[v] = c
+	}
+	for v, c := range search {
+		m[v] = c
+	}
+	// Resolve definitions; chains are acyclic (occurs check), so at most
+	// len(defs) passes reach a fixpoint, then default remaining to 0.
+	for pass := 0; pass <= len(s.defs); pass++ {
+		progress := false
+		for _, d := range s.defs {
+			if _, done := m[d.v]; done {
+				continue
+			}
+			if val, ok := d.e.Eval(m); ok {
+				// Only accept when all vars of the definition are pinned;
+				// Eval defaults missing vars to 0 which is fine on the
+				// final pass.
+				vars := make(map[symx.Var]bool)
+				d.e.Vars(vars)
+				all := true
+				for v := range vars {
+					if _, has := m[v]; !has {
+						all = false
+						break
+					}
+				}
+				if all || pass == len(s.defs) {
+					m[d.v] = val
+					progress = true
+				}
+			}
+		}
+		if !progress && pass > 0 {
+			break
+		}
+	}
+	for _, d := range s.defs {
+		if _, done := m[d.v]; !done {
+			if val, ok := d.e.Eval(m); ok {
+				m[d.v] = val
+			}
+		}
+	}
+	return m
+}
+
+// String renders a constraint set for diagnostics.
+func String(cs []Constraint) string {
+	var b strings.Builder
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

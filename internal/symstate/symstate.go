@@ -1,0 +1,219 @@
+// Package symstate implements the paper's symbolic snapshots (§2.3): an
+// image of the program's state in which some locations hold concrete
+// values (ultimately rooted in the coredump) and others hold symbolic
+// expressions subject to constraints. RES manufactures one snapshot per
+// backward step hypothesis; the snapshot for step k over-approximates
+// every program state that could have existed k blocks before the failure.
+package symstate
+
+import (
+	"fmt"
+	"sort"
+
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/mem"
+	"res/internal/solver"
+	"res/internal/symx"
+)
+
+// ThreadState is the symbolic register file and scheduling state of one
+// thread within a snapshot.
+type ThreadState struct {
+	Regs     [isa.NumRegs]*symx.Expr
+	PC       int
+	State    coredump.ThreadState
+	WaitAddr uint32
+}
+
+// Clone returns a deep-enough copy (expressions are immutable and shared).
+func (t *ThreadState) Clone() *ThreadState {
+	nt := *t
+	return &nt
+}
+
+// Snapshot is one symbolic snapshot. The memory is represented as the
+// coredump image plus an overlay of symbolic expressions for the locations
+// whose pre-failure contents are not (yet) known concretely.
+type Snapshot struct {
+	Pool *symx.Pool // shared fresh-variable allocator
+
+	Base     *mem.Image            // the coredump memory (shared, never mutated)
+	Mem      map[uint32]*symx.Expr // overlay; absent means Base value
+	Threads  map[int]*ThreadState  // live threads (threads unwound past their spawn are absent)
+	Locks    map[uint32]int        // held mutexes at this point: addr -> owner
+	Heap     []coredump.HeapObject // allocator records at this point
+	HeapNext uint32                // bump pointer at this point
+
+	Cons  []solver.Constraint // path constraints accumulated so far
+	Depth int                 // backward steps taken from the dump
+}
+
+// FromDump builds the base-case snapshot: everything concrete, straight
+// from the coredump (the paper's "Spost is initialized with a copy of C").
+// heapBase is the layout's first heap address, used to reconstruct the
+// bump-allocator pointer from the dump's allocation records.
+func FromDump(d *coredump.Dump, heapBase uint32, pool *symx.Pool) *Snapshot {
+	s := &Snapshot{
+		Pool:    pool,
+		Base:    d.Mem,
+		Mem:     make(map[uint32]*symx.Expr),
+		Threads: make(map[int]*ThreadState),
+		Locks:   make(map[uint32]int, len(d.Locks)),
+		Heap:    append([]coredump.HeapObject(nil), d.Heap...),
+	}
+	for _, t := range d.Threads {
+		ts := &ThreadState{PC: t.PC, State: t.State, WaitAddr: t.WaitAddr}
+		for r := 0; r < isa.NumRegs; r++ {
+			ts.Regs[r] = symx.Const(t.Regs[r])
+		}
+		s.Threads[t.ID] = ts
+	}
+	for a, o := range d.Locks {
+		s.Locks[a] = o
+	}
+	s.HeapNext = heapBase
+	for _, h := range d.Heap {
+		if h.Base+h.Size > s.HeapNext {
+			s.HeapNext = h.Base + h.Size
+		}
+	}
+	return s
+}
+
+// Clone returns an independent snapshot sharing the base image and the
+// (immutable) expressions.
+func (s *Snapshot) Clone() *Snapshot {
+	ns := &Snapshot{
+		Pool:     s.Pool,
+		Base:     s.Base,
+		Mem:      make(map[uint32]*symx.Expr, len(s.Mem)),
+		Threads:  make(map[int]*ThreadState, len(s.Threads)),
+		Locks:    make(map[uint32]int, len(s.Locks)),
+		Heap:     append([]coredump.HeapObject(nil), s.Heap...),
+		HeapNext: s.HeapNext,
+		Cons:     append([]solver.Constraint(nil), s.Cons...),
+		Depth:    s.Depth,
+	}
+	for a, e := range s.Mem {
+		ns.Mem[a] = e
+	}
+	for id, t := range s.Threads {
+		ns.Threads[id] = t.Clone()
+	}
+	for a, o := range s.Locks {
+		ns.Locks[a] = o
+	}
+	return ns
+}
+
+// MemAt returns the (symbolic) value of memory word a.
+func (s *Snapshot) MemAt(a uint32) *symx.Expr {
+	if e, ok := s.Mem[a]; ok {
+		return e
+	}
+	if !s.Base.InRange(a) {
+		return symx.Const(0)
+	}
+	return symx.Const(s.Base.Load(a))
+}
+
+// SetMem overlays a symbolic value at address a.
+func (s *Snapshot) SetMem(a uint32, e *symx.Expr) { s.Mem[a] = e }
+
+// Reg returns the symbolic value of a register of thread tid.
+func (s *Snapshot) Reg(tid int, r isa.Reg) (*symx.Expr, error) {
+	t, ok := s.Threads[tid]
+	if !ok {
+		return nil, fmt.Errorf("symstate: no thread %d in snapshot", tid)
+	}
+	return t.Regs[r], nil
+}
+
+// Thread returns the thread state, or nil when the thread does not exist
+// at this point of the (backward) reconstruction.
+func (s *Snapshot) Thread(tid int) *ThreadState { return s.Threads[tid] }
+
+// ThreadIDs returns the live thread ids in ascending order.
+func (s *Snapshot) ThreadIDs() []int {
+	out := make([]int, 0, len(s.Threads))
+	for id := range s.Threads {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxThreadID returns the highest live thread id, or -1.
+func (s *Snapshot) MaxThreadID() int {
+	max := -1
+	for id := range s.Threads {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// AddCons appends path constraints.
+func (s *Snapshot) AddCons(cs ...solver.Constraint) { s.Cons = append(s.Cons, cs...) }
+
+// Check runs the solver over the snapshot's constraints.
+func (s *Snapshot) Check(opt solver.Options) solver.Result {
+	return solver.Check(s.Cons, opt)
+}
+
+// ConcretizeMem materializes the snapshot's memory under a model: the base
+// image with every overlaid expression evaluated. Expressions that fail to
+// evaluate (division by zero under the model) resolve to zero — they are
+// unconstrained by definition or the model would not have validated.
+func (s *Snapshot) ConcretizeMem(m symx.Model) *mem.Image {
+	img := s.Base.Clone()
+	for a, e := range s.Mem {
+		v, ok := e.Eval(m)
+		if !ok {
+			v = 0
+		}
+		if img.InRange(a) {
+			img.Store(a, v)
+		}
+	}
+	return img
+}
+
+// ConcretizeRegs materializes thread tid's register file under a model.
+func (s *Snapshot) ConcretizeRegs(tid int, m symx.Model) ([isa.NumRegs]int64, error) {
+	var out [isa.NumRegs]int64
+	t, ok := s.Threads[tid]
+	if !ok {
+		return out, fmt.Errorf("symstate: no thread %d", tid)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		v, ok := t.Regs[r].Eval(m)
+		if !ok {
+			v = 0
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// SymbolicFootprint returns the addresses currently overlaid with
+// expressions that still mention variables (the "currently unknown" part
+// of the snapshot — useful for reporting and tests).
+func (s *Snapshot) SymbolicFootprint() []uint32 {
+	var out []uint32
+	for a, e := range s.Mem {
+		if e.HasVars() {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the snapshot.
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("snapshot{depth=%d threads=%v overlay=%d cons=%d}",
+		s.Depth, s.ThreadIDs(), len(s.Mem), len(s.Cons))
+}

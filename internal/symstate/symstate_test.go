@@ -1,0 +1,140 @@
+package symstate
+
+import (
+	"testing"
+
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/mem"
+	"res/internal/solver"
+	"res/internal/symx"
+)
+
+func sampleDump() *coredump.Dump {
+	d := &coredump.Dump{
+		Mem:   mem.NewImage(128),
+		Locks: map[uint32]int{50: 0},
+		Heap:  []coredump.HeapObject{{Base: 21, Size: 4, FreePC: -1}},
+	}
+	d.Mem.Store(30, 7)
+	th := coredump.Thread{ID: 0, PC: 5, State: coredump.ThreadRunnable}
+	th.Regs[1] = 42
+	d.Threads = append(d.Threads, th)
+	d.Threads = append(d.Threads, coredump.Thread{ID: 1, PC: 9, State: coredump.ThreadBlocked, WaitAddr: 50})
+	return d
+}
+
+func TestFromDump(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	if got := s.MemAt(30); !s.MemAt(30).Equal(symx.Const(7)) {
+		t.Errorf("MemAt(30) = %v", got)
+	}
+	r, err := s.Reg(0, 1)
+	if err != nil || !r.Equal(symx.Const(42)) {
+		t.Errorf("Reg = %v, %v", r, err)
+	}
+	if s.Thread(1).State != coredump.ThreadBlocked {
+		t.Error("thread state lost")
+	}
+	if s.Locks[50] != 0 {
+		t.Error("lock table lost")
+	}
+	// HeapNext derived from the top object: 21+4 = 25.
+	if s.HeapNext != 25 {
+		t.Errorf("HeapNext = %d", s.HeapNext)
+	}
+	ids := s.ThreadIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("ids = %v", ids)
+	}
+	if s.MaxThreadID() != 1 {
+		t.Errorf("max tid = %d", s.MaxThreadID())
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	c := s.Clone()
+	v := pool.FreshExpr("x")
+	c.SetMem(30, v)
+	c.Threads[0].Regs[1] = symx.Const(0)
+	c.Locks[51] = 1
+	c.AddCons(solver.Eq(v, symx.Const(1)))
+	if !s.MemAt(30).Equal(symx.Const(7)) {
+		t.Error("clone shares memory overlay")
+	}
+	if !s.Threads[0].Regs[1].Equal(symx.Const(42)) {
+		t.Error("clone shares registers")
+	}
+	if len(s.Locks) != 1 || len(s.Cons) != 0 {
+		t.Error("clone shares locks/constraints")
+	}
+}
+
+func TestConcretize(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	x := pool.Fresh("x")
+	s.SetMem(31, symx.VarExpr(x))
+	s.Threads[0].Regs[2] = symx.Binary(symx.OpAdd, symx.VarExpr(x), symx.Const(1))
+	m := symx.Model{x: 10}
+	img := s.ConcretizeMem(m)
+	if img.Load(31) != 10 || img.Load(30) != 7 {
+		t.Errorf("concretized mem: %d, %d", img.Load(31), img.Load(30))
+	}
+	regs, err := s.ConcretizeRegs(0, m)
+	if err != nil || regs[2] != 11 || regs[1] != 42 {
+		t.Errorf("regs = %v, %v", regs, err)
+	}
+	if _, err := s.ConcretizeRegs(9, m); err == nil {
+		t.Error("unknown thread accepted")
+	}
+}
+
+func TestSymbolicFootprint(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	s.SetMem(40, pool.FreshExpr("a"))
+	s.SetMem(35, pool.FreshExpr("b"))
+	s.SetMem(36, symx.Const(3)) // concrete overlay: not symbolic
+	fp := s.SymbolicFootprint()
+	if len(fp) != 2 || fp[0] != 35 || fp[1] != 40 {
+		t.Errorf("footprint = %v", fp)
+	}
+}
+
+func TestCheckIntegration(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	x := pool.Fresh("x")
+	s.AddCons(solver.Eq(symx.VarExpr(x), symx.Const(5)))
+	res := s.Check(solver.Options{})
+	if res.Verdict != solver.Sat || res.Model[x] != 5 {
+		t.Errorf("check = %+v", res)
+	}
+	s.AddCons(solver.Eq(symx.VarExpr(x), symx.Const(6)))
+	if res := s.Check(solver.Options{}); res.Verdict != solver.Unsat {
+		t.Errorf("contradiction = %v", res.Verdict)
+	}
+}
+
+func TestRegErrors(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	if _, err := s.Reg(7, isa.SP); err == nil {
+		t.Error("unknown thread register read accepted")
+	}
+	if s.Thread(7) != nil {
+		t.Error("Thread(7) should be nil")
+	}
+}
+
+func TestMemAtOutOfRange(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	if got := s.MemAt(100000); !got.Equal(symx.Const(0)) {
+		t.Errorf("out-of-range MemAt = %v", got)
+	}
+}

@@ -1,0 +1,299 @@
+package symx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	tests := []struct {
+		e    *Expr
+		want int64
+	}{
+		{Binary(OpAdd, Const(2), Const(3)), 5},
+		{Binary(OpSub, Const(2), Const(3)), -1},
+		{Binary(OpMul, Const(6), Const(7)), 42},
+		{Binary(OpDiv, Const(7), Const(2)), 3},
+		{Binary(OpMod, Const(7), Const(2)), 1},
+		{Binary(OpAnd, Const(0b1100), Const(0b1010)), 0b1000},
+		{Binary(OpOr, Const(0b1100), Const(0b1010)), 0b1110},
+		{Binary(OpXor, Const(0b1100), Const(0b1010)), 0b0110},
+		{Binary(OpShl, Const(1), Const(4)), 16},
+		{Binary(OpShr, Const(-16), Const(2)), -4},
+		{Binary(OpEq, Const(3), Const(3)), 1},
+		{Binary(OpNe, Const(3), Const(3)), 0},
+		{Binary(OpLt, Const(-1), Const(0)), 1},
+		{Binary(OpLe, Const(1), Const(0)), 0},
+		{Unary(OpNot, Const(0)), -1},
+		{Unary(OpNeg, Const(5)), -5},
+	}
+	for _, tc := range tests {
+		got, ok := tc.e.IsConst()
+		if !ok || got != tc.want {
+			t.Errorf("%s: got %d (const=%v), want %d", tc.e, got, ok, tc.want)
+		}
+	}
+}
+
+func TestDivModByZeroNotFolded(t *testing.T) {
+	e := Binary(OpDiv, Const(1), Const(0))
+	if _, ok := e.IsConst(); ok {
+		t.Error("div by zero folded to a constant")
+	}
+	if _, ok := e.Eval(Model{}); ok {
+		t.Error("div by zero evaluated")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	p := NewPool()
+	x := p.FreshExpr("x")
+	tests := []struct {
+		name string
+		e    *Expr
+		want *Expr
+	}{
+		{"x+0", Binary(OpAdd, x, Const(0)), x},
+		{"0+x", Binary(OpAdd, Const(0), x), x},
+		{"x-0", Binary(OpSub, x, Const(0)), x},
+		{"x-x", Binary(OpSub, x, x), Const(0)},
+		{"x*1", Binary(OpMul, x, Const(1)), x},
+		{"1*x", Binary(OpMul, Const(1), x), x},
+		{"x*0", Binary(OpMul, x, Const(0)), Const(0)},
+		{"x/1", Binary(OpDiv, x, Const(1)), x},
+		{"x&0", Binary(OpAnd, x, Const(0)), Const(0)},
+		{"x&-1", Binary(OpAnd, x, Const(-1)), x},
+		{"x&x", Binary(OpAnd, x, x), x},
+		{"x|0", Binary(OpOr, x, Const(0)), x},
+		{"x|x", Binary(OpOr, x, x), x},
+		{"x^0", Binary(OpXor, x, Const(0)), x},
+		{"x^x", Binary(OpXor, x, x), Const(0)},
+		{"x<<0", Binary(OpShl, x, Const(0)), x},
+		{"x==x", Binary(OpEq, x, x), Const(1)},
+		{"x!=x", Binary(OpNe, x, x), Const(0)},
+		{"x<x", Binary(OpLt, x, x), Const(0)},
+		{"x<=x", Binary(OpLe, x, x), Const(1)},
+		{"--x", Unary(OpNeg, Unary(OpNeg, x)), x},
+		{"~~x", Unary(OpNot, Unary(OpNot, x)), x},
+	}
+	for _, tc := range tests {
+		if !tc.e.Equal(tc.want) {
+			t.Errorf("%s: got %s, want %s", tc.name, tc.e, tc.want)
+		}
+	}
+}
+
+func TestAddChainNormalization(t *testing.T) {
+	p := NewPool()
+	x := p.FreshExpr("x")
+	// ((x + 3) + 4) => x + 7
+	e := Binary(OpAdd, Binary(OpAdd, x, Const(3)), Const(4))
+	want := Binary(OpAdd, x, Const(7))
+	if !e.Equal(want) {
+		t.Errorf("got %s, want %s", e, want)
+	}
+	// (x - 3) + 5 => x + 2
+	e = Binary(OpAdd, Binary(OpSub, x, Const(3)), Const(5))
+	want = Binary(OpAdd, x, Const(2))
+	if !e.Equal(want) {
+		t.Errorf("got %s, want %s", e, want)
+	}
+	// x - 5 => x + (-5) canonical form
+	e = Binary(OpSub, x, Const(5))
+	want = Binary(OpAdd, x, Const(-5))
+	if !e.Equal(want) {
+		t.Errorf("got %s, want %s", e, want)
+	}
+}
+
+func TestEvalWithModel(t *testing.T) {
+	p := NewPool()
+	xv := p.Fresh("x")
+	yv := p.Fresh("y")
+	e := Binary(OpMul, Binary(OpAdd, VarExpr(xv), Const(2)), VarExpr(yv))
+	got, ok := e.Eval(Model{xv: 4, yv: 7})
+	if !ok || got != 42 {
+		t.Errorf("eval = %d, %v; want 42", got, ok)
+	}
+	// Missing vars default to zero.
+	got, ok = e.Eval(Model{})
+	if !ok || got != 0 {
+		t.Errorf("eval with empty model = %d, want 0", got)
+	}
+}
+
+func TestSubst(t *testing.T) {
+	p := NewPool()
+	xv := p.Fresh("x")
+	yv := p.Fresh("y")
+	e := Binary(OpAdd, VarExpr(xv), VarExpr(yv))
+	// x := 3 re-simplifies: 3 + y canonicalizes to y + 3.
+	got := e.Subst(map[Var]*Expr{xv: Const(3)})
+	want := Binary(OpAdd, VarExpr(yv), Const(3))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	// Full substitution folds to a constant.
+	got = e.Subst(map[Var]*Expr{xv: Const(3), yv: Const(4)})
+	if c, ok := got.IsConst(); !ok || c != 7 {
+		t.Errorf("got %s, want 7", got)
+	}
+}
+
+func TestVarsAndSize(t *testing.T) {
+	p := NewPool()
+	xv := p.Fresh("x")
+	yv := p.Fresh("y")
+	e := Binary(OpAdd, Binary(OpMul, VarExpr(xv), VarExpr(yv)), VarExpr(xv))
+	set := make(map[Var]bool)
+	e.Vars(set)
+	if len(set) != 2 || !set[xv] || !set[yv] {
+		t.Errorf("vars = %v", set)
+	}
+	if !e.HasVars() {
+		t.Error("HasVars = false")
+	}
+	if Const(1).HasVars() {
+		t.Error("const HasVars = true")
+	}
+	if e.Size() != 5 {
+		t.Errorf("size = %d, want 5", e.Size())
+	}
+	sv := SortedVars(e)
+	if len(sv) != 2 || sv[0] != xv || sv[1] != yv {
+		t.Errorf("SortedVars = %v", sv)
+	}
+}
+
+func TestPoolNames(t *testing.T) {
+	p := NewPool()
+	v := p.Fresh("mem[42]")
+	if p.Count() != 1 {
+		t.Errorf("count = %d", p.Count())
+	}
+	name := p.Name(v)
+	if name != "mem[42]#0" {
+		t.Errorf("name = %q", name)
+	}
+	r := p.Render(Binary(OpAdd, VarExpr(v), Const(1)))
+	if r != "(mem[42]#0 + 1)" {
+		t.Errorf("render = %q", r)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := NewPool()
+	x := p.FreshExpr("x")
+	e := Binary(OpLt, Unary(OpNeg, x), Const(10))
+	if got := e.String(); got != "(-(v0) < 10)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randExpr builds a random expression over nv variables with given depth.
+func randExpr(rng *rand.Rand, nv, depth int) *Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return Const(rng.Int63n(64) - 32)
+		}
+		return VarExpr(Var(rng.Intn(nv)))
+	}
+	if rng.Intn(5) == 0 {
+		op := OpNot
+		if rng.Intn(2) == 0 {
+			op = OpNeg
+		}
+		return Unary(op, randExpr(rng, nv, depth-1))
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpDiv, OpMod}
+	op := ops[rng.Intn(len(ops))]
+	return Binary(op, randExpr(rng, nv, depth-1), randExpr(rng, nv, depth-1))
+}
+
+// rawEval evaluates without simplification by mirroring the semantics.
+func rawEval(e *Expr, m Model) (int64, bool) {
+	switch e.Kind {
+	case KConst:
+		return e.Val, true
+	case KVar:
+		return m[e.V], true
+	case KUnary:
+		a, ok := rawEval(e.L, m)
+		if !ok {
+			return 0, false
+		}
+		return evalUn(e.Op, a)
+	case KBinary:
+		a, ok := rawEval(e.L, m)
+		if !ok {
+			return 0, false
+		}
+		b, ok := rawEval(e.R, m)
+		if !ok {
+			return 0, false
+		}
+		return evalBin(e.Op, a, b)
+	}
+	return 0, false
+}
+
+// Property: simplification preserves semantics — a simplified expression
+// evaluates to the same value as the raw construction under any model.
+func TestQuickSimplificationSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		e := randExpr(rng, 3, 4)
+		m := Model{0: rng.Int63() - rng.Int63(), 1: rng.Int63n(100) - 50, 2: rng.Int63n(5)}
+		want, wok := rawEval(e, m)
+		got, gok := e.Eval(m)
+		// Simplification may remove a division by zero (e.g. x*0 folding
+		// away a div); it must never introduce one or change a defined
+		// result.
+		if wok {
+			if !gok {
+				t.Fatalf("trial %d: %s became undefined", trial, e)
+			}
+			if got != want {
+				t.Fatalf("trial %d: %s = %d, raw = %d (model %v)", trial, e, got, want, m)
+			}
+		}
+	}
+}
+
+// Property: Subst with ground values agrees with Eval.
+func TestQuickSubstMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		e := randExpr(rng, 2, 3)
+		m := Model{0: rng.Int63n(1000) - 500, 1: rng.Int63n(1000) - 500}
+		sub := map[Var]*Expr{0: Const(m[0]), 1: Const(m[1])}
+		se := e.Subst(sub)
+		want, wok := e.Eval(m)
+		if !wok {
+			continue
+		}
+		got, gok := se.Eval(Model{})
+		if !gok || got != want {
+			t.Fatalf("trial %d: subst(%s) = %s -> %d,%v; eval = %d", trial, e, se, got, gok, want)
+		}
+	}
+}
+
+// Property via testing/quick: Binary canonicalization puts constants right
+// for commutative operators and Equal is reflexive.
+func TestQuickCanonicalAndEqual(t *testing.T) {
+	f := func(c int64, vid uint8) bool {
+		x := VarExpr(Var(vid % 4))
+		e := Binary(OpAdd, Const(c), x)
+		if c != 0 {
+			if e.Kind != KBinary || e.L.Kind != KVar {
+				return false
+			}
+		}
+		return e.Equal(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,446 @@
+// Package synth implements the baseline RES is measured against: forward
+// execution synthesis in the style of ESD (Zamfir & Candea, EuroSys 2010),
+// the authors' own earlier system. It symbolically executes the program
+// forward from its initial state, forking at input-dependent branches and
+// at scheduling choices, searching for a path that ends in the dumped
+// failure with a memory state matching the coredump.
+//
+// The point of the baseline is the paper's motivation: the cost of forward
+// synthesis grows with the length of the execution (every prefix branch
+// forks the search), while RES's backward suffix synthesis does not. The
+// harness measures states explored and solver effort until the goal or the
+// budget is hit.
+package synth
+
+import (
+	"time"
+
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/prog"
+	"res/internal/solver"
+	"res/internal/symx"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxStates caps explored symbolic states. 0 = 10000.
+	MaxStates int
+	// MaxBlocksPerPath caps a single path's length (loop guard). 0 = 100000.
+	MaxBlocksPerPath int
+	// Solver tunes constraint solving.
+	Solver solver.Options
+	// MatchGlobals requires the goal state's globals to equal the dump's
+	// (the "reproduces the coredump" requirement). Disabling it makes the
+	// baseline strictly easier, which only strengthens the comparison.
+	MatchGlobals bool
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates == 0 {
+		return 10000
+	}
+	return o.MaxStates
+}
+
+func (o Options) maxBlocks() int {
+	if o.MaxBlocksPerPath == 0 {
+		return 100000
+	}
+	return o.MaxBlocksPerPath
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Found          bool
+	StatesExplored int
+	SolverCalls    int
+	GoalPathBlocks int // length of the found path, in blocks
+	GaveUp         bool
+	Reason         string
+	Elapsed        time.Duration
+}
+
+type threadState struct {
+	regs  [isa.NumRegs]*symx.Expr
+	pc    int
+	alive bool
+}
+
+type state struct {
+	threads  []*threadState
+	mem      map[uint32]*symx.Expr // overlay over the initial image
+	cons     []solver.Constraint
+	blocks   int
+	heapNext uint32
+	locks    map[uint32]int
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		threads:  make([]*threadState, len(s.threads)),
+		mem:      make(map[uint32]*symx.Expr, len(s.mem)),
+		cons:     append([]solver.Constraint(nil), s.cons...),
+		blocks:   s.blocks,
+		heapNext: s.heapNext,
+		locks:    make(map[uint32]int, len(s.locks)),
+	}
+	for i, t := range s.threads {
+		nt := *t
+		ns.threads[i] = &nt
+	}
+	for a, e := range s.mem {
+		ns.mem[a] = e
+	}
+	for a, o := range s.locks {
+		ns.locks[a] = o
+	}
+	return ns
+}
+
+// Synthesize searches forward from the initial state for an execution that
+// reproduces the dump's failure.
+func Synthesize(p *prog.Program, d *coredump.Dump, opt Options) *Result {
+	start := time.Now()
+	res := &Result{}
+	pool := symx.NewPool()
+
+	entry, err := p.Entry()
+	if err != nil {
+		res.GaveUp = true
+		res.Reason = err.Error()
+		return res
+	}
+	init := &state{
+		mem:      make(map[uint32]*symx.Expr),
+		heapNext: p.Layout.HeapBase,
+		locks:    make(map[uint32]int),
+	}
+	t0 := &threadState{pc: entry, alive: true}
+	for r := range t0.regs {
+		t0.regs[r] = symx.Const(0)
+	}
+	t0.regs[isa.SP] = symx.Const(int64(p.Layout.StackTop(0)))
+	init.threads = append(init.threads, t0)
+	for _, g := range p.Globals {
+		for i, val := range g.Init {
+			init.mem[g.Addr+uint32(i)] = symx.Const(val)
+		}
+	}
+
+	// DFS over (state, thread-choice) forks.
+	stack := []*state{init}
+	for len(stack) > 0 {
+		if res.StatesExplored >= opt.maxStates() {
+			res.GaveUp = true
+			res.Reason = "state budget exhausted"
+			break
+		}
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.StatesExplored++
+
+		if s.blocks > opt.maxBlocks() {
+			continue
+		}
+		// Goal test: the faulting thread is at the fault pc's block and
+		// executing it faults the observed way with a dump-matching state.
+		if ok, blocks := goalTest(p, d, s, pool, opt, res); ok {
+			res.Found = true
+			res.GoalPathBlocks = blocks
+			break
+		}
+
+		// Fork on scheduling: every alive thread may run next.
+		for tid := len(s.threads) - 1; tid >= 0; tid-- {
+			if !s.threads[tid].alive {
+				continue
+			}
+			for _, succ := range execBlock(p, s, tid, pool, opt, res) {
+				stack = append(stack, succ)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// goalTest checks whether running the faulting thread's current block
+// reproduces the fault.
+func goalTest(p *prog.Program, d *coredump.Dump, s *state, pool *symx.Pool, opt Options, res *Result) (bool, int) {
+	if d.Fault.Thread < 0 || d.Fault.Thread >= len(s.threads) {
+		return false, 0
+	}
+	t := s.threads[d.Fault.Thread]
+	if !t.alive {
+		return false, 0
+	}
+	fb, err := p.BlockAt(d.Fault.PC)
+	if err != nil || !fb.Contains(t.pc) || t.pc != fb.Start {
+		return false, 0
+	}
+	// Execute the partial block up to the fault and collect constraints.
+	g := s.clone()
+	gt := g.threads[d.Fault.Thread]
+	for pc := fb.Start; pc < d.Fault.PC; pc++ {
+		if !stepInstr(p, g, gt, &p.Code[pc], pc, pool, res) {
+			return false, 0
+		}
+	}
+	cs := append([]solver.Constraint{}, g.cons...)
+	in := &p.Code[d.Fault.PC]
+	switch d.Fault.Kind {
+	case coredump.FaultAssert:
+		cs = append(cs, solver.Falsy(gt.regs[in.Rs1]))
+	case coredump.FaultDivByZero:
+		cs = append(cs, solver.Eq(gt.regs[in.Rs2], symx.Const(0)))
+	case coredump.FaultNullDeref:
+		var addr *symx.Expr
+		switch in.Op {
+		case isa.OpLoad, isa.OpStore:
+			addr = symx.Binary(symx.OpAdd, gt.regs[in.Rs1], symx.Const(in.Imm))
+		default:
+			addr = symx.Const(int64(d.Fault.Addr))
+		}
+		cs = append(cs, solver.Eq(addr, symx.Const(int64(d.Fault.Addr))))
+	default:
+		// Other fault kinds: require only reaching the pc.
+	}
+	if opt.MatchGlobals {
+		for _, gl := range p.Globals {
+			for i := uint32(0); i < gl.Size; i++ {
+				a := gl.Addr + i
+				want := symx.Const(d.Mem.Load(a))
+				have, ok := g.mem[a]
+				if !ok {
+					have = symx.Const(0)
+				}
+				cs = append(cs, solver.Eq(have, want))
+			}
+		}
+	}
+	chk := solver.Check(cs, opt.Solver)
+	res.SolverCalls++
+	return chk.Verdict == solver.Sat, g.blocks
+}
+
+// execBlock symbolically executes thread tid's current block, returning
+// the successor states (two for a symbolic branch).
+func execBlock(p *prog.Program, s *state, tid int, pool *symx.Pool, opt Options, res *Result) []*state {
+	ns := s.clone()
+	t := ns.threads[tid]
+	block, err := p.BlockAt(t.pc)
+	if err != nil || t.pc != block.Start {
+		return nil
+	}
+	ns.blocks++
+	for pc := block.Start; pc < block.End; pc++ {
+		in := &p.Code[pc]
+		if in.Op == isa.OpBr {
+			cond := t.regs[in.Rs1]
+			if c, ok := cond.IsConst(); ok {
+				if c != 0 {
+					t.pc = in.Target
+				} else {
+					t.pc = in.Target2
+				}
+				return []*state{ns}
+			}
+			// Fork: both directions that remain satisfiable.
+			var out []*state
+			taken := ns.clone()
+			taken.cons = append(taken.cons, solver.Truthy(cond))
+			taken.threads[tid].pc = in.Target
+			if r := solver.Check(taken.cons, opt.Solver); r.Verdict != solver.Unsat {
+				out = append(out, taken)
+			}
+			res.SolverCalls++
+			fall := ns
+			fall.cons = append(fall.cons, solver.Falsy(cond))
+			fall.threads[tid].pc = in.Target2
+			if r := solver.Check(fall.cons, opt.Solver); r.Verdict != solver.Unsat {
+				out = append(out, fall)
+			}
+			res.SolverCalls++
+			return out
+		}
+		if !stepInstr(p, ns, t, in, pc, pool, res) {
+			return nil // path abandoned (fault or unsupported)
+		}
+		if in.IsTerminator() {
+			return []*state{ns}
+		}
+	}
+	return []*state{ns}
+}
+
+// stepInstr executes one non-branch instruction forward symbolically.
+// Returns false to abandon the path.
+func stepInstr(p *prog.Program, s *state, t *threadState, in *isa.Instr, pc int, pool *symx.Pool, res *Result) bool {
+	r := &t.regs
+	bin := func(op symx.Op) { r[in.Rd] = symx.Binary(op, r[in.Rs1], r[in.Rs2]) }
+	bini := func(op symx.Op) { r[in.Rd] = symx.Binary(op, r[in.Rs1], symx.Const(in.Imm)) }
+	loadAddr := func() (uint32, bool) {
+		e := symx.Const(in.Imm)
+		if in.Op == isa.OpLoad || in.Op == isa.OpStore {
+			e = symx.Binary(symx.OpAdd, r[in.Rs1], symx.Const(in.Imm))
+		}
+		c, ok := e.IsConst()
+		if !ok || c < int64(p.Layout.GlobalBase) || c >= int64(p.Layout.MemSize) {
+			return 0, false
+		}
+		return uint32(c), true
+	}
+	switch in.Op {
+	case isa.OpNop, isa.OpOutput, isa.OpAssert:
+		// assert: assume the non-failing direction on intermediate blocks;
+		// recording the constraint keeps paths honest.
+		if in.Op == isa.OpAssert {
+			s.cons = append(s.cons, solver.Truthy(r[in.Rs1]))
+		}
+	case isa.OpConst:
+		r[in.Rd] = symx.Const(in.Imm)
+	case isa.OpMov:
+		r[in.Rd] = r[in.Rs1]
+	case isa.OpAdd:
+		bin(symx.OpAdd)
+	case isa.OpSub:
+		bin(symx.OpSub)
+	case isa.OpMul:
+		bin(symx.OpMul)
+	case isa.OpDiv:
+		s.cons = append(s.cons, solver.Ne(r[in.Rs2], symx.Const(0)))
+		bin(symx.OpDiv)
+	case isa.OpMod:
+		s.cons = append(s.cons, solver.Ne(r[in.Rs2], symx.Const(0)))
+		bin(symx.OpMod)
+	case isa.OpAnd:
+		bin(symx.OpAnd)
+	case isa.OpOr:
+		bin(symx.OpOr)
+	case isa.OpXor:
+		bin(symx.OpXor)
+	case isa.OpShl:
+		bin(symx.OpShl)
+	case isa.OpShr:
+		bin(symx.OpShr)
+	case isa.OpAddI:
+		bini(symx.OpAdd)
+	case isa.OpMulI:
+		bini(symx.OpMul)
+	case isa.OpAndI:
+		bini(symx.OpAnd)
+	case isa.OpXorI:
+		bini(symx.OpXor)
+	case isa.OpNot:
+		r[in.Rd] = symx.Unary(symx.OpNot, r[in.Rs1])
+	case isa.OpNeg:
+		r[in.Rd] = symx.Unary(symx.OpNeg, r[in.Rs1])
+	case isa.OpCmpEq:
+		bin(symx.OpEq)
+	case isa.OpCmpNe:
+		bin(symx.OpNe)
+	case isa.OpCmpLt:
+		bin(symx.OpLt)
+	case isa.OpCmpLe:
+		bin(symx.OpLe)
+	case isa.OpLoad, isa.OpLoadG:
+		a, ok := loadAddr()
+		if !ok {
+			return false // symbolic address: abandon (conservative baseline)
+		}
+		if e, has := s.mem[a]; has {
+			r[in.Rd] = e
+		} else {
+			r[in.Rd] = symx.Const(0)
+		}
+	case isa.OpStore, isa.OpStoreG:
+		a, ok := loadAddr()
+		if !ok {
+			return false
+		}
+		val := r[in.Rs1]
+		if in.Op == isa.OpStore {
+			val = r[in.Rs2]
+		}
+		s.mem[a] = val
+	case isa.OpJmp:
+		t.pc = in.Target
+		return true
+	case isa.OpCall:
+		sp, ok := r[isa.SP].IsConst()
+		if !ok {
+			return false
+		}
+		s.mem[uint32(sp-1)] = symx.Const(int64(pc + 1))
+		r[isa.SP] = symx.Const(sp - 1)
+		t.pc = in.Target
+		return true
+	case isa.OpRet:
+		sp, ok := r[isa.SP].IsConst()
+		if !ok {
+			return false
+		}
+		retE, has := s.mem[uint32(sp)]
+		if !has {
+			return false
+		}
+		ret, ok := retE.IsConst()
+		if !ok || ret < 0 || ret >= int64(len(p.Code)) {
+			return false
+		}
+		r[isa.SP] = symx.Const(sp + 1)
+		t.pc = int(ret)
+		return true
+	case isa.OpAlloc:
+		size, ok := r[in.Rs1].IsConst()
+		if !ok || size <= 0 {
+			return false
+		}
+		base := s.heapNext + prog.HeapRedzone
+		r[in.Rd] = symx.Const(int64(base))
+		s.heapNext = base + uint32(size)
+		t.pc = pc + 1
+	case isa.OpFree:
+		// Bump allocator: frees do not affect forward synthesis state.
+	case isa.OpSpawn:
+		nt := &threadState{pc: in.Target, alive: true}
+		for i := range nt.regs {
+			nt.regs[i] = symx.Const(0)
+		}
+		nt.regs[0] = r[in.Rs1]
+		nt.regs[isa.SP] = symx.Const(int64(p.Layout.StackTop(len(s.threads))))
+		s.threads = append(s.threads, nt)
+		t.pc = pc + 1
+		return true
+	case isa.OpYield:
+		t.pc = pc + 1
+		return true
+	case isa.OpLock:
+		a, aok := r[in.Rs1].IsConst()
+		if !aok {
+			return false
+		}
+		if _, held := s.locks[uint32(a)]; held {
+			return false // contended in this interleaving: abandon
+		}
+		s.locks[uint32(a)] = 0
+		t.pc = pc + 1
+		return true
+	case isa.OpUnlock:
+		a, aok := r[in.Rs1].IsConst()
+		if !aok {
+			return false
+		}
+		delete(s.locks, uint32(a))
+	case isa.OpInput:
+		r[in.Rd] = pool.FreshExpr("input")
+	case isa.OpHalt:
+		t.alive = false
+		return true
+	default:
+		return false
+	}
+	t.pc = pc + 1
+	return true
+}

@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"testing"
+
+	"res/internal/asm"
+	"res/internal/vm"
+	"res/internal/workload"
+)
+
+func TestFindsShortExecution(t *testing.T) {
+	src := `
+.global g 1
+func main:
+    input r1, 0
+    addi r2, r1, 3
+    storeg r2, &g
+    loadg r3, &g
+    addi r4, r3, -10
+    assert r4
+    halt
+`
+	p := asm.MustAssemble(src)
+	v, _ := vm.New(p, vm.Config{Inputs: map[int64][]int64{0: {7}}})
+	d, _ := v.Run()
+	if d == nil {
+		t.Fatal("expected a dump")
+	}
+	res := Synthesize(p, d, Options{MaxStates: 1000, MatchGlobals: true})
+	if !res.Found {
+		t.Fatalf("forward synthesis failed on a trivial program: %+v", res)
+	}
+	if res.StatesExplored == 0 {
+		t.Error("no states explored")
+	}
+}
+
+func TestBranchForking(t *testing.T) {
+	src := `
+.global g 1
+func main:
+    input r1, 0
+    br r1, a, b
+a:
+    const r2, 1
+    storeg r2, &g
+    jmp end
+b:
+    const r2, 2
+    storeg r2, &g
+    jmp end
+end:
+    const r3, 0
+    assert r3
+    halt
+`
+	p := asm.MustAssemble(src)
+	v, _ := vm.New(p, vm.Config{Inputs: map[int64][]int64{0: {1}}})
+	d, _ := v.Run()
+	res := Synthesize(p, d, Options{MaxStates: 1000, MatchGlobals: true})
+	if !res.Found {
+		t.Fatalf("not found: %+v", res)
+	}
+	// The search must have forked (explored both branch directions).
+	if res.StatesExplored < 3 {
+		t.Errorf("expected forked exploration, states=%d", res.StatesExplored)
+	}
+}
+
+func TestCostGrowsWithPrefixLength(t *testing.T) {
+	// The E3 shape: the same bug behind benign prefixes of different
+	// lengths. Forward synthesis effort must grow; with a modest state
+	// budget the longer prefix must not be solvable.
+	shortBug := workload.LongPrefix(30)
+	longBug := workload.LongPrefix(600)
+
+	dShort, _, err := shortBug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLong, _, err := longBug.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budget := Options{MaxStates: 3000, MatchGlobals: false}
+	rShort := Synthesize(shortBug.Program(), dShort, budget)
+	rLong := Synthesize(longBug.Program(), dLong, budget)
+
+	if !rShort.Found {
+		t.Fatalf("short prefix not synthesized: %+v", rShort)
+	}
+	if rLong.Found {
+		t.Fatalf("long prefix synthesized within the same budget — no explosion? %+v", rLong)
+	}
+	if !rLong.GaveUp {
+		t.Errorf("long prefix should exhaust the budget: %+v", rLong)
+	}
+	if rLong.StatesExplored <= rShort.StatesExplored {
+		t.Errorf("exploration did not grow: short=%d long=%d", rShort.StatesExplored, rLong.StatesExplored)
+	}
+}
+
+func TestGoalRequiresMatchingGlobals(t *testing.T) {
+	// With MatchGlobals, a dump whose globals cannot be produced must not
+	// be "found".
+	src := `
+.global g 1
+func main:
+    const r1, 5
+    storeg r1, &g
+    const r2, 0
+    assert r2
+    halt
+`
+	p := asm.MustAssemble(src)
+	v, _ := vm.New(p, vm.Config{})
+	d, _ := v.Run()
+	addr, _ := p.GlobalAddr("g")
+	d.Mem.Store(addr, 99) // impossible value
+	res := Synthesize(p, d, Options{MaxStates: 200, MatchGlobals: true})
+	if res.Found {
+		t.Error("synthesized an execution for an impossible dump")
+	}
+}

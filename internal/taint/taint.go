@@ -1,0 +1,157 @@
+// Package taint implements the exploitability analysis of §3.1: given a
+// synthesized execution suffix, it tracks which values are influenced by
+// external input (INPUT instructions — the stand-in for network packets
+// and other attacker-controllable data) and decides whether the failure
+// is attacker-controlled. A crash whose faulting address or written value
+// is input-tainted is classified remotely exploitable; !exploitable-style
+// heuristics, which look only at the crash type, cannot make this call.
+//
+// The analysis is a pure dataflow walk over the suffix schedule: register
+// taints propagate through ALU operations, memory taints live in a shadow
+// map keyed by the concrete addresses RES resolved during synthesis, and
+// INPUT instructions introduce taint. No values are recomputed — the
+// suffix already fixes control flow, so only the dataflow matters.
+package taint
+
+import (
+	"fmt"
+
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/prog"
+)
+
+// Report is the exploitability verdict.
+type Report struct {
+	// Exploitable is true when the fault's address or value operand is
+	// influenced by external input.
+	Exploitable bool
+	// FaultAddrTainted marks attacker influence over the faulting address
+	// (the strongest signal: arbitrary write/read primitives).
+	FaultAddrTainted bool
+	// FaultValueTainted marks attacker influence over the value involved.
+	FaultValueTainted bool
+	Detail            string
+}
+
+type threadTaint struct {
+	regs [isa.NumRegs]bool
+}
+
+// Analyze walks the suffix and classifies the failure.
+func Analyze(p *prog.Program, syn *core.Synthesized, original *coredump.Dump) (*Report, error) {
+	threads := make(map[int]*threadTaint)
+	for tid := range syn.PreRegs {
+		threads[tid] = &threadTaint{}
+	}
+	memTaint := make(map[uint32]bool)
+
+	steps := syn.Node.Steps()
+	for _, step := range steps {
+		tt := threads[step.Tid]
+		if tt == nil {
+			tt = &threadTaint{}
+			threads[step.Tid] = tt
+		}
+		ai := 0 // cursor into the step's resolved accesses
+		nextAccess := func(write bool) (uint32, bool) {
+			for ai < len(step.Accesses) {
+				a := step.Accesses[ai]
+				ai++
+				if a.Write == write {
+					return a.Addr, true
+				}
+			}
+			return 0, false
+		}
+		for pc := step.StartPC; pc < step.EndPC; pc++ {
+			in := &p.Code[pc]
+			r := &tt.regs
+			switch in.Op {
+			case isa.OpConst:
+				r[in.Rd] = false
+			case isa.OpMov, isa.OpNot, isa.OpNeg:
+				r[in.Rd] = r[in.Rs1]
+			case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+				isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+				isa.OpCmpEq, isa.OpCmpNe, isa.OpCmpLt, isa.OpCmpLe:
+				r[in.Rd] = r[in.Rs1] || r[in.Rs2]
+			case isa.OpAddI, isa.OpMulI, isa.OpAndI, isa.OpXorI:
+				r[in.Rd] = r[in.Rs1]
+			case isa.OpLoad, isa.OpLoadG:
+				if a, ok := nextAccess(false); ok {
+					r[in.Rd] = memTaint[a]
+				} else {
+					r[in.Rd] = false
+				}
+			case isa.OpStore, isa.OpStoreG:
+				if a, ok := nextAccess(true); ok {
+					val := in.Rs1
+					if in.Op == isa.OpStore {
+						val = in.Rs2
+					}
+					memTaint[a] = r[val]
+				}
+			case isa.OpCall:
+				// Pushes a constant return address: untainted.
+				if a, ok := nextAccess(true); ok {
+					memTaint[a] = false
+				}
+			case isa.OpRet:
+				nextAccess(false)
+			case isa.OpAlloc:
+				r[in.Rd] = false
+			case isa.OpInput:
+				r[in.Rd] = true
+			case isa.OpSpawn:
+				// The child's r0 receives the parent's operand; the suffix
+				// records the child via SpawnChild.
+				if step.SpawnChild >= 0 {
+					ct := threads[step.SpawnChild]
+					if ct == nil {
+						ct = &threadTaint{}
+						threads[step.SpawnChild] = ct
+					}
+					ct.regs[0] = r[in.Rs1]
+				}
+			}
+		}
+	}
+
+	// Classify the faulting instruction using the faulting thread's final
+	// register taints.
+	rep := &Report{}
+	ft := threads[original.Fault.Thread]
+	if ft == nil {
+		return rep, nil
+	}
+	if original.Fault.PC < 0 || original.Fault.PC >= len(p.Code) {
+		return rep, nil
+	}
+	in := &p.Code[original.Fault.PC]
+	switch in.Op {
+	case isa.OpLoad:
+		rep.FaultAddrTainted = ft.regs[in.Rs1]
+	case isa.OpStore:
+		rep.FaultAddrTainted = ft.regs[in.Rs1]
+		rep.FaultValueTainted = ft.regs[in.Rs2]
+	case isa.OpLoadG, isa.OpStoreG:
+		// Absolute addressing: the address is a constant.
+		if in.Op == isa.OpStoreG {
+			rep.FaultValueTainted = ft.regs[in.Rs1]
+		}
+	case isa.OpDiv, isa.OpMod:
+		rep.FaultValueTainted = ft.regs[in.Rs2]
+	case isa.OpAssert, isa.OpFree, isa.OpLock, isa.OpUnlock:
+		rep.FaultValueTainted = ft.regs[in.Rs1]
+		if in.Op == isa.OpFree || in.Op == isa.OpLock || in.Op == isa.OpUnlock {
+			rep.FaultAddrTainted = ft.regs[in.Rs1]
+		}
+	}
+	rep.Exploitable = rep.FaultAddrTainted || rep.FaultValueTainted
+	if rep.Exploitable {
+		rep.Detail = fmt.Sprintf("external input reaches the faulting %s at pc %d", in.Op, original.Fault.PC)
+	}
+	return rep, nil
+}

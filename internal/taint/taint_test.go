@@ -1,0 +1,119 @@
+package taint_test
+
+import (
+	"testing"
+
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/taint"
+	"res/internal/vm"
+	"res/internal/workload"
+)
+
+func synthesizeDeepest(t *testing.T, bug *workload.Bug) (*core.Synthesized, *coredump.Dump) {
+	t.Helper()
+	p := bug.Program()
+	d, _, err := bug.FindFailure(10)
+	if err != nil {
+		t.Fatalf("%s: %v", bug.Name, err)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 10, MaxNodes: 2000})
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suffixes) == 0 {
+		t.Fatalf("%s: no suffixes; stats %+v", bug.Name, rep.Stats)
+	}
+	deepest := rep.Suffixes[0]
+	for _, n := range rep.Suffixes {
+		if n.Depth > deepest.Depth {
+			deepest = n
+		}
+	}
+	syn, err := eng.Concretize(deepest, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn, d
+}
+
+func TestTaintedOverflowExploitable(t *testing.T) {
+	bug := workload.TaintedOverflow()
+	syn, d := synthesizeDeepest(t, bug)
+	rep, err := taint.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exploitable || !rep.FaultAddrTainted {
+		t.Errorf("want exploitable via tainted address, got %+v", rep)
+	}
+}
+
+func TestUntaintedCrashNotExploitable(t *testing.T) {
+	bug := workload.UntaintedCrash()
+	syn, d := synthesizeDeepest(t, bug)
+	rep, err := taint.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exploitable {
+		t.Errorf("constant crash classified exploitable: %+v", rep)
+	}
+}
+
+func TestTaintFlowsThroughMemory(t *testing.T) {
+	// Input -> global -> register -> faulting address: taint survives the
+	// memory round trip even after the original register is clobbered.
+	bug := &workload.Bug{
+		Name: "taint-through-memory",
+		Source: `
+.global slot 1
+func main:
+    input r1, 0
+    storeg r1, &slot
+    const r1, 0
+    loadg r2, &slot
+    load r3, r2, 0
+    halt
+`,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {2}}}},
+		WantFault: coredump.FaultNullDeref,
+	}
+	syn, d := synthesizeDeepest(t, bug)
+	rep, err := taint.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FaultAddrTainted {
+		t.Errorf("taint lost through memory round trip: %+v", rep)
+	}
+}
+
+func TestSanitizedValueLosesTaint(t *testing.T) {
+	// Overwriting a tainted slot with a constant clears the taint.
+	bug := &workload.Bug{
+		Name: "taint-sanitized",
+		Source: `
+.global slot 1
+func main:
+    input r1, 0
+    storeg r1, &slot
+    const r4, 0
+    storeg r4, &slot
+    loadg r2, &slot
+    load r3, r2, 0
+    halt
+`,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {2}}}},
+		WantFault: coredump.FaultNullDeref,
+	}
+	syn, d := synthesizeDeepest(t, bug)
+	rep, err := taint.Analyze(bug.Program(), syn, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultAddrTainted {
+		t.Errorf("sanitized value still tainted: %+v", rep)
+	}
+}

@@ -1,0 +1,104 @@
+// Package trace defines execution suffixes and schedules: the shared
+// currency between the concrete VM (which can record them as ground
+// truth), RES (which synthesizes them from a coredump), and the replayer
+// (which forces them back onto the VM).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Step is one scheduled basic-block execution: thread Tid ran block Block.
+type Step struct {
+	Tid   int
+	Block int
+}
+
+func (s Step) String() string { return fmt.Sprintf("t%d:b%d", s.Tid, s.Block) }
+
+// InputRec records one value consumed from an input channel.
+type InputRec struct {
+	Tid     int
+	Channel int64
+	Value   int64
+}
+
+// Trace is a recorded or synthesized execution fragment: the schedule at
+// block granularity plus the external inputs consumed, in order.
+type Trace struct {
+	Steps  []Step
+	Inputs []InputRec
+}
+
+// Append adds a step.
+func (t *Trace) Append(s Step) { t.Steps = append(t.Steps, s) }
+
+// Len returns the number of scheduled blocks.
+func (t *Trace) Len() int { return len(t.Steps) }
+
+// Tail returns the last n steps (or all of them if fewer).
+func (t *Trace) Tail(n int) []Step {
+	if n >= len(t.Steps) {
+		return t.Steps
+	}
+	return t.Steps[len(t.Steps)-n:]
+}
+
+// String renders the schedule compactly.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, s := range t.Steps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Suffix is RES's synthesized execution suffix: a schedule whose first
+// step begins from the inferred pre-image, together with the inputs each
+// step consumes and where in the final block execution stops (the failure
+// point).
+type Suffix struct {
+	// Steps is the schedule, oldest first. The last step is the partial
+	// block of the failing thread, executed up to and including EndPC.
+	Steps []Step
+	// EndPC is the pc at which execution of the last step's block stops
+	// (the faulting instruction).
+	EndPC int
+	// Inputs are the external input values consumed during the suffix,
+	// in consumption order.
+	Inputs []InputRec
+	// StartPCs maps each thread id to its program counter at the start
+	// of the suffix.
+	StartPCs map[int]int
+}
+
+// Clone returns a deep copy.
+func (s *Suffix) Clone() *Suffix {
+	ns := &Suffix{
+		Steps:    append([]Step(nil), s.Steps...),
+		EndPC:    s.EndPC,
+		Inputs:   append([]InputRec(nil), s.Inputs...),
+		StartPCs: make(map[int]int, len(s.StartPCs)),
+	}
+	for k, v := range s.StartPCs {
+		ns.StartPCs[k] = v
+	}
+	return ns
+}
+
+// Len returns the suffix length in blocks.
+func (s *Suffix) Len() int { return len(s.Steps) }
+
+func (s *Suffix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suffix[%d blocks, end pc %d]:", len(s.Steps), s.EndPC)
+	for _, st := range s.Steps {
+		b.WriteByte(' ')
+		b.WriteString(st.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceAppendAndTail(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 5; i++ {
+		tr.Append(Step{Tid: i % 2, Block: i})
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	tail := tr.Tail(2)
+	if len(tail) != 2 || tail[0].Block != 3 || tail[1].Block != 4 {
+		t.Errorf("tail = %v", tail)
+	}
+	if got := tr.Tail(99); len(got) != 5 {
+		t.Errorf("oversized tail = %v", got)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	var tr Trace
+	tr.Append(Step{Tid: 0, Block: 3})
+	tr.Append(Step{Tid: 1, Block: 7})
+	if got := tr.String(); got != "t0:b3 t1:b7" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSuffixClone(t *testing.T) {
+	s := &Suffix{
+		Steps:    []Step{{Tid: 0, Block: 1}},
+		EndPC:    9,
+		Inputs:   []InputRec{{Tid: 0, Channel: 2, Value: 5}},
+		StartPCs: map[int]int{0: 4},
+	}
+	c := s.Clone()
+	c.Steps[0].Block = 99
+	c.Inputs[0].Value = 99
+	c.StartPCs[0] = 99
+	if s.Steps[0].Block != 1 || s.Inputs[0].Value != 5 || s.StartPCs[0] != 4 {
+		t.Error("clone shares state")
+	}
+	if c.Len() != 1 || s.Len() != 1 {
+		t.Error("lengths wrong")
+	}
+}
+
+func TestSuffixString(t *testing.T) {
+	s := &Suffix{Steps: []Step{{Tid: 1, Block: 2}}, EndPC: 5}
+	str := s.String()
+	if !strings.Contains(str, "end pc 5") || !strings.Contains(str, "t1:b2") {
+		t.Errorf("String = %q", str)
+	}
+}

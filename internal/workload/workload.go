@@ -1,0 +1,768 @@
+// Package workload is the bug-program zoo: parameterized, assembly-level
+// reproductions of the failure scenarios the paper evaluates or motivates.
+// Every experiment harness and most integration tests draw their programs
+// from here.
+//
+// Each Bug carries the program source, the canonical way to make it fail
+// (which may require searching scheduler seeds — concurrency bugs only
+// manifest under the right interleaving, exactly as in production), and
+// the expected root cause for ground truth.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"res/internal/asm"
+	"res/internal/coredump"
+	"res/internal/prog"
+	"res/internal/rootcause"
+	"res/internal/vm"
+)
+
+// Bug is one reproducible failure scenario.
+type Bug struct {
+	// Name identifies the bug (and is the triage ground-truth label).
+	Name string
+	// App identifies the program the bug lives in. Two bugs can share an
+	// App (two defects in one binary); triage scopes buckets per App the
+	// way WER scopes them per application. Defaults to Name.
+	App string
+	// Source is the assembly text.
+	Source string
+	// Kind is the expected root-cause classification.
+	Kind rootcause.Kind
+	// Configs are VM configurations under which the failure can manifest;
+	// FindFailure tries them (and seed perturbations) in order.
+	Configs []vm.Config
+	// WantFault restricts which fault kind counts as "the" failure
+	// (FaultNone means any fault).
+	WantFault coredump.FaultKind
+	// RacyGlobal, for concurrency bugs, names the global whose accesses
+	// race — the address a correct root cause must blame.
+	RacyGlobal string
+
+	prog *prog.Program
+}
+
+// AppName returns the application identity for triage scoping.
+func (b *Bug) AppName() string {
+	if b.App != "" {
+		return b.App
+	}
+	return b.Name
+}
+
+// Program assembles (and caches) the bug's program.
+func (b *Bug) Program() *prog.Program {
+	if b.prog == nil {
+		b.prog = asm.MustAssemble(b.Source)
+	}
+	return b.prog
+}
+
+// FindFailure runs the program under its configs, perturbing the scheduler
+// seed up to maxSeeds times each, until the expected failure manifests.
+// This mirrors how rare concurrency failures surface in production: some
+// executions crash, most do not.
+func (b *Bug) FindFailure(maxSeeds int) (*coredump.Dump, vm.Config, error) {
+	p := b.Program()
+	for _, cfg := range b.Configs {
+		for s := 0; s < maxSeeds; s++ {
+			c := cfg
+			c.Seed = cfg.Seed + int64(s)
+			v, err := vm.New(p, c)
+			if err != nil {
+				return nil, c, err
+			}
+			d, err := v.Run()
+			if err != nil {
+				return nil, c, err
+			}
+			if d == nil || d.Fault.Kind == coredump.FaultBudget {
+				continue
+			}
+			if b.WantFault != coredump.FaultNone && d.Fault.Kind != b.WantFault {
+				continue
+			}
+			return d, c, nil
+		}
+	}
+	return nil, vm.Config{}, fmt.Errorf("workload: %s never failed within %d seeds/config", b.Name, maxSeeds)
+}
+
+// --- The three §4 synthetic concurrency bugs -------------------------------
+
+// RaceCounter is the classic lost-update bug: two threads increment a
+// shared counter with a preemption window between load and store. The
+// failure (a consistency assert) fires long after the racy interleaving.
+func RaceCounter() *Bug {
+	src := `
+; §4 bug 1: lost update on a shared counter (atomicity violation).
+; The done flag is correctly lock-protected; only the counter updates race.
+.global c 1
+.global done 1
+.global m 1
+func main:
+    const r1, 0
+    spawn worker, r1
+    const r2, 2
+m_loop:
+    loadg r3, &c
+    yield
+    addi r3, r3, 1
+    storeg r3, &c
+    addi r2, r2, -1
+    br r2, m_loop, m_wait
+m_wait:
+    const r8, &m
+    lock r8
+    loadg r4, &done
+    unlock r8
+    br r4, m_check, m_wait
+m_check:
+    loadg r5, &c
+    const r6, 4
+    cmpeq r7, r5, r6
+    assert r7
+    halt
+func worker:
+    const r2, 2
+w_loop:
+    loadg r3, &c
+    yield
+    addi r3, r3, 1
+    storeg r3, &c
+    addi r2, r2, -1
+    br r2, w_loop, w_done
+w_done:
+    const r8, &m
+    lock r8
+    const r4, 1
+    storeg r4, &done
+    unlock r8
+    halt
+`
+	var cfgs []vm.Config
+	for pct := 40; pct <= 80; pct += 20 {
+		cfgs = append(cfgs, vm.Config{PreemptPct: pct, MaxSteps: 100000})
+	}
+	return &Bug{
+		Name:       "race-counter",
+		Source:     src,
+		Kind:       rootcause.AtomicityViolation,
+		Configs:    cfgs,
+		WantFault:  coredump.FaultAssert,
+		RacyGlobal: "c",
+	}
+}
+
+// AtomViolation is a check-then-act TOCTOU on a shared pointer: the check
+// and the use are split by another thread nulling the pointer.
+func AtomViolation() *Bug {
+	src := `
+; §4 bug 2: atomicity violation between pointer check and pointer use.
+.global p 1
+func main:
+    const r1, 1
+    alloc r2, r1
+    const r3, 7
+    store r2, r3, 0
+    storeg r2, &p
+    const r4, 0
+    spawn killer, r4
+    yield
+    loadg r5, &p
+    br r5, use, fin
+use:
+    yield
+    loadg r6, &p
+    load r7, r6, 0
+    jmp fin
+fin:
+    halt
+func killer:
+    const r1, 0
+    storeg r1, &p
+    halt
+`
+	var cfgs []vm.Config
+	for pct := 30; pct <= 90; pct += 20 {
+		cfgs = append(cfgs, vm.Config{PreemptPct: pct, MaxSteps: 100000})
+	}
+	return &Bug{
+		Name:       "atom-violation",
+		Source:     src,
+		Kind:       rootcause.AtomicityViolation,
+		Configs:    cfgs,
+		WantFault:  coredump.FaultNullDeref,
+		RacyGlobal: "p",
+	}
+}
+
+// WriteWriteRace is an unsynchronized write-write conflict: the main
+// thread stores a value and divides by what it reads back; a second
+// thread concurrently zeroes the location.
+func WriteWriteRace() *Bug {
+	src := `
+; §4 bug 3: write-write data race zeroing a divisor.
+.global g 1
+func main:
+    const r0, 0
+    spawn zeroer, r0
+    const r1, 5
+    storeg r1, &g
+    yield
+    loadg r2, &g
+    const r3, 100
+    div r4, r3, r2
+    halt
+func zeroer:
+    const r1, 0
+    storeg r1, &g
+    halt
+`
+	var cfgs []vm.Config
+	for pct := 30; pct <= 90; pct += 20 {
+		cfgs = append(cfgs, vm.Config{PreemptPct: pct, MaxSteps: 100000})
+	}
+	return &Bug{
+		Name:       "write-write-race",
+		Source:     src,
+		Kind:       rootcause.AtomicityViolation, // write→read pair split by the zeroing write
+		Configs:    cfgs,
+		WantFault:  coredump.FaultDivByZero,
+		RacyGlobal: "g",
+	}
+}
+
+// ConcurrencyBugs returns the paper's §4 evaluation set.
+func ConcurrencyBugs() []*Bug {
+	return []*Bug{RaceCounter(), AtomViolation(), WriteWriteRace()}
+}
+
+// --- Figure 1: buffer overflow with predecessor disambiguation -------------
+
+// Fig1 reproduces the paper's Figure 1 scenario: a heap buffer overflow
+// (buffer[y] = 1 with y == buffer size) that corrupts an adjacent object;
+// the crash happens later, dereferencing the corrupted pointer. One
+// predecessor path sets x = 1 and performs the overflow; the alternative
+// path sets x = 2 and is benign. The coredump (x == 1, y == 10) proves
+// only the overflowing predecessor feasible.
+func Fig1() *Bug {
+	src := `
+; Figure 1: buffer overflow, crash at a distance through a corrupted pointer.
+.global x 1
+.global y 1
+.global bufp 1
+.global objp 1
+func main:
+    const r1, 10
+    alloc r2, r1        ; buffer[10]
+    storeg r2, &bufp
+    const r3, 1
+    alloc r4, r3        ; adjacent object holding a valid pointer
+    storeg r4, &objp
+    storeg r4, &x       ; x temporarily holds a pointer-sized scratch
+    store r4, r4, 0     ; obj[0] = obj (any valid pointer)
+    input r5, 0         ; y comes from the outside world
+    storeg r5, &y
+    br r5, pred1, pred2
+pred1:
+    loadg r6, &bufp
+    add r7, r6, r5
+    const r8, 1
+    store r7, r8, 0     ; buffer[y] = 1   -- first word past the buffer
+    store r7, r8, 1     ; buffer[y+1] = 1 -- crosses into obj[0] when y == 10
+    const r9, 1
+    storeg r9, &x       ; x = 1
+    jmp after
+pred2:
+    const r9, 2
+    storeg r9, &x       ; x = 2
+    jmp after
+after:
+    loadg r10, &objp
+    load r11, r10, 0    ; read the (possibly corrupted) pointer
+    load r12, r11, 0    ; dereference it: faults on the corrupted value 1
+    halt
+`
+	return &Bug{
+		Name:      "fig1-overflow",
+		Source:    src,
+		Kind:      rootcause.BufferOverflow,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {10}}}},
+		WantFault: coredump.FaultNullDeref,
+	}
+}
+
+// --- E3: arbitrarily long executions ----------------------------------------
+
+// LongPrefix builds a program whose failure sits after a benign,
+// input-dependent prefix of about n basic blocks. The suffix containing
+// the root cause is the same regardless of n — the paper's headline
+// scenario. The prefix consumes inputs and branches on them, which is
+// what makes forward, whole-execution synthesis blow up.
+func LongPrefix(n int) *Bug {
+	iters := n / 3 // each iteration executes ~3 blocks
+	if iters < 1 {
+		iters = 1
+	}
+	src := fmt.Sprintf(`
+; E3: benign input-dependent prefix of ~%d blocks, then a crash whose
+; root cause is a handful of blocks from the end.
+.global acc 1
+.global z 1
+func main:
+    const r1, %d
+prefix:
+    input r2, 1
+    andi r3, r2, 1
+    br r3, odd, even
+odd:
+    loadg r4, &acc
+    add r4, r4, r2
+    storeg r4, &acc
+    jmp next
+even:
+    loadg r4, &acc
+    sub r4, r4, r2
+    storeg r4, &acc
+    jmp next
+next:
+    addi r1, r1, -1
+    br r1, prefix, bug
+bug:
+    input r5, 0
+    addi r6, r5, 3
+    storeg r6, &z
+    loadg r7, &z
+    addi r8, r7, -10
+    assert r8
+    halt
+`, n, iters)
+	prefixInputs := make([]int64, iters)
+	for i := range prefixInputs {
+		prefixInputs[i] = int64(i*7 + 3)
+	}
+	return &Bug{
+		Name:   fmt.Sprintf("long-prefix-%d", n),
+		Source: src,
+		Kind:   rootcause.AssertionFailure,
+		Configs: []vm.Config{{
+			Inputs:   map[int64][]int64{0: {7}, 1: prefixInputs},
+			MaxSteps: uint64(n)*10 + 10000,
+		}},
+		WantFault: coredump.FaultAssert,
+	}
+}
+
+// --- E4: root-cause distance sweep ------------------------------------------
+
+// DistanceChain builds a program where the root cause (an input that
+// should never be zero, stored to a global) sits exactly d blocks before
+// the failing assertion, separated by a chain of d pass-through blocks.
+func DistanceChain(d int) *Bug {
+	var sb strings.Builder
+	sb.WriteString(`
+; E4: the root cause is d blocks before the failure.
+.global bad 1
+.global cnt 1
+func main:
+    input r1, 0
+    storeg r1, &bad
+`)
+	for i := 0; i < d; i++ {
+		fmt.Fprintf(&sb, "step%d:\n    loadg r2, &cnt\n    addi r2, r2, 1\n    storeg r2, &cnt\n    jmp step%d\n", i, i+1)
+		// Each chain element is its own block thanks to the jmp/label.
+	}
+	fmt.Fprintf(&sb, "step%d:\n    loadg r3, &bad\n    assert r3\n    halt\n", d)
+	return &Bug{
+		Name:      fmt.Sprintf("distance-%d", d),
+		Source:    sb.String(),
+		Kind:      rootcause.AssertionFailure,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {0}}}},
+		WantFault: coredump.FaultAssert,
+	}
+}
+
+// AmbiguousDispatch builds the E7 workload: a dispatcher loop of `rounds`
+// iterations, each branching to one of two handlers with IDENTICAL state
+// effects. The coredump cannot tell which handler ran (both are
+// state-compatible predecessors), so without breadcrumbs the backward
+// search doubles at every round; the LBR ring resolves the taken branches
+// and collapses the frontier to the real path.
+func AmbiguousDispatch(rounds int) *Bug {
+	src := fmt.Sprintf(`
+; E7: %d dispatch rounds with state-indistinguishable handlers.
+.global cnt 1
+func main:
+    const r1, %d
+loop:
+    input r2, 0
+    andi r3, r2, 1
+    br r3, ha, hb
+ha:
+    loadg r4, &cnt
+    addi r4, r4, 1
+    storeg r4, &cnt
+    jmp join
+hb:
+    loadg r4, &cnt
+    addi r4, r4, 1
+    storeg r4, &cnt
+    jmp join
+join:
+    addi r1, r1, -1
+    br r1, loop, bug
+bug:
+    const r5, 0
+    assert r5
+    halt
+`, rounds, rounds)
+	inputs := make([]int64, rounds)
+	for i := range inputs {
+		inputs[i] = int64(i % 3) // mixed handler choices
+	}
+	return &Bug{
+		Name:      fmt.Sprintf("ambiguous-dispatch-%d", rounds),
+		Source:    src,
+		Kind:      rootcause.AssertionFailure,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: inputs}, LBRSize: 64}},
+		WantFault: coredump.FaultAssert,
+	}
+}
+
+// --- E9: hard-to-invert constructs ------------------------------------------
+
+// hashInput and hashSecret parameterize HashConstruct: the secret is the
+// hash of the input (input² xor input), far outside the solver's search
+// neighbourhood so it cannot be guessed — only recovered from the spill.
+const (
+	hashInput  = 3141
+	hashSecret = hashInput*hashInput ^ hashInput
+)
+
+// HashConstruct builds a program that mixes an input with a non-invertible
+// hash (squaring) before the failure. When spill is true the hash input is
+// still in memory (a global spill slot), so RES re-executes the hash
+// forward over the concrete spilled value instead of inverting it — the
+// paper's §6 workaround. When spill is false the input is nowhere in the
+// dump and the construct blocks reconstruction of the input.
+func HashConstruct(spill bool) *Bug {
+	store := "    storeg r1, &spill\n"
+	if !spill {
+		store = ""
+	}
+	src := fmt.Sprintf(`
+; E9: non-invertible hash between input and failure. The registers that
+; held the input are clobbered after hashing, so the only copy of the
+; input (if any) is the spill slot in memory.
+.global h 1
+.global spill 1
+func main:
+    input r1, 0
+%s    mul r2, r1, r1
+    xor r3, r2, r1
+    storeg r3, &h
+    jmp hash_done
+hash_done:
+    const r1, 0
+    const r2, 0
+    const r3, 0
+    loadg r4, &h
+    addi r5, r4, -%d
+    assert r5
+    halt
+`, store, hashSecret)
+	name := "hash-no-spill"
+	if spill {
+		name = "hash-spill"
+	}
+	return &Bug{
+		Name:      name,
+		Source:    src,
+		Kind:      rootcause.AssertionFailure,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {hashInput}}}},
+		WantFault: coredump.FaultAssert,
+	}
+}
+
+// --- E8: exploitability -----------------------------------------------------
+
+// TaintedOverflow writes through an index that comes straight from
+// external input — the attacker controls the corrupted address, so the
+// bug is remotely exploitable.
+func TaintedOverflow() *Bug {
+	src := `
+; E8: attacker-controlled overflow index.
+.global bufp 1
+func main:
+    const r1, 4
+    alloc r2, r1
+    storeg r2, &bufp
+    input r3, 0
+    add r4, r2, r3
+    const r5, 9
+    store r4, r5, 0
+    load r6, r2, 0
+    const r7, 0
+    load r8, r7, 0
+    halt
+`
+	return &Bug{
+		Name:      "tainted-overflow",
+		Source:    src,
+		Kind:      rootcause.OutOfBounds,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {100000}}}},
+		WantFault: coredump.FaultOOB,
+	}
+}
+
+// UntaintedCrash faults on a fixed null pointer with no input influence:
+// a crash, but not attacker-controllable.
+func UntaintedCrash() *Bug {
+	src := `
+; E8: constant null dereference; no external influence.
+func main:
+    input r1, 0
+    const r2, 0
+    load r3, r2, 0
+    halt
+`
+	return &Bug{
+		Name:      "untainted-crash",
+		Source:    src,
+		Kind:      rootcause.NullDeref,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{0: {5}}}},
+		WantFault: coredump.FaultNullDeref,
+	}
+}
+
+// --- E6: healthy programs for hardware-error injection ----------------------
+
+// HealthyCompute runs a deterministic computation and then crashes on a
+// genuine software assert; used as the software-bug control group and,
+// with post-hoc corruption, as the hardware-error group.
+func HealthyCompute() *Bug {
+	src := `
+; E6: deterministic computation with a genuine software failure at the end.
+.global g 1
+.global h 1
+func main:
+    const r1, 6
+    const r2, 7
+    mul r3, r1, r2
+    storeg r3, &g
+    loadg r4, &g
+    addi r5, r4, 8
+    storeg r5, &h
+    const r6, 0
+    assert r6
+    halt
+`
+	return &Bug{
+		Name:      "healthy-compute",
+		Source:    src,
+		Kind:      rootcause.AssertionFailure,
+		Configs:   []vm.Config{{}},
+		WantFault: coredump.FaultAssert,
+	}
+}
+
+// UseAfterFree is a heap lifetime bug: a pointer is used after its object
+// was freed and the address re-read later feeds a crash. Production mode
+// does not fault at the stale access; checked replay does.
+func UseAfterFree() *Bug {
+	src := `
+; Use-after-free: the stale write lands in freed memory silently; the
+; crash comes later from a flag the stale path failed to set.
+.global p 1
+.global ok 1
+func main:
+    const r1, 2
+    alloc r2, r1
+    storeg r2, &p
+    free r2
+    const r3, 77
+    store r2, r3, 0     ; stale write into freed memory (silent in prod)
+    loadg r4, &ok
+    assert r4           ; ok was never set: crash
+    halt
+`
+	return &Bug{
+		Name:      "use-after-free",
+		Source:    src,
+		Kind:      rootcause.UseAfterFree,
+		Configs:   []vm.Config{{}},
+		WantFault: coredump.FaultAssert,
+	}
+}
+
+// DeadlockBug is the classic lock-order inversion: two threads acquire
+// two mutexes in opposite orders. The coredump is a deadlock snapshot
+// (both threads blocked), the other failure class §2 says RES handles.
+func DeadlockBug() *Bug {
+	src := `
+; AB-BA deadlock.
+.global m1 1
+.global m2 1
+func main:
+    const r1, 0
+    spawn other, r1
+    const r2, &m1
+    lock r2
+    yield
+    const r3, &m2
+    lock r3
+    unlock r3
+    unlock r2
+    halt
+func other:
+    const r2, &m2
+    lock r2
+    yield
+    const r3, &m1
+    lock r3
+    unlock r3
+    unlock r2
+    halt
+`
+	var cfgs []vm.Config
+	for pct := 40; pct <= 80; pct += 20 {
+		cfgs = append(cfgs, vm.Config{PreemptPct: pct, MaxSteps: 100000})
+	}
+	return &Bug{
+		Name:      "deadlock-abba",
+		Source:    src,
+		Kind:      rootcause.Deadlock,
+		Configs:   cfgs,
+		WantFault: coredump.FaultDeadlock,
+	}
+}
+
+// --- E5: triage corpus ------------------------------------------------------
+
+// MultiSiteRace is one bug that manifests with different call stacks: a
+// race corrupts a shared pointer, and the crash site depends on an
+// unrelated input routing the dereference into helperA or helperB. WER
+// style stack bucketing splits this single bug into multiple buckets.
+func MultiSiteRace() *Bug {
+	src := `
+; E5: one root cause (race nulling ptr), two distinct crash stacks.
+.global ptr 1
+.global route 1
+func main:
+    const r1, 1
+    alloc r2, r1
+    store r2, r2, 0
+    storeg r2, &ptr
+    input r3, 0
+    storeg r3, &route
+    const r4, 0
+    spawn nuller, r4
+    yield
+    loadg r5, &route
+    br r5, via_a, via_b
+via_a:
+    call helperA
+    jmp done
+via_b:
+    call helperB
+    jmp done
+done:
+    halt
+func helperA:
+    loadg r6, &ptr
+    load r7, r6, 0
+    ret
+func helperB:
+    loadg r8, &ptr
+    load r9, r8, 0
+    ret
+func nuller:
+    const r1, 0
+    storeg r1, &ptr
+    halt
+`
+	var cfgs []vm.Config
+	for _, route := range []int64{1, 0} {
+		for pct := 40; pct <= 80; pct += 20 {
+			cfgs = append(cfgs, vm.Config{PreemptPct: pct, MaxSteps: 100000, Inputs: map[int64][]int64{0: {route}}})
+		}
+	}
+	return &Bug{
+		Name:      "multi-site-race",
+		Source:    src,
+		Kind:      rootcause.AtomicityViolation,
+		Configs:   cfgs,
+		WantFault: coredump.FaultNullDeref,
+	}
+}
+
+// SharedSiteCorpus returns two distinct bugs that crash at the same pc
+// with the same call stack: a race nulling a pointer and a direct
+// null-from-input bug. WER-style bucketing merges them; root-cause
+// bucketing separates them.
+func SharedSiteCorpus() (race, direct *Bug) {
+	src := `
+; E5: two latent bugs crashing at the same site.
+; Channel 9 selects which latent bug the environment tickles (stands in
+; for two different user populations hitting different defects).
+.global ptr 1
+func main:
+    const r1, 1
+    alloc r2, r1
+    store r2, r2, 0
+    storeg r2, &ptr
+    input r3, 9
+    br r3, racy, direct
+racy:
+    const r4, 0
+    spawn nuller, r4
+    yield
+    jmp crashsite
+direct:
+    input r5, 0
+    storeg r5, &ptr
+    jmp crashsite
+crashsite:
+    call helper
+    halt
+func helper:
+    loadg r6, &ptr
+    load r7, r6, 0
+    ret
+func nuller:
+    const r1, 0
+    storeg r1, &ptr
+    halt
+`
+	var raceCfgs []vm.Config
+	for pct := 40; pct <= 80; pct += 20 {
+		raceCfgs = append(raceCfgs, vm.Config{PreemptPct: pct, MaxSteps: 100000, Inputs: map[int64][]int64{9: {1}}})
+	}
+	race = &Bug{
+		Name:      "shared-site-race",
+		App:       "shared-site-app",
+		Source:    src,
+		Kind:      rootcause.AtomicityViolation,
+		Configs:   raceCfgs,
+		WantFault: coredump.FaultNullDeref,
+	}
+	direct = &Bug{
+		Name:      "shared-site-direct",
+		App:       "shared-site-app",
+		Source:    src,
+		Kind:      rootcause.NullDeref,
+		Configs:   []vm.Config{{Inputs: map[int64][]int64{9: {0}, 0: {0}}}},
+		WantFault: coredump.FaultNullDeref,
+	}
+	return race, direct
+}
+
+// TriageCorpus returns the bug set used for the E5 triage experiment.
+func TriageCorpus() []*Bug {
+	race, direct := SharedSiteCorpus()
+	return []*Bug{MultiSiteRace(), race, direct, RaceCounter(), AtomViolation()}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"res/internal/coredump"
+	"res/internal/vm"
+)
+
+func TestEveryBugManifests(t *testing.T) {
+	race, direct := SharedSiteCorpus()
+	bugs := []*Bug{
+		RaceCounter(), AtomViolation(), WriteWriteRace(),
+		Fig1(), LongPrefix(50), DistanceChain(5),
+		HashConstruct(true), HashConstruct(false),
+		TaintedOverflow(), UntaintedCrash(), HealthyCompute(),
+		MultiSiteRace(), race, direct,
+	}
+	seen := make(map[string]bool)
+	for _, bug := range bugs {
+		if seen[bug.Name] {
+			t.Errorf("duplicate bug name %q", bug.Name)
+		}
+		seen[bug.Name] = true
+		d, _, err := bug.FindFailure(60)
+		if err != nil {
+			t.Errorf("%s: %v", bug.Name, err)
+			continue
+		}
+		if bug.WantFault != coredump.FaultNone && d.Fault.Kind != bug.WantFault {
+			t.Errorf("%s: fault %v, want %v", bug.Name, d.Fault.Kind, bug.WantFault)
+		}
+		if bug.RacyGlobal != "" {
+			if _, err := bug.Program().GlobalAddr(bug.RacyGlobal); err != nil {
+				t.Errorf("%s: racy global %q missing", bug.Name, bug.RacyGlobal)
+			}
+		}
+	}
+}
+
+func TestConcurrencyBugsAreNondeterministic(t *testing.T) {
+	// The §4 bugs must NOT fail on every schedule — rarity under benign
+	// schedules is what makes them production-realistic.
+	for _, bug := range ConcurrencyBugs() {
+		p := bug.Program()
+		clean := 0
+		for s := int64(0); s < 20; s++ {
+			cfg := bug.Configs[0]
+			cfg.Seed = s
+			cfg.PreemptPct = 0 // cooperative scheduling: the bug needs preemption
+			v, err := vm.New(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := v.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A clean exit or a livelocked spin (budget) both mean the
+			// bug itself did not fire under this schedule.
+			if d == nil || d.Fault.Kind == coredump.FaultBudget {
+				clean++
+			}
+		}
+		if clean == 0 {
+			t.Errorf("%s: fails even without preemption — not schedule-dependent", bug.Name)
+		}
+	}
+}
+
+func TestLongPrefixScalesExecution(t *testing.T) {
+	short := LongPrefix(60)
+	long := LongPrefix(6000)
+	ds, _, err := short.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, _, err := long.FindFailure(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Steps < 10*ds.Steps {
+		t.Errorf("prefix scaling broken: %d vs %d blocks", ds.Steps, dl.Steps)
+	}
+	// Identical failure state regardless of prefix length.
+	if ds.Fault.Kind != dl.Fault.Kind {
+		t.Errorf("fault kinds differ: %v vs %v", ds.Fault.Kind, dl.Fault.Kind)
+	}
+}
+
+func TestDistanceChainBlocks(t *testing.T) {
+	for _, d := range []int{0, 1, 7} {
+		bug := DistanceChain(d)
+		dump, _, err := bug.FindFailure(2)
+		if err != nil {
+			t.Fatalf("distance %d: %v", d, err)
+		}
+		// The execution runs d chain blocks plus entry and the assert tail.
+		if dump.Steps < uint64(d) {
+			t.Errorf("distance %d: only %d steps", d, dump.Steps)
+		}
+	}
+}
+
+func TestFindFailureErrors(t *testing.T) {
+	healthy := &Bug{
+		Name:    "never-fails",
+		Source:  "func main:\n halt",
+		Configs: HealthyCompute().Configs,
+	}
+	if _, _, err := healthy.FindFailure(3); err == nil {
+		t.Error("expected FindFailure to give up")
+	}
+}

@@ -1,0 +1,241 @@
+// Package res is the public face of the reverse execution synthesis (RES)
+// library, a reproduction of "Automated Debugging for Arbitrarily Long
+// Executions" (Zamfir et al., HotOS 2013).
+//
+// The workflow mirrors the paper:
+//
+//  1. Assemble a program for the RES virtual machine (Assemble).
+//  2. Run it in production mode (Run); on failure you get a coredump —
+//     the only runtime artifact, no recording.
+//  3. Analyze the coredump (Analyze): RES walks the control-flow graph
+//     backward from the failure, building symbolic snapshots and keeping
+//     only predecessor hypotheses consistent with the dump, until it has
+//     an execution suffix that provably ends in the observed failure.
+//  4. The suffix replays deterministically (Replay), and the instrumented
+//     replay identifies the root cause (the Result's Cause) — including
+//     data races and atomicity violations whose failure manifests far
+//     from the cause.
+//
+// Analyze also answers the paper's other questions: a coredump no
+// feasible suffix can explain is flagged as a likely hardware error, and
+// the taint verdict classifies crashes as attacker-controllable.
+package res
+
+import (
+	"fmt"
+	"time"
+
+	"res/internal/asm"
+	"res/internal/breadcrumb"
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/prog"
+	"res/internal/replay"
+	"res/internal/rootcause"
+	"res/internal/solver"
+	"res/internal/taint"
+	"res/internal/trace"
+	"res/internal/vm"
+)
+
+// Re-exported core types, so callers only import this package.
+type (
+	// Program is an assembled RES-VM program.
+	Program = prog.Program
+	// Dump is a coredump: the post-failure snapshot RES consumes.
+	Dump = coredump.Dump
+	// Cause is an identified root cause.
+	Cause = rootcause.Cause
+	// Suffix is a synthesized, replayable execution suffix.
+	Suffix = trace.Suffix
+	// RunConfig configures a concrete (production) execution.
+	RunConfig = vm.Config
+)
+
+// Assemble builds a program from RES assembly source.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(src string) *Program { return asm.MustAssemble(src) }
+
+// Run executes the program in production mode and returns its coredump,
+// or nil if the run exits cleanly.
+func Run(p *Program, cfg RunConfig) (*Dump, error) {
+	v, err := vm.New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return v.Run()
+}
+
+// Options tunes Analyze.
+type Options struct {
+	// MaxDepth bounds the suffix length (blocks). 0 = default (24).
+	MaxDepth int
+	// MaxNodes bounds backward-step attempts. 0 = default (100000).
+	MaxNodes int
+	// UseLBR prunes the search with the dump's branch ring.
+	UseLBR bool
+	// LBRMode selects the (simulated) hardware recording mode used when
+	// interpreting the ring.
+	LBRMode breadcrumb.Mode
+	// MatchOutputs prunes with error-log breadcrumbs.
+	MatchOutputs bool
+	// Solver tunes constraint solving; zero values take defaults.
+	Solver solver.Options
+}
+
+// Result is the outcome of Analyze.
+type Result struct {
+	// Report is the raw search report (statistics, all feasible nodes).
+	Report *core.Report
+	// Cause is the identified root cause (nil only when no suffix could
+	// be synthesized at all).
+	Cause *Cause
+	// CauseDepth is the suffix length at which the cause was identified.
+	CauseDepth int
+	// Suffix is the synthesized suffix supporting the cause.
+	Suffix *Suffix
+	// Synthesized is the full pre-image + schedule bundle for replay.
+	Synthesized *core.Synthesized
+	// Replay is the verification replay of that suffix.
+	Replay *replay.Result
+	// Exploitability is the taint verdict for the failure.
+	Exploitability *taint.Report
+	// HardwareSuspect: no feasible suffix explains the dump.
+	HardwareSuspect bool
+	// Elapsed is the wall-clock analysis time.
+	Elapsed time.Duration
+}
+
+// specific reports whether a cause pinpoints something beyond the failure
+// site itself (a race, a violated atomicity window, heap corruption).
+func specific(c *Cause) bool {
+	switch c.Kind {
+	case rootcause.DataRace, rootcause.AtomicityViolation,
+		rootcause.BufferOverflow, rootcause.UseAfterFree, rootcause.DoubleFree:
+		return true
+	}
+	return false
+}
+
+// Analyze synthesizes an execution suffix for the dump and identifies the
+// failure's root cause. It searches breadth-first: the first faithful
+// suffix whose instrumented replay justifies a specific root cause (race,
+// atomicity violation, heap corruption) stops the search; otherwise the
+// deepest faithful suffix's analysis is returned.
+func Analyze(p *Program, d *Dump, opt Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	copt := core.Options{
+		MaxDepth:     opt.MaxDepth,
+		MaxNodes:     opt.MaxNodes,
+		Solver:       opt.Solver,
+		MatchOutputs: opt.MatchOutputs,
+	}
+	if opt.UseLBR {
+		copt.Filter = breadcrumb.LBRFilter(p, d.LBR, opt.LBRMode)
+	}
+	var (
+		eng  *core.Engine
+		best *analysisCandidate
+	)
+	copt.OnSuffix = func(n *core.Node) bool {
+		cand := analyzeNode(p, eng, n, d, opt)
+		if cand == nil {
+			return false
+		}
+		if best == nil || cand.better(best) {
+			best = cand
+		}
+		// Stop as soon as a specific cause is justified by a faithful
+		// replay: the suffix is long enough to contain the root cause.
+		return cand.faithful && specific(cand.cause)
+	}
+	eng = core.New(p, copt)
+
+	rep, err := eng.Analyze(d)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	res.HardwareSuspect = rep.HardwareSuspect
+	if best != nil {
+		res.Cause = best.cause
+		res.CauseDepth = best.node.Depth
+		res.Suffix = best.syn.Suffix
+		res.Synthesized = best.syn
+		res.Replay = best.replay
+		if tr, err := taint.Analyze(p, best.syn, d); err == nil {
+			res.Exploitability = tr
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type analysisCandidate struct {
+	node     *core.Node
+	syn      *core.Synthesized
+	cause    *Cause
+	faithful bool
+	replay   *replay.Result
+}
+
+// better orders candidates: faithful beats unfaithful, specific beats
+// generic, deeper (more context) beats shallower among equals.
+func (c *analysisCandidate) better(o *analysisCandidate) bool {
+	if c.faithful != o.faithful {
+		return c.faithful
+	}
+	cs, os := specific(c.cause), specific(o.cause)
+	if cs != os {
+		return cs
+	}
+	return c.node.Depth > o.node.Depth
+}
+
+// analyzeNode concretizes, replays and classifies one feasible node.
+func analyzeNode(p *Program, eng *core.Engine, n *core.Node, d *Dump, opt Options) *analysisCandidate {
+	syn, err := eng.Concretize(n, d)
+	if err != nil {
+		return nil
+	}
+	rr, err := replay.Run(p, syn, d, replay.Config{})
+	if err != nil || rr.Divergence != nil {
+		return nil
+	}
+	an, err := rootcause.Analyze(p, syn, d)
+	if err != nil || an.Cause == nil {
+		return nil
+	}
+	return &analysisCandidate{
+		node:     n,
+		syn:      syn,
+		cause:    an.Cause,
+		faithful: rr.Matches && an.Faithful,
+		replay:   rr,
+	}
+}
+
+// Replay re-executes a synthesized suffix and reports whether it
+// reproduces the dump exactly.
+func Replay(p *Program, syn *core.Synthesized, d *Dump) (*replay.Result, error) {
+	return replay.Run(p, syn, d, replay.Config{})
+}
+
+// Describe renders an analysis result for humans.
+func (r *Result) Describe() string {
+	if r.Cause == nil {
+		if r.HardwareSuspect {
+			return "no feasible execution suffix: likely hardware error"
+		}
+		return "no root cause identified within budget"
+	}
+	s := fmt.Sprintf("root cause: %s (suffix depth %d, %v)", r.Cause, r.CauseDepth, r.Elapsed.Round(time.Millisecond))
+	if r.Exploitability != nil && r.Exploitability.Exploitable {
+		s += "\nexploitability: ATTACKER-CONTROLLED (" + r.Exploitability.Detail + ")"
+	}
+	return s
+}
