@@ -1,0 +1,333 @@
+package res
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"res/internal/breadcrumb"
+	"res/internal/core"
+	"res/internal/hwerr"
+	"res/internal/replay"
+	"res/internal/rootcause"
+	"res/internal/solver"
+	"res/internal/taint"
+)
+
+// Re-exported analysis types, so callers only import this package.
+type (
+	// Event is one progress report from the backward search (see the
+	// EventKind constants). Delivered via WithObserver.
+	Event = core.Event
+	// EventKind classifies an Event.
+	EventKind = core.EventKind
+	// SearchStats aggregates backward-search effort.
+	SearchStats = core.Stats
+	// SolverOptions tunes constraint solving (WithSolverOptions).
+	SolverOptions = solver.Options
+	// LBRMode selects the (simulated) hardware branch-recording mode used
+	// when interpreting a dump's branch ring (WithLBR).
+	LBRMode = breadcrumb.Mode
+	// HardwareVerdict is the §3.2 hardware-vs-software classification.
+	HardwareVerdict = hwerr.Verdict
+)
+
+// Event kinds (re-exported from internal/core).
+const (
+	// EventDepth: the breadth-first frontier advanced to a new depth.
+	EventDepth = core.EventDepth
+	// EventNode: one backward step was attempted.
+	EventNode = core.EventNode
+	// EventSuffix: a feasible execution suffix was found.
+	EventSuffix = core.EventSuffix
+	// EventSolver: periodic solver/search statistics snapshot.
+	EventSolver = core.EventSolver
+)
+
+// LBR interpretation modes (re-exported from internal/breadcrumb).
+const (
+	// LBRRecordAll models hardware that records every taken transfer.
+	LBRRecordAll = breadcrumb.RecordAll
+	// LBRSkipConditional models filtered hardware that records only
+	// unconditional transfers.
+	LBRSkipConditional = breadcrumb.SkipConditional
+)
+
+// config is the resolved analysis configuration an Analyzer carries and a
+// single Analyze call can override.
+type config struct {
+	maxDepth     int
+	maxNodes     int
+	beamWidth    int
+	useLBR       bool
+	lbrMode      LBRMode
+	matchOutputs bool
+	solver       SolverOptions
+	observer     func(Event)
+}
+
+// Option configures an Analyzer (at construction) or a single analysis
+// (per Analyze/AnalyzeBatch call; per-call options override the
+// analyzer's).
+type Option func(*config)
+
+// WithMaxDepth bounds the suffix length in blocks. 0 = default (24).
+func WithMaxDepth(n int) Option { return func(c *config) { c.maxDepth = n } }
+
+// WithMaxNodes bounds backward-step attempts. 0 = default (100000).
+func WithMaxNodes(n int) Option { return func(c *config) { c.maxNodes = n } }
+
+// WithBeamWidth caps the frontier nodes kept per depth. 0 = unlimited.
+func WithBeamWidth(n int) Option { return func(c *config) { c.beamWidth = n } }
+
+// WithLBR prunes the search with the dump's branch ring, interpreted
+// under the given recording mode (LBRRecordAll or LBRSkipConditional).
+func WithLBR(mode LBRMode) Option {
+	return func(c *config) { c.useLBR, c.lbrMode = true, mode }
+}
+
+// WithMatchOutputs prunes the search with error-log breadcrumbs: the
+// suffix's OUTPUT records must match the tail of the dump's output log.
+func WithMatchOutputs() Option { return func(c *config) { c.matchOutputs = true } }
+
+// WithSolverOptions tunes constraint solving; zero fields take defaults.
+func WithSolverOptions(o SolverOptions) Option { return func(c *config) { c.solver = o } }
+
+// WithObserver streams search progress events to fn. Events are delivered
+// synchronously from the analyzing goroutine, so fn must be fast; during
+// AnalyzeBatch it is called concurrently from all workers and must be
+// safe for concurrent use.
+func WithObserver(fn func(Event)) Option { return func(c *config) { c.observer = fn } }
+
+// Analyzer is a long-lived analysis session for one program: construct it
+// once per program and reuse it for every coredump of that program. The
+// constructor precomputes the program's backward-CFG predecessor index so
+// the search shares it across analyses instead of rebuilding it per node.
+//
+// An Analyzer is safe for concurrent use: Analyze may be called from any
+// number of goroutines simultaneously (each call runs on its own engine
+// and symbolic-variable pool; the shared program and predecessor index
+// are read-only).
+type Analyzer struct {
+	p     *Program
+	preds core.PredIndex
+	base  config
+}
+
+// NewAnalyzer creates an analysis session for p. The options become the
+// session defaults; individual Analyze calls can override them.
+func NewAnalyzer(p *Program, opts ...Option) *Analyzer {
+	a := &Analyzer{p: p, preds: core.BuildPredIndex(p)}
+	for _, o := range opts {
+		o(&a.base)
+	}
+	return a
+}
+
+// Program returns the program this session analyzes.
+func (a *Analyzer) Program() *Program { return a.p }
+
+// coreOptions lowers the resolved config to engine options for one dump.
+func (c config) coreOptions(a *Analyzer, d *Dump) core.Options {
+	copt := core.Options{
+		MaxDepth:     c.maxDepth,
+		MaxNodes:     c.maxNodes,
+		BeamWidth:    c.beamWidth,
+		Solver:       c.solver,
+		MatchOutputs: c.matchOutputs,
+		OnEvent:      c.observer,
+		Preds:        a.preds,
+	}
+	if c.useLBR {
+		copt.Filter = breadcrumb.LBRFilter(a.p, d.LBR, c.lbrMode)
+	}
+	return copt
+}
+
+// Analyze synthesizes an execution suffix for the dump and identifies the
+// failure's root cause. It searches breadth-first: the first faithful
+// suffix whose instrumented replay justifies a specific root cause (race,
+// atomicity violation, heap corruption) stops the search; otherwise the
+// deepest faithful suffix's analysis is returned.
+//
+// Cancellation and deadlines on ctx are observed between backward-step
+// attempts and inside the solver's search loops, so Analyze returns
+// promptly when the context ends. In that case it returns the partial
+// Result accumulated so far (Partial is set, Report holds the partial
+// search statistics, and Cause may or may not be populated) together with
+// ctx.Err() — check the error, but do not discard the Result.
+func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Result, error) {
+	cfg := a.base
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+
+	copt := cfg.coreOptions(a, d)
+	var (
+		eng     *core.Engine
+		best    *analysisCandidate
+		stopErr error
+	)
+	copt.OnSuffix = func(n *core.Node) bool {
+		if cerr := ctx.Err(); cerr != nil {
+			// Stop the search; the context error is surfaced below.
+			stopErr = cerr
+			return true
+		}
+		cand := analyzeNode(a.p, eng, n, d)
+		if cand == nil {
+			return false
+		}
+		if best == nil || cand.better(best) {
+			best = cand
+		}
+		// Stop as soon as a specific cause is justified by a faithful
+		// replay: the suffix is long enough to contain the root cause.
+		return cand.faithful && specific(cand.cause)
+	}
+	eng = core.New(a.p, copt)
+
+	rep, err := eng.AnalyzeContext(ctx, d)
+	if rep == nil {
+		return nil, err
+	}
+	res := &Result{Report: rep, HardwareSuspect: rep.HardwareSuspect}
+	if best != nil {
+		res.Cause = best.cause
+		res.CauseDepth = best.node.Depth
+		res.Suffix = best.syn.Suffix
+		res.Synthesized = best.syn
+		res.Replay = best.replay
+		if tr, terr := taint.Analyze(a.p, best.syn, d); terr == nil {
+			res.Exploitability = tr
+		}
+	}
+	// Partiality is judged by how the search itself ended (engine
+	// interruption or the OnSuffix context stop), not by re-polling ctx:
+	// a search that ran to completion just before its deadline fired is
+	// complete, not partial.
+	if err == nil {
+		err = stopErr
+	}
+	res.Partial = err != nil
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// AnalyzeBatch analyzes many dumps of the session's program over a worker
+// pool of the given parallelism (values < 1 mean GOMAXPROCS). Results are
+// positional: results[i] is the analysis of dumps[i]. Each dump is
+// analyzed independently and deterministically, so the results are
+// identical to running Analyze sequentially over the slice.
+//
+// The returned error joins the per-dump errors (nil when every analysis
+// succeeded); a canceled context fails the remaining dumps with ctx.Err()
+// while results already produced are kept.
+func (a *Analyzer) AnalyzeBatch(ctx context.Context, dumps []*Dump, parallelism int, opts ...Option) ([]*Result, error) {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(dumps) {
+		parallelism = len(dumps)
+	}
+	results := make([]*Result, len(dumps))
+	errs := make([]error, len(dumps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = a.Analyze(ctx, dumps[i], opts...)
+			}
+		}()
+	}
+	for i := range dumps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = fmt.Errorf("dump %d: %w", i, err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// ClassifyHardware answers the §3.2 question for a dump of the session's
+// program: is the dump consistent with any feasible software execution,
+// or is it the signature of a hardware error? Cancellation returns the
+// zero verdict and ctx.Err(): absence of a suffix is only evidence once
+// the search ran to its budgets.
+func (a *Analyzer) ClassifyHardware(ctx context.Context, d *Dump, opts ...Option) (HardwareVerdict, error) {
+	cfg := a.base
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return hwerr.ClassifyContext(ctx, a.p, d, cfg.coreOptions(a, d))
+}
+
+type analysisCandidate struct {
+	node     *core.Node
+	syn      *core.Synthesized
+	cause    *Cause
+	faithful bool
+	replay   *replay.Result
+}
+
+// better orders candidates: faithful beats unfaithful, specific beats
+// generic, deeper (more context) beats shallower among equals.
+func (c *analysisCandidate) better(o *analysisCandidate) bool {
+	if c.faithful != o.faithful {
+		return c.faithful
+	}
+	cs, os := specific(c.cause), specific(o.cause)
+	if cs != os {
+		return cs
+	}
+	return c.node.Depth > o.node.Depth
+}
+
+// specific reports whether a cause pinpoints something beyond the failure
+// site itself (a race, a violated atomicity window, heap corruption).
+func specific(c *Cause) bool {
+	switch c.Kind {
+	case rootcause.DataRace, rootcause.AtomicityViolation,
+		rootcause.BufferOverflow, rootcause.UseAfterFree, rootcause.DoubleFree:
+		return true
+	}
+	return false
+}
+
+// analyzeNode concretizes, replays and classifies one feasible node.
+func analyzeNode(p *Program, eng *core.Engine, n *core.Node, d *Dump) *analysisCandidate {
+	syn, err := eng.Concretize(n, d)
+	if err != nil {
+		return nil
+	}
+	rr, err := replay.Run(p, syn, d, replay.Config{})
+	if err != nil || rr.Divergence != nil {
+		return nil
+	}
+	an, err := rootcause.Analyze(p, syn, d)
+	if err != nil || an.Cause == nil {
+		return nil
+	}
+	return &analysisCandidate{
+		node:     n,
+		syn:      syn,
+		cause:    an.Cause,
+		faithful: rr.Matches && an.Faithful,
+		replay:   rr,
+	}
+}

@@ -15,6 +15,7 @@
 package res_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -502,6 +503,47 @@ func BenchmarkSolverLinearChain(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAnalyzerReuse quantifies the session-API win: one shared
+// Analyzer serving a stream of dumps (the predecessor index and program
+// preprocessing amortized across analyses) against constructing a fresh
+// Analyzer per dump, the shape the deprecated one-shot API forced.
+func BenchmarkAnalyzerReuse(b *testing.B) {
+	bug := workload.AmbiguousDispatch(10)
+	p := bug.Program()
+	dumps := collectDumps(b, bug, 8)
+	ctx := context.Background()
+	opts := []res.Option{res.WithMaxDepth(12), res.WithMaxNodes(2000)}
+	b.Run("shared-analyzer", func(b *testing.B) {
+		a := res.NewAnalyzer(p, opts...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range dumps {
+				if _, err := a.Analyze(ctx, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fresh-analyzer-per-dump", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range dumps {
+				if _, err := res.NewAnalyzer(p, opts...).Analyze(ctx, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("shared-analyzer-batch", func(b *testing.B) {
+		a := res.NewAnalyzer(p, opts...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AnalyzeBatch(ctx, dumps, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkDumpSerialization(b *testing.B) {

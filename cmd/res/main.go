@@ -6,15 +6,21 @@
 // Usage:
 //
 //	res -prog crash.s -dump core.dump [-lbr] [-outputs] [-depth 24]
+//	    [-timeout 30s] [-progress] [-json]
+//
+// With -timeout the analysis is deadline-bounded and reports the best
+// partial answer found before the cutoff; -progress streams search events
+// to stderr; -json emits the machine-readable report on stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"res"
-	"res/internal/breadcrumb"
 	"res/internal/cli"
 )
 
@@ -29,6 +35,9 @@ func main() {
 		outputs  = flag.Bool("outputs", false, "prune with error-log breadcrumbs")
 		showSfx  = flag.Bool("suffix", false, "print the synthesized suffix schedule")
 		stats    = flag.Bool("stats", false, "print search statistics")
+		timeout  = flag.Duration("timeout", 0, "analysis deadline (0 = none)")
+		progress = flag.Bool("progress", false, "stream search progress to stderr")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
@@ -44,20 +53,46 @@ func main() {
 		cli.Fatal(err)
 	}
 
-	opt := res.Options{
-		MaxDepth:     *depth,
-		MaxNodes:     *nodes,
-		UseLBR:       *useLBR,
-		MatchOutputs: *outputs,
+	opts := []res.Option{res.WithMaxDepth(*depth), res.WithMaxNodes(*nodes)}
+	if *useLBR {
+		mode := res.LBRRecordAll
+		if *lbrSkip {
+			mode = res.LBRSkipConditional
+		}
+		opts = append(opts, res.WithLBR(mode))
 	}
-	if *lbrSkip {
-		opt.LBRMode = breadcrumb.SkipConditional
+	if *outputs {
+		opts = append(opts, res.WithMatchOutputs())
+	}
+	if *progress {
+		opts = append(opts, res.WithObserver(progressObserver()))
 	}
 
-	fmt.Printf("failure: %s\n", d.Fault)
-	r, err := res.Analyze(p, d, opt)
-	if err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if !*jsonOut {
+		fmt.Printf("failure: %s\n", d.Fault)
+	}
+	a := res.NewAnalyzer(p, opts...)
+	r, err := a.Analyze(ctx, d)
+	if err != nil && r == nil {
 		cli.Fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analysis cut short: %v\n", err)
+	}
+	if *jsonOut {
+		buf, jerr := r.JSON()
+		if jerr != nil {
+			cli.Fatal(jerr)
+		}
+		fmt.Println(string(buf))
+		return
 	}
 	fmt.Println(r.Describe())
 	if r.HardwareSuspect {
@@ -77,5 +112,24 @@ func main() {
 	}
 	if r.Replay != nil && r.Replay.Matches {
 		fmt.Println("replay: suffix deterministically reproduces the coredump")
+	}
+}
+
+// progressObserver prints a compact search trace to stderr: one line per
+// depth advance and per feasible suffix, a periodic stats heartbeat.
+func progressObserver() func(res.Event) {
+	start := time.Now()
+	return func(ev res.Event) {
+		switch ev.Kind {
+		case res.EventDepth:
+			fmt.Fprintf(os.Stderr, "[%7.3fs] depth %d (attempts=%d feasible=%d)\n",
+				time.Since(start).Seconds(), ev.Depth, ev.Stats.Attempts, ev.Stats.Feasible)
+		case res.EventSuffix:
+			fmt.Fprintf(os.Stderr, "[%7.3fs] feasible suffix at depth %d\n",
+				time.Since(start).Seconds(), ev.Depth)
+		case res.EventSolver:
+			fmt.Fprintf(os.Stderr, "[%7.3fs] ... attempts=%d solver-calls=%d unknown=%d\n",
+				time.Since(start).Seconds(), ev.Stats.Attempts, ev.Stats.SolverCalls, ev.Stats.Unknown)
+		}
 	}
 }

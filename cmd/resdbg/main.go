@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		progPath = flag.String("prog", "", "assembly source file (required)")
 		dumpPath = flag.String("dump", "", "coredump file (required)")
 		depth    = flag.Int("depth", 0, "maximum suffix length (0 = default)")
+		timeout  = flag.Duration("timeout", 0, "synthesis deadline (0 = none)")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
@@ -44,10 +46,20 @@ func main() {
 		cli.Fatal(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Printf("failure: %s\nsynthesizing execution suffix...\n", d.Fault)
-	r, err := res.Analyze(p, d, res.Options{MaxDepth: *depth})
-	if err != nil {
+	r, err := res.NewAnalyzer(p, res.WithMaxDepth(*depth)).Analyze(ctx, d)
+	if err != nil && r == nil {
 		cli.Fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synthesis cut short: %v\n", err)
 	}
 	if r.Synthesized == nil {
 		if r.HardwareSuspect {

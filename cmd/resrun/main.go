@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 		lbrSize  = flag.Int("lbr", 0, "branch-record ring size (0 = default 16)")
 		lbrSkip  = flag.Bool("lbr-skip-cond", false, "simulate filtered LBR (skip conditional branches)")
 		verbose  = flag.Bool("v", false, "print execution statistics")
+		jsonOut  = flag.Bool("json", false, "emit run outcome as JSON on stdout")
 	)
 	var inputs cli.InputSpecs
 	flag.Var(&inputs, "input", "input channel values, ch=v1,v2,... (repeatable)")
@@ -65,13 +67,44 @@ func main() {
 		}
 	}
 	if d == nil {
-		fmt.Println("clean exit")
+		if *jsonOut {
+			emitJSON(outcome{Outcome: "clean-exit", Blocks: v.Steps(), Threads: len(v.Threads)})
+		} else {
+			fmt.Println("clean exit")
+		}
 		return
 	}
-	fmt.Printf("FAILURE: %s after %d blocks\n", d.Fault, d.Steps)
 	if err := cli.SaveDump(*out, d); err != nil {
 		cli.Fatal(err)
 	}
-	fmt.Printf("coredump written to %s\n", *out)
+	if *jsonOut {
+		emitJSON(outcome{
+			Outcome: "failure",
+			Fault:   d.Fault.String(),
+			Blocks:  d.Steps,
+			Threads: len(d.Threads),
+			Dump:    *out,
+		})
+	} else {
+		fmt.Printf("FAILURE: %s after %d blocks\n", d.Fault, d.Steps)
+		fmt.Printf("coredump written to %s\n", *out)
+	}
 	os.Exit(1)
+}
+
+// outcome is the machine-readable run summary emitted with -json.
+type outcome struct {
+	Outcome string `json:"outcome"` // "clean-exit" or "failure"
+	Fault   string `json:"fault,omitempty"`
+	Blocks  uint64 `json:"blocks"`
+	Threads int    `json:"threads"`
+	Dump    string `json:"dump,omitempty"`
+}
+
+func emitJSON(o outcome) {
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Println(string(buf))
 }

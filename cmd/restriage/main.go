@@ -8,15 +8,19 @@
 //
 //	<program.s> <dump file> <ground truth label>
 //
-// and evaluates those.
+// and evaluates those. One analysis session is opened per distinct
+// program and reused for every report of that program; -parallel fans the
+// corpus out over a worker pool, and -timeout bounds the whole run.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"res"
 	"res/internal/cli"
@@ -33,6 +37,8 @@ func main() {
 		perBug   = flag.Int("per-bug", 4, "demo: reports generated per bug")
 		depth    = flag.Int("depth", 14, "RES suffix depth budget")
 		buckets  = flag.Bool("buckets", false, "print bucket composition")
+		parallel = flag.Int("parallel", 1, "concurrent analyses (<1 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
 	)
 	flag.Parse()
 
@@ -52,18 +58,31 @@ func main() {
 	}
 	fmt.Printf("corpus: %d reports\n\n", len(corpus))
 
-	wer := triage.StackClassifier()
-	rc := func(it triage.Item) (string, error) {
-		r, err := res.Analyze(it.Prog, it.Dump, res.Options{MaxDepth: *depth})
-		if err != nil {
-			return "", err
-		}
-		if r.Cause == nil {
-			return "", fmt.Errorf("no root cause")
-		}
-		return it.App + "|" + r.Cause.Key(), nil
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
+	// One long-lived analysis session per distinct program: the
+	// predecessor index is computed once and shared by every report of
+	// that program, across all workers.
+	sessions := make(map[*prog.Program]*res.Analyzer)
+	for _, it := range corpus {
+		if _, ok := sessions[it.Prog]; !ok {
+			sessions[it.Prog] = res.NewAnalyzer(it.Prog, res.WithMaxDepth(*depth))
+		}
+	}
+
+	start := time.Now()
+	keys, errs := classifyAll(ctx, sessions, corpus, *parallel)
+	elapsed := time.Since(start)
+
+	wer := triage.StackClassifier()
+	rc := memoClassifier(corpus, keys, errs)
+
+	fmt.Printf("RES analyzed %d reports in %v (parallel=%d)\n\n", len(corpus), elapsed.Round(time.Millisecond), *parallel)
 	fmt.Printf("WER-style (stack):      %v\n", triage.Evaluate(corpus, wer))
 	fmt.Printf("RES (root cause):       %v\n", triage.Evaluate(corpus, rc))
 	if *buckets {
@@ -71,6 +90,58 @@ func main() {
 		fmt.Print(triage.BucketSummary(corpus, wer))
 		fmt.Println("\nroot-cause buckets:")
 		fmt.Print(triage.BucketSummary(corpus, rc))
+	}
+}
+
+// classifyAll analyzes every corpus item through its program's session,
+// one AnalyzeBatch per program group. Results are positional and
+// identical to a sequential run (each analysis is independent and
+// deterministic).
+func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, corpus []triage.Item, parallelism int) ([]string, []error) {
+	keys := make([]string, len(corpus))
+	errs := make([]error, len(corpus))
+	groups := make(map[*prog.Program][]int)
+	for i, it := range corpus {
+		groups[it.Prog] = append(groups[it.Prog], i)
+	}
+	for p, idxs := range groups {
+		dumps := make([]*coredump.Dump, len(idxs))
+		for j, i := range idxs {
+			dumps[j] = corpus[i].Dump
+		}
+		results, err := sessions[p].AnalyzeBatch(ctx, dumps, parallelism)
+		if err != nil {
+			// Per-dump failures surface positionally below; the joined
+			// batch error is diagnostic only.
+			fmt.Fprintf(os.Stderr, "batch: %v\n", err)
+		}
+		for j, i := range idxs {
+			// A deadline-cut analysis still returns its partial result; a
+			// cause it already verified by faithful replay is a valid
+			// bucketing key.
+			if r := results[j]; r != nil && r.Cause != nil {
+				keys[i] = corpus[i].App + "|" + r.Cause.Key()
+				continue
+			}
+			errs[i] = fmt.Errorf("no root cause")
+		}
+	}
+	return keys, errs
+}
+
+// memoClassifier serves the precomputed classifications, keyed by the
+// item's dump (each report carries a distinct dump object).
+func memoClassifier(corpus []triage.Item, keys []string, errs []error) triage.Classifier {
+	byDump := make(map[*coredump.Dump]int, len(corpus))
+	for i, it := range corpus {
+		byDump[it.Dump] = i
+	}
+	return func(it triage.Item) (string, error) {
+		i, ok := byDump[it.Dump]
+		if !ok {
+			return "", fmt.Errorf("unknown report")
+		}
+		return keys[i], errs[i]
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,8 @@ func main() {
 	fmt.Printf("coredump:  x = %d, y = %d   (the paper's running example state)\n\n",
 		dump.Mem.Load(x), dump.Mem.Load(y))
 
-	r, err := res.Analyze(p, dump, res.Options{MaxDepth: 12})
+	analyzer := res.NewAnalyzer(p, res.WithMaxDepth(12))
+	r, err := analyzer.Analyze(context.Background(), dump)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,10 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"res/internal/core"
+	"res"
 	"res/internal/hwerr"
 	"res/internal/workload"
 )
@@ -25,9 +26,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("software failure: %s\n\n", dump.Fault)
+	ctx := context.Background()
+
+	// One analysis session per program; classification shares the
+	// session's precomputed CFG indexes with ordinary analyses.
+	session := res.NewAnalyzer(p, res.WithMaxDepth(8))
 
 	// Control: the genuine dump is consistent.
-	v, err := hwerr.Classify(p, dump, core.Options{MaxDepth: 8})
+	v, err := session.ClassifyHardware(ctx, dump)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +45,7 @@ func main() {
 	corrupted, inj := hwerr.FlipMemoryBit(dump, g, 3)
 	fmt.Printf("\ninjecting: %v (g: %d -> %d)\n", inj, dump.Mem.Load(g), corrupted.Mem.Load(g))
 
-	v, err = hwerr.Classify(p, corrupted, core.Options{MaxDepth: 8})
+	v, err = session.ClassifyHardware(ctx, corrupted)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err = hwerr.Classify(p, corrupted2, core.Options{MaxDepth: 8})
+	v, err = session.ClassifyHardware(ctx, corrupted2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +71,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err = hwerr.Classify(raceBug.Program(), raceDump, core.Options{MaxDepth: 8, MaxNodes: 2000})
+	raceSession := res.NewAnalyzer(raceBug.Program(), res.WithMaxDepth(8), res.WithMaxNodes(2000))
+	v, err = raceSession.ClassifyHardware(ctx, raceDump)
 	if err != nil {
 		log.Fatal(err)
 	}

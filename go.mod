@@ -1,0 +1,3 @@
+module res
+
+go 1.24

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"res/internal/coredump"
@@ -87,6 +88,65 @@ func (n *Node) Steps() []StepRec {
 	return out
 }
 
+// EventKind classifies a search progress event.
+type EventKind uint8
+
+const (
+	// EventDepth signals that the breadth-first frontier advanced to a new
+	// suffix depth.
+	EventDepth EventKind = iota
+	// EventNode signals one attempted backward step (feasible or not).
+	EventNode
+	// EventSuffix signals a feasible suffix discovered at Event.Depth.
+	EventSuffix
+	// EventSolver is a periodic statistics snapshot (every 128 attempts).
+	EventSolver
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDepth:
+		return "depth"
+	case EventNode:
+		return "node"
+	case EventSuffix:
+		return "suffix"
+	case EventSolver:
+		return "solver"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one progress report from the backward search. Events are
+// delivered synchronously on the analyzing goroutine via Options.OnEvent.
+type Event struct {
+	Kind EventKind
+	// Depth is the suffix depth the event concerns.
+	Depth int
+	// Feasible reports, for EventNode, whether the attempted step was
+	// feasible.
+	Feasible bool
+	// Stats is a snapshot of the cumulative search statistics at the time
+	// the event was emitted.
+	Stats Stats
+}
+
+// PredIndex caches Program.ExecPreds for every block ID, so the backward
+// CFG navigation is computed once per program instead of once per search
+// node. Build it with BuildPredIndex; it is read-only afterwards and safe
+// to share across engines running on different goroutines.
+type PredIndex [][]int
+
+// BuildPredIndex precomputes the execution-predecessor sets of every
+// block of p.
+func BuildPredIndex(p *prog.Program) PredIndex {
+	idx := make(PredIndex, p.NumBlocks())
+	for id := range idx {
+		idx[id] = p.ExecPreds(p.Block(id))
+	}
+	return idx
+}
+
 // Filter vets a candidate backward step before it is attempted (the
 // breadcrumb integration point). used is the number of breadcrumb entries
 // the path has consumed so far; hasTransfer is false when the candidate's
@@ -118,6 +178,14 @@ type Options struct {
 	// MatchOutputs constrains the suffix's OUTPUT records against the
 	// tail of the dump's output log (error-log breadcrumbs).
 	MatchOutputs bool
+	// OnEvent, when non-nil, observes search progress. Events are
+	// delivered synchronously from the search loop, so handlers must be
+	// fast and must not call back into the engine.
+	OnEvent func(Event)
+	// Preds, when non-nil, is a precomputed execution-predecessor index
+	// (BuildPredIndex) shared across analyses of the same program. When
+	// nil, predecessors are recomputed on the fly at every node.
+	Preds PredIndex
 }
 
 func (o Options) maxDepth() int {
@@ -152,6 +220,10 @@ type Report struct {
 	Suffixes []*Node
 	// Stopped is true if OnSuffix requested the stop.
 	Stopped bool
+	// Interrupted is set when the search stopped early because its
+	// context was canceled or its deadline expired; the report then holds
+	// the partial results accumulated up to that point.
+	Interrupted bool
 	// HardwareSuspect is set when the base case or every depth-1 candidate
 	// is infeasible with no Unknowns: no feasible execution ends at this
 	// coredump, so the dump is inconsistent with the program — the
@@ -162,29 +234,88 @@ type Report struct {
 	FullReconstruction *Node
 }
 
-// Engine analyzes coredumps of one program.
+// Engine analyzes coredumps of one program. An Engine is NOT safe for
+// concurrent use: create one engine per in-flight analysis. Engines of
+// the same program may share a read-only Options.Preds index; that is
+// what makes per-analysis engine construction cheap.
 type Engine struct {
 	P    *prog.Program
 	opt  Options
 	pool *symx.Pool
+	// solverOpt is the per-analysis solver tuning: opt.Solver plus the
+	// context interrupt installed by AnalyzeContext.
+	solverOpt solver.Options
 }
 
 // New creates an engine.
 func New(p *prog.Program, opt Options) *Engine {
-	return &Engine{P: p, opt: opt, pool: symx.NewPool()}
+	return &Engine{P: p, opt: opt, pool: symx.NewPool(), solverOpt: opt.Solver}
 }
 
 // Pool exposes the engine's variable pool (for rendering expressions).
 func (e *Engine) Pool() *symx.Pool { return e.pool }
 
-// Analyze runs the backward search from the dump.
+// execPreds returns the execution predecessors of b, consulting the
+// precomputed index when one was provided.
+func (e *Engine) execPreds(b *prog.Block) []int {
+	if e.opt.Preds != nil {
+		return e.opt.Preds[b.ID]
+	}
+	return e.P.ExecPreds(b)
+}
+
+// emit delivers a progress event to the observer, if any.
+func (e *Engine) emit(k EventKind, depth int, feasible bool, rep *Report) {
+	if e.opt.OnEvent == nil {
+		return
+	}
+	e.opt.OnEvent(Event{Kind: k, Depth: depth, Feasible: feasible, Stats: rep.Stats})
+}
+
+// Analyze runs the backward search from the dump to its budgets.
 func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
+	return e.AnalyzeContext(context.Background(), d)
+}
+
+// AnalyzeContext runs the backward search from the dump under a context.
+// Cancellation and deadlines are observed between backward-step attempts
+// and inside the solver's search phases, so even analyses stuck deep in
+// constraint solving return promptly. On cancellation the partial report
+// accumulated so far is returned together with ctx.Err() — callers that
+// want best-effort results must not discard the report when the error is
+// a context error.
+func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report, error) {
+	e.solverOpt = e.opt.Solver
+	if done := ctx.Done(); done != nil {
+		prev := e.opt.Solver.Interrupt
+		e.solverOpt.Interrupt = func() bool {
+			if prev != nil && prev() {
+				return true
+			}
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+
 	rep := &Report{}
+	if err := ctx.Err(); err != nil {
+		rep.Interrupted = true
+		return rep, err
+	}
 	root, err := e.baseCase(d, rep)
 	if err != nil {
 		return nil, err
 	}
+	e.emit(EventNode, 1, root != nil, rep)
 	if root == nil {
+		if err := ctx.Err(); err != nil {
+			rep.Interrupted = true
+			return rep, err
+		}
 		// Base case infeasible: the dump's own fault state is inconsistent.
 		rep.HardwareSuspect = rep.Stats.Unknown == 0
 		return rep, nil
@@ -193,6 +324,7 @@ func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
 	frontier := []*Node{root}
 	if root.Depth >= 1 {
 		rep.Suffixes = append(rep.Suffixes, root)
+		e.emit(EventSuffix, root.Depth, true, rep)
 		if e.opt.OnSuffix != nil && e.opt.OnSuffix(root) {
 			rep.Stopped = true
 			return rep, nil
@@ -202,6 +334,7 @@ func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
 	depth1Feasible := 0
 	depth1Unknown := 0
 	for len(frontier) > 0 && rep.Stats.Attempts < e.opt.maxNodes() {
+		e.emit(EventDepth, frontier[0].Depth+1, false, rep)
 		var next []*Node
 		for _, node := range frontier {
 			if node.Depth >= e.opt.maxDepth() {
@@ -211,10 +344,18 @@ func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
 				break
 			}
 			for _, cand := range e.candidates(node) {
+				if err := ctx.Err(); err != nil {
+					rep.Interrupted = true
+					return rep, err
+				}
 				if rep.Stats.Attempts >= e.opt.maxNodes() {
 					break
 				}
 				child, verdict := e.attempt(node, cand, d, rep)
+				e.emit(EventNode, node.Depth+1, verdict == symvm.Feasible, rep)
+				if rep.Stats.Attempts%128 == 0 {
+					e.emit(EventSolver, node.Depth+1, false, rep)
+				}
 				switch verdict {
 				case symvm.Feasible:
 					if node == root || node.Depth == 0 {
@@ -224,6 +365,7 @@ func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
 						rep.Stats.MaxDepth = child.Depth
 					}
 					rep.Suffixes = append(rep.Suffixes, child)
+					e.emit(EventSuffix, child.Depth, true, rep)
 					if e.opt.OnSuffix != nil && e.opt.OnSuffix(child) {
 						rep.Stopped = true
 						return rep, nil
@@ -244,6 +386,10 @@ func (e *Engine) Analyze(d *coredump.Dump) (*Report, error) {
 			next = next[:e.opt.BeamWidth]
 		}
 		frontier = next
+	}
+	if err := ctx.Err(); err != nil {
+		rep.Interrupted = true
+		return rep, err
 	}
 	if len(rep.Suffixes) == 0 && depth1Feasible == 0 && depth1Unknown == 0 {
 		rep.HardwareSuspect = true
@@ -281,7 +427,7 @@ func (e *Engine) baseCase(d *coredump.Dump, rep *Report) (*Node, error) {
 		SpawnChild: -1,
 		FaultCons:  e.faultCons(d),
 	}
-	res := symvm.BackExec(req, symvm.Options{Solver: e.opt.Solver, DisableProbe: e.opt.DisableProbe})
+	res := symvm.BackExec(req, symvm.Options{Solver: e.solverOpt, DisableProbe: e.opt.DisableProbe})
 	rep.Stats.Attempts++
 	rep.Stats.SolverCalls += res.SolverCalls
 	switch res.Verdict {
@@ -377,7 +523,7 @@ func (e *Engine) candidates(n *Node) []candidate {
 			if err != nil || cur.Start != t.PC {
 				continue
 			}
-			for _, pid := range e.P.ExecPreds(cur) {
+			for _, pid := range e.execPreds(cur) {
 				pred := e.P.Block(pid)
 				term := pred.Terminator(e.P.Code)
 				termPC := pred.End - 1
@@ -448,7 +594,7 @@ func (e *Engine) attempt(n *Node, c candidate, d *coredump.Dump, rep *Report) (*
 		SpawnChild: c.spawnChild,
 		HaltStep:   c.kind == StepHalt,
 	}
-	res := symvm.BackExec(req, symvm.Options{Solver: e.opt.Solver, DisableProbe: e.opt.DisableProbe})
+	res := symvm.BackExec(req, symvm.Options{Solver: e.solverOpt, DisableProbe: e.opt.DisableProbe})
 	rep.Stats.Attempts++
 	rep.Stats.SolverCalls += res.SolverCalls
 	switch res.Verdict {
@@ -495,7 +641,7 @@ func (e *Engine) attempt(n *Node, c candidate, d *coredump.Dump, rep *Report) (*
 			child.Snap.AddCons(solver.Eq(ou.Value, symx.Const(want.Value)))
 			child.outUsed++
 		}
-		chk := solver.Check(child.Snap.Cons, e.opt.Solver)
+		chk := solver.Check(child.Snap.Cons, e.solverOpt)
 		rep.Stats.SolverCalls++
 		if chk.Verdict == solver.Unsat {
 			rep.Stats.Feasible--
@@ -541,6 +687,6 @@ func (e *Engine) checkFullReconstruction(n *Node) bool {
 	for a := range n.Snap.Mem {
 		cs = append(cs, solver.Eq(n.Snap.MemAt(a), symx.Const(init.Load(a))))
 	}
-	res := solver.Check(cs, e.opt.Solver)
+	res := solver.Check(cs, e.solverOpt)
 	return res.Verdict == solver.Sat
 }

@@ -10,6 +10,7 @@
 package hwerr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -84,8 +85,16 @@ type Verdict struct {
 
 // Classify runs the RES consistency analysis over the dump.
 func Classify(p *prog.Program, d *coredump.Dump, opt core.Options) (Verdict, error) {
+	return ClassifyContext(context.Background(), p, d, opt)
+}
+
+// ClassifyContext is Classify under a context: cancellation and deadlines
+// propagate into the backward search. A canceled classification returns
+// the zero Verdict and ctx.Err(); there is no meaningful partial verdict,
+// because absence of a suffix is only evidence once the budget ran fully.
+func ClassifyContext(ctx context.Context, p *prog.Program, d *coredump.Dump, opt core.Options) (Verdict, error) {
 	eng := core.New(p, opt)
-	rep, err := eng.Analyze(d)
+	rep, err := eng.AnalyzeContext(ctx, d)
 	if err != nil {
 		return Verdict{}, err
 	}

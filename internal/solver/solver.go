@@ -120,6 +120,14 @@ type Options struct {
 	RandomTries int
 	// Seed drives the randomized phase deterministically.
 	Seed int64
+	// Interrupt, when non-nil, is polled periodically during the search
+	// phases; once it returns true the solver abandons the remaining
+	// budget and reports Unknown ("interrupted"). Verdicts reached before
+	// the interrupt fires (including propagation-derived Unsat) are
+	// unaffected, so interruption never makes the solver unsound — only
+	// less complete. This is how context cancellation reaches the deepest
+	// loops of an analysis.
+	Interrupt func() bool
 }
 
 // DefaultOptions returns the tuning used throughout the repo.
@@ -218,6 +226,20 @@ type state struct {
 	// enumComplete is set when enumeration walked the full candidate
 	// lattice without finding a model.
 	enumComplete bool
+	// interrupted is latched when opt.Interrupt fires mid-search.
+	interrupted bool
+}
+
+// interruptNow polls the interrupt hook (cheaply: every 256th call per
+// phase iteration sites pass their loop counter).
+func (s *state) interruptNow(i int) bool {
+	if s.interrupted {
+		return true
+	}
+	if s.opt.Interrupt != nil && i&0xff == 0 && s.opt.Interrupt() {
+		s.interrupted = true
+	}
+	return s.interrupted
 }
 
 func (s *state) solve() Result {
@@ -236,6 +258,9 @@ func (s *state) solve() Result {
 	if m, ok := s.randomized(vars); ok {
 		return Result{Verdict: Sat, Model: s.buildModel(m), PropagationRounds: s.rounds, ModelsTried: s.tried}
 	}
+	if s.interrupted {
+		return Result{Verdict: Unknown, Reason: "interrupted", PropagationRounds: s.rounds, ModelsTried: s.tried}
+	}
 	// If every residual variable has a small finite interval and we
 	// covered the full product space during enumeration, the residue is
 	// exhaustively refuted.
@@ -252,6 +277,9 @@ func (s *state) propagate() (string, bool) {
 		s.rounds++
 		if s.rounds > 10000 {
 			return "", true // give up on propagation, fall through to search
+		}
+		if s.interruptNow(s.rounds) {
+			return "", true // abandoned: solve() reports the interrupt
 		}
 		changed := false
 		next := make([]Constraint, 0, len(s.pending))
@@ -732,6 +760,9 @@ func (s *state) enumerate(vars []symx.Var) (symx.Model, bool) {
 	idx := make([]int, len(vars))
 	m := make(symx.Model, len(vars))
 	for {
+		if s.interruptNow(s.tried) {
+			return nil, false
+		}
 		s.tried++
 		for i, v := range vars {
 			m[v] = cands[i][idx[i]]
@@ -767,6 +798,9 @@ func (s *state) randomized(vars []symx.Var) (symx.Model, bool) {
 	rng := rand.New(rand.NewSource(s.opt.Seed))
 	m := make(symx.Model, len(vars))
 	for try := 0; try < s.opt.RandomTries; try++ {
+		if s.interruptNow(try) {
+			return nil, false
+		}
 		s.tried++
 		for _, v := range vars {
 			iv := s.intervals[v]

@@ -1,0 +1,129 @@
+package res
+
+import "encoding/json"
+
+// ReportJSON is the machine-readable analysis artifact: a deterministic,
+// stable-schema rendering of a Result for downstream consumers (triage
+// pipelines, dashboards, agents). Two analyses of the same dump with the
+// same configuration produce byte-identical reports except for
+// elapsed_ms.
+type ReportJSON struct {
+	// Verdict is "root-cause", "hardware-suspect", or "no-cause".
+	Verdict string `json:"verdict"`
+	// Partial marks an analysis cut short by cancellation or deadline.
+	Partial bool `json:"partial,omitempty"`
+	// Cause is present when Verdict is "root-cause".
+	Cause *CauseJSON `json:"cause,omitempty"`
+	// CauseDepth is the suffix length at which the cause was identified.
+	CauseDepth int `json:"cause_depth,omitempty"`
+	// Suffix is present when a suffix was synthesized: the schedule as
+	// "t<tid>:b<block>" steps, oldest first, plus recovered inputs.
+	Suffix *SuffixJSON `json:"suffix,omitempty"`
+	// Exploitable is the taint verdict, when taint analysis ran.
+	Exploitable *bool `json:"exploitable,omitempty"`
+	// ExploitDetail explains an exploitable verdict.
+	ExploitDetail string `json:"exploit_detail,omitempty"`
+	// ReplayMatches reports whether the verification replay reproduced
+	// the coredump exactly.
+	ReplayMatches bool `json:"replay_matches"`
+	// Stats is the search effort.
+	Stats StatsJSON `json:"stats"`
+	// ElapsedMS is the wall-clock analysis time in milliseconds (the one
+	// nondeterministic field).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// CauseJSON is the JSON shape of a root cause.
+type CauseJSON struct {
+	Kind   string `json:"kind"`
+	PCs    []int  `json:"pcs,omitempty"`
+	Addr   uint32 `json:"addr,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Key is the triage bucketing key (stable across manifestations of
+	// the same bug).
+	Key string `json:"key"`
+}
+
+// SuffixJSON is the JSON shape of a synthesized suffix.
+type SuffixJSON struct {
+	Steps  []string    `json:"steps"`
+	Inputs []InputJSON `json:"inputs,omitempty"`
+}
+
+// InputJSON is one recovered external input.
+type InputJSON struct {
+	Tid     int   `json:"tid"`
+	Channel int64 `json:"channel"`
+	Value   int64 `json:"value"`
+}
+
+// StatsJSON is the JSON shape of the search statistics.
+type StatsJSON struct {
+	Attempts    int `json:"attempts"`
+	Feasible    int `json:"feasible"`
+	Infeasible  int `json:"infeasible"`
+	Unknown     int `json:"unknown"`
+	SolverCalls int `json:"solver_calls"`
+	MaxDepth    int `json:"max_depth"`
+}
+
+// JSONReport converts the result to its machine-readable form.
+func (r *Result) JSONReport() *ReportJSON {
+	rep := &ReportJSON{
+		Partial:   r.Partial,
+		ElapsedMS: float64(r.Elapsed.Microseconds()) / 1000,
+	}
+	switch {
+	case r.Cause != nil:
+		rep.Verdict = "root-cause"
+	case r.HardwareSuspect:
+		rep.Verdict = "hardware-suspect"
+	default:
+		rep.Verdict = "no-cause"
+	}
+	if r.Cause != nil {
+		rep.Cause = &CauseJSON{
+			Kind:   r.Cause.Kind.String(),
+			PCs:    r.Cause.PCs,
+			Addr:   r.Cause.Addr,
+			Detail: r.Cause.Detail,
+			Key:    r.Cause.Key(),
+		}
+		rep.CauseDepth = r.CauseDepth
+	}
+	if r.Suffix != nil {
+		sj := &SuffixJSON{Steps: make([]string, 0, len(r.Suffix.Steps))}
+		for _, s := range r.Suffix.Steps {
+			sj.Steps = append(sj.Steps, s.String())
+		}
+		for _, in := range r.Suffix.Inputs {
+			sj.Inputs = append(sj.Inputs, InputJSON{Tid: in.Tid, Channel: in.Channel, Value: in.Value})
+		}
+		rep.Suffix = sj
+	}
+	if r.Exploitability != nil {
+		exp := r.Exploitability.Exploitable
+		rep.Exploitable = &exp
+		if exp {
+			rep.ExploitDetail = r.Exploitability.Detail
+		}
+	}
+	rep.ReplayMatches = r.Replay != nil && r.Replay.Matches
+	if r.Report != nil {
+		s := r.Report.Stats
+		rep.Stats = StatsJSON{
+			Attempts:    s.Attempts,
+			Feasible:    s.Feasible,
+			Infeasible:  s.Infeasible,
+			Unknown:     s.Unknown,
+			SolverCalls: s.SolverCalls,
+			MaxDepth:    s.MaxDepth,
+		}
+	}
+	return rep
+}
+
+// JSON renders the result as an indented, deterministic JSON report.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.JSONReport(), "", "  ")
+}

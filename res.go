@@ -7,21 +7,40 @@
 //  1. Assemble a program for the RES virtual machine (Assemble).
 //  2. Run it in production mode (Run); on failure you get a coredump —
 //     the only runtime artifact, no recording.
-//  3. Analyze the coredump (Analyze): RES walks the control-flow graph
-//     backward from the failure, building symbolic snapshots and keeping
-//     only predecessor hypotheses consistent with the dump, until it has
-//     an execution suffix that provably ends in the observed failure.
-//  4. The suffix replays deterministically (Replay), and the instrumented
+//  3. Open an analysis session for the program (NewAnalyzer). The session
+//     precomputes the backward-CFG predecessor index once, is safe for
+//     concurrent use, and is meant to live as long as the program does —
+//     one session serves every coredump the program ever produces.
+//  4. Analyze coredumps (Analyzer.Analyze): RES walks the control-flow
+//     graph backward from the failure, building symbolic snapshots and
+//     keeping only predecessor hypotheses consistent with the dump, until
+//     it has an execution suffix that provably ends in the observed
+//     failure. The call takes a context.Context — cancellation and
+//     deadlines reach all the way into the solver, and a timed-out
+//     analysis returns its partial Result instead of hanging. Many dumps
+//     are processed concurrently with Analyzer.AnalyzeBatch.
+//  5. The suffix replays deterministically (Replay), and the instrumented
 //     replay identifies the root cause (the Result's Cause) — including
 //     data races and atomicity violations whose failure manifests far
 //     from the cause.
 //
-// Analyze also answers the paper's other questions: a coredump no
-// feasible suffix can explain is flagged as a likely hardware error, and
-// the taint verdict classifies crashes as attacker-controllable.
+// Analyses are tuned with functional options (WithMaxDepth, WithLBR,
+// WithMatchOutputs, WithSolverOptions, ...), given either to NewAnalyzer
+// as session defaults or to an individual Analyze call as overrides, and
+// observed in flight through an event stream (WithObserver). Results
+// render for humans (Result.Describe) or machines (Result.JSON).
+//
+// The session also answers the paper's other questions: a coredump no
+// feasible suffix can explain is flagged as a likely hardware error
+// (Analyzer.ClassifyHardware), and the taint verdict classifies crashes
+// as attacker-controllable.
+//
+// The one-shot Analyze function and its Options struct are deprecated
+// shims over a throwaway session, kept for callers of the original API.
 package res
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,7 +87,10 @@ func Run(p *Program, cfg RunConfig) (*Dump, error) {
 	return v.Run()
 }
 
-// Options tunes Analyze.
+// Options tunes the one-shot Analyze.
+//
+// Deprecated: use NewAnalyzer with functional options (WithMaxDepth,
+// WithLBR, WithMatchOutputs, WithSolverOptions, ...) instead.
 type Options struct {
 	// MaxDepth bounds the suffix length (blocks). 0 = default (24).
 	MaxDepth int
@@ -85,7 +107,23 @@ type Options struct {
 	Solver solver.Options
 }
 
-// Result is the outcome of Analyze.
+// options lowers the legacy struct to the functional form.
+func (o Options) options() []Option {
+	opts := []Option{
+		WithMaxDepth(o.MaxDepth),
+		WithMaxNodes(o.MaxNodes),
+		WithSolverOptions(o.Solver),
+	}
+	if o.UseLBR {
+		opts = append(opts, WithLBR(o.LBRMode))
+	}
+	if o.MatchOutputs {
+		opts = append(opts, WithMatchOutputs())
+	}
+	return opts
+}
+
+// Result is the outcome of an analysis.
 type Result struct {
 	// Report is the raw search report (statistics, all feasible nodes).
 	Report *core.Report
@@ -104,119 +142,22 @@ type Result struct {
 	Exploitability *taint.Report
 	// HardwareSuspect: no feasible suffix explains the dump.
 	HardwareSuspect bool
+	// Partial is set when the analysis was cut short by context
+	// cancellation or deadline: the fields above reflect the best answer
+	// found before the cutoff, not a completed search.
+	Partial bool
 	// Elapsed is the wall-clock analysis time.
 	Elapsed time.Duration
 }
 
-// specific reports whether a cause pinpoints something beyond the failure
-// site itself (a race, a violated atomicity window, heap corruption).
-func specific(c *Cause) bool {
-	switch c.Kind {
-	case rootcause.DataRace, rootcause.AtomicityViolation,
-		rootcause.BufferOverflow, rootcause.UseAfterFree, rootcause.DoubleFree:
-		return true
-	}
-	return false
-}
-
-// Analyze synthesizes an execution suffix for the dump and identifies the
-// failure's root cause. It searches breadth-first: the first faithful
-// suffix whose instrumented replay justifies a specific root cause (race,
-// atomicity violation, heap corruption) stops the search; otherwise the
-// deepest faithful suffix's analysis is returned.
+// Analyze is the one-shot form of Analyzer.Analyze: it builds a throwaway
+// session for p and analyzes d with no cancellation.
+//
+// Deprecated: use NewAnalyzer(p).Analyze(ctx, d) — a kept session reuses
+// the program's precomputed indexes across dumps, takes a context, and
+// supports batching and progress observation.
 func Analyze(p *Program, d *Dump, opt Options) (*Result, error) {
-	start := time.Now()
-	res := &Result{}
-
-	copt := core.Options{
-		MaxDepth:     opt.MaxDepth,
-		MaxNodes:     opt.MaxNodes,
-		Solver:       opt.Solver,
-		MatchOutputs: opt.MatchOutputs,
-	}
-	if opt.UseLBR {
-		copt.Filter = breadcrumb.LBRFilter(p, d.LBR, opt.LBRMode)
-	}
-	var (
-		eng  *core.Engine
-		best *analysisCandidate
-	)
-	copt.OnSuffix = func(n *core.Node) bool {
-		cand := analyzeNode(p, eng, n, d, opt)
-		if cand == nil {
-			return false
-		}
-		if best == nil || cand.better(best) {
-			best = cand
-		}
-		// Stop as soon as a specific cause is justified by a faithful
-		// replay: the suffix is long enough to contain the root cause.
-		return cand.faithful && specific(cand.cause)
-	}
-	eng = core.New(p, copt)
-
-	rep, err := eng.Analyze(d)
-	if err != nil {
-		return nil, err
-	}
-	res.Report = rep
-	res.HardwareSuspect = rep.HardwareSuspect
-	if best != nil {
-		res.Cause = best.cause
-		res.CauseDepth = best.node.Depth
-		res.Suffix = best.syn.Suffix
-		res.Synthesized = best.syn
-		res.Replay = best.replay
-		if tr, err := taint.Analyze(p, best.syn, d); err == nil {
-			res.Exploitability = tr
-		}
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-type analysisCandidate struct {
-	node     *core.Node
-	syn      *core.Synthesized
-	cause    *Cause
-	faithful bool
-	replay   *replay.Result
-}
-
-// better orders candidates: faithful beats unfaithful, specific beats
-// generic, deeper (more context) beats shallower among equals.
-func (c *analysisCandidate) better(o *analysisCandidate) bool {
-	if c.faithful != o.faithful {
-		return c.faithful
-	}
-	cs, os := specific(c.cause), specific(o.cause)
-	if cs != os {
-		return cs
-	}
-	return c.node.Depth > o.node.Depth
-}
-
-// analyzeNode concretizes, replays and classifies one feasible node.
-func analyzeNode(p *Program, eng *core.Engine, n *core.Node, d *Dump, opt Options) *analysisCandidate {
-	syn, err := eng.Concretize(n, d)
-	if err != nil {
-		return nil
-	}
-	rr, err := replay.Run(p, syn, d, replay.Config{})
-	if err != nil || rr.Divergence != nil {
-		return nil
-	}
-	an, err := rootcause.Analyze(p, syn, d)
-	if err != nil || an.Cause == nil {
-		return nil
-	}
-	return &analysisCandidate{
-		node:     n,
-		syn:      syn,
-		cause:    an.Cause,
-		faithful: rr.Matches && an.Faithful,
-		replay:   rr,
-	}
+	return NewAnalyzer(p).Analyze(context.Background(), d, opt.options()...)
 }
 
 // Replay re-executes a synthesized suffix and reports whether it
@@ -231,9 +172,15 @@ func (r *Result) Describe() string {
 		if r.HardwareSuspect {
 			return "no feasible execution suffix: likely hardware error"
 		}
+		if r.Partial {
+			return "analysis interrupted before a root cause was identified"
+		}
 		return "no root cause identified within budget"
 	}
 	s := fmt.Sprintf("root cause: %s (suffix depth %d, %v)", r.Cause, r.CauseDepth, r.Elapsed.Round(time.Millisecond))
+	if r.Partial {
+		s += "\nnote: analysis interrupted; this is the best answer found before the cutoff"
+	}
 	if r.Exploitability != nil && r.Exploitability.Exploitable {
 		s += "\nexploitability: ATTACKER-CONTROLLED (" + r.Exploitability.Detail + ")"
 	}
