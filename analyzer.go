@@ -219,16 +219,22 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 }
 
 // AnalyzeBatch analyzes many dumps of the session's program over a worker
-// pool of the given parallelism (values < 1 mean GOMAXPROCS). Results are
-// positional: results[i] is the analysis of dumps[i]. Each dump is
-// analyzed independently and deterministically, so the results are
-// identical to running Analyze sequentially over the slice.
+// pool. Results are positional: results[i] is the analysis of dumps[i].
+// Each dump is analyzed independently and deterministically, so the
+// results are identical to running Analyze sequentially over the slice.
+//
+// The parallelism contract: any parallelism <= 0 is clamped to
+// runtime.GOMAXPROCS(0) — callers can pass 0 (or a config value that was
+// never set) and get full-machine parallelism rather than a deadlocked or
+// serial batch — and values above len(dumps) are clamped down to it, so
+// no idle workers are spawned. An empty dumps slice returns immediately
+// with an empty, non-nil result slice and a nil error.
 //
 // The returned error joins the per-dump errors (nil when every analysis
 // succeeded); a canceled context fails the remaining dumps with ctx.Err()
 // while results already produced are kept.
 func (a *Analyzer) AnalyzeBatch(ctx context.Context, dumps []*Dump, parallelism int, opts ...Option) ([]*Result, error) {
-	if parallelism < 1 {
+	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(dumps) {

@@ -184,6 +184,41 @@ func TestAnalyzeBatchDeterminism(t *testing.T) {
 	}
 }
 
+// TestAnalyzeBatchParallelismClamp checks the documented parallelism
+// contract: <= 0 means GOMAXPROCS (the batch still completes, never
+// deadlocks or serializes into nothing), oversized pools clamp to the
+// batch size, and an empty batch is a no-op.
+func TestAnalyzeBatchParallelismClamp(t *testing.T) {
+	bug := workload.RaceCounter()
+	dumps := collectDumps(t, bug, 2)
+	a := res.NewAnalyzer(bug.Program(), res.WithMaxDepth(14), res.WithMaxNodes(3000))
+	ctx := context.Background()
+
+	for _, par := range []int{0, -1, -100, 1000} {
+		results, err := a.AnalyzeBatch(ctx, dumps, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(results) != len(dumps) {
+			t.Fatalf("parallelism %d: %d results for %d dumps", par, len(results), len(dumps))
+		}
+		for i, r := range results {
+			if r == nil || r.Report == nil {
+				t.Fatalf("parallelism %d: result %d missing", par, i)
+			}
+		}
+	}
+	for _, par := range []int{-1, 0, 1, 8} {
+		results, err := a.AnalyzeBatch(ctx, nil, par)
+		if err != nil {
+			t.Fatalf("empty batch with parallelism %d: %v", par, err)
+		}
+		if results == nil || len(results) != 0 {
+			t.Fatalf("empty batch with parallelism %d: results = %v, want empty non-nil", par, results)
+		}
+	}
+}
+
 // TestAnalyzerConcurrentUse is the concurrency contract: one Analyzer,
 // several goroutines analyzing distinct dumps at once (run under
 // -race), some of which are canceled mid-search through the event

@@ -26,6 +26,7 @@ import (
 	"res/internal/hwerr"
 	"res/internal/prog"
 	"res/internal/rootcause"
+	"res/internal/service"
 	"res/internal/solver"
 	"res/internal/synth"
 	"res/internal/taint"
@@ -543,6 +544,79 @@ func BenchmarkAnalyzerReuse(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkServiceIngest measures the ingestion service's two paths for
+// one submitted dump: cold (a fresh analysis through the queue, worker,
+// solver, and report pipeline) against cached (the same dump resubmitted
+// and answered from the content-addressed store). The cached path is the
+// production steady state — a fleet resubmits the same failures far more
+// often than it discovers new ones — and must be orders of magnitude
+// cheaper than cold analysis.
+func BenchmarkServiceIngest(b *testing.B) {
+	bug := workload.RaceCounter()
+	p := bug.Program()
+	d := mustFail(b, bug, 50)
+	dumpBytes, err := d.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := service.Config{
+		Analysis:     service.AnalysisConfig{MaxDepth: 14, MaxNodes: 4000},
+		ShardWorkers: 1,
+	}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		// One long-lived service; the store is defeated per-iteration by
+		// constructing it fresh, which is exactly a first-sight dump.
+		for i := 0; i < b.N; i++ {
+			svc := service.New(cfg)
+			progID, err := svc.RegisterProgram(bug.Name, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			job, err := svc.Submit(progID, dumpBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if job, err = svc.Wait(ctx, job.ID); err != nil || job.Status != service.StatusDone {
+				b.Fatalf("job = %+v, err = %v", job, err)
+			}
+			if job.Cached {
+				b.Fatal("cold path hit the cache")
+			}
+			svc.Shutdown(ctx)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		svc := service.New(cfg)
+		progID, err := svc.RegisterProgram(bug.Name, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job, err := svc.Submit(progID, dumpBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Wait(ctx, job.ID); err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Shutdown(ctx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := svc.Submit(progID, dumpBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !job.Cached || job.Status != service.StatusDone {
+				b.Fatalf("cached path missed: %+v", job)
+			}
+		}
+		b.StopTimer()
+		m := svc.Metrics()
+		b.ReportMetric(m.CacheHitRate, "hitrate/op")
 	})
 }
 

@@ -7,10 +7,17 @@
 //
 //	res -prog crash.s -dump core.dump [-lbr] [-outputs] [-depth 24]
 //	    [-timeout 30s] [-progress] [-json]
+//	res -prog crash.s -dump core.dump -submit host:8467 [-json]
 //
 // With -timeout the analysis is deadline-bounded and reports the best
 // partial answer found before the cutoff; -progress streams search events
 // to stderr; -json emits the machine-readable report on stdout.
+//
+// With -submit the analysis runs remotely: the program source and dump are
+// shipped to a resd ingestion daemon, which dedups the dump against its
+// content-addressed store (an identical dump already analyzed is answered
+// without re-analysis) and the result is polled until done. Analysis
+// options are the daemon's; the local tuning flags do not apply.
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"res"
 	"res/internal/cli"
+	"res/internal/service"
 )
 
 func main() {
@@ -38,11 +47,16 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "analysis deadline (0 = none)")
 		progress = flag.Bool("progress", false, "stream search progress to stderr")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
+		submit   = flag.String("submit", "", "submit to a resd daemon at this address instead of analyzing locally")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *submit != "" {
+		submitRemote(*submit, *progPath, *dumpPath, *timeout, *jsonOut)
+		return
 	}
 	p, err := cli.LoadProgram(*progPath)
 	if err != nil {
@@ -112,6 +126,62 @@ func main() {
 	}
 	if r.Replay != nil && r.Replay.Matches {
 		fmt.Println("replay: suffix deterministically reproduces the coredump")
+	}
+}
+
+// submitRemote ships the program source and dump to a resd daemon and
+// polls the result. The program registers on first sight (content-keyed),
+// so a fleet of res clients submitting dumps of one binary share a single
+// analysis session server-side.
+func submitRemote(addr, progPath, dumpPath string, timeout time.Duration, jsonOut bool) {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	dump, err := os.ReadFile(dumpPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	c := service.NewClient(addr)
+	name := filepath.Base(progPath)
+	job, err := c.SubmitSource(ctx, name, string(src), dump)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if !job.Status.Terminal() {
+		fmt.Fprintf(os.Stderr, "submitted job %s (status %s), polling...\n", job.ID, job.Status)
+		if job, err = c.PollResult(ctx, job.ID, 250*time.Millisecond); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	switch job.Status {
+	case service.StatusDone:
+		if job.Cached {
+			fmt.Fprintln(os.Stderr, "served from the result store (cache hit)")
+		}
+		if jsonOut {
+			fmt.Println(string(job.Report))
+			return
+		}
+		fmt.Printf("job %s done", job.ID)
+		if job.Partial {
+			fmt.Print(" (partial: cut short by the daemon's deadline)")
+		}
+		fmt.Println()
+		if job.Bucket != "" {
+			fmt.Printf("bucket: %s\n", job.Bucket)
+		}
+		fmt.Println(string(job.Report))
+	case service.StatusFailed:
+		cli.Fatal(fmt.Errorf("remote analysis failed: %s", job.Error))
+	default:
+		cli.Fatal(fmt.Errorf("job %s ended %s: %s", job.ID, job.Status, job.Error))
 	}
 }
 

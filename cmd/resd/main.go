@@ -1,0 +1,116 @@
+// Command resd is the crash-ingestion daemon: a fleet ships coredumps to
+// it over HTTP, it dedups them against a content-addressed result store,
+// analyzes fresh ones on per-program shards of reusable analysis
+// sessions, and groups the results into crash buckets by root-cause
+// signature.
+//
+// Usage:
+//
+//	resd [-addr :8467] [-depth 24] [-nodes 0] [-lbr] [-outputs]
+//	     [-workers 2] [-queue 64] [-job-timeout 1m]
+//	     [-cache-entries 4096] [-cache-dir /var/lib/resd]
+//	     [-drain-timeout 30s]
+//
+// API (JSON):
+//
+//	POST /v1/programs       {"name","source"} -> {"program_id"}
+//	POST /v1/dumps          {"program_id"|"program_source","dump":base64}
+//	                        -> job (202 queued, 200 done/cached,
+//	                           429 queue full, 503 draining)
+//	GET  /v1/results/{id}   job status + deterministic report
+//	GET  /v1/buckets        crash-dedup buckets
+//	GET  /healthz           liveness
+//	GET  /metrics           Prometheus text metrics
+//
+// On SIGINT/SIGTERM the daemon drains: in-flight analyses finish (bounded
+// by -drain-timeout, after which they are cut and report partial
+// results), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"res/internal/cli"
+	"res/internal/service"
+	"res/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8467", "listen address")
+		depth        = flag.Int("depth", 24, "maximum suffix length in blocks")
+		nodes        = flag.Int("nodes", 0, "backward-step attempt budget (0 = default)")
+		beam         = flag.Int("beam", 0, "frontier beam width (0 = unlimited)")
+		useLBR       = flag.Bool("lbr", false, "prune searches with each dump's branch ring")
+		lbrSkip      = flag.Bool("lbr-skip-cond", false, "interpret rings as filtered-LBR hardware")
+		outputs      = flag.Bool("outputs", false, "prune with error-log breadcrumbs")
+		workers      = flag.Int("workers", 2, "concurrent analyses per program shard")
+		queue        = flag.Int("queue", service.DefaultQueueDepth, "pending dumps per shard before 429s")
+		jobTimeout   = flag.Duration("job-timeout", time.Minute, "per-analysis deadline (0 = none)")
+		cacheEntries = flag.Int("cache-entries", 0, "result-store memory entries (0 = default)")
+		cacheDir     = flag.String("cache-dir", "", "result-store disk tier (empty = memory only)")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain bound")
+	)
+	flag.Parse()
+
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.NewDisk(*cacheEntries, *cacheDir); err != nil {
+			cli.Fatal(err)
+		}
+	} else {
+		st = store.New(*cacheEntries)
+	}
+	svc := service.New(service.Config{
+		Analysis: service.AnalysisConfig{
+			MaxDepth:           *depth,
+			MaxNodes:           *nodes,
+			BeamWidth:          *beam,
+			UseLBR:             *useLBR,
+			LBRSkipConditional: *lbrSkip,
+			MatchOutputs:       *outputs,
+		},
+		QueueDepth:   *queue,
+		ShardWorkers: *workers,
+		JobTimeout:   *jobTimeout,
+		Store:        st,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "resd: listening on %s (workers=%d queue=%d depth=%d)\n",
+			*addr, *workers, *queue, *depth)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		cli.Fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "resd: %v, draining (up to %v)\n", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "resd: drain cut short: %v\n", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "resd: http shutdown: %v\n", err)
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(os.Stderr, "resd: drained; %d submitted, %d completed, %d cached, %d buckets\n",
+		m.Submitted, m.Completed, m.CacheHits, m.Buckets)
+}

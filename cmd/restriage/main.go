@@ -11,11 +11,17 @@
 // and evaluates those. One analysis session is opened per distinct
 // program and reused for every report of that program; -parallel fans the
 // corpus out over a worker pool, and -timeout bounds the whole run.
+//
+// With -cache, results are kept in a content-addressed store keyed by
+// (program, dump, options) fingerprints — duplicate dumps across the
+// batch (the normal shape of a production report stream) skip re-analysis
+// entirely, and the hit/miss counts are reported with the evaluation.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ import (
 	"res/internal/cli"
 	"res/internal/coredump"
 	"res/internal/prog"
+	"res/internal/store"
 	"res/internal/triage"
 	"res/internal/workload"
 )
@@ -39,6 +46,7 @@ func main() {
 		buckets  = flag.Bool("buckets", false, "print bucket composition")
 		parallel = flag.Int("parallel", 1, "concurrent analyses (<1 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
+		cache    = flag.Bool("cache", false, "dedup duplicate dumps through a content-addressed result store")
 	)
 	flag.Parse()
 
@@ -75,14 +83,23 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *cache {
+		st = store.New(0)
+	}
 	start := time.Now()
-	keys, errs := classifyAll(ctx, sessions, corpus, *parallel)
+	keys, errs, hits, misses := classifyAll(ctx, sessions, corpus, *parallel, *depth, st)
 	elapsed := time.Since(start)
 
 	wer := triage.StackClassifier()
 	rc := memoClassifier(corpus, keys, errs)
 
-	fmt.Printf("RES analyzed %d reports in %v (parallel=%d)\n\n", len(corpus), elapsed.Round(time.Millisecond), *parallel)
+	fmt.Printf("RES analyzed %d reports in %v (parallel=%d)\n", len(corpus), elapsed.Round(time.Millisecond), *parallel)
+	if *cache {
+		fmt.Printf("cache: %d hits, %d misses (%.0f%% of analyses skipped)\n",
+			hits, misses, 100*float64(hits)/float64(max(hits+misses, 1)))
+	}
+	fmt.Println()
 	fmt.Printf("WER-style (stack):      %v\n", triage.Evaluate(corpus, wer))
 	fmt.Printf("RES (root cause):       %v\n", triage.Evaluate(corpus, rc))
 	if *buckets {
@@ -97,16 +114,69 @@ func main() {
 // one AnalyzeBatch per program group. Results are positional and
 // identical to a sequential run (each analysis is independent and
 // deterministic).
-func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, corpus []triage.Item, parallelism int) ([]string, []error) {
-	keys := make([]string, len(corpus))
-	errs := make([]error, len(corpus))
+//
+// With a non-nil store, each (program, dump, options) tuple is looked up
+// first: duplicate dumps in the batch — and any tuple analyzed by an
+// earlier batch sharing the store — skip re-analysis, and only cache
+// misses reach the worker pool. Complete (non-partial) results are stored
+// as their deterministic JSON reports, so a cached classification is
+// byte-for-byte the one a fresh analysis would have produced.
+func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, corpus []triage.Item, parallelism, depth int, st *store.Store) (keys []string, errs []error, hits, misses int) {
+	keys = make([]string, len(corpus))
+	errs = make([]error, len(corpus))
 	groups := make(map[*prog.Program][]int)
 	for i, it := range corpus {
 		groups[it.Prog] = append(groups[it.Prog], i)
 	}
+	optFP := store.OptionsFingerprint(fmt.Sprintf("restriage depth=%d", depth))
 	for p, idxs := range groups {
-		dumps := make([]*coredump.Dump, len(idxs))
-		for j, i := range idxs {
+		// Resolve cache hits and dedup duplicates first: `fresh` keeps one
+		// representative position per distinct tuple; `sharing` maps each
+		// representative to every position awaiting its result (duplicates
+		// within the batch count as hits — they skip re-analysis).
+		var fresh []int
+		sharing := make(map[int][]int, len(idxs))
+		resultKeys := make(map[int]store.Key, len(idxs))
+		if st != nil {
+			progFP, err := store.ProgramFingerprint(p)
+			if err != nil {
+				cli.Fatal(err)
+			}
+			firstSeen := make(map[store.Key]int, len(idxs))
+			for _, i := range idxs {
+				dumpFP, _, err := store.DumpFingerprint(corpus[i].Dump)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				k := store.ResultKey(progFP, dumpFP, optFP)
+				if rep, ok := st.Get(k); ok {
+					hits++
+					keys[i], errs[i] = keyFromReport(corpus[i].App, rep)
+					continue
+				}
+				if rep, dup := firstSeen[k]; dup {
+					hits++
+					sharing[rep] = append(sharing[rep], i)
+					continue
+				}
+				misses++
+				firstSeen[k] = i
+				resultKeys[i] = k
+				fresh = append(fresh, i)
+				sharing[i] = []int{i}
+			}
+		} else {
+			fresh = idxs
+			for _, i := range idxs {
+				sharing[i] = []int{i}
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		dumps := make([]*coredump.Dump, len(fresh))
+		for j, i := range fresh {
 			dumps[j] = corpus[i].Dump
 		}
 		results, err := sessions[p].AnalyzeBatch(ctx, dumps, parallelism)
@@ -115,18 +185,42 @@ func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, 
 			// batch error is diagnostic only.
 			fmt.Fprintf(os.Stderr, "batch: %v\n", err)
 		}
-		for j, i := range idxs {
-			// A deadline-cut analysis still returns its partial result; a
-			// cause it already verified by faithful replay is a valid
-			// bucketing key.
-			if r := results[j]; r != nil && r.Cause != nil {
-				keys[i] = corpus[i].App + "|" + r.Cause.Key()
-				continue
+		for j, rep := range fresh {
+			r := results[j]
+			for _, i := range sharing[rep] {
+				switch {
+				case r == nil:
+					errs[i] = fmt.Errorf("no root cause")
+				case r.Cause != nil:
+					// A deadline-cut analysis still returns its partial
+					// result; a cause it already verified by faithful
+					// replay is a valid bucketing key.
+					keys[i] = corpus[i].App + "|" + r.Cause.Key()
+				default:
+					errs[i] = fmt.Errorf("no root cause")
+				}
 			}
-			errs[i] = fmt.Errorf("no root cause")
+			if r != nil && st != nil && !r.Partial {
+				if out, jerr := r.JSON(); jerr == nil {
+					st.Put(resultKeys[rep], out)
+				}
+			}
 		}
 	}
-	return keys, errs
+	return keys, errs, hits, misses
+}
+
+// keyFromReport recovers the bucketing key from a stored report, via the
+// report's exported schema so cached and fresh classifications agree.
+func keyFromReport(app string, rep []byte) (string, error) {
+	var parsed res.ReportJSON
+	if err := json.Unmarshal(rep, &parsed); err != nil {
+		return "", err
+	}
+	if parsed.Cause == nil || parsed.Cause.Key == "" {
+		return "", fmt.Errorf("no root cause")
+	}
+	return app + "|" + parsed.Cause.Key, nil
 }
 
 // memoClassifier serves the precomputed classifications, keyed by the

@@ -1,0 +1,17 @@
+; A deterministic failing program for service quickstarts and the CI
+; smoke test: main computes g*g into h and asserts it equals 9... which
+; it does not survive, because the assert checks h-9 is nonzero. Every
+; run crashes at the same place, so `resrun` always produces a dump and
+; `res -submit` always has something to analyze.
+.global g 1
+.global h 1
+func main:
+    const r0, 3
+    storeg r0, &g
+    loadg r1, &g
+    mul r2, r1, r1
+    storeg r2, &h
+    loadg r3, &h
+    addi r4, r3, -9
+    assert r4
+    halt

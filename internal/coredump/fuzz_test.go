@@ -1,0 +1,77 @@
+package coredump
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"res/internal/mem"
+)
+
+// FuzzDumpRoundTrip guards the serialization the content-addressed store
+// depends on: serialized bytes are the dump's identity, so any input that
+// decodes must re-encode to a canonical form that survives another
+// decode/encode cycle bit-for-bit. A violation would make identical dumps
+// hash differently (cache misses forever) or, worse, different dumps
+// collide.
+func FuzzDumpRoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		b, err := sampleDump(rand.New(rand.NewSource(seed))).Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// A minimal dump: zero threads, empty everything.
+	empty := &Dump{Mem: mem.NewImage(1), Locks: map[uint32]int{}}
+	if b, err := empty.Marshal(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte("RESDUMP1"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			return // not a dump; rejecting is the correct behavior
+		}
+		canon, err := d.Marshal()
+		if err != nil {
+			t.Fatalf("decoded dump failed to re-encode: %v", err)
+		}
+		d2, err := Unmarshal(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		// Canonical form is a fixed point: encode(decode(canon)) == canon.
+		canon2, err := d2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %x\nsecond: %x", canon, canon2)
+		}
+		// And decoding preserves every field the encoder writes.
+		if d2.Fault != d.Fault || d2.Steps != d.Steps ||
+			len(d2.Threads) != len(d.Threads) || len(d2.Heap) != len(d.Heap) ||
+			len(d2.Outputs) != len(d.Outputs) || len(d2.LBR) != len(d.LBR) ||
+			len(d2.Locks) != len(d.Locks) {
+			t.Fatalf("round trip changed the dump: %+v vs %+v", d2, d)
+		}
+		for i := range d.Threads {
+			if d2.Threads[i] != d.Threads[i] {
+				t.Fatalf("thread %d changed: %+v vs %+v", i, d2.Threads[i], d.Threads[i])
+			}
+		}
+		for a, v := range d.Locks {
+			if d2.Locks[a] != v {
+				t.Fatalf("lock %d changed", a)
+			}
+		}
+		if d.Mem != nil && d2.Mem != nil {
+			if diff := d2.Mem.Diff(d.Mem); len(diff) != 0 {
+				t.Fatalf("memory image changed at %v", diff)
+			}
+		}
+	})
+}

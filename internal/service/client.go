@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a resd daemon over its HTTP JSON API. The zero
+// HTTP client default is fine for the small request bodies involved.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the daemon at addr ("host:port" or a
+// full http URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+// do sends a request and decodes the JSON response into out; non-2xx
+// responses become errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("resd: %s (%s)", e.Error, resp.Status)
+		}
+		return fmt.Errorf("resd: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Register registers a program by source and returns its program ID.
+func (c *Client) Register(ctx context.Context, name, source string) (string, error) {
+	var resp RegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/programs", RegisterRequest{Name: name, Source: source}, &resp)
+	return resp.ProgramID, err
+}
+
+// Submit submits a serialized dump for an already-registered program.
+func (c *Client) Submit(ctx context.Context, programID string, dump []byte) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps", SubmitRequest{ProgramID: programID, Dump: dump}, &job)
+	return job, err
+}
+
+// SubmitSource submits a dump together with its program's assembly
+// source; the daemon registers the program on first sight (content-keyed,
+// so repeats are free).
+func (c *Client) SubmitSource(ctx context.Context, name, source string, dump []byte) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps",
+		SubmitRequest{ProgramName: name, ProgramSource: source, Dump: dump}, &job)
+	return job, err
+}
+
+// Result fetches the job's current snapshot.
+func (c *Client) Result(ctx context.Context, id string) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+id, nil, &job)
+	return job, err
+}
+
+// PollResult polls until the job reaches a terminal status or ctx ends.
+func (c *Client) PollResult(ctx context.Context, id string, interval time.Duration) (Job, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		job, err := c.Result(ctx, id)
+		if err != nil {
+			return job, err
+		}
+		if job.Status.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Buckets fetches the crash-dedup buckets.
+func (c *Client) Buckets(ctx context.Context) ([]Bucket, error) {
+	var resp struct {
+		Buckets []Bucket `json:"buckets"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/buckets", nil, &resp)
+	return resp.Buckets, err
+}
+
+// Health reports whether the daemon is accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

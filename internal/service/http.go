@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// SubmitRequest is the POST /v1/dumps body. Either ProgramID names an
+// already-registered program, or ProgramSource carries the assembly text
+// (registered on first sight, keyed by content, so resubmitting the same
+// source is free). Dump is the serialized coredump, base64-encoded on the
+// wire by encoding/json.
+type SubmitRequest struct {
+	ProgramID     string `json:"program_id,omitempty"`
+	ProgramName   string `json:"program_name,omitempty"`
+	ProgramSource string `json:"program_source,omitempty"`
+	Dump          []byte `json:"dump"`
+}
+
+// RegisterRequest is the POST /v1/programs body.
+type RegisterRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// RegisterResponse is the POST /v1/programs reply.
+type RegisterResponse struct {
+	ProgramID string `json:"program_id"`
+}
+
+// errorResponse is the JSON error envelope for every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/programs       register a program, returns its program_id
+//	POST /v1/dumps          submit a dump (202 queued, 200 done/cached,
+//	                        429 queue full, 503 draining)
+//	GET  /v1/results/{id}   job status + report
+//	GET  /v1/buckets        crash-dedup buckets
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus-style text metrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/programs", s.handleRegister)
+	mux.HandleFunc("POST /v1/dumps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/buckets", s.handleBuckets)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownJob):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBadDump):
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// maxRequestBody bounds POST bodies (a dump is base64 in JSON, so this
+// admits dumps up to ~48MB serialized — far beyond the VM's images —
+// while keeping a malicious or runaway client from buffering the daemon
+// into the ground).
+const maxRequestBody = 64 << 20
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Source == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "source is required"})
+		return
+	}
+	id, err := s.RegisterSource(req.Name, req.Source)
+	if err != nil {
+		if errors.Is(err, ErrDraining) {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{ProgramID: id})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Dump) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dump is required"})
+		return
+	}
+	programID := req.ProgramID
+	if programID == "" {
+		if req.ProgramSource == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "program_id or program_source is required"})
+			return
+		}
+		var err error
+		programID, err = s.RegisterSource(req.ProgramName, req.ProgramSource)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	job, err := s.Submit(programID, req.Dump)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Status.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Buckets []Bucket `json:"buckets"`
+	}{Buckets: s.Buckets()})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	code := http.StatusOK
+	status := "ok"
+	if m.Draining {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+	}{Status: status})
+}
+
+// handleMetrics renders the snapshot in the Prometheus text exposition
+// format (gauges and counters only, no external dependency).
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	var b strings.Builder
+	emit := func(name, typ, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	const gauge, counter = "gauge", "counter"
+	emit("resd_queue_depth", gauge, "Dumps queued across all shards.", float64(m.QueueDepth))
+	emit("resd_submitted_total", counter, "Dumps accepted (fresh, cached, or coalesced).", float64(m.Submitted))
+	emit("resd_completed_total", counter, "Analyses finished successfully.", float64(m.Completed))
+	emit("resd_failed_total", counter, "Analyses that failed.", float64(m.Failed))
+	emit("resd_canceled_total", counter, "Jobs canceled during drain.", float64(m.Canceled))
+	emit("resd_rejected_total", counter, "Submissions rejected by backpressure.", float64(m.Rejected))
+	emit("resd_coalesced_total", counter, "Duplicate submissions merged onto in-flight jobs.", float64(m.Coalesced))
+	emit("resd_cache_hits_total", counter, "Submissions served from the result store.", float64(m.CacheHits))
+	emit("resd_cache_misses_total", counter, "Submissions that required fresh analysis.", float64(m.CacheMisses))
+	emit("resd_cache_hit_rate", gauge, "cache_hits / (cache_hits + cache_misses).", m.CacheHitRate)
+	emit("resd_store_entries", gauge, "Result-store memory-tier population.", float64(m.Store.Entries))
+	emit("resd_store_disk_hits_total", counter, "Store gets answered by the disk tier.", float64(m.Store.DiskHits))
+	emit("resd_store_evictions_total", counter, "LRU evictions from the store memory tier.", float64(m.Store.Evictions))
+	emit("resd_buckets", gauge, "Distinct crash-dedup buckets.", float64(m.Buckets))
+	emit("resd_programs", gauge, "Registered program shards.", float64(m.Programs))
+	shardVec := func(name, typ, help string, v func(ShardMetrics) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, sh := range m.Shards {
+			fmt.Fprintf(&b, "%s{program=%q,name=%q} %g\n", name, sh.Program, sh.Name, v(sh))
+		}
+	}
+	shardVec("resd_shard_queue_depth", gauge, "Dumps queued per program shard.",
+		func(sh ShardMetrics) float64 { return float64(sh.QueueDepth) })
+	shardVec("resd_shard_submitted_total", counter, "Dumps accepted per program shard.",
+		func(sh ShardMetrics) float64 { return float64(sh.Submitted) })
+	shardVec("resd_shard_cached_total", counter, "Cache-hit responses per program shard.",
+		func(sh ShardMetrics) float64 { return float64(sh.Cached) })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,710 @@
+// Package service is the crash-ingestion engine behind resd: a fleet
+// ships coredumps in, the service dedups them against the
+// content-addressed store, shards fresh work onto per-program analysis
+// pools built around reusable res.Analyzer sessions, and groups finished
+// analyses into crash buckets by root-cause signature.
+//
+// The paper's premise is debugging failures harvested from production,
+// which means the same defect arrives over and over as near-identical
+// dumps. The service exploits that twice: byte-identical dumps are cache
+// hits served straight from the store without touching the solver, and
+// distinct dumps of the same underlying bug land in one bucket via the
+// root-cause key, so a human (or an autonomous triage loop) sees one
+// work item instead of a thousand reports.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"res"
+	"res/internal/store"
+)
+
+// Sentinel errors Submit and friends return; the HTTP layer maps them to
+// status codes (429, 503, 404, 400).
+var (
+	// ErrQueueFull is backpressure: the target shard's queue is at
+	// capacity and the dump was rejected, not silently dropped.
+	ErrQueueFull = errors.New("service: analysis queue full")
+	// ErrDraining rejects work submitted after Shutdown began.
+	ErrDraining = errors.New("service: draining")
+	// ErrUnknownProgram rejects a dump for a program never registered.
+	ErrUnknownProgram = errors.New("service: unknown program")
+	// ErrUnknownJob is returned for result lookups with no such ID.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrBadDump rejects bytes that do not parse as a coredump.
+	ErrBadDump = errors.New("service: bad dump")
+)
+
+// AnalysisConfig is the service-wide analysis configuration. It is part
+// of every result's cache identity: changing any knob changes the options
+// fingerprint, so results computed under different budgets never collide
+// in the store.
+type AnalysisConfig struct {
+	MaxDepth           int  `json:"max_depth"`
+	MaxNodes           int  `json:"max_nodes"`
+	BeamWidth          int  `json:"beam_width"`
+	UseLBR             bool `json:"use_lbr"`
+	LBRSkipConditional bool `json:"lbr_skip_conditional"`
+	MatchOutputs       bool `json:"match_outputs"`
+}
+
+// Canonical renders every result-affecting knob in a fixed order; this
+// string is what the options fingerprint hashes.
+func (c AnalysisConfig) Canonical() string {
+	return fmt.Sprintf("v1 depth=%d nodes=%d beam=%d lbr=%t lbrskip=%t outputs=%t",
+		c.MaxDepth, c.MaxNodes, c.BeamWidth, c.UseLBR, c.LBRSkipConditional, c.MatchOutputs)
+}
+
+// Fingerprint is the options component of the store key.
+func (c AnalysisConfig) Fingerprint() store.Fingerprint {
+	return store.OptionsFingerprint(c.Canonical())
+}
+
+// options lowers the config to the session API's functional options.
+func (c AnalysisConfig) options() []res.Option {
+	opts := []res.Option{
+		res.WithMaxDepth(c.MaxDepth),
+		res.WithMaxNodes(c.MaxNodes),
+		res.WithBeamWidth(c.BeamWidth),
+	}
+	if c.UseLBR {
+		mode := res.LBRRecordAll
+		if c.LBRSkipConditional {
+			mode = res.LBRSkipConditional
+		}
+		opts = append(opts, res.WithLBR(mode))
+	}
+	if c.MatchOutputs {
+		opts = append(opts, res.WithMatchOutputs())
+	}
+	return opts
+}
+
+// Config tunes the service.
+type Config struct {
+	// Analysis is the shared analysis configuration (cache identity).
+	Analysis AnalysisConfig
+	// QueueDepth bounds each shard's pending queue; a full queue rejects
+	// with ErrQueueFull. < 1 means DefaultQueueDepth.
+	QueueDepth int
+	// ShardWorkers is the number of concurrent analyses per program
+	// shard. < 1 means 1.
+	ShardWorkers int
+	// JobTimeout deadline-bounds each analysis; 0 means none. A timed-out
+	// analysis still reports its partial result (marked partial, never
+	// cached).
+	JobTimeout time.Duration
+	// Store caches results and dump blobs; nil means a default in-memory
+	// store.
+	Store *store.Store
+
+	// beforeAnalyze, when set, runs in the worker just before each
+	// analysis. Test-only: it lets lifecycle tests hold a worker busy
+	// deterministically.
+	beforeAnalyze func()
+}
+
+// DefaultQueueDepth is the per-shard queue bound when Config leaves it 0.
+const DefaultQueueDepth = 64
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is the public record of one submitted dump. Its ID is the store
+// key of the (program, dump, options) tuple, so resubmitting the same
+// dump yields the same ID — duplicates coalesce instead of queueing
+// twice.
+type Job struct {
+	ID          string `json:"id"`
+	Program     string `json:"program"` // program fingerprint (hex)
+	ProgramName string `json:"program_name,omitempty"`
+	Status      Status `json:"status"`
+	// Cached marks a response served from the store without analysis.
+	Cached bool `json:"cached"`
+	// Partial marks a result cut short by drain or JobTimeout.
+	Partial bool   `json:"partial,omitempty"`
+	Bucket  string `json:"bucket,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Report is the deterministic analysis report (res.Result.JSON).
+	Report      json.RawMessage `json:"report,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+}
+
+type jobState struct {
+	job  Job
+	key  store.Key // result key (the ID is its hash)
+	dump *res.Dump
+	done chan struct{}
+}
+
+// shard is one program's analysis pool: a shared Analyzer session (the
+// predecessor index computed once), a bounded queue, and counters.
+type shard struct {
+	fp       store.Fingerprint
+	name     string
+	analyzer *res.Analyzer
+	queue    chan *jobState
+
+	// Guarded by Service.mu.
+	submitted, completed, failed, cached, rejected uint64
+}
+
+// Service is the ingestion engine. Construct with New, register programs,
+// submit dumps, then Shutdown to drain.
+type Service struct {
+	cfg   Config
+	store *store.Store
+	optFP store.Fingerprint
+
+	baseCtx context.Context // canceled when a drain deadline forces cut-off
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	shards   map[string]*shard // keyed by program fingerprint hex
+	jobs     map[string]*jobState
+	buckets  map[string][]string // bucket key -> job IDs
+	draining bool
+	wg       sync.WaitGroup
+
+	submitted, completed, failed, canceled uint64
+	rejected, coalesced                    uint64
+	cacheHits, cacheMisses                 uint64
+}
+
+// New creates a service; it accepts work immediately (programs register
+// lazily via RegisterProgram/RegisterSource).
+func New(cfg Config) *Service {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.ShardWorkers < 1 {
+		cfg.ShardWorkers = 1
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.New(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:     cfg,
+		store:   cfg.Store,
+		optFP:   cfg.Analysis.Fingerprint(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		shards:  make(map[string]*shard),
+		jobs:    make(map[string]*jobState),
+		buckets: make(map[string][]string),
+	}
+}
+
+// Store exposes the backing store (for metrics and tests).
+func (s *Service) Store() *store.Store { return s.store }
+
+// RegisterProgram opens an analysis shard for p and returns its program
+// ID (the program fingerprint in hex). Registration is idempotent: the
+// same program image maps to the same shard no matter how often — or
+// under which name — it is registered.
+func (s *Service) RegisterProgram(name string, p *res.Program) (string, error) {
+	fp, err := store.ProgramFingerprint(p)
+	if err != nil {
+		return "", err
+	}
+	id := fp.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return "", ErrDraining
+	}
+	if _, ok := s.shards[id]; ok {
+		return id, nil
+	}
+	sh := &shard{
+		fp:       fp,
+		name:     name,
+		analyzer: res.NewAnalyzer(p, s.cfg.Analysis.options()...),
+		queue:    make(chan *jobState, s.cfg.QueueDepth),
+	}
+	s.shards[id] = sh
+	for i := 0; i < s.cfg.ShardWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return id, nil
+}
+
+// RegisterSource assembles src and registers the resulting program.
+func (s *Service) RegisterSource(name, src string) (string, error) {
+	p, err := res.Assemble(src)
+	if err != nil {
+		return "", fmt.Errorf("service: assembling %q: %w", name, err)
+	}
+	return s.RegisterProgram(name, p)
+}
+
+// Submit ingests one serialized coredump for the given program. The
+// returned Job is a snapshot: for a cache hit it is already done (Cached
+// set, Report populated from the store); for fresh work it is queued and
+// the caller polls Job/Wait by ID. A duplicate of an in-flight dump
+// coalesces onto the existing job. A full shard queue returns
+// ErrQueueFull — the caller's cue to back off.
+func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
+	progFP, err := store.ParseFingerprint(programID)
+	if err != nil {
+		return Job{}, ErrUnknownProgram
+	}
+	s.mu.Lock()
+	_, known := s.shards[programID]
+	s.mu.Unlock()
+	if !known {
+		return Job{}, ErrUnknownProgram
+	}
+	dumpFP, canon, d, err := store.CanonicalizeDump(dumpBytes)
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrBadDump, err)
+	}
+	key := store.ResultKey(progFP, dumpFP, s.optFP)
+	id := key.ID()
+
+	// Probe the store before taking the service lock (the disk tier does
+	// IO). A concurrent duplicate submission is serialized below.
+	cachedRep, haveCached := s.store.Get(key)
+
+	s.mu.Lock()
+	sh, ok := s.shards[programID]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, ErrUnknownProgram
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return Job{}, ErrDraining
+	}
+	var stale *jobState
+	if js, ok := s.jobs[id]; ok {
+		// Same tuple already known. In flight: coalesce onto it. Finished
+		// with a complete answer: serve it as a cache hit. Finished
+		// without one (failed, or cut to a partial result by a drain or
+		// job timeout): fall through and requeue — a partial answer must
+		// never become the tuple's answer of record.
+		snap := js.job
+		switch {
+		case !snap.Status.Terminal():
+			s.submitted++
+			sh.submitted++
+			s.coalesced++
+			s.mu.Unlock()
+			return snap, nil
+		case snap.Status == StatusDone && !snap.Partial:
+			s.submitted++
+			sh.submitted++
+			s.cacheHits++
+			sh.cached++
+			snap.Cached = true
+			if haveCached {
+				snap.Report = cachedRep
+			}
+			s.mu.Unlock()
+			if !haveCached {
+				// The LRU evicted this result; the job record still holds
+				// the complete bytes, so repopulate the store.
+				s.store.Put(key, snap.Report)
+			}
+			return snap, nil
+		}
+		// The stale record (and its bucket membership, if the partial
+		// result earned one) is replaced below, only once the requeue is
+		// accepted by the shard queue.
+		stale = js
+	}
+	now := time.Now()
+	if haveCached {
+		// First sighting in this process — or a stale partial/failed
+		// record being superseded — and the store (possibly its disk
+		// tier, written by a prior run or another daemon) already has the
+		// complete result.
+		if stale != nil {
+			s.removeBucketLocked(stale.job.Bucket, id)
+		}
+		s.cacheHits++
+		sh.cached++
+		sh.submitted++
+		s.submitted++
+		js := &jobState{
+			job: Job{
+				ID: id, Program: programID, ProgramName: sh.name,
+				Status: StatusDone, Cached: true, Report: cachedRep,
+				Bucket:      bucketFromReport(sh.name, cachedRep),
+				SubmittedAt: now, FinishedAt: now,
+			},
+			done: make(chan struct{}),
+		}
+		close(js.done)
+		s.jobs[id] = js
+		s.addBucketLocked(js.job.Bucket, id)
+		s.mu.Unlock()
+		return js.job, nil
+	}
+	js := &jobState{
+		job: Job{
+			ID: id, Program: programID, ProgramName: sh.name,
+			Status: StatusQueued, SubmittedAt: now,
+		},
+		key:  key,
+		dump: d,
+		done: make(chan struct{}),
+	}
+	select {
+	case sh.queue <- js:
+	default:
+		sh.rejected++
+		s.rejected++
+		s.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	if stale != nil {
+		s.removeBucketLocked(stale.job.Bucket, id)
+	}
+	s.cacheMisses++
+	sh.submitted++
+	s.submitted++
+	s.jobs[id] = js
+	snap := js.job
+	s.mu.Unlock()
+
+	// Persist the dump blob as the service's ingest archive — only when
+	// the store has a disk tier. In a memory-only store the blob would
+	// just crowd result entries out of the LRU (nothing in-process ever
+	// reads a dump blob back).
+	if s.store.Persistent() {
+		s.store.Put(store.DumpKey(dumpFP), canon)
+	}
+	return snap, nil
+}
+
+// worker drains one shard's queue until Shutdown closes it.
+func (s *Service) worker(sh *shard) {
+	defer s.wg.Done()
+	for js := range sh.queue {
+		s.run(sh, js)
+	}
+}
+
+// run executes one queued analysis and records its outcome.
+func (s *Service) run(sh *shard, js *jobState) {
+	if s.baseCtx.Err() != nil {
+		// The drain deadline fired while this job sat queued.
+		s.finish(sh, js, func(j *Job) {
+			j.Status = StatusCanceled
+			j.Error = "canceled during drain"
+		})
+		return
+	}
+	s.mu.Lock()
+	js.job.Status = StatusRunning
+	s.mu.Unlock()
+
+	if s.cfg.beforeAnalyze != nil {
+		s.cfg.beforeAnalyze()
+	}
+	ctx := s.baseCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	r, err := sh.analyzer.Analyze(ctx, js.dump)
+	if r == nil {
+		s.finish(sh, js, func(j *Job) {
+			j.Status = StatusFailed
+			if err != nil {
+				j.Error = err.Error()
+			}
+		})
+		return
+	}
+	rep, jerr := r.JSON()
+	if jerr != nil {
+		s.finish(sh, js, func(j *Job) {
+			j.Status = StatusFailed
+			j.Error = jerr.Error()
+		})
+		return
+	}
+	// Only complete, deterministic results enter the store: a partial
+	// (drained or timed-out) report depends on where the cut fell and
+	// must not be served to future submitters as the answer.
+	if err == nil && !r.Partial {
+		s.store.Put(js.key, rep)
+	}
+	bucket := bucketSignature(sh.name, r)
+	s.finish(sh, js, func(j *Job) {
+		j.Status = StatusDone
+		j.Partial = r.Partial
+		j.Report = rep
+		j.Bucket = bucket
+	})
+}
+
+// finish applies the terminal mutation, updates counters and buckets, and
+// releases waiters.
+func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
+	s.mu.Lock()
+	mut(&js.job)
+	js.job.FinishedAt = time.Now()
+	// The decoded dump (a full memory image) is only needed for analysis;
+	// dropping it here keeps the long-lived jobs map lightweight.
+	js.dump = nil
+	switch js.job.Status {
+	case StatusDone:
+		sh.completed++
+		s.completed++
+		s.addBucketLocked(js.job.Bucket, js.job.ID)
+	case StatusFailed:
+		sh.failed++
+		s.failed++
+	case StatusCanceled:
+		s.canceled++
+	}
+	s.mu.Unlock()
+	close(js.done)
+}
+
+func (s *Service) addBucketLocked(bucket, id string) {
+	if bucket == "" {
+		return
+	}
+	s.buckets[bucket] = append(s.buckets[bucket], id)
+}
+
+// removeBucketLocked drops one job from a bucket (requeue path). Caller
+// holds s.mu.
+func (s *Service) removeBucketLocked(bucket, id string) {
+	if bucket == "" {
+		return
+	}
+	ids := s.buckets[bucket]
+	for i, v := range ids {
+		if v == id {
+			s.buckets[bucket] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(s.buckets[bucket]) == 0 {
+		delete(s.buckets, bucket)
+	}
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Service) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return js.job, true
+}
+
+// Wait blocks until the job reaches a terminal status (or ctx ends) and
+// returns its final snapshot.
+func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	select {
+	case <-js.done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return js.job, nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+}
+
+// Bucket is one crash-dedup group: every member job shares a root-cause
+// (or suffix) signature, so a bucket is one underlying defect.
+type Bucket struct {
+	Key    string   `json:"key"`
+	Count  int      `json:"count"`
+	JobIDs []string `json:"job_ids"`
+}
+
+// Buckets returns the dedup groups, largest first (ties by key).
+func (s *Service) Buckets() []Bucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Bucket, 0, len(s.buckets))
+	for k, ids := range s.buckets {
+		out = append(out, Bucket{Key: k, Count: len(ids), JobIDs: append([]string(nil), ids...)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ShardMetrics is one program pool's counters.
+type ShardMetrics struct {
+	Program    string `json:"program"`
+	Name       string `json:"name,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Cached     uint64 `json:"cached"`
+	Rejected   uint64 `json:"rejected"`
+}
+
+// Metrics is a consistent snapshot of service health.
+type Metrics struct {
+	QueueDepth   int            `json:"queue_depth"`
+	Submitted    uint64         `json:"submitted"`
+	Completed    uint64         `json:"completed"`
+	Failed       uint64         `json:"failed"`
+	Canceled     uint64         `json:"canceled"`
+	Rejected     uint64         `json:"rejected"`
+	Coalesced    uint64         `json:"coalesced"`
+	CacheHits    uint64         `json:"cache_hits"`
+	CacheMisses  uint64         `json:"cache_misses"`
+	CacheHitRate float64        `json:"cache_hit_rate"`
+	Store        store.Stats    `json:"store"`
+	Jobs         int            `json:"jobs"`
+	Buckets      int            `json:"buckets"`
+	Programs     int            `json:"programs"`
+	Draining     bool           `json:"draining"`
+	Shards       []ShardMetrics `json:"shards"`
+}
+
+// Metrics returns a snapshot of all counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		Submitted: s.submitted, Completed: s.completed, Failed: s.failed,
+		Canceled: s.canceled, Rejected: s.rejected, Coalesced: s.coalesced,
+		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
+		Jobs: len(s.jobs), Buckets: len(s.buckets), Programs: len(s.shards),
+		Draining: s.draining,
+	}
+	if total := m.CacheHits + m.CacheMisses; total > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(total)
+	}
+	for id, sh := range s.shards {
+		depth := len(sh.queue)
+		m.QueueDepth += depth
+		m.Shards = append(m.Shards, ShardMetrics{
+			Program: id, Name: sh.name, QueueDepth: depth,
+			Submitted: sh.submitted, Completed: sh.completed,
+			Failed: sh.failed, Cached: sh.cached, Rejected: sh.rejected,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Program < m.Shards[j].Program })
+	m.Store = s.store.Stats()
+	return m
+}
+
+// Shutdown drains the service: new submissions are rejected with
+// ErrDraining, queued work keeps running, and Shutdown returns when every
+// worker has exited. If ctx ends first, in-flight analyses are canceled —
+// they finish immediately with partial results (recorded on their jobs,
+// never cached) and queued-but-unstarted jobs are marked canceled.
+// Shutdown is idempotent; concurrent calls all wait for the same drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// bucketSignature derives the dedup key from a completed analysis. The
+// strongest signal is the root-cause key (stable across manifestations of
+// one bug — the paper's fix for WER over-splitting); with no cause, a
+// synthesized suffix's schedule shape still groups alike failures; with
+// neither, the verdict is all there is.
+func bucketSignature(app string, r *res.Result) string {
+	if r.Cause != nil {
+		return app + "|" + r.Cause.Key()
+	}
+	if r.Suffix != nil && len(r.Suffix.Steps) > 0 {
+		h := sha256.New()
+		for _, st := range r.Suffix.Steps {
+			fmt.Fprintln(h, st.String())
+		}
+		return app + "|suffix:" + hex.EncodeToString(h.Sum(nil)[:6])
+	}
+	if r.HardwareSuspect {
+		return app + "|hardware-suspect"
+	}
+	return app + "|no-cause"
+}
+
+// bucketFromReport recovers the dedup key from a stored report (the
+// cache-hit path, where no res.Result exists in memory). It mirrors
+// bucketSignature over the report's exported schema, res.ReportJSON, so
+// a cached job lands in the same bucket a fresh analysis would.
+func bucketFromReport(app string, rep []byte) string {
+	var parsed res.ReportJSON
+	if err := json.Unmarshal(rep, &parsed); err != nil {
+		return app + "|unparseable-report"
+	}
+	if parsed.Cause != nil && parsed.Cause.Key != "" {
+		return app + "|" + parsed.Cause.Key
+	}
+	if parsed.Suffix != nil && len(parsed.Suffix.Steps) > 0 {
+		h := sha256.New()
+		for _, st := range parsed.Suffix.Steps {
+			fmt.Fprintln(h, st)
+		}
+		return app + "|suffix:" + hex.EncodeToString(h.Sum(nil)[:6])
+	}
+	if parsed.Verdict == "hardware-suspect" {
+		return app + "|hardware-suspect"
+	}
+	return app + "|no-cause"
+}

@@ -1,0 +1,407 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"res"
+	"res/internal/coredump"
+	"res/internal/workload"
+)
+
+// failingDumps produces n distinct failing dumps of the bug's program.
+func failingDumps(t testing.TB, bug *workload.Bug, n int) [][]byte {
+	t.Helper()
+	p := bug.Program()
+	var out [][]byte
+	for _, base := range bug.Configs {
+		for s := int64(0); s < 300 && len(out) < n; s++ {
+			cfg := base
+			cfg.Seed = s
+			d, err := res.Run(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == nil || d.Fault.Kind == coredump.FaultBudget {
+				continue
+			}
+			if bug.WantFault != coredump.FaultNone && d.Fault.Kind != bug.WantFault {
+				continue
+			}
+			b, err := d.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b)
+		}
+		if len(out) >= n {
+			break
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("%s: only %d of %d failing dumps found", bug.Name, len(out), n)
+	}
+	return out
+}
+
+func testService(t testing.TB, cfg Config) (*Service, string, [][]byte) {
+	t.Helper()
+	bug := workload.RaceCounter()
+	if cfg.Analysis == (AnalysisConfig{}) {
+		cfg.Analysis = AnalysisConfig{MaxDepth: 14, MaxNodes: 4000}
+	}
+	svc := New(cfg)
+	id, err := svc.RegisterProgram(bug.Name, bug.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, id, failingDumps(t, bug, 4)
+}
+
+func TestSubmitAnalyzeAndBucket(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{ShardWorkers: 2})
+	defer svc.Shutdown(context.Background())
+
+	job, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Cached || job.Status.Terminal() {
+		t.Fatalf("fresh submit should queue, got %+v", job)
+	}
+	done, err := svc.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone || len(done.Report) == 0 {
+		t.Fatalf("job = %+v, want done with report", done)
+	}
+	if done.Bucket == "" {
+		t.Fatal("completed job has no bucket")
+	}
+	if bs := svc.Buckets(); len(bs) != 1 || bs[0].Count != 1 {
+		t.Fatalf("buckets = %+v, want one bucket with one member", bs)
+	}
+}
+
+// TestCacheHitDeterminism is the acceptance property: resubmitting the
+// same dump is served from the store, byte-identical to the fresh report,
+// and observable in the cache hit-rate metric.
+func TestCacheHitDeterminism(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{})
+	defer svc.Shutdown(context.Background())
+
+	first, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := svc.Wait(context.Background(), first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("first analysis claims to be cached")
+	}
+
+	again, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Status != StatusDone {
+		t.Fatalf("resubmission = %+v, want cached done", again)
+	}
+	if again.ID != fresh.ID {
+		t.Fatalf("same dump produced different job IDs %s vs %s", again.ID, fresh.ID)
+	}
+	if !bytes.Equal(again.Report, fresh.Report) {
+		t.Fatalf("cached report differs from fresh report:\n%s\nvs\n%s", again.Report, fresh.Report)
+	}
+	m := svc.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("metrics = %+v, want 1 hit / 1 miss", m)
+	}
+	if m.CacheHitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", m.CacheHitRate)
+	}
+	// The store itself must have answered: its own hit counter moved.
+	if m.Store.Hits == 0 {
+		t.Fatalf("store stats = %+v, want at least one hit", m.Store)
+	}
+}
+
+// TestBackpressure fills the only worker and the one queue slot, then
+// expects the third submission to bounce with ErrQueueFull.
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	svc, progID, dumps := testService(t, Config{
+		QueueDepth:    1,
+		ShardWorkers:  1,
+		beforeAnalyze: func() { <-release },
+	})
+	defer func() {
+		svc.Shutdown(context.Background())
+	}()
+
+	// First dump occupies the worker (blocked in beforeAnalyze)...
+	j1, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, svc, j1.ID, StatusRunning)
+	// ...second fills the queue...
+	if _, err := svc.Submit(progID, dumps[1]); err != nil {
+		t.Fatal(err)
+	}
+	// ...third must be rejected, not dropped or blocked.
+	if _, err := svc.Submit(progID, dumps[2]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	m := svc.Metrics()
+	if m.Rejected != 1 || m.QueueDepth != 1 {
+		t.Fatalf("metrics = %+v, want rejected=1 queue_depth=1", m)
+	}
+	close(release)
+	for _, id := range []string{j1.ID} {
+		if _, err := svc.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGracefulDrainPartialResults forces a drain deadline while one
+// analysis is in flight and another is queued: the in-flight one must
+// complete with a partial report, the queued one must be canceled, and
+// neither partial nor canceled work may poison the cache.
+func TestGracefulDrainPartialResults(t *testing.T) {
+	release := make(chan struct{})
+	svc, progID, dumps := testService(t, Config{
+		QueueDepth:    4,
+		ShardWorkers:  1,
+		beforeAnalyze: func() { <-release },
+	})
+
+	j1, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, svc, j1.ID, StatusRunning)
+	j2, err := svc.Submit(progID, dumps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain with a deadline the blocked worker will blow through; release
+	// the worker only once the drain has forced cancellation.
+	shCtx, shCancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer shCancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.Shutdown(shCtx) }()
+	go func() {
+		<-svc.baseCtx.Done()
+		close(release)
+	}()
+	if err := <-errCh; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+
+	// New work is refused while and after draining.
+	if _, err := svc.Submit(progID, dumps[2]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain = %v, want ErrDraining", err)
+	}
+
+	got1, _ := svc.Job(j1.ID)
+	if got1.Status != StatusDone || !got1.Partial {
+		t.Fatalf("in-flight job = %+v, want done+partial", got1)
+	}
+	if len(got1.Report) == 0 {
+		t.Fatal("partial job lost its report")
+	}
+	got2, _ := svc.Job(j2.ID)
+	if got2.Status != StatusCanceled {
+		t.Fatalf("queued job = %+v, want canceled", got2)
+	}
+	// Partial results must not be served to future submitters, and a
+	// memory-only store archives no dump blobs: nothing was stored.
+	if st := svc.Store().Stats(); st.Puts != 0 {
+		t.Fatalf("store puts = %+v, want none (partials never cached)", st)
+	}
+}
+
+// TestPartialResultsRequeueOnResubmit guards the cache-integrity rule:
+// a result cut short by the job timeout is reported but is NOT the
+// tuple's answer of record — resubmitting the same dump re-analyzes it
+// instead of serving the stale partial.
+func TestPartialResultsRequeueOnResubmit(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{JobTimeout: time.Nanosecond})
+	defer svc.Shutdown(context.Background())
+
+	first, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.Wait(context.Background(), first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || !got.Partial {
+		t.Fatalf("job = %+v, want done+partial under a 1ns timeout", got)
+	}
+
+	again, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != first.ID {
+		t.Fatalf("requeue changed the job ID: %s vs %s", again.ID, first.ID)
+	}
+	if again.Cached || again.Status.Terminal() {
+		t.Fatalf("resubmission = %+v, want a fresh queued analysis, not the stale partial", again)
+	}
+	if _, err := svc.Wait(context.Background(), again.ID); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.CacheHits != 0 || m.CacheMisses != 2 {
+		t.Fatalf("metrics = %+v, want 0 hits / 2 misses (partials never cached)", m)
+	}
+	// The stale partial's bucket membership was replaced, not duplicated.
+	total := 0
+	for _, b := range svc.Buckets() {
+		total += b.Count
+	}
+	if total > 1 {
+		t.Fatalf("buckets count the same job twice: %+v", svc.Buckets())
+	}
+}
+
+// TestConcurrentSubmits hammers one service from many goroutines with a
+// mix of duplicate and distinct dumps across two programs; run under
+// -race this is the service's concurrency contract.
+func TestConcurrentSubmits(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{ShardWorkers: 4, QueueDepth: 256})
+	bug2 := workload.AtomViolation()
+	progID2, err := svc.RegisterProgram(bug2.Name, bug2.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumps2 := failingDumps(t, bug2, 2)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ids := make(map[string]bool)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				pid, d := progID, dumps[(g+i)%len(dumps)]
+				if (g+i)%3 == 0 {
+					pid, d = progID2, dumps2[i%len(dumps2)]
+				}
+				job, err := svc.Submit(pid, d)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				mu.Lock()
+				ids[job.ID] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for id := range ids {
+		job, err := svc.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status != StatusDone {
+			t.Fatalf("job %s = %+v, want done", id, job)
+		}
+	}
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	// 6 distinct (program, dump) tuples exist; everything else coalesced
+	// or hit the cache.
+	if m.Jobs != len(ids) || m.Jobs > 6 {
+		t.Fatalf("metrics = %+v with %d distinct IDs, want ≤ 6 jobs", m, len(ids))
+	}
+	if m.Completed+m.CacheHits+m.Coalesced != 48 {
+		t.Fatalf("metrics = %+v, want completed+hits+coalesced = 48 submissions", m)
+	}
+	if m.Programs != 2 || len(m.Shards) != 2 {
+		t.Fatalf("metrics = %+v, want 2 shards", m)
+	}
+}
+
+// TestBucketsDedupAcrossManifestations checks the service-level payoff of
+// root-cause bucketing: distinct dumps (different schedules, same bug)
+// land in one bucket.
+func TestBucketsDedupAcrossManifestations(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{ShardWorkers: 2})
+	defer svc.Shutdown(context.Background())
+	for _, d := range dumps[:3] {
+		job, err := svc.Submit(progID, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Wait(context.Background(), job.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs := svc.Buckets()
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("buckets = %+v, want 3 jobs bucketed", bs)
+	}
+	if len(bs) != 1 {
+		t.Logf("note: %d buckets for one bug (suffix fallback can split); largest has %d", len(bs), bs[0].Count)
+	}
+}
+
+func waitStatus(t *testing.T, svc *Service, id string, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := svc.Job(id)
+		if ok && (job.Status == want || job.Status.Terminal()) {
+			if job.Status != want {
+				t.Fatalf("job %s = %v, want %v", id, job.Status, want)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+}
+
+// TestSubmitErrors covers the rejection paths.
+func TestSubmitErrors(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{})
+	defer svc.Shutdown(context.Background())
+	if _, err := svc.Submit(progID, []byte("garbage")); !errors.Is(err, ErrBadDump) {
+		t.Fatalf("garbage dump: %v, want ErrBadDump", err)
+	}
+	if _, err := svc.Submit("no-such-program", dumps[0]); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("bad program id: %v, want ErrUnknownProgram", err)
+	}
+	other := fmt.Sprintf("%064x", 42)
+	if _, err := svc.Submit(other, dumps[0]); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("unregistered program: %v, want ErrUnknownProgram", err)
+	}
+	if _, err := svc.Wait(context.Background(), "nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job: %v, want ErrUnknownJob", err)
+	}
+}

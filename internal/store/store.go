@@ -1,0 +1,178 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a two-tier content-addressed store. The memory tier is a
+// strict LRU bounded by entry count; the optional disk tier holds every
+// artifact ever Put and serves memory misses (promoting what it finds
+// back into the LRU). All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List            // front = most recently used
+	items map[Key]*list.Element // key -> entry element
+	dir   string                // "" = memory-only
+	stats Stats
+}
+
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// Stats is a snapshot of store effectiveness counters.
+type Stats struct {
+	// Hits counts Gets answered from either tier; DiskHits is the subset
+	// answered by the disk tier (a memory miss that disk covered).
+	Hits, DiskHits uint64
+	// Misses counts Gets neither tier could answer.
+	Misses uint64
+	// Puts counts successful writes; Evictions counts LRU entries dropped
+	// from the memory tier to respect the capacity bound.
+	Puts, Evictions uint64
+	// Entries is the current memory-tier population.
+	Entries int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any Get.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// DefaultCapacity bounds the memory tier when the caller passes a
+// capacity < 1.
+const DefaultCapacity = 4096
+
+// New creates a memory-only store holding at most capacity entries
+// (capacity < 1 means DefaultCapacity).
+func New(capacity int) *Store {
+	if capacity < 1 {
+		capacity = DefaultCapacity
+	}
+	return &Store{cap: capacity, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// NewDisk creates a store whose memory tier spills nothing but whose disk
+// tier under dir retains every artifact; dir is created if missing.
+func NewDisk(capacity int, dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := New(capacity)
+	s.dir = dir
+	return s, nil
+}
+
+// Get returns the artifact stored under k. The boolean reports whether it
+// was found; the returned slice is the caller's to keep (it is never
+// mutated by the store).
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		return data, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir == "" {
+		s.miss()
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.miss()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.stats.DiskHits++
+	s.insertLocked(k, data)
+	s.mu.Unlock()
+	return data, true
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// Put stores data under k in both tiers. Storing under an existing key
+// replaces the previous value (content-addressed keys make that a no-op
+// in practice).
+func (s *Store) Put(k Key, data []byte) error {
+	s.mu.Lock()
+	dir := s.dir
+	s.stats.Puts++
+	s.insertLocked(k, data)
+	s.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	// Write-then-rename so a crashed daemon never leaves a torn artifact
+	// for the next one to serve.
+	path := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// insertLocked adds or refreshes the memory-tier entry and enforces the
+// LRU bound. Caller holds s.mu.
+func (s *Store) insertLocked(k Key, data []byte) {
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*entry).data = data
+		return
+	}
+	s.items[k] = s.ll.PushFront(&entry{key: k, data: data})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}
+
+// Persistent reports whether the store has a disk tier.
+func (s *Store) Persistent() bool { return s.dir != "" }
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}
+
+// path maps a key to its disk-tier location, fanned out over 256
+// two-hex-digit subdirectories so no single directory grows unbounded.
+// Pure: Put creates the subdirectory, Get only probes.
+func (s *Store) path(k Key) string {
+	id := k.ID()
+	return filepath.Join(s.dir, id[:2], id)
+}
