@@ -67,6 +67,7 @@ type config struct {
 	matchOutputs bool
 	solver       SolverOptions
 	observer     func(Event)
+	parallelism  int
 }
 
 // Option configures an Analyzer (at construction) or a single analysis
@@ -95,6 +96,17 @@ func WithMatchOutputs() Option { return func(c *config) { c.matchOutputs = true 
 
 // WithSolverOptions tunes constraint solving; zero fields take defaults.
 func WithSolverOptions(o SolverOptions) Option { return func(c *config) { c.solver = o } }
+
+// WithSearchParallelism sets how many candidate backward steps the search
+// evaluates concurrently within each depth of one analysis. n <= 0 (and
+// the unset default) means automatic: runtime.GOMAXPROCS(0) for a
+// standalone Analyze, and the machine divided among the batch's workers
+// inside AnalyzeBatch — so batch-level and candidate-level parallelism
+// compose instead of multiplying. Pass 1 to force the sequential engine.
+// Any value produces bit-identical results: candidate outcomes are
+// merged in deterministic order, so reports, events, and triage buckets
+// match the sequential engine exactly — only the wall-clock changes.
+func WithSearchParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // WithObserver streams search progress events to fn. Events are delivered
 // synchronously from the analyzing goroutine, so fn must be fast; during
@@ -132,6 +144,10 @@ func (a *Analyzer) Program() *Program { return a.p }
 
 // coreOptions lowers the resolved config to engine options for one dump.
 func (c config) coreOptions(a *Analyzer, d *Dump) core.Options {
+	par := c.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	copt := core.Options{
 		MaxDepth:     c.maxDepth,
 		MaxNodes:     c.maxNodes,
@@ -140,6 +156,7 @@ func (c config) coreOptions(a *Analyzer, d *Dump) core.Options {
 		MatchOutputs: c.matchOutputs,
 		OnEvent:      c.observer,
 		Preds:        a.preds,
+		Parallelism:  par,
 	}
 	if c.useLBR {
 		copt.Filter = breadcrumb.LBRFilter(a.p, d.LBR, c.lbrMode)
@@ -233,12 +250,29 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 // The returned error joins the per-dump errors (nil when every analysis
 // succeeded); a canceled context fails the remaining dumps with ctx.Err()
 // while results already produced are kept.
+//
+// While the search parallelism is automatic (unset, or any
+// WithSearchParallelism value <= 0), each analysis gets GOMAXPROCS
+// divided by the batch's worker count, so batch-level and candidate-level
+// parallelism together use the machine once instead of multiplying into
+// oversubscription. Results are unaffected either way.
 func (a *Analyzer) AnalyzeBatch(ctx context.Context, dumps []*Dump, parallelism int, opts ...Option) ([]*Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(dumps) {
 		parallelism = len(dumps)
+	}
+	cfg := a.base
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.parallelism <= 0 && parallelism > 0 {
+		inner := runtime.GOMAXPROCS(0) / parallelism
+		if inner < 1 {
+			inner = 1
+		}
+		opts = append(append([]Option(nil), opts...), WithSearchParallelism(inner))
 	}
 	results := make([]*Result, len(dumps))
 	errs := make([]error, len(dumps))

@@ -48,6 +48,7 @@ func main() {
 		progress = flag.Bool("progress", false, "stream search progress to stderr")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
 		submit   = flag.String("submit", "", "submit to a resd daemon at this address instead of analyzing locally")
+		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential; results identical either way)")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
@@ -67,7 +68,7 @@ func main() {
 		cli.Fatal(err)
 	}
 
-	opts := []res.Option{res.WithMaxDepth(*depth), res.WithMaxNodes(*nodes)}
+	opts := []res.Option{res.WithMaxDepth(*depth), res.WithMaxNodes(*nodes), res.WithSearchParallelism(*searchP)}
 	if *useLBR {
 		mode := res.LBRRecordAll
 		if *lbrSkip {

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	resd [-addr :8467] [-depth 24] [-nodes 0] [-lbr] [-outputs]
-//	     [-workers 2] [-queue 64] [-job-timeout 1m]
+//	     [-workers 2] [-queue 64] [-job-timeout 1m] [-search-parallel 0]
 //	     [-cache-entries 4096] [-cache-dir /var/lib/resd]
+//	     [-jobs-cap 65536] [-jobs-ttl 0] [-pprof]
 //	     [-drain-timeout 30s]
 //
 // API (JSON):
@@ -33,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +60,10 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 0, "result-store memory entries (0 = default)")
 		cacheDir     = flag.String("cache-dir", "", "result-store disk tier (empty = memory only)")
 		drain        = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain bound")
+		searchP      = flag.Int("search-parallel", 0, "candidate-level parallelism within each analysis (0 = auto: cores divided by -workers; 1 = sequential)")
+		jobsCap      = flag.Int("jobs-cap", 65536, "terminal job records kept in memory before oldest-first eviction (0 = unbounded)")
+		jobsTTL      = flag.Duration("jobs-ttl", 0, "evict terminal job records older than this (0 = no TTL)")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -78,14 +84,32 @@ func main() {
 			UseLBR:             *useLBR,
 			LBRSkipConditional: *lbrSkip,
 			MatchOutputs:       *outputs,
+			SearchParallelism:  *searchP,
 		},
 		QueueDepth:   *queue,
 		ShardWorkers: *workers,
 		JobTimeout:   *jobTimeout,
 		Store:        st,
+		MaxJobs:      *jobsCap,
+		JobRetention: *jobsTTL,
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := http.Handler(svc.Handler())
+	if *pprofOn {
+		// Profiling is opt-in: the pprof endpoints expose internals and
+		// cost CPU when scraped, so fleet operators enable them only when
+		// chasing a hot path.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "resd: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "resd: listening on %s (workers=%d queue=%d depth=%d)\n",

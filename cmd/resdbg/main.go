@@ -31,6 +31,7 @@ func main() {
 		dumpPath = flag.String("dump", "", "coredump file (required)")
 		depth    = flag.Int("depth", 0, "maximum suffix length (0 = default)")
 		timeout  = flag.Duration("timeout", 0, "synthesis deadline (0 = none)")
+		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	fmt.Printf("failure: %s\nsynthesizing execution suffix...\n", d.Fault)
-	r, err := res.NewAnalyzer(p, res.WithMaxDepth(*depth)).Analyze(ctx, d)
+	r, err := res.NewAnalyzer(p, res.WithMaxDepth(*depth), res.WithSearchParallelism(*searchP)).Analyze(ctx, d)
 	if err != nil && r == nil {
 		cli.Fatal(err)
 	}

@@ -45,6 +45,7 @@ func main() {
 		depth    = flag.Int("depth", 14, "RES suffix depth budget")
 		buckets  = flag.Bool("buckets", false, "print bucket composition")
 		parallel = flag.Int("parallel", 1, "concurrent analyses (<1 = GOMAXPROCS)")
+		searchP  = flag.Int("search-parallel", 1, "candidate-level parallelism within each analysis (0 = all cores; keep 1 when -parallel already saturates the machine)")
 		timeout  = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
 		cache    = flag.Bool("cache", false, "dedup duplicate dumps through a content-addressed result store")
 	)
@@ -79,7 +80,7 @@ func main() {
 	sessions := make(map[*prog.Program]*res.Analyzer)
 	for _, it := range corpus {
 		if _, ok := sessions[it.Prog]; !ok {
-			sessions[it.Prog] = res.NewAnalyzer(it.Prog, res.WithMaxDepth(*depth))
+			sessions[it.Prog] = res.NewAnalyzer(it.Prog, res.WithMaxDepth(*depth), res.WithSearchParallelism(*searchP))
 		}
 	}
 

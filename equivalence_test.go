@@ -1,0 +1,130 @@
+package res_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"res"
+	"res/internal/workload"
+)
+
+// normalizedJSON renders a result's deterministic JSON report with the
+// one documented nondeterministic field (elapsed_ms) zeroed.
+func normalizedJSON(t testing.TB, r *res.Result) []byte {
+	t.Helper()
+	rep := r.JSONReport()
+	rep.ElapsedMS = 0
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestSearchEquivalenceParallelVsSequential is the correctness contract of
+// the parallel + incremental engine: across the workload corpus and a
+// sweep of depth budgets, the report produced with candidate-level
+// parallelism is byte-identical to the sequential engine's — statistics,
+// suffixes, causes, exploitability, everything except wall-clock.
+func TestSearchEquivalenceParallelVsSequential(t *testing.T) {
+	bugs := []*workload.Bug{
+		workload.Fig1(),
+		workload.RaceCounter(),
+		workload.AtomViolation(),
+		workload.WriteWriteRace(),
+		workload.MultiSiteRace(),
+		workload.AmbiguousDispatch(8),
+		workload.UseAfterFree(),
+		workload.TaintedOverflow(),
+		workload.HealthyCompute(),
+		workload.DistanceChain(6),
+	}
+	ctx := context.Background()
+	for _, bug := range bugs {
+		bug := bug
+		t.Run(bug.Name, func(t *testing.T) {
+			t.Parallel()
+			p := bug.Program()
+			d, _, err := bug.FindFailure(60)
+			if err != nil {
+				t.Fatalf("no failing dump: %v", err)
+			}
+			for _, depth := range []int{4, 10, 16} {
+				base := []res.Option{res.WithMaxDepth(depth), res.WithMaxNodes(2500)}
+				seq := res.NewAnalyzer(p, append(base, res.WithSearchParallelism(1))...)
+				par := res.NewAnalyzer(p, append(base, res.WithSearchParallelism(4))...)
+
+				rs, err := seq.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("depth %d: sequential: %v", depth, err)
+				}
+				rp, err := par.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("depth %d: parallel: %v", depth, err)
+				}
+				js, jp := normalizedJSON(t, rs), normalizedJSON(t, rp)
+				if !bytes.Equal(js, jp) {
+					t.Errorf("depth %d: parallel report differs from sequential:\n--- sequential\n%s\n--- parallel\n%s", depth, js, jp)
+				}
+				// And the parallel engine is deterministic run to run.
+				rp2, err := par.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("depth %d: parallel rerun: %v", depth, err)
+				}
+				if jp2 := normalizedJSON(t, rp2); !bytes.Equal(jp, jp2) {
+					t.Errorf("depth %d: parallel engine nondeterministic across runs", depth)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAnalysesSharedAnalyzerParallelSearch exercises the layered
+// hot path under the race detector: many goroutines share one Analyzer,
+// each analysis itself fanning candidates across an inner worker pool, and
+// every result must match the single-threaded reference.
+func TestConcurrentAnalysesSharedAnalyzerParallelSearch(t *testing.T) {
+	bug := workload.RaceCounter()
+	p := bug.Program()
+	dumps := collectDumps(t, bug, 3)
+	opts := []res.Option{res.WithMaxDepth(12), res.WithMaxNodes(1500), res.WithSearchParallelism(4)}
+	a := res.NewAnalyzer(p, opts...)
+	ctx := context.Background()
+
+	want := make([][]byte, len(dumps))
+	for i, d := range dumps {
+		r, err := a.Analyze(ctx, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = normalizedJSON(t, r)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6*len(dumps))
+	for g := 0; g < 6; g++ {
+		for i := range dumps {
+			wg.Add(1)
+			go func(g, i int) {
+				defer wg.Done()
+				r, err := a.Analyze(ctx, dumps[i])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d dump %d: %v", g, i, err)
+					return
+				}
+				if !bytes.Equal(normalizedJSON(t, r), want[i]) {
+					errs <- fmt.Errorf("goroutine %d dump %d: report differs from reference", g, i)
+				}
+			}(g, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

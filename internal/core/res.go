@@ -17,6 +17,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"res/internal/coredump"
 	"res/internal/isa"
@@ -74,6 +75,9 @@ type Node struct {
 	lbrUsed int
 	// outUsed counts output-log entries consumed along this path.
 	outUsed int
+	// fp is the snapshot's structural fingerprint, used to deduplicate
+	// equivalent frontier nodes before they are expanded.
+	fp uint64
 }
 
 // Steps returns the node's suffix steps, oldest first. Each node's Step is
@@ -186,6 +190,13 @@ type Options struct {
 	// (BuildPredIndex) shared across analyses of the same program. When
 	// nil, predecessors are recomputed on the fly at every node.
 	Preds PredIndex
+	// Parallelism is the number of candidate backward steps evaluated
+	// concurrently within one depth of the search. Values <= 1 run
+	// sequentially. Results are bit-identical at any parallelism: every
+	// candidate's work is independent, and outcomes are merged in
+	// candidate order so statistics, events, suffix discovery order, and
+	// early-stop points match the sequential engine exactly.
+	Parallelism int
 }
 
 func (o Options) maxDepth() int {
@@ -200,6 +211,13 @@ func (o Options) maxNodes() int {
 		return 100000
 	}
 	return o.MaxNodes
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // Stats aggregates search effort; the experiment harness reports these.
@@ -335,50 +353,71 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 	depth1Unknown := 0
 	for len(frontier) > 0 && rep.Stats.Attempts < e.opt.maxNodes() {
 		e.emit(EventDepth, frontier[0].Depth+1, false, rep)
+		// Enumerate this depth's candidate work up front (budget- and
+		// filter-aware, deduplicating fingerprint-identical frontier
+		// nodes), optionally fan the per-candidate BackExec+check work
+		// across workers, then merge outcomes in candidate order so the
+		// result is bit-identical to a sequential pass.
+		work := e.buildWork(frontier, rep)
+		results := e.runWork(ctx, work, d)
 		var next []*Node
-		for _, node := range frontier {
-			if node.Depth >= e.opt.maxDepth() {
-				continue
+		for i := range work {
+			it := &work[i]
+			if err := ctx.Err(); err != nil {
+				rep.Interrupted = true
+				return rep, err
 			}
-			if rep.Stats.Attempts >= e.opt.maxNodes() {
-				break
+			var out stepOut
+			switch {
+			case !it.filterOK:
+				out = stepOut{verdict: symvm.Infeasible}
+			case results != nil && results[i].computed:
+				out = results[i]
+			default:
+				// Sequential mode (or a worker skipped by cancellation):
+				// compute lazily, so an early stop attempts exactly what
+				// the seed engine would have.
+				out = e.tryStep(it.node, it.cand, it.consume, d)
 			}
-			for _, cand := range e.candidates(node) {
-				if err := ctx.Err(); err != nil {
-					rep.Interrupted = true
-					return rep, err
-				}
-				if rep.Stats.Attempts >= e.opt.maxNodes() {
-					break
-				}
-				child, verdict := e.attempt(node, cand, d, rep)
-				e.emit(EventNode, node.Depth+1, verdict == symvm.Feasible, rep)
-				if rep.Stats.Attempts%128 == 0 {
-					e.emit(EventSolver, node.Depth+1, false, rep)
-				}
-				switch verdict {
+			if it.filterOK {
+				rep.Stats.Attempts++
+				rep.Stats.SolverCalls += out.solverCalls
+				switch out.verdict {
 				case symvm.Feasible:
-					if node == root || node.Depth == 0 {
-						depth1Feasible++
-					}
-					if child.Depth > rep.Stats.MaxDepth {
-						rep.Stats.MaxDepth = child.Depth
-					}
-					rep.Suffixes = append(rep.Suffixes, child)
-					e.emit(EventSuffix, child.Depth, true, rep)
-					if e.opt.OnSuffix != nil && e.opt.OnSuffix(child) {
-						rep.Stopped = true
-						return rep, nil
-					}
-					if full := e.checkFullReconstruction(child); full {
-						rep.FullReconstruction = child
-						return rep, nil
-					}
-					next = append(next, child)
-				case symvm.Unknown:
-					if node == root || node.Depth == 0 {
-						depth1Unknown++
-					}
+					rep.Stats.Feasible++
+				case symvm.Infeasible:
+					rep.Stats.Infeasible++
+				default:
+					rep.Stats.Unknown++
+				}
+			}
+			e.emit(EventNode, it.node.Depth+1, out.verdict == symvm.Feasible, rep)
+			if rep.Stats.Attempts%128 == 0 {
+				e.emit(EventSolver, it.node.Depth+1, false, rep)
+			}
+			switch out.verdict {
+			case symvm.Feasible:
+				if it.node == root || it.node.Depth == 0 {
+					depth1Feasible++
+				}
+				child := out.child
+				if child.Depth > rep.Stats.MaxDepth {
+					rep.Stats.MaxDepth = child.Depth
+				}
+				rep.Suffixes = append(rep.Suffixes, child)
+				e.emit(EventSuffix, child.Depth, true, rep)
+				if e.opt.OnSuffix != nil && e.opt.OnSuffix(child) {
+					rep.Stopped = true
+					return rep, nil
+				}
+				if full := e.checkFullReconstruction(child); full {
+					rep.FullReconstruction = child
+					return rep, nil
+				}
+				next = append(next, child)
+			case symvm.Unknown:
+				if it.node == root || it.node.Depth == 0 {
+					depth1Unknown++
 				}
 			}
 		}
@@ -403,8 +442,11 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 // the dump itself at depth 0.
 func (e *Engine) baseCase(d *coredump.Dump, rep *Report) (*Node, error) {
 	snap := symstate.FromDump(d, e.P.Layout.HeapBase, e.pool)
+	// Seed the incremental solver session at the root: every descendant
+	// snapshot extends it with only the constraints its own step added.
+	snap.AttachSession(e.solverOpt)
 	if d.Fault.Thread < 0 {
-		return &Node{Snap: snap}, nil
+		return &Node{Snap: snap, fp: snap.Fingerprint()}, nil
 	}
 	t, err := d.Thread(d.Fault.Thread)
 	if err != nil {
@@ -444,6 +486,7 @@ func (e *Engine) baseCase(d *coredump.Dump, rep *Report) (*Node, error) {
 		Snap:  res.Pre,
 		Step:  StepRec{Kind: StepPartial, Tid: d.Fault.Thread, Block: block.ID, StartPC: block.Start, EndPC: d.Fault.PC, Inputs: res.Inputs, Outputs: res.Outputs, Accesses: res.Accesses},
 		Depth: 1,
+		fp:    res.Pre.Fingerprint(),
 	}
 	node.Parent = &Node{Snap: snap} // sentinel root so Steps() includes the partial step
 	rep.Stats.MaxDepth = 1
@@ -575,16 +618,107 @@ func (e *Engine) candidates(n *Node) []candidate {
 	return out
 }
 
-// attempt runs one backward step and builds the child node on success.
-func (e *Engine) attempt(n *Node, c candidate, d *coredump.Dump, rep *Report) (*Node, symvm.Verdict) {
-	consume := false
-	if e.opt.Filter != nil {
-		ok, cons := e.opt.Filter(n.lbrUsed, c.hasTransfer, c.from, c.to)
-		if !ok {
-			return nil, symvm.Infeasible
+// workItem pairs a frontier node with one enumerated candidate, plus the
+// breadcrumb filter's verdict, evaluated at enumeration time so the
+// budget cut and the parallel fan-out agree with sequential order.
+type workItem struct {
+	node     *Node
+	cand     candidate
+	filterOK bool
+	consume  bool
+}
+
+// stepOut is the outcome of one attempted backward step.
+type stepOut struct {
+	child       *Node
+	verdict     symvm.Verdict
+	solverCalls int
+	computed    bool
+}
+
+// buildWork enumerates this depth's candidate attempts in frontier order,
+// applying the depth bound, the attempt budget (filtered candidates do
+// not consume budget, exactly as the sequential loop counts), and
+// fingerprint deduplication: a frontier node whose snapshot is
+// structurally identical to an earlier node of the same depth — with the
+// same breadcrumb cursors, which govern how descendants are filtered —
+// expands to an isomorphic subtree, so only the first is expanded (the
+// dropped twin itself was already reported as a suffix).
+func (e *Engine) buildWork(frontier []*Node, rep *Report) []workItem {
+	var work []workItem
+	att := rep.Stats.Attempts
+	max := e.opt.maxNodes()
+	seen := make(map[uint64]bool, len(frontier))
+	for _, node := range frontier {
+		if node.Depth >= e.opt.maxDepth() {
+			continue
 		}
-		consume = cons
+		if att >= max {
+			break
+		}
+		key := symx.MixHash(symx.MixHash(node.fp, uint64(node.lbrUsed)), uint64(node.outUsed))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, cand := range e.candidates(node) {
+			if att >= max {
+				break
+			}
+			it := workItem{node: node, cand: cand, filterOK: true}
+			if e.opt.Filter != nil {
+				it.filterOK, it.consume = e.opt.Filter(node.lbrUsed, cand.hasTransfer, cand.from, cand.to)
+			}
+			if it.filterOK {
+				att++
+			}
+			work = append(work, it)
+		}
 	}
+	return work
+}
+
+// runWork fans the candidate attempts across a bounded worker pool and
+// collects results by candidate index. In sequential mode (parallelism
+// <= 1) it returns nil and the merge loop computes lazily, so early stops
+// attempt exactly what the sequential engine would.
+func (e *Engine) runWork(ctx context.Context, work []workItem, d *coredump.Dump) []stepOut {
+	workers := e.opt.parallelism()
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 || len(work) < 2 {
+		return nil
+	}
+	results := make([]stepOut, len(work))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil || !work[i].filterOK {
+					continue
+				}
+				results[i] = e.tryStep(work[i].node, work[i].cand, work[i].consume, d)
+				results[i].computed = true
+			}
+		}()
+	}
+	for i := range work {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// tryStep runs one backward step and builds the child node on success. It
+// does not touch the engine or the report, so distinct candidates may run
+// concurrently; the merge loop applies the returned statistics in
+// candidate order.
+func (e *Engine) tryStep(n *Node, c candidate, consume bool, d *coredump.Dump) stepOut {
 	req := symvm.Req{
 		P:          e.P,
 		Post:       n.Snap,
@@ -595,17 +729,10 @@ func (e *Engine) attempt(n *Node, c candidate, d *coredump.Dump, rep *Report) (*
 		HaltStep:   c.kind == StepHalt,
 	}
 	res := symvm.BackExec(req, symvm.Options{Solver: e.solverOpt, DisableProbe: e.opt.DisableProbe})
-	rep.Stats.Attempts++
-	rep.Stats.SolverCalls += res.SolverCalls
-	switch res.Verdict {
-	case symvm.Infeasible:
-		rep.Stats.Infeasible++
-		return nil, res.Verdict
-	case symvm.Unknown:
-		rep.Stats.Unknown++
-		return nil, res.Verdict
+	out := stepOut{verdict: res.Verdict, solverCalls: res.SolverCalls}
+	if res.Verdict != symvm.Feasible {
+		return out
 	}
-	rep.Stats.Feasible++
 	child := &Node{
 		Snap:   res.Pre,
 		Parent: n,
@@ -634,22 +761,24 @@ func (e *Engine) attempt(n *Node, c candidate, d *coredump.Dump, rep *Report) (*
 			}
 			want := d.Outputs[idx]
 			if want.PC != ou.PC || want.Tag != ou.Tag {
-				rep.Stats.Feasible--
-				rep.Stats.Infeasible++
-				return nil, symvm.Infeasible
+				out.verdict = symvm.Infeasible
+				return out
 			}
 			child.Snap.AddCons(solver.Eq(ou.Value, symx.Const(want.Value)))
 			child.outUsed++
 		}
-		chk := solver.Check(child.Snap.Cons, e.solverOpt)
-		rep.Stats.SolverCalls++
+		// Incremental: only the output equations are propagated on top of
+		// the child's session.
+		chk := child.Snap.Check(e.solverOpt)
+		out.solverCalls++
 		if chk.Verdict == solver.Unsat {
-			rep.Stats.Feasible--
-			rep.Stats.Infeasible++
-			return nil, symvm.Infeasible
+			out.verdict = symvm.Infeasible
+			return out
 		}
 	}
-	return child, symvm.Feasible
+	child.fp = child.Snap.Fingerprint()
+	out.child = child
+	return out
 }
 
 // checkFullReconstruction reports whether the node has unwound the whole
@@ -676,17 +805,17 @@ func (e *Engine) checkFullReconstruction(n *Node) bool {
 			init.Store(g.Addr+uint32(i), val)
 		}
 	}
-	cs := append([]solver.Constraint{}, n.Snap.Cons...)
+	var extra []solver.Constraint
 	for r := 0; r < isa.NumRegs; r++ {
 		want := int64(0)
 		if isa.Reg(r) == isa.SP {
 			want = int64(e.P.Layout.StackTop(0))
 		}
-		cs = append(cs, solver.Eq(t.Regs[r], symx.Const(want)))
+		extra = append(extra, solver.Eq(t.Regs[r], symx.Const(want)))
 	}
-	for a := range n.Snap.Mem {
-		cs = append(cs, solver.Eq(n.Snap.MemAt(a), symx.Const(init.Load(a))))
-	}
-	res := solver.Check(cs, e.solverOpt)
+	n.Snap.ForEachMem(func(a uint32, _ *symx.Expr) {
+		extra = append(extra, solver.Eq(n.Snap.MemAt(a), symx.Const(init.Load(a))))
+	})
+	res := n.Snap.CheckWith(e.solverOpt, extra)
 	return res.Verdict == solver.Sat
 }

@@ -37,7 +37,10 @@ type Synthesized struct {
 // suffix: schedule, inputs, and the pre-image Mi. The dump supplies the
 // failure point (the pc at which the final partial step stops).
 func (e *Engine) Concretize(n *Node, d *coredump.Dump) (*Synthesized, error) {
-	res := solver.Check(n.Snap.Cons, e.opt.Solver)
+	// With a session on the snapshot this is a residual-only solve (the
+	// whole chain is already propagated); without one it solves the
+	// flattened constraint set from scratch.
+	res := n.Snap.CheckWith(e.opt.Solver, nil)
 	if res.Verdict != solver.Sat {
 		return nil, fmt.Errorf("core: node constraints not solvable: %v (%s)", res.Verdict, res.Reason)
 	}
@@ -78,7 +81,7 @@ func (e *Engine) Concretize(n *Node, d *coredump.Dump) (*Synthesized, error) {
 		PreMem:      n.Snap.ConcretizeMem(model),
 		PreRegs:     make(map[int][isa.NumRegs]int64),
 		PreStates:   make(map[int]coredump.ThreadState),
-		PreLocks:    make(map[uint32]int, len(n.Snap.Locks)),
+		PreLocks:    make(map[uint32]int),
 		PreHeap:     append([]coredump.HeapObject(nil), n.Snap.Heap...),
 		PreHeapNext: n.Snap.HeapNext,
 	}
@@ -90,9 +93,9 @@ func (e *Engine) Concretize(n *Node, d *coredump.Dump) (*Synthesized, error) {
 		syn.PreRegs[tid] = regs
 		syn.PreStates[tid] = n.Snap.Thread(tid).State
 	}
-	for a, o := range n.Snap.Locks {
+	n.Snap.ForEachLock(func(a uint32, o int) {
 		syn.PreLocks[a] = o
-	}
+	})
 	for a := range readSet {
 		syn.ReadSet = append(syn.ReadSet, a)
 	}

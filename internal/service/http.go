@@ -194,6 +194,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("resd_store_evictions_total", counter, "LRU evictions from the store memory tier.", float64(m.Store.Evictions))
 	emit("resd_buckets", gauge, "Distinct crash-dedup buckets.", float64(m.Buckets))
 	emit("resd_programs", gauge, "Registered program shards.", float64(m.Programs))
+	emit("resd_jobs", gauge, "Job records retained in memory.", float64(m.Jobs))
+	emit("resd_jobs_evicted_total", counter, "Terminal job records evicted by the MaxJobs/JobRetention bounds.", float64(m.JobsEvicted))
 	shardVec := func(name, typ, help string, v func(ShardMetrics) float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		for _, sh := range m.Shards {

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -55,6 +56,13 @@ type AnalysisConfig struct {
 	UseLBR             bool `json:"use_lbr"`
 	LBRSkipConditional bool `json:"lbr_skip_conditional"`
 	MatchOutputs       bool `json:"match_outputs"`
+	// SearchParallelism is the candidate-level parallelism within each
+	// analysis (res.WithSearchParallelism): <= 0 = automatic (the
+	// machine's cores divided among the shard's workers), 1 = sequential.
+	// It is deliberately NOT part of Canonical(): the engine produces
+	// bit-identical results at any parallelism, so results computed under
+	// different settings are interchangeable and share cache entries.
+	SearchParallelism int `json:"search_parallelism"`
 }
 
 // Canonical renders every result-affecting knob in a fixed order; this
@@ -75,6 +83,7 @@ func (c AnalysisConfig) options() []res.Option {
 		res.WithMaxDepth(c.MaxDepth),
 		res.WithMaxNodes(c.MaxNodes),
 		res.WithBeamWidth(c.BeamWidth),
+		res.WithSearchParallelism(c.SearchParallelism),
 	}
 	if c.UseLBR {
 		mode := res.LBRRecordAll
@@ -106,6 +115,15 @@ type Config struct {
 	// Store caches results and dump blobs; nil means a default in-memory
 	// store.
 	Store *store.Store
+	// MaxJobs caps the in-memory job records a long-lived daemon retains:
+	// when the jobs map exceeds it, the oldest-finished terminal records
+	// are evicted (in-flight and queued jobs are never evicted). A
+	// resubmission of an evicted tuple is served from the result store as
+	// a cache hit, so eviction loses history, not answers. 0 = unbounded.
+	MaxJobs int
+	// JobRetention additionally evicts terminal job records older than
+	// this, regardless of MaxJobs. 0 = no TTL.
+	JobRetention time.Duration
 
 	// beforeAnalyze, when set, runs in the worker just before each
 	// analysis. Test-only: it lets lifecycle tests hold a worker busy
@@ -189,9 +207,135 @@ type Service struct {
 	draining bool
 	wg       sync.WaitGroup
 
+	// doneOrder tracks terminal job records oldest-finished first, the
+	// eviction order for the MaxJobs/JobRetention bounds. Maintained only
+	// when one of the bounds is configured.
+	doneOrder []doneRec
+	// evicted maps evicted complete jobs to the slim record needed to
+	// keep GET /v1/results/{id} answering from the result store after the
+	// full job record is gone. Bounded FIFO (evictedOrder), ~200 bytes
+	// per entry against the kilobytes a full record holds.
+	evicted      map[string]evictedRec
+	evictedOrder []string
+
 	submitted, completed, failed, canceled uint64
 	rejected, coalesced                    uint64
 	cacheHits, cacheMisses                 uint64
+	jobsEvicted                            uint64
+}
+
+// doneRec is one entry of the eviction queue. The timestamp doubles as a
+// validity check: a record requeued after finishing gets a new entry, and
+// the stale one is skipped when popped.
+type doneRec struct {
+	id string
+	at time.Time
+}
+
+// evictedRec is what survives a complete job's eviction: enough to serve
+// a result poll from the store and keep the job's identity.
+type evictedRec struct {
+	key         store.Key
+	program     string
+	programName string
+	bucket      string
+	finished    time.Time
+}
+
+// bounded reports whether any job-record bound is configured.
+func (s *Service) bounded() bool {
+	return s.cfg.MaxJobs > 0 || s.cfg.JobRetention > 0
+}
+
+// recordDoneLocked queues a terminal job for eviction. Caller holds s.mu.
+func (s *Service) recordDoneLocked(js *jobState) {
+	if !s.bounded() {
+		return // no bounds: don't accumulate an eviction queue for nothing
+	}
+	s.doneOrder = append(s.doneOrder, doneRec{id: js.job.ID, at: js.job.FinishedAt})
+	s.evictJobsLocked()
+}
+
+// maxEvictedIndex bounds the slim tombstone index.
+func (s *Service) maxEvictedIndex() int {
+	if s.cfg.MaxJobs > 0 {
+		return 16 * s.cfg.MaxJobs
+	}
+	return 1 << 18
+}
+
+// evictJobsLocked enforces the job-record bounds. A complete job leaves a
+// slim tombstone behind so result polls keep resolving via the store;
+// failed/canceled/partial records (whose answer was never durable) just
+// vanish. Caller holds s.mu.
+func (s *Service) evictJobsLocked() {
+	now := time.Now()
+	for len(s.doneOrder) > 0 {
+		ent := s.doneOrder[0]
+		expired := s.cfg.JobRetention > 0 && now.Sub(ent.at) > s.cfg.JobRetention
+		over := s.cfg.MaxJobs > 0 && len(s.jobs) > s.cfg.MaxJobs
+		if !expired && !over {
+			return
+		}
+		s.doneOrder = s.doneOrder[1:]
+		js, ok := s.jobs[ent.id]
+		if !ok || !js.job.Status.Terminal() || !js.job.FinishedAt.Equal(ent.at) {
+			continue // evicted already, or requeued: a newer entry governs it
+		}
+		delete(s.jobs, ent.id)
+		s.jobsEvicted++
+		if js.job.Status == StatusDone && !js.job.Partial {
+			if s.evicted == nil {
+				s.evicted = make(map[string]evictedRec)
+			}
+			if _, dup := s.evicted[ent.id]; !dup {
+				s.evictedOrder = append(s.evictedOrder, ent.id)
+			}
+			s.evicted[ent.id] = evictedRec{
+				key: js.key, program: js.job.Program, programName: js.job.ProgramName,
+				bucket: js.job.Bucket, finished: js.job.FinishedAt,
+			}
+			for len(s.evictedOrder) > s.maxEvictedIndex() {
+				delete(s.evicted, s.evictedOrder[0])
+				s.evictedOrder = s.evictedOrder[1:]
+			}
+		}
+	}
+}
+
+// resurrectEvictedLocked clears the eviction tombstone and the bucket
+// membership the evicted record left behind, so a resubmission that
+// recreates the job (from the store, or by re-analysis after an LRU
+// miss) does not append the same ID to its bucket twice. Caller holds
+// s.mu.
+func (s *Service) resurrectEvictedLocked(id string) {
+	rec, ok := s.evicted[id]
+	if !ok {
+		return
+	}
+	delete(s.evicted, id) // the stale order entry is skipped at trim time
+	s.removeBucketLocked(rec.bucket, id)
+}
+
+// evictedJob serves a result lookup for an evicted complete job from the
+// store. Returns false when the ID is unknown or the store no longer
+// holds the report.
+func (s *Service) evictedJob(id string) (Job, bool) {
+	s.mu.Lock()
+	rec, ok := s.evicted[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	rep, ok := s.store.Get(rec.key)
+	if !ok {
+		return Job{}, false
+	}
+	return Job{
+		ID: id, Program: rec.program, ProgramName: rec.programName,
+		Status: StatusDone, Cached: true, Report: rep,
+		Bucket: rec.bucket, FinishedAt: rec.finished,
+	}, true
 }
 
 // New creates a service; it accepts work immediately (programs register
@@ -240,10 +384,20 @@ func (s *Service) RegisterProgram(name string, p *res.Program) (string, error) {
 	if _, ok := s.shards[id]; ok {
 		return id, nil
 	}
+	aopts := s.cfg.Analysis.options()
+	if s.cfg.Analysis.SearchParallelism <= 0 {
+		// Unset: split the machine between the shard's workers and each
+		// analysis's candidate-level pool instead of multiplying them.
+		inner := runtime.GOMAXPROCS(0) / s.cfg.ShardWorkers
+		if inner < 1 {
+			inner = 1
+		}
+		aopts = append(aopts, res.WithSearchParallelism(inner))
+	}
 	sh := &shard{
 		fp:       fp,
 		name:     name,
-		analyzer: res.NewAnalyzer(p, s.cfg.Analysis.options()...),
+		analyzer: res.NewAnalyzer(p, aopts...),
 		queue:    make(chan *jobState, s.cfg.QueueDepth),
 	}
 	s.shards[id] = sh
@@ -292,6 +446,7 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 	cachedRep, haveCached := s.store.Get(key)
 
 	s.mu.Lock()
+	s.evictJobsLocked() // amortized TTL/cap sweep, uniform across all submit paths
 	sh, ok := s.shards[programID]
 	if !ok {
 		s.mu.Unlock()
@@ -344,6 +499,7 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 		// record being superseded — and the store (possibly its disk
 		// tier, written by a prior run or another daemon) already has the
 		// complete result.
+		s.resurrectEvictedLocked(id)
 		if stale != nil {
 			s.removeBucketLocked(stale.job.Bucket, id)
 		}
@@ -358,11 +514,13 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 				Bucket:      bucketFromReport(sh.name, cachedRep),
 				SubmittedAt: now, FinishedAt: now,
 			},
+			key:  key,
 			done: make(chan struct{}),
 		}
 		close(js.done)
 		s.jobs[id] = js
 		s.addBucketLocked(js.job.Bucket, id)
+		s.recordDoneLocked(js)
 		s.mu.Unlock()
 		return js.job, nil
 	}
@@ -383,6 +541,7 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 		s.mu.Unlock()
 		return Job{}, ErrQueueFull
 	}
+	s.resurrectEvictedLocked(id)
 	if stale != nil {
 		s.removeBucketLocked(stale.job.Bucket, id)
 	}
@@ -487,6 +646,7 @@ func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	case StatusCanceled:
 		s.canceled++
 	}
+	s.recordDoneLocked(js)
 	s.mu.Unlock()
 	close(js.done)
 }
@@ -516,15 +676,22 @@ func (s *Service) removeBucketLocked(bucket, id string) {
 	}
 }
 
-// Job returns a snapshot of the job with the given ID.
+// Job returns a snapshot of the job with the given ID. A complete job
+// whose in-memory record was evicted by the MaxJobs/JobRetention bounds
+// is reconstructed from the result store, so result polls survive
+// eviction.
 func (s *Service) Job(id string) (Job, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	js, ok := s.jobs[id]
-	if !ok {
-		return Job{}, false
+	var snap Job
+	if ok {
+		snap = js.job
 	}
-	return js.job, true
+	s.mu.Unlock()
+	if !ok {
+		return s.evictedJob(id)
+	}
+	return snap, true
 }
 
 // Wait blocks until the job reaches a terminal status (or ctx ends) and
@@ -534,6 +701,9 @@ func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 	js, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
+		if job, ok := s.evictedJob(id); ok {
+			return job, nil
+		}
 		return Job{}, ErrUnknownJob
 	}
 	select {
@@ -597,6 +767,7 @@ type Metrics struct {
 	CacheHitRate float64        `json:"cache_hit_rate"`
 	Store        store.Stats    `json:"store"`
 	Jobs         int            `json:"jobs"`
+	JobsEvicted  uint64         `json:"jobs_evicted"`
 	Buckets      int            `json:"buckets"`
 	Programs     int            `json:"programs"`
 	Draining     bool           `json:"draining"`
@@ -610,7 +781,8 @@ func (s *Service) Metrics() Metrics {
 		Submitted: s.submitted, Completed: s.completed, Failed: s.failed,
 		Canceled: s.canceled, Rejected: s.rejected, Coalesced: s.coalesced,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
-		Jobs: len(s.jobs), Buckets: len(s.buckets), Programs: len(s.shards),
+		Jobs: len(s.jobs), JobsEvicted: s.jobsEvicted,
+		Buckets: len(s.buckets), Programs: len(s.shards),
 		Draining: s.draining,
 	}
 	if total := m.CacheHits + m.CacheMisses; total > 0 {

@@ -405,3 +405,117 @@ func TestSubmitErrors(t *testing.T) {
 		t.Fatalf("unknown job: %v, want ErrUnknownJob", err)
 	}
 }
+
+// TestJobEvictionByCap verifies the jobs-map bound: a long-lived service
+// evicts the oldest-finished terminal records past MaxJobs, counts the
+// evictions, and still answers a resubmission of an evicted tuple from
+// the content-addressed store.
+func TestJobEvictionByCap(t *testing.T) {
+	bug := workload.RaceCounter()
+	svc := New(Config{
+		Analysis:     AnalysisConfig{MaxDepth: 12, MaxNodes: 2000},
+		ShardWorkers: 2,
+		MaxJobs:      2,
+	})
+	defer svc.Shutdown(context.Background())
+	progID, err := svc.RegisterProgram(bug.Name, bug.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumps := failingDumps(t, bug, 4)
+
+	var first Job
+	for i, db := range dumps {
+		job, err := svc.Submit(progID, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job, err = svc.Wait(context.Background(), job.ID); err != nil || job.Status != StatusDone {
+			t.Fatalf("dump %d: job = %+v, err = %v", i, job, err)
+		}
+		if i == 0 {
+			first = job
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Jobs > 2 {
+		t.Fatalf("jobs retained = %d, want <= MaxJobs(2)", m.Jobs)
+	}
+	if m.JobsEvicted < 2 {
+		t.Fatalf("evictions = %d, want >= 2", m.JobsEvicted)
+	}
+	// A result poll for the evicted job still resolves: the slim
+	// tombstone routes it to the store-cached report.
+	got, ok := svc.Job(first.ID)
+	if !ok || got.Status != StatusDone || !got.Cached || len(got.Report) == 0 {
+		t.Fatalf("evicted job lookup = %+v, ok=%v; want cached done with report", got, ok)
+	}
+	if !bytes.Equal(got.Report, first.Report) {
+		t.Fatal("evicted job lookup returned a different report")
+	}
+	if w, err := svc.Wait(context.Background(), first.ID); err != nil || w.Status != StatusDone {
+		t.Fatalf("Wait on evicted job = %+v, %v", w, err)
+	}
+	// The evicted tuple's answer lives on in the store.
+	again, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Status != StatusDone || len(again.Report) == 0 {
+		t.Fatalf("resubmit after eviction = %+v, want cached done", again)
+	}
+	if !bytes.Equal(again.Report, first.Report) {
+		t.Fatal("cached report differs from the original analysis")
+	}
+	// Evict+resubmit cycles must not duplicate bucket membership.
+	for _, b := range svc.Buckets() {
+		seen := map[string]bool{}
+		for _, id := range b.JobIDs {
+			if seen[id] {
+				t.Fatalf("bucket %s lists job %s twice after evict+resubmit", b.Key, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestJobEvictionByTTL verifies the retention bound: terminal records
+// older than JobRetention are swept on the next submission.
+func TestJobEvictionByTTL(t *testing.T) {
+	bug := workload.RaceCounter()
+	svc := New(Config{
+		Analysis:     AnalysisConfig{MaxDepth: 12, MaxNodes: 2000},
+		ShardWorkers: 2,
+		JobRetention: time.Nanosecond,
+	})
+	defer svc.Shutdown(context.Background())
+	progID, err := svc.RegisterProgram(bug.Name, bug.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumps := failingDumps(t, bug, 2)
+
+	job, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(context.Background(), job.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond) // let the record age past the TTL
+	if _, err := svc.Submit(progID, dumps[1]); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.JobsEvicted < 1 {
+		t.Fatalf("evictions = %d, want >= 1 after TTL sweep", m.JobsEvicted)
+	}
+	if m.Jobs >= 2 {
+		t.Fatalf("jobs retained = %d, want the expired record swept", m.Jobs)
+	}
+	// Evicted-but-complete jobs still answer result polls via the store.
+	if got, ok := svc.Job(job.ID); !ok || !got.Cached || got.Status != StatusDone {
+		t.Fatalf("evicted job poll = %+v, ok=%v", got, ok)
+	}
+}

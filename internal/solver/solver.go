@@ -151,21 +151,26 @@ type Result struct {
 	Reason            string // human-readable explanation for Unsat/Unknown
 }
 
+// normalize fills zero option fields with the package defaults.
+func (o Options) normalize() Options {
+	def := DefaultOptions()
+	if o.MaxEnum == 0 {
+		o.MaxEnum = def.MaxEnum
+	}
+	if o.RandomTries == 0 {
+		o.RandomTries = def.RandomTries
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	return o
+}
+
 // Check decides the conjunction of cs. Zero-valued option fields take the
 // package defaults, so Check(cs, Options{}) is meaningful.
 func Check(cs []Constraint, opt Options) Result {
-	def := DefaultOptions()
-	if opt.MaxEnum == 0 {
-		opt.MaxEnum = def.MaxEnum
-	}
-	if opt.RandomTries == 0 {
-		opt.RandomTries = def.RandomTries
-	}
-	if opt.Seed == 0 {
-		opt.Seed = def.Seed
-	}
 	s := &state{
-		opt:       opt,
+		opt:       opt.normalize(),
 		bindings:  make(map[symx.Var]int64),
 		defs:      nil,
 		intervals: make(map[symx.Var]interval),
@@ -173,7 +178,15 @@ func Check(cs []Constraint, opt Options) Result {
 	for _, c := range cs {
 		s.pending = append(s.pending, c)
 	}
-	res := s.solve()
+	return finishResult(s, s.solve(), cs)
+}
+
+// finishResult attaches the forced bindings and applies the model safety
+// net: a Sat verdict must satisfy recheck, the constraints the caller can
+// vouch for. For a full Check that is the original set; for a Session
+// check it is the residual-plus-added set (the base's discharged
+// constraints hold by construction under the bindings the model carries).
+func finishResult(s *state, res Result, recheck []Constraint) Result {
 	if res.Verdict != Unsat {
 		res.Forced = make(map[symx.Var]int64, len(s.bindings))
 		for v, c := range s.bindings {
@@ -181,8 +194,7 @@ func Check(cs []Constraint, opt Options) Result {
 		}
 	}
 	if res.Verdict == Sat {
-		// Safety net: a Sat verdict must satisfy the ORIGINAL constraints.
-		for _, c := range cs {
+		for _, c := range recheck {
 			ok, def := c.Holds(res.Model)
 			if !def || !ok {
 				res.Verdict = Unknown
@@ -193,6 +205,99 @@ func Check(cs []Constraint, opt Options) Result {
 		}
 	}
 	return res
+}
+
+// clone copies the propagated state (bindings, intervals, definitions,
+// residual pending constraints) so a child solve can extend it without
+// touching the parent. Search bookkeeping starts fresh.
+func (s *state) clone() *state {
+	ns := &state{
+		opt:       s.opt,
+		pending:   append([]Constraint(nil), s.pending...),
+		bindings:  make(map[symx.Var]int64, len(s.bindings)),
+		defs:      append([]def(nil), s.defs...),
+		intervals: make(map[symx.Var]interval, len(s.intervals)),
+	}
+	for v, c := range s.bindings {
+		ns.bindings[v] = c
+	}
+	for v, iv := range s.intervals {
+		ns.intervals[v] = iv
+	}
+	return ns
+}
+
+// Session is the incremental-solving entry point: it snapshots the
+// propagated state (variable bindings, intervals, definitions, and the
+// residual constraint set) reached over a base conjunction, so checking
+// base ∧ added costs only the propagation of `added` plus whatever search
+// the residue needs — not a re-propagation of the whole base. RES threads
+// one session per search node: a child step adds the handful of
+// constraints its block introduced instead of re-solving a depth-long
+// history.
+//
+// Sessions are immutable after construction and safe for concurrent use:
+// CheckWith and Extend clone the propagated state before mutating it, so
+// any number of goroutines may extend one parent session simultaneously.
+//
+// Verdict parity with Check: propagation is monotone and runs to fixpoint
+// over the same constraints in the same order (base first, added after —
+// exactly the order a full Check would see), so a Session reaches the
+// same bindings, the same residue, and therefore the same verdicts and
+// models as Check over the flattened set.
+type Session struct {
+	st     *state // propagated over the base set; read-only after construction
+	unsat  bool   // the base itself is contradictory
+	reason string
+}
+
+// NewSession returns the empty session (no base constraints).
+func NewSession() *Session {
+	return &Session{
+		st: &state{
+			bindings:  make(map[symx.Var]int64),
+			intervals: make(map[symx.Var]interval),
+		},
+	}
+}
+
+// CheckWith decides base ∧ added under opt, reusing the session's
+// propagated state. It is Check over the flattened conjunction, minus the
+// re-propagation of the base. Zero option fields take package defaults.
+func (s *Session) CheckWith(added []Constraint, opt Options) Result {
+	res, _ := s.extend(added, opt, false)
+	return res
+}
+
+// Extend decides base ∧ added and, when the verdict is not Unsat, returns
+// a child session whose base is the propagated combined set — the state a
+// feasible search node hands to its children.
+func (s *Session) Extend(added []Constraint, opt Options) (Result, *Session) {
+	return s.extend(added, opt, true)
+}
+
+func (s *Session) extend(added []Constraint, opt Options, keep bool) (Result, *Session) {
+	if s.unsat {
+		// The base was already contradictory; nothing added can fix it.
+		return Result{Verdict: Unsat, Reason: s.reason}, s
+	}
+	st := s.st.clone()
+	st.opt = opt.normalize()
+	recheck := append(append([]Constraint(nil), st.pending...), added...)
+	st.pending = append(st.pending, added...)
+	res := finishResult(st, st.solve(), recheck)
+	if !keep {
+		return res, nil
+	}
+	child := &Session{st: st}
+	if res.Verdict == Unsat {
+		child.unsat, child.reason = true, res.Reason
+	} else {
+		// The search phases only touch bookkeeping, but clear it so the
+		// retained state is a pure propagation snapshot.
+		st.tried, st.rounds, st.enumComplete, st.interrupted = 0, 0, false, false
+	}
+	return res, child
 }
 
 type interval struct {
@@ -532,6 +637,22 @@ func (s *state) bindOrDefine(v symx.Var, e *symx.Expr) (stepStatus, []Constraint
 		}
 	}
 	s.defs = append(s.defs, def{v: v, e: e})
+	// Transfer v's narrowed interval onto the definition: substitution
+	// erases v from the system, so without this v ∈ [lo,hi] (knowledge
+	// discharged from earlier order constraints) would be lost and a
+	// model could assign e a value outside it.
+	if iv, ok := s.intervals[v]; ok {
+		var out []Constraint
+		if iv.hasLo {
+			out = append(out, Le(symx.Const(iv.lo), e))
+		}
+		if iv.hasHi {
+			out = append(out, Le(e, symx.Const(iv.hi)))
+		}
+		if len(out) > 0 {
+			return stepRewritten, out, ""
+		}
+	}
 	return stepDischarged, nil, ""
 }
 

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"res/internal/symx"
@@ -426,5 +427,128 @@ func TestZeroOptionsAreUsable(t *testing.T) {
 	res := Check([]Constraint{Eq(symx.Binary(symx.OpMul, symx.VarExpr(x), symx.Const(2)), symx.Const(12))}, Options{})
 	if res.Verdict != Sat {
 		t.Fatalf("zero options broke the search phase: %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+// TestSessionMatchesCheck is the incremental-solving contract: splitting a
+// constraint set into base + added and solving via a Session must agree
+// with a from-scratch Check of the whole conjunction — same verdict, same
+// model — at every split point, including chained extensions.
+func TestSessionMatchesCheck(t *testing.T) {
+	v := func(i uint32) *symx.Expr { return symx.VarExpr(symx.Var(i)) }
+	systems := [][]Constraint{
+		{Eq(v(0), symx.Const(5)), Eq(v(1), symx.Binary(symx.OpAdd, v(0), symx.Const(3))), Lt(v(2), symx.Const(10)), Le(symx.Const(4), v(2)), Ne(v(2), symx.Const(7))},
+		{Eq(symx.Binary(symx.OpMul, v(0), symx.Const(3)), symx.Const(21)), Eq(symx.Binary(symx.OpXor, v(1), symx.Const(0xff)), symx.Const(0)), Ne(v(0), v(1))},
+		{Eq(v(0), symx.Const(1)), Eq(v(0), symx.Const(2))}, // unsat in the base or the delta
+		{Le(v(0), symx.Const(3)), Le(symx.Const(3), v(0)), Eq(v(1), symx.Binary(symx.OpSub, v(0), v(2))), Eq(v(2), symx.Const(1))},
+	}
+	for si, cs := range systems {
+		want := Check(cs, Options{})
+		for split := 0; split <= len(cs); split++ {
+			sess := NewSession()
+			var res Result
+			res, sess = sess.Extend(cs[:split], Options{})
+			if split < len(cs) || res.Verdict != Unsat {
+				res = sess.CheckWith(cs[split:], Options{})
+			}
+			if res.Verdict != want.Verdict {
+				t.Errorf("system %d split %d: verdict %v, want %v (%s)", si, split, res.Verdict, want.Verdict, res.Reason)
+				continue
+			}
+			if want.Verdict == Sat {
+				for _, c := range cs {
+					ok, def := c.Holds(res.Model)
+					if !def || !ok {
+						t.Errorf("system %d split %d: session model violates %s", si, split, c)
+					}
+				}
+				// Verdict parity is required; for these systems the models
+				// must agree exactly (same propagation, same search order).
+				for k, x := range want.Model {
+					if res.Model[k] != x {
+						t.Errorf("system %d split %d: model[%d] = %d, want %d", si, split, k, res.Model[k], x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionChainedExtend walks a session down a chain of extensions, the
+// shape the backward search uses, verifying verdicts at each depth and
+// that an unsat extension latches.
+func TestSessionChainedExtend(t *testing.T) {
+	v := func(i uint32) *symx.Expr { return symx.VarExpr(symx.Var(i)) }
+	sess := NewSession()
+	all := []Constraint{}
+	for i := 0; i < 12; i++ {
+		step := []Constraint{Eq(v(uint32(i+1)), symx.Binary(symx.OpAdd, v(uint32(i)), symx.Const(int64(i))))}
+		all = append(all, step...)
+		var res Result
+		res, sess = sess.Extend(step, Options{})
+		want := Check(all, Options{})
+		if res.Verdict != want.Verdict {
+			t.Fatalf("depth %d: verdict %v, want %v", i, res.Verdict, want.Verdict)
+		}
+	}
+	res, sess := sess.Extend([]Constraint{Eq(v(0), symx.Const(1)), Eq(v(0), symx.Const(2))}, Options{})
+	if res.Verdict != Unsat {
+		t.Fatalf("contradictory extension = %v, want unsat", res.Verdict)
+	}
+	if res := sess.CheckWith(nil, Options{}); res.Verdict != Unsat {
+		t.Fatalf("unsat session did not latch: %v", res.Verdict)
+	}
+}
+
+// TestSessionConcurrentExtend extends one parent session from many
+// goroutines at once — the parallel-frontier shape — under -race.
+func TestSessionConcurrentExtend(t *testing.T) {
+	v := func(i uint32) *symx.Expr { return symx.VarExpr(symx.Var(i)) }
+	base := []Constraint{Eq(v(0), symx.Const(9)), Le(v(1), symx.Const(100))}
+	_, sess := NewSession().Extend(base, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			delta := []Constraint{Eq(v(1), symx.Binary(symx.OpAdd, v(0), symx.Const(int64(g))))}
+			res := sess.CheckWith(delta, Options{})
+			if res.Verdict != Sat || res.Model[symx.Var(1)] != int64(9+g) {
+				t.Errorf("goroutine %d: %+v", g, res)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDefInheritsInterval is the regression for a soundness hole: a base
+// constraint discharged into an interval (x <= 5) must survive x being
+// defined away by a later equation (x == y). Without the interval
+// transfer onto the definition, both the full Check and an incremental
+// Session could hand out (or fail to refute) models violating the base.
+func TestDefInheritsInterval(t *testing.T) {
+	v := func(i uint32) *symx.Expr { return symx.VarExpr(symx.Var(i)) }
+	base := []Constraint{Le(v(0), symx.Const(5))}
+	added := []Constraint{Eq(v(0), v(1)), Eq(v(1), symx.Const(7))}
+	all := append(append([]Constraint(nil), base...), added...)
+
+	if got := Check(all, Options{}); got.Verdict != Unsat {
+		t.Fatalf("Check = %v (%s), want unsat", got.Verdict, got.Reason)
+	}
+	_, sess := NewSession().Extend(base, Options{})
+	if got := sess.CheckWith(added, Options{}); got.Verdict != Unsat {
+		t.Fatalf("Session = %v (%s), want unsat", got.Verdict, got.Reason)
+	}
+
+	// And the satisfiable variant still solves, respecting the interval.
+	okAdd := []Constraint{Eq(v(0), v(1)), Eq(v(1), symx.Const(4))}
+	res := sess.CheckWith(okAdd, Options{})
+	if res.Verdict != Sat || res.Model[symx.Var(0)] != 4 {
+		t.Fatalf("sat variant = %v model=%v", res.Verdict, res.Model)
+	}
+	for _, c := range append(append([]Constraint(nil), base...), okAdd...) {
+		if ok, def := c.Holds(res.Model); !def || !ok {
+			t.Fatalf("model violates %s", c)
+		}
 	}
 }

@@ -37,7 +37,7 @@ func TestFromDump(t *testing.T) {
 	if s.Thread(1).State != coredump.ThreadBlocked {
 		t.Error("thread state lost")
 	}
-	if s.Locks[50] != 0 {
+	if o, held := s.LockOwner(50); !held || o != 0 {
 		t.Error("lock table lost")
 	}
 	// HeapNext derived from the top object: 21+4 = 25.
@@ -59,17 +59,136 @@ func TestCloneIsolation(t *testing.T) {
 	c := s.Clone()
 	v := pool.FreshExpr("x")
 	c.SetMem(30, v)
-	c.Threads[0].Regs[1] = symx.Const(0)
-	c.Locks[51] = 1
+	c.MutableThread(0).Regs[1] = symx.Const(0)
+	c.SetLock(51, 1)
 	c.AddCons(solver.Eq(v, symx.Const(1)))
 	if !s.MemAt(30).Equal(symx.Const(7)) {
 		t.Error("clone shares memory overlay")
 	}
-	if !s.Threads[0].Regs[1].Equal(symx.Const(42)) {
+	if !s.Thread(0).Regs[1].Equal(symx.Const(42)) {
 		t.Error("clone shares registers")
 	}
-	if len(s.Locks) != 1 || len(s.Cons) != 0 {
+	if s.NumLocks() != 1 || s.ConsLen() != 0 {
 		t.Error("clone shares locks/constraints")
+	}
+	// And the child sees its own layer over the parent's.
+	if !c.MemAt(30).Equal(v) || !c.Thread(0).Regs[1].Equal(symx.Const(0)) {
+		t.Error("child lost its delta")
+	}
+	if o, held := c.LockOwner(50); !held || o != 0 {
+		t.Error("child lost the parent's lock table")
+	}
+	if c.NumLocks() != 2 || c.ConsLen() != 1 {
+		t.Errorf("child view: locks=%d cons=%d", c.NumLocks(), c.ConsLen())
+	}
+}
+
+func TestCOWLayering(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	s.AddCons(solver.Ne(symx.VarExpr(pool.Fresh("a")), symx.Const(0)))
+
+	// Child layered on the parent: deletions tombstone, constraints chain.
+	c := s.Clone()
+	c.DeleteThread(1)
+	c.DeleteLock(50)
+	c.AddCons(solver.Eq(symx.VarExpr(pool.Fresh("b")), symx.Const(2)))
+	if ids := c.ThreadIDs(); len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("child threads = %v", ids)
+	}
+	if _, held := c.LockOwner(50); held {
+		t.Error("tombstoned lock still held")
+	}
+	if got := len(c.Cons()); got != 2 {
+		t.Errorf("chained cons = %d, want 2", got)
+	}
+	// Parent unaffected.
+	if ids := s.ThreadIDs(); len(ids) != 2 {
+		t.Errorf("parent threads = %v", ids)
+	}
+	if _, held := s.LockOwner(50); !held {
+		t.Error("parent lost its lock")
+	}
+
+	// Constraints appended to the parent AFTER the fork stay invisible to
+	// the child (persistent-append freeze).
+	s.AddCons(solver.Eq(symx.VarExpr(pool.Fresh("c")), symx.Const(3)))
+	if got := len(c.Cons()); got != 2 {
+		t.Errorf("child sees parent's post-fork cons: %d", got)
+	}
+
+	// A grandchild re-adding the deleted lock shadows the tombstone.
+	g := c.Clone()
+	g.SetLock(50, 1)
+	if o, held := g.LockOwner(50); !held || o != 1 {
+		t.Error("grandchild lock not visible")
+	}
+	if _, held := c.LockOwner(50); held {
+		t.Error("grandchild write leaked into child")
+	}
+}
+
+func TestFlattenEquivalence(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	c := s.Clone()
+	c.SetMem(40, pool.FreshExpr("x"))
+	c.MutableThread(0).PC = 77
+	c.DeleteThread(1)
+	c.AddCons(solver.Eq(symx.Const(1), symx.Const(1)))
+	f := c.Flatten()
+	if f.Fingerprint() != c.Fingerprint() {
+		t.Error("flattened fingerprint differs")
+	}
+	if !f.MemAt(40).Equal(c.MemAt(40)) || f.Thread(0).PC != 77 || f.Thread(1) != nil {
+		t.Error("flattened view differs")
+	}
+	if len(f.Cons()) != len(c.Cons()) {
+		t.Error("flattened cons differ")
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	a, b := s.Clone(), s.Clone()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical snapshots fingerprint differently")
+	}
+	b.SetMem(33, symx.Const(9))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("memory delta not reflected in fingerprint")
+	}
+	a.SetMem(33, symx.Const(9))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal deltas fingerprint differently")
+	}
+	a.AddCons(solver.Eq(symx.Const(0), symx.Const(0)))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("constraint delta not reflected in fingerprint")
+	}
+}
+
+func TestSessionIncrementalCheck(t *testing.T) {
+	pool := symx.NewPool()
+	s := FromDump(sampleDump(), 20, pool)
+	x := pool.Fresh("x")
+	s.AddCons(solver.Eq(symx.VarExpr(x), symx.Const(5)))
+	s.AttachSession(solver.Options{})
+	c := s.Clone()
+	y := pool.Fresh("y")
+	c.AddCons(solver.Eq(symx.VarExpr(y), symx.Binary(symx.OpAdd, symx.VarExpr(x), symx.Const(1))))
+	res := c.Check(solver.Options{})
+	if res.Verdict != solver.Sat || res.Model[x] != 5 || res.Model[y] != 6 {
+		t.Errorf("incremental check = %+v", res)
+	}
+	// The parent's session is untouched and the child's can extend again.
+	if res := s.CheckWith(solver.Options{}, nil); res.Verdict != solver.Sat {
+		t.Errorf("parent check after child extend = %v", res.Verdict)
+	}
+	c.AddCons(solver.Eq(symx.VarExpr(y), symx.Const(7)))
+	if res := c.Check(solver.Options{}); res.Verdict != solver.Unsat {
+		t.Errorf("contradiction after extend = %v", res.Verdict)
 	}
 }
 
@@ -78,7 +197,7 @@ func TestConcretize(t *testing.T) {
 	s := FromDump(sampleDump(), 20, pool)
 	x := pool.Fresh("x")
 	s.SetMem(31, symx.VarExpr(x))
-	s.Threads[0].Regs[2] = symx.Binary(symx.OpAdd, symx.VarExpr(x), symx.Const(1))
+	s.MutableThread(0).Regs[2] = symx.Binary(symx.OpAdd, symx.VarExpr(x), symx.Const(1))
 	m := symx.Model{x: 10}
 	img := s.ConcretizeMem(m)
 	if img.Load(31) != 10 || img.Load(30) != 7 {

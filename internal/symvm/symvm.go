@@ -27,6 +27,7 @@ package symvm
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"res/internal/coredump"
 	"res/internal/isa"
@@ -179,6 +180,8 @@ func BackExec(req Req, opt Options) *Result {
 		r.FinalRegs = t.Regs
 		if req.FaultCons != nil {
 			r.Pre.AddCons(req.FaultCons(t.Regs)...)
+			// Check is incremental when the post snapshot carries a solver
+			// session: only the fault constraints are propagated.
 			chk := r.Pre.Check(opt.Solver)
 			r.SolverCalls++
 			if chk.Verdict == solver.Unsat {
@@ -203,9 +206,10 @@ func BackExec(req Req, opt Options) *Result {
 		if res := probe.run(); res != nil {
 			return res
 		}
-		probeCons := append(append([]solver.Constraint{}, req.Post.Cons...), probe.postRegCons()...)
-		probeCons = append(probeCons, probe.cons...)
-		pr := solver.Check(probeCons, opt.Solver)
+		// Incremental against the post snapshot's session when present:
+		// only the probe's own constraints are propagated on top of the
+		// already-solved history.
+		pr := req.Post.CheckWith(opt.Solver, append(probe.postRegCons(), probe.cons...))
 		if pr.Verdict == solver.Unsat {
 			return &Result{Verdict: Infeasible, Reason: "register state contradiction: " + pr.Reason, SolverCalls: probe.solverCalls + 1}
 		}
@@ -321,9 +325,9 @@ func (e *exec) resolveAddr(x *symx.Expr, pc int) (uint32, *Result) {
 	if e.probe {
 		return 0, e.fail(Unknown, "probe: symbolic address at pc %d", pc)
 	}
-	// Uniqueness resolution against the accumulated constraints.
-	cs := append(append([]solver.Constraint{}, e.req.Post.Cons...), e.cons...)
-	r1 := solver.Check(cs, e.opt.Solver)
+	// Uniqueness resolution against the accumulated constraints,
+	// incremental over the post snapshot's session when present.
+	r1 := e.req.Post.CheckWith(e.opt.Solver, e.cons)
 	e.solverCalls++
 	if r1.Verdict == solver.Unsat {
 		return 0, e.fail(Infeasible, "pc %d: path constraints unsatisfiable while resolving address", pc)
@@ -335,7 +339,8 @@ func (e *exec) resolveAddr(x *symx.Expr, pc int) (uint32, *Result) {
 	if !ok {
 		return 0, e.fail(Unknown, "pc %d: address evaluation failed", pc)
 	}
-	r2 := solver.Check(append(cs, solver.Ne(x, symx.Const(v1))), e.opt.Solver)
+	ne := append(append([]solver.Constraint(nil), e.cons...), solver.Ne(x, symx.Const(v1)))
+	r2 := e.req.Post.CheckWith(e.opt.Solver, ne)
 	e.solverCalls++
 	if r2.Verdict != solver.Unsat {
 		return 0, e.fail(Unknown, "pc %d: ambiguous symbolic address %s", pc, x)
@@ -645,32 +650,52 @@ func (e *exec) postRegCons() []solver.Constraint {
 	return out
 }
 
-// finish assembles the full compatibility constraint system, checks it,
-// and on success constructs the pre-state snapshot.
+// sortedAddrs returns the keys of an address-keyed map in ascending
+// order, so constraint emission is deterministic run to run.
+func sortedAddrs[V any](m map[uint32]V) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// finish assembles the step's added constraints (the compatibility system
+// minus the already-solved history), checks them incrementally against
+// the post snapshot's solver session, and on success constructs the
+// pre-state snapshot as a copy-on-write layer over Spost.
 func (e *exec) finish() *Result {
 	req := e.req
 	post := req.Post
 
-	cs := append([]solver.Constraint{}, post.Cons...)
-	cs = append(cs, e.postRegCons()...)
-	for a, w := range e.writes {
-		cs = append(cs, solver.Eq(w, post.MemAt(a)))
+	// The constraints this step adds on top of post's accumulated set.
+	// Map-derived segments are emitted in sorted order so the system — and
+	// therefore every solver decision downstream — is deterministic.
+	added := e.postRegCons()
+	for _, a := range sortedAddrs(e.writes) {
+		added = append(added, solver.Eq(e.writes[a], post.MemAt(a)))
 	}
-	for a, v := range e.preMem {
+	for _, a := range sortedAddrs(e.preMem) {
 		if _, written := e.writes[a]; !written {
 			if _, hasEager := e.eager[a]; !hasEager {
-				cs = append(cs, solver.Eq(symx.VarExpr(v), post.MemAt(a)))
+				added = append(added, solver.Eq(symx.VarExpr(e.preMem[a]), post.MemAt(a)))
 			}
 		}
 	}
-	cs = append(cs, e.cons...)
+	added = append(added, e.cons...)
 	// Forced bindings are implied by the pass-A subset of this system;
 	// asserting them keeps the substituted system equisatisfiable.
-	for v, c := range e.forced {
-		cs = append(cs, solver.Eq(symx.VarExpr(v), symx.Const(c)))
+	forcedVars := make([]symx.Var, 0, len(e.forced))
+	for v := range e.forced {
+		forcedVars = append(forcedVars, v)
+	}
+	sort.Slice(forcedVars, func(i, j int) bool { return forcedVars[i] < forcedVars[j] })
+	for _, v := range forcedVars {
+		added = append(added, solver.Eq(symx.VarExpr(v), symx.Const(e.forced[v])))
 	}
 	if req.FaultCons != nil {
-		cs = append(cs, req.FaultCons(e.regs)...)
+		added = append(added, req.FaultCons(e.regs)...)
 	}
 
 	// Spawn terminator: the child's register file at Spost must be the
@@ -690,84 +715,101 @@ func (e *exec) finish() *Result {
 		for r := 0; r < isa.NumRegs; r++ {
 			switch isa.Reg(r) {
 			case 0:
-				cs = append(cs, solver.Eq(e.regs[term.Rs1], child.Regs[0]))
+				added = append(added, solver.Eq(e.regs[term.Rs1], child.Regs[0]))
 			case isa.SP:
 				top := req.P.Layout.StackTop(req.SpawnChild)
-				cs = append(cs, solver.Eq(symx.Const(int64(top)), child.Regs[isa.SP]))
+				added = append(added, solver.Eq(symx.Const(int64(top)), child.Regs[isa.SP]))
 			default:
-				cs = append(cs, solver.Eq(symx.Const(0), child.Regs[r]))
+				added = append(added, solver.Eq(symx.Const(0), child.Regs[r]))
 			}
 		}
 	}
 
-	// Lock and heap table reconstruction, applied in reverse over the
-	// recorded operations.
-	preLocks := make(map[uint32]int, len(post.Locks))
-	for a, o := range post.Locks {
-		preLocks[a] = o
+	// Lock-table reconstruction, applied in reverse over the recorded
+	// operations. Only the changed addresses are tracked (the pre snapshot
+	// layers them over post); a nil entry means freed.
+	lockChanges := make(map[uint32]*int)
+	lockOwner := func(a uint32) (int, bool) {
+		if o, ok := lockChanges[a]; ok {
+			if o == nil {
+				return 0, false
+			}
+			return *o, true
+		}
+		return post.LockOwner(a)
 	}
 	for i := len(e.lockOps) - 1; i >= 0; i-- {
 		op := e.lockOps[i]
-		owner, held := preLocks[op.addr]
+		owner, held := lockOwner(op.addr)
 		if op.unlock {
 			// Reverse of unlock: the mutex must be free after, held before.
 			if held {
 				return e.fail(Infeasible, "unlock of %d but mutex still held by t%d at post", op.addr, owner)
 			}
-			preLocks[op.addr] = req.Tid
+			tid := req.Tid
+			lockChanges[op.addr] = &tid
 		} else {
 			// Reverse of lock: held by tid after, free before.
 			if !held || owner != req.Tid {
 				return e.fail(Infeasible, "lock of %d not reflected in post lock table", op.addr)
 			}
-			delete(preLocks, op.addr)
+			lockChanges[op.addr] = nil
 		}
 	}
 
-	preHeap := append([]coredump.HeapObject(nil), post.Heap...)
+	preHeap := post.Heap
 	preHeapNext := post.HeapNext
-	for i := len(e.heapOps) - 1; i >= 0; i-- {
-		op := e.heapOps[i]
-		if op.free {
-			found := false
-			for j := range preHeap {
-				if preHeap[j].Base == op.base {
-					if !preHeap[j].Freed {
-						return e.fail(Infeasible, "free of %d but object live at post", op.base)
+	if len(e.heapOps) > 0 {
+		preHeap = append([]coredump.HeapObject(nil), post.Heap...)
+		for i := len(e.heapOps) - 1; i >= 0; i-- {
+			op := e.heapOps[i]
+			if op.free {
+				found := false
+				for j := range preHeap {
+					if preHeap[j].Base == op.base {
+						if !preHeap[j].Freed {
+							return e.fail(Infeasible, "free of %d but object live at post", op.base)
+						}
+						preHeap[j].Freed = false
+						preHeap[j].FreePC = -1
+						found = true
+						break
 					}
-					preHeap[j].Freed = false
-					preHeap[j].FreePC = -1
-					found = true
-					break
 				}
-			}
-			if !found {
-				return e.fail(Infeasible, "free of %d with no allocator record", op.base)
-			}
-		} else {
-			// Reverse of alloc: remove the object; the bump pointer
-			// retreats to its base.
-			idx := -1
-			for j := range preHeap {
-				if preHeap[j].Base == op.base {
-					idx = j
-					break
+				if !found {
+					return e.fail(Infeasible, "free of %d with no allocator record", op.base)
 				}
+			} else {
+				// Reverse of alloc: remove the object; the bump pointer
+				// retreats to its base.
+				idx := -1
+				for j := range preHeap {
+					if preHeap[j].Base == op.base {
+						idx = j
+						break
+					}
+				}
+				if idx < 0 {
+					return e.fail(Infeasible, "alloc of %d with no allocator record", op.base)
+				}
+				preHeap = append(preHeap[:idx], preHeap[idx+1:]...)
+				preHeapNext = op.base - prog.HeapRedzone
 			}
-			if idx < 0 {
-				return e.fail(Infeasible, "alloc of %d with no allocator record", op.base)
-			}
-			preHeap = append(preHeap[:idx], preHeap[idx+1:]...)
-			preHeapNext = op.base - prog.HeapRedzone
 		}
 	}
 
+	// Build Spre as a copy-on-write layer and check the added constraints.
+	// With a session on post this propagates only `added`; without one it
+	// falls back to a from-scratch solve of the flattened chain.
+	pre := post.Clone()
+	pre.Depth++
+	pre.AddCons(added...)
 	if os.Getenv("RES_DEBUG_CONS") != "" {
-		for _, c := range cs {
+		for _, c := range pre.Cons() {
 			fmt.Println("  cons:", c)
 		}
 	}
-	chk := solver.Check(cs, e.opt.Solver)
+	chk := pre.Check(e.opt.Solver)
 	e.solverCalls++
 	switch chk.Verdict {
 	case solver.Unsat:
@@ -776,14 +818,16 @@ func (e *exec) finish() *Result {
 		return e.fail(Unknown, "solver: %s", chk.Reason)
 	}
 
-	// Build Spre.
-	pre := post.Clone()
-	pre.Depth++
-	pre.Cons = cs
-	pre.Locks = preLocks
+	for a, o := range lockChanges {
+		if o == nil {
+			pre.DeleteLock(a)
+		} else {
+			pre.SetLock(a, *o)
+		}
+	}
 	pre.Heap = preHeap
 	pre.HeapNext = preHeapNext
-	for a := range e.writes {
+	for _, a := range sortedAddrs(e.writes) {
 		if v, ok := e.preMem[a]; ok {
 			pre.SetMem(a, symx.VarExpr(v))
 		} else {
@@ -795,7 +839,7 @@ func (e *exec) finish() *Result {
 			pre.SetMem(a, symx.VarExpr(v))
 		}
 	}
-	t := pre.Threads[req.Tid]
+	t := pre.MutableThread(req.Tid)
 	for r := 0; r < isa.NumRegs; r++ {
 		if e.writeSet[isa.Reg(r)] {
 			t.Regs[r] = symx.VarExpr(e.preRegVars[isa.Reg(r)])
@@ -805,7 +849,7 @@ func (e *exec) finish() *Result {
 	t.State = coredump.ThreadRunnable
 	t.WaitAddr = 0
 	if req.SpawnChild >= 0 {
-		delete(pre.Threads, req.SpawnChild)
+		pre.DeleteThread(req.SpawnChild)
 	}
 
 	return &Result{

@@ -140,7 +140,7 @@ end:
 		t.Fatalf("inputs = %v", entry.Inputs)
 	}
 	// Solve and confirm the input model is non-zero (took the branch).
-	chk := solver.Check(entry.Pre.Cons, solver.Options{})
+	chk := solver.Check(entry.Pre.Cons(), solver.Options{})
 	if chk.Verdict != solver.Sat {
 		t.Fatalf("pre constraints unsat")
 	}
@@ -172,7 +172,7 @@ func main:
 		t.Fatalf("%v: %s", res.Verdict, res.Reason)
 	}
 	// Solving the pre constraints must pin the pre-value of g to 0.
-	chk := solver.Check(res.Pre.Cons, solver.Options{})
+	chk := solver.Check(res.Pre.Cons(), solver.Options{})
 	if chk.Verdict != solver.Sat {
 		t.Fatal("unsat")
 	}
@@ -283,7 +283,7 @@ func main:
 	// pre-value of a is read before any write, so it equals the dump's 0,
 	// contradicting the side constraint divisor != 0.
 	if res.Verdict == symvm.Feasible {
-		chk := solver.Check(res.Pre.Cons, solver.Options{})
+		chk := solver.Check(res.Pre.Cons(), solver.Options{})
 		if chk.Verdict == solver.Sat {
 			t.Fatalf("division by zero accepted as feasible")
 		}
@@ -340,7 +340,7 @@ func main:
 	if res.Verdict != symvm.Feasible {
 		t.Fatalf("%v: %s", res.Verdict, res.Reason)
 	}
-	if _, held := res.Pre.Locks[16]; held {
+	if _, held := res.Pre.LockOwner(16); held {
 		t.Error("mutex still held before its acquisition")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Var identifies a symbolic variable. Fresh variables come from a Pool so
@@ -79,13 +80,48 @@ type Expr struct {
 	V    Var   // KVar
 	Op   Op    // KUnary, KBinary
 	L, R *Expr // operands (L only for KUnary)
+	// hash is the structural hash, computed once at construction. It is
+	// never zero for constructor-built expressions, so Equal can use an
+	// O(1) inequality fast path while staying correct for (discouraged)
+	// hand-built literals whose hash is zero.
+	hash uint64
 }
 
+// MixHash folds v into h (multiply-xorshift, splitmix64-style): the
+// mixer behind expression hashes, shared with snapshot fingerprinting so
+// every structural hash in the system composes from one primitive.
+func MixHash(h, v uint64) uint64 {
+	h ^= v
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// exprHash combines a node's kind, payload and child hashes.
+func exprHash(kind Kind, tag, l, r uint64) uint64 {
+	h := MixHash(0x9e3779b97f4a7c15^uint64(kind), tag)
+	h = MixHash(h, l)
+	h = MixHash(h, r)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Hash returns the cached structural hash: Equal expressions always share
+// it, and unequal expressions collide with probability ~2^-64. Snapshot
+// fingerprinting builds on this.
+func (e *Expr) Hash() uint64 { return e.hash }
+
 // Const returns a constant expression.
-func Const(v int64) *Expr { return &Expr{Kind: KConst, Val: v} }
+func Const(v int64) *Expr {
+	return &Expr{Kind: KConst, Val: v, hash: exprHash(KConst, uint64(v), 0, 0)}
+}
 
 // VarExpr returns a variable reference.
-func VarExpr(v Var) *Expr { return &Expr{Kind: KVar, V: v} }
+func VarExpr(v Var) *Expr {
+	return &Expr{Kind: KVar, V: v, hash: exprHash(KVar, uint64(v), 0, 0)}
+}
 
 // Bool converts a Go bool to the VM's 0/1 representation.
 func Bool(b bool) *Expr {
@@ -172,7 +208,7 @@ func Unary(op Op, l *Expr) *Expr {
 	if l.Kind == KUnary && l.Op == op && (op == OpNot || op == OpNeg) {
 		return l.L
 	}
-	return &Expr{Kind: KUnary, Op: op, L: l}
+	return &Expr{Kind: KUnary, Op: op, L: l, hash: exprHash(KUnary, uint64(op), l.hash, 0)}
 }
 
 // Binary builds a simplified binary expression: constants fold, algebraic
@@ -287,15 +323,19 @@ func Binary(op Op, l, r *Expr) *Expr {
 			return Const(1)
 		}
 	}
-	return &Expr{Kind: KBinary, Op: op, L: l, R: r}
+	return &Expr{Kind: KBinary, Op: op, L: l, R: r, hash: exprHash(KBinary, uint64(op), l.hash, r.hash)}
 }
 
-// Equal reports structural equality.
+// Equal reports structural equality. Cached hashes make the common
+// unequal case O(1); equal-hash trees still compare structurally.
 func (e *Expr) Equal(o *Expr) bool {
 	if e == o {
 		return true
 	}
 	if e == nil || o == nil || e.Kind != o.Kind {
+		return false
+	}
+	if e.hash != 0 && o.hash != 0 && e.hash != o.hash {
 		return false
 	}
 	switch e.Kind {
@@ -447,7 +487,10 @@ func (e *Expr) render(b *strings.Builder, pool *Pool) {
 }
 
 // Pool allocates fresh symbolic variables and remembers their provenance.
+// It is safe for concurrent use: the search expands frontier candidates in
+// parallel, all drawing fresh variables from one engine-wide pool.
 type Pool struct {
+	mu    sync.Mutex
 	names []string
 }
 
@@ -456,8 +499,11 @@ func NewPool() *Pool { return &Pool{} }
 
 // Fresh allocates a new variable annotated with a provenance name.
 func (p *Pool) Fresh(name string) Var {
+	p.mu.Lock()
 	p.names = append(p.names, name)
-	return Var(len(p.names) - 1)
+	v := Var(len(p.names) - 1)
+	p.mu.Unlock()
+	return v
 }
 
 // FreshExpr is Fresh wrapped in a variable expression.
@@ -465,6 +511,8 @@ func (p *Pool) FreshExpr(name string) *Expr { return VarExpr(p.Fresh(name)) }
 
 // Name returns the provenance name of v.
 func (p *Pool) Name(v Var) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if int(v) < len(p.names) {
 		return fmt.Sprintf("%s#%d", p.names[v], uint32(v))
 	}
@@ -472,7 +520,11 @@ func (p *Pool) Name(v Var) string {
 }
 
 // Count returns the number of variables allocated so far.
-func (p *Pool) Count() int { return len(p.names) }
+func (p *Pool) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.names)
+}
 
 // Render renders e with provenance names.
 func (p *Pool) Render(e *Expr) string {

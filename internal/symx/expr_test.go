@@ -2,6 +2,7 @@ package symx
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -295,5 +296,69 @@ func TestQuickCanonicalAndEqual(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: the cached structural hash is consistent with Equal — two
+// independently constructed, structurally equal trees share a hash, and
+// random unequal trees (checked structurally) essentially never collide.
+// The hash is never zero for constructor-built expressions, which is what
+// makes Equal's O(1) inequality fast path sound.
+func TestQuickHashEqualConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		a := randExpr(rng, 3, 4)
+		b := randExpr(rng, 3, 4)
+		if a.Hash() == 0 || b.Hash() == 0 {
+			t.Fatalf("trial %d: zero hash for constructed expr", trial)
+		}
+		if a.Equal(b) != b.Equal(a) {
+			t.Fatalf("trial %d: Equal not symmetric", trial)
+		}
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			t.Fatalf("trial %d: equal exprs %s and %s hash differently", trial, a, b)
+		}
+		if a.Hash() != b.Hash() && a.Equal(b) {
+			t.Fatalf("trial %d: hash fast path would miscompare %s and %s", trial, a, b)
+		}
+	}
+	// Rebuilding the same structure through the constructors reproduces
+	// the hash (structural, not identity-based).
+	x, y := VarExpr(3), VarExpr(4)
+	e1 := Binary(OpAdd, Binary(OpMul, x, y), Const(7))
+	e2 := Binary(OpAdd, Binary(OpMul, VarExpr(3), VarExpr(4)), Const(7))
+	if e1.Hash() != e2.Hash() || !e1.Equal(e2) {
+		t.Fatal("independently built equal trees disagree on hash")
+	}
+}
+
+// Pool must be safe for concurrent Fresh calls (the parallel search draws
+// from one engine-wide pool): IDs stay unique and dense.
+func TestPoolConcurrentFresh(t *testing.T) {
+	p := NewPool()
+	const workers, per = 8, 200
+	ids := make([][]Var, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids[w] = append(ids[w], p.Fresh("c"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Var]bool)
+	for _, chunk := range ids {
+		for _, v := range chunk {
+			if seen[v] {
+				t.Fatalf("duplicate variable %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if p.Count() != workers*per || len(seen) != workers*per {
+		t.Fatalf("count = %d, unique = %d, want %d", p.Count(), len(seen), workers*per)
 	}
 }
