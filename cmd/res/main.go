@@ -8,6 +8,7 @@
 //	res -prog crash.s -dump core.dump [-lbr] [-outputs] [-depth 24]
 //	    [-timeout 30s] [-progress] [-json]
 //	res -prog crash.s -dump core.dump -submit host:8467 [-json]
+//	res -prog crash.s -dump a.dump,b.dump,c.dump -submit host:8467
 //
 // With -timeout the analysis is deadline-bounded and reports the best
 // partial answer found before the cutoff; -progress streams search events
@@ -17,15 +18,20 @@
 // shipped to a resd ingestion daemon, which dedups the dump against its
 // content-addressed store (an identical dump already analyzed is answered
 // without re-analysis) and the result is polled until done. Analysis
-// options are the daemon's; the local tuning flags do not apply.
+// options are the daemon's; the local tuning flags do not apply. When
+// -dump names several comma-separated files, they ship as one batch
+// request (POST /v1/dumps/batch): one HTTP round trip for the whole
+// burst, duplicates coalesced server-side.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"res"
@@ -55,9 +61,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	dumpPaths := strings.Split(*dumpPath, ",")
 	if *submit != "" {
+		if len(dumpPaths) > 1 {
+			submitRemoteBatch(*submit, *progPath, dumpPaths, *timeout, *jsonOut)
+			return
+		}
 		submitRemote(*submit, *progPath, *dumpPath, *timeout, *jsonOut)
 		return
+	}
+	if len(dumpPaths) > 1 {
+		cli.Fatal(fmt.Errorf("multiple dumps are only supported with -submit; got %d paths", len(dumpPaths)))
 	}
 	p, err := cli.LoadProgram(*progPath)
 	if err != nil {
@@ -183,6 +197,106 @@ func submitRemote(addr, progPath, dumpPath string, timeout time.Duration, jsonOu
 		cli.Fatal(fmt.Errorf("remote analysis failed: %s", job.Error))
 	default:
 		cli.Fatal(fmt.Errorf("job %s ended %s: %s", job.ID, job.Status, job.Error))
+	}
+}
+
+// submitRemoteBatch ships several dumps in one POST /v1/dumps/batch
+// round trip, then polls every distinct job to completion and prints a
+// per-dump summary (or a JSON array of reports with -json).
+func submitRemoteBatch(addr, progPath string, dumpPaths []string, timeout time.Duration, jsonOut bool) {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	req := service.BatchSubmitRequest{
+		ProgramName:   filepath.Base(progPath),
+		ProgramSource: string(src),
+	}
+	for _, dp := range dumpPaths {
+		dump, err := os.ReadFile(strings.TrimSpace(dp))
+		if err != nil {
+			cli.Fatal(err)
+		}
+		req.Dumps = append(req.Dumps, dump)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	c := service.NewClient(addr)
+	items, err := c.SubmitBatch(ctx, req)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	// Poll each distinct in-flight job once; duplicates share the answer.
+	finals := make(map[string]service.Job)
+	for _, it := range items {
+		if it.Error != "" || it.Job.ID == "" {
+			continue
+		}
+		if _, done := finals[it.Job.ID]; done {
+			continue
+		}
+		job := it.Job
+		if !job.Status.Terminal() {
+			if job, err = c.PollResult(ctx, job.ID, 250*time.Millisecond); err != nil {
+				cli.Fatal(err)
+			}
+		}
+		finals[job.ID] = job
+	}
+	failed := 0
+	if jsonOut {
+		reports := make([]json.RawMessage, 0, len(items))
+		for _, it := range items {
+			if it.Error != "" {
+				failed++
+				reports = append(reports, nil)
+				continue
+			}
+			job := finals[it.Job.ID]
+			if job.Status != service.StatusDone {
+				failed++
+				reports = append(reports, nil)
+				continue
+			}
+			reports = append(reports, job.Report)
+		}
+		buf, err := json.Marshal(reports)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Println(string(buf))
+	} else {
+		for i, it := range items {
+			name := strings.TrimSpace(dumpPaths[i])
+			switch {
+			case it.Error != "":
+				failed++
+				fmt.Printf("%s: error: %s\n", name, it.Error)
+			default:
+				job := finals[it.Job.ID]
+				tag := ""
+				if it.Duplicate {
+					tag = " (duplicate in batch)"
+				} else if job.Cached {
+					tag = " (cache hit)"
+				}
+				if job.Status != service.StatusDone {
+					failed++
+					fmt.Printf("%s: %s: %s%s\n", name, job.Status, job.Error, tag)
+					continue
+				}
+				fmt.Printf("%s: done%s bucket=%s job=%s\n", name, tag, job.Bucket, job.ID)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "batch: %d dumps, %d distinct jobs, %d failed\n",
+			len(items), len(finals), failed)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

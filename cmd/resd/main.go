@@ -9,19 +9,32 @@
 //	resd [-addr :8467] [-depth 24] [-nodes 0] [-lbr] [-outputs]
 //	     [-workers 2] [-queue 64] [-job-timeout 1m] [-search-parallel 0]
 //	     [-cache-entries 4096] [-cache-dir /var/lib/resd]
-//	     [-jobs-cap 65536] [-jobs-ttl 0] [-pprof]
-//	     [-drain-timeout 30s]
+//	     [-jobs-cap 65536] [-jobs-ttl 0] [-retries 2] [-journal path]
+//	     [-peers url,url,...] [-advertise url] [-replicas 2]
+//	     [-pprof] [-drain-timeout 30s]
 //
 // API (JSON):
 //
 //	POST /v1/programs       {"name","source"} -> {"program_id"}
-//	POST /v1/dumps          {"program_id"|"program_source","dump":base64}
+//	POST /v1/dumps          {"program_id"|"program_source","dump":base64,
+//	                         "options":{"max_depth","beam_width"}}
 //	                        -> job (202 queued, 200 done/cached,
 //	                           429 queue full, 503 draining)
+//	POST /v1/dumps/batch    {"program_id"|"program_source","dumps":[...]}
+//	                        -> {"jobs":[...]} (positional, per-item errors)
 //	GET  /v1/results/{id}   job status + deterministic report
 //	GET  /v1/buckets        crash-dedup buckets
 //	GET  /healthz           liveness
 //	GET  /metrics           Prometheus text metrics
+//
+// With -peers, N daemons form one logical service: every node routes
+// each program's dumps to its rendezvous owner (failing over when the
+// owner is down), replicates completed results to -replicas nodes, and
+// merges the cluster-wide bucket view. -journal makes job history and
+// bucket membership durable across restarts. Cluster-mode endpoints:
+//
+//	GET  /v1/cluster                membership + per-peer health
+//	GET  /v1/cluster/route/{prog}   a program's owner + failover order
 //
 // On SIGINT/SIGTERM the daemon drains: in-flight analyses finish (bounded
 // by -drain-timeout, after which they are cut and report partial
@@ -37,10 +50,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"res/internal/cli"
+	"res/internal/cluster"
 	"res/internal/service"
 	"res/internal/store"
 )
@@ -63,6 +78,12 @@ func main() {
 		searchP      = flag.Int("search-parallel", 0, "candidate-level parallelism within each analysis (0 = auto: cores divided by -workers; 1 = sequential)")
 		jobsCap      = flag.Int("jobs-cap", 65536, "terminal job records kept in memory before oldest-first eviction (0 = unbounded)")
 		jobsTTL      = flag.Duration("jobs-ttl", 0, "evict terminal job records older than this (0 = no TTL)")
+		retries      = flag.Int("retries", 2, "re-queue a failed analysis up to this many times with exponential backoff (0 = failures are final)")
+		retryBackoff = flag.Duration("retry-backoff", service.DefaultRetryBackoff, "first retry delay; doubles per retry")
+		journalPath  = flag.String("journal", "", "append-only job journal: job history and bucket membership survive restarts (empty = off)")
+		peersFlag    = flag.String("peers", "", "comma-separated base URLs of EVERY cluster node, this one included (empty = single-node)")
+		advertise    = flag.String("advertise", "", "this node's URL within -peers (required with -peers)")
+		replicas     = flag.Int("replicas", cluster.DefaultReplicas, "nodes (owner included) holding each completed result/dump blob")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
@@ -75,6 +96,14 @@ func main() {
 		}
 	} else {
 		st = store.New(*cacheEntries)
+	}
+	var journal *service.Journal
+	if *journalPath != "" {
+		var err error
+		if journal, err = service.OpenJournal(*journalPath); err != nil {
+			cli.Fatal(err)
+		}
+		defer journal.Close()
 	}
 	svc := service.New(service.Config{
 		Analysis: service.AnalysisConfig{
@@ -92,9 +121,31 @@ func main() {
 		Store:        st,
 		MaxJobs:      *jobsCap,
 		JobRetention: *jobsTTL,
+		MaxRetries:   *retries,
+		RetryBackoff: *retryBackoff,
+		Journal:      journal,
 	})
 
 	handler := http.Handler(svc.Handler())
+	var node *cluster.Node
+	if *peersFlag != "" {
+		if *advertise == "" {
+			cli.Fatal(errors.New("resd: -peers requires -advertise (this node's URL within the peer list)"))
+		}
+		var err error
+		node, err = cluster.New(cluster.Config{
+			Self:     *advertise,
+			Peers:    strings.Split(*peersFlag, ","),
+			Replicas: *replicas,
+			Service:  svc,
+		})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		handler = node.Handler()
+		fmt.Fprintf(os.Stderr, "resd: cluster of %d nodes (self %s, replicas %d)\n",
+			len(node.Peers()), node.Self(), *replicas)
+	}
 	if *pprofOn {
 		// Profiling is opt-in: the pprof endpoints expose internals and
 		// cost CPU when scraped, so fleet operators enable them only when
@@ -128,8 +179,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Drain before detaching the cluster layer: analyses that complete
+	// during the drain window must still write through to their replicas.
 	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "resd: drain cut short: %v\n", err)
+	}
+	if node != nil {
+		node.Close()
 	}
 	if err := srv.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "resd: http shutdown: %v\n", err)

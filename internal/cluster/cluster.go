@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"res"
+	"res/internal/service"
+	"res/internal/store"
+)
+
+// Config assembles one cluster node.
+type Config struct {
+	// Self is this node's advertised base URL — the identity rendezvous
+	// hashing scores, so it must be spelled exactly as it appears in
+	// Peers (it is added if absent).
+	Self string
+	// Peers is the full static membership: every node's base URL,
+	// including (usually) Self. Order does not matter; all nodes must be
+	// started with the same set.
+	Peers []string
+	// Replicas is R, the number of nodes (owner included) that hold each
+	// completed result and dump blob. Clamped to [1, len(peers)];
+	// 0 = DefaultReplicas.
+	Replicas int
+	// Service is the local analysis service this node fronts.
+	Service *service.Service
+	// ProbeInterval is the /healthz polling period; 0 = DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// FailThreshold is how many consecutive failed observations take a
+	// peer from healthy to down (via suspect); 0 = 2.
+	FailThreshold int
+	// RecoverThreshold is how many consecutive successful probes take a
+	// down peer back to healthy (via recovering); 0 = 2.
+	RecoverThreshold int
+	// Client is the HTTP client for proxying, replication, and probes;
+	// nil = a default with a sane timeout.
+	Client *http.Client
+	// ReplicationTimeout bounds each replication round trip (write-through
+	// push, read-through pull). Replication traffic shares the submission
+	// path — a write-through runs on the worker that produced the result,
+	// a read-through inside the submit-time cache probe — so a slow or
+	// half-dead peer must cost a bounded wait, not the client's full
+	// proxy timeout. 0 = DefaultReplicationTimeout.
+	ReplicationTimeout time.Duration
+}
+
+// DefaultReplicas keeps every artifact on two nodes: lose any one disk
+// and the cluster still has the bytes.
+const DefaultReplicas = 2
+
+// DefaultProbeInterval is the /healthz polling period when unset.
+const DefaultProbeInterval = 2 * time.Second
+
+// DefaultReplicationTimeout bounds one replication round trip when
+// Config.ReplicationTimeout is unset.
+const DefaultReplicationTimeout = 5 * time.Second
+
+// forwardedHeader marks intra-cluster requests. A request carrying it is
+// served locally no matter what the ring says — the hop that set it
+// already did the routing — so a proxy can never loop.
+const forwardedHeader = "X-Rescluster-Forwarded"
+
+// Node is one member of the cluster: the local service plus the
+// embedded router, health prober, and replication tier.
+type Node struct {
+	self     string
+	peers    []string // full membership, sorted, self included
+	replicas int
+	svc      *service.Service
+	st       *store.Store
+	prober   *prober
+	hc       *http.Client
+	repTO    time.Duration
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu sync.Mutex
+	// fpCache memoizes program_source → program fingerprint hex so the
+	// router prices routing at one map hit per submission, not one
+	// assembly.
+	fpCache map[[sha256.Size]byte]string
+
+	proxied, failovers     uint64
+	replicaPuts, putErrors uint64
+	fetches, fetchMisses   uint64
+	served                 uint64 // internal store gets answered for peers
+}
+
+// New assembles a node. The service's store gains the replication tier
+// as a side effect (write-through on Put, read-through pull on miss);
+// call Start to begin health probing and Close to detach.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: Service is required")
+	}
+	members := map[string]bool{normalizeURL(cfg.Self): true}
+	for _, p := range cfg.Peers {
+		if u := normalizeURL(p); u != "" {
+			members[u] = true
+		}
+	}
+	peers := make([]string, 0, len(members))
+	for u := range members {
+		peers = append(peers, u)
+	}
+	sort.Strings(peers)
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = DefaultReplicas
+	}
+	if replicas > len(peers) {
+		replicas = len(peers)
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	repTO := cfg.ReplicationTimeout
+	if repTO <= 0 {
+		repTO = DefaultReplicationTimeout
+	}
+	n := &Node{
+		self:     normalizeURL(cfg.Self),
+		peers:    peers,
+		replicas: replicas,
+		svc:      cfg.Service,
+		st:       cfg.Service.Store(),
+		prober:   newProber(normalizeURL(cfg.Self), peers, cfg.FailThreshold, cfg.RecoverThreshold),
+		hc:       hc,
+		repTO:    repTO,
+		fpCache:  make(map[[sha256.Size]byte]string),
+	}
+	n.st.SetReplication(n.writeThrough, n.fetchFromPeers)
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	interval := cfg.ProbeInterval
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.prober.probeLoop(ctx, interval, hc)
+	}()
+	return n, nil
+}
+
+// Close stops the health prober and detaches the replication tier (the
+// store keeps working locally).
+func (n *Node) Close() {
+	n.cancel()
+	n.wg.Wait()
+	n.st.SetReplication(nil, nil)
+}
+
+// Self returns this node's advertised URL.
+func (n *Node) Self() string { return n.self }
+
+// Peers returns the full membership (sorted, self included).
+func (n *Node) Peers() []string { return append([]string(nil), n.peers...) }
+
+// normalizeURL gives peer addresses a canonical spelling so "host:port"
+// and "http://host:port/" rendezvous-hash identically.
+func normalizeURL(u string) string {
+	u = strings.TrimSpace(u)
+	if u == "" {
+		return ""
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}
+
+// Owners returns the rendezvous preference order for a program
+// fingerprint: Owners(fp)[0] is the owner, the rest the failover order.
+func (n *Node) Owners(programFP string) []string {
+	return rank(n.peers, programFP)
+}
+
+// replicaSet returns the top-R nodes for a store key. Results and dump
+// blobs hash by their dominant fingerprint component so a program's
+// results live where its dumps are routed.
+func (n *Node) replicaSet(k store.Key) []string {
+	key := k.Program.String()
+	if k.Program.IsZero() {
+		key = k.Dump.String()
+	}
+	r := rank(n.peers, key)
+	if len(r) > n.replicas {
+		r = r[:n.replicas]
+	}
+	return r
+}
+
+// replicable reports whether a key participates in replication. The
+// journal space is node-local state: replicating it would have peers
+// overwrite each other's snapshots.
+func replicable(k store.Key) bool {
+	return k.Space == "result" || k.Space == "dump"
+}
+
+// writeThrough pushes one completed artifact to the key's other
+// replicas. Synchronous (it runs on the analysis worker that produced
+// the artifact) and best-effort: an unreachable replica heals later via
+// the read-through pull.
+func (n *Node) writeThrough(k store.Key, data []byte) {
+	if !replicable(k) {
+		return
+	}
+	for _, peer := range n.replicaSet(k) {
+		if peer == n.self {
+			continue
+		}
+		if !n.prober.routable(peer) {
+			continue // a down node pulls what it missed when it recovers
+		}
+		if err := n.pushArtifact(peer, k, data); err != nil {
+			n.prober.observe(peer, false, err.Error())
+			n.mu.Lock()
+			n.putErrors++
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		n.replicaPuts++
+		n.mu.Unlock()
+	}
+}
+
+// artifactEnvelope is the intra-cluster replication wire form: the full
+// key (the receiver stores by key, not by opaque ID) plus the bytes.
+type artifactEnvelope struct {
+	Space   string `json:"space"`
+	Program string `json:"program"`
+	Dump    string `json:"dump"`
+	Options string `json:"options"`
+	Data    []byte `json:"data"`
+}
+
+func envelope(k store.Key, data []byte) artifactEnvelope {
+	return artifactEnvelope{
+		Space:   k.Space,
+		Program: k.Program.String(),
+		Dump:    k.Dump.String(),
+		Options: k.Options.String(),
+		Data:    data,
+	}
+}
+
+func (e artifactEnvelope) key() (store.Key, error) {
+	var k store.Key
+	var err error
+	k.Space = e.Space
+	if k.Program, err = store.ParseFingerprint(e.Program); err != nil {
+		return k, err
+	}
+	if k.Dump, err = store.ParseFingerprint(e.Dump); err != nil {
+		return k, err
+	}
+	k.Options, err = store.ParseFingerprint(e.Options)
+	return k, err
+}
+
+// verifyArtifact checks replicated bytes against their content address
+// before they enter the local store: a dump blob must re-hash to the
+// key's dump fingerprint (the key IS the content hash), and a result
+// must at least parse as a report object — a corrupted or malicious
+// replica cannot poison the cache with bytes that don't match their
+// name.
+func verifyArtifact(k store.Key, data []byte) error {
+	switch k.Space {
+	case "dump":
+		if store.BytesFingerprint(data) != k.Dump {
+			return fmt.Errorf("cluster: dump blob does not re-hash to its key")
+		}
+	case "result":
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return fmt.Errorf("cluster: result blob is not a report: %w", err)
+		}
+	default:
+		return fmt.Errorf("cluster: space %q is not replicated", k.Space)
+	}
+	return nil
+}
+
+// pushArtifact PUTs one artifact to a peer's internal store endpoint.
+func (n *Node) pushArtifact(peer string, k store.Key, data []byte) error {
+	body, err := json.Marshal(envelope(k, data))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.repTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/internal/v1/store/"+k.ID(), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: replica put: %s", resp.Status)
+	}
+	return nil
+}
+
+// fetchFromPeers is the read-through pull: both local tiers missed, so
+// ask the key's replicas (then any remaining peer, covering placement
+// drift) for the bytes. Verified against the content address before the
+// store caches them.
+func (n *Node) fetchFromPeers(k store.Key) ([]byte, bool) {
+	if !replicable(k) {
+		return nil, false
+	}
+	id := k.ID()
+	tried := make(map[string]bool, len(n.peers))
+	order := append(n.replicaSet(k), rank(n.peers, k.Program.String())...)
+	for _, peer := range order {
+		if peer == n.self || tried[peer] || !n.prober.routable(peer) {
+			continue
+		}
+		tried[peer] = true
+		data, ok := n.pullArtifact(peer, id)
+		if !ok {
+			continue
+		}
+		if verifyArtifact(k, data) != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.fetches++
+		n.mu.Unlock()
+		return data, true
+	}
+	n.mu.Lock()
+	n.fetchMisses++
+	n.mu.Unlock()
+	return nil, false
+}
+
+// pullArtifact GETs one artifact from a peer's internal store endpoint.
+func (n *Node) pullArtifact(peer, id string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.repTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/internal/v1/store/"+id, nil)
+	if err != nil {
+		return nil, false
+	}
+	req.Header.Set(forwardedHeader, "1")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		n.prober.observe(peer, false, err.Error())
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// programFingerprint resolves a submission's routing key: the program_id
+// when present, else the fingerprint of the assembled source (memoized
+// by source hash — a fleet resubmitting one binary's dumps assembles it
+// here once).
+func (n *Node) programFingerprint(programID, source string) (string, error) {
+	if programID != "" {
+		if _, err := store.ParseFingerprint(programID); err != nil {
+			return "", err
+		}
+		return programID, nil
+	}
+	if source == "" {
+		return "", fmt.Errorf("cluster: program_id or program_source required")
+	}
+	h := sha256.Sum256([]byte(source))
+	n.mu.Lock()
+	fp, ok := n.fpCache[h]
+	n.mu.Unlock()
+	if ok {
+		return fp, nil
+	}
+	p, err := res.Assemble(source)
+	if err != nil {
+		return "", err
+	}
+	pfp, err := store.ProgramFingerprint(p)
+	if err != nil {
+		return "", err
+	}
+	fp = pfp.String()
+	n.mu.Lock()
+	if len(n.fpCache) > 4096 { // bound a hostile stream of unique sources
+		n.fpCache = make(map[[sha256.Size]byte]string)
+	}
+	n.fpCache[h] = fp
+	n.mu.Unlock()
+	return fp, nil
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's position in the health state machine:
+//
+//	healthy ──fail──▶ suspect ──fail──▶ down ──ok──▶ recovering ──ok──▶ healthy
+//	   ▲                 │ok                              │fail
+//	   └─────────────────┘◀───────────────────────────────┘
+//
+// healthy and suspect peers are routed to (one failed probe is grounds
+// for suspicion, not exclusion — the next request's transport error will
+// skip it anyway); down peers are not; recovering peers are routed to
+// again but must string together RecoverThreshold successful probes
+// before they count as healthy — a flapping node that fails mid-recovery
+// drops straight back to down.
+type PeerState int
+
+const (
+	StateHealthy PeerState = iota
+	StateSuspect
+	StateDown
+	StateRecovering
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// Routable reports whether the router should offer requests to a peer in
+// this state.
+func (s PeerState) Routable() bool { return s != StateDown }
+
+// peerHealth is one peer's tracked state.
+type peerHealth struct {
+	state PeerState
+	fails int // consecutive failures while healthy/suspect
+	oks   int // consecutive successes while recovering
+	err   string
+	since time.Time
+}
+
+// prober runs the health state machine over the peer set. Observations
+// come from two sources: periodic GET /healthz probes, and passive
+// reports from the router (a proxy that could not reach its target is as
+// good as a failed probe and arrives earlier).
+type prober struct {
+	self      string
+	failAfter int // consecutive failures before suspect becomes down
+	okAfter   int // consecutive successes before recovering becomes healthy
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+
+	probes, transitions uint64
+}
+
+func newProber(self string, peers []string, failAfter, okAfter int) *prober {
+	if failAfter < 1 {
+		failAfter = 2
+	}
+	if okAfter < 1 {
+		okAfter = 2
+	}
+	p := &prober{
+		self:      self,
+		failAfter: failAfter,
+		okAfter:   okAfter,
+		peers:     make(map[string]*peerHealth),
+	}
+	now := time.Now()
+	for _, n := range peers {
+		if n != self {
+			p.peers[n] = &peerHealth{state: StateHealthy, since: now}
+		}
+	}
+	return p
+}
+
+// observe feeds one observation (probe result or passive report) into
+// the state machine.
+func (p *prober) observe(peer string, ok bool, errMsg string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ph, known := p.peers[peer]
+	if !known {
+		return
+	}
+	prev := ph.state
+	if ok {
+		ph.err = ""
+		switch ph.state {
+		case StateHealthy, StateSuspect:
+			ph.state = StateHealthy
+			ph.fails = 0
+		case StateDown:
+			ph.state = StateRecovering
+			ph.oks = 1
+		case StateRecovering:
+			ph.oks++
+			if ph.oks >= p.okAfter {
+				ph.state = StateHealthy
+				ph.fails, ph.oks = 0, 0
+			}
+		}
+	} else {
+		ph.err = errMsg
+		switch ph.state {
+		case StateHealthy, StateSuspect:
+			ph.state = StateSuspect
+			ph.fails++
+			if ph.fails >= p.failAfter {
+				ph.state = StateDown
+			}
+		case StateRecovering:
+			// Flapped mid-recovery: straight back down.
+			ph.state = StateDown
+			ph.oks = 0
+		case StateDown:
+		}
+	}
+	if ph.state != prev {
+		ph.since = time.Now()
+		p.transitions++
+	}
+}
+
+// state returns a peer's current state (self is always healthy).
+func (p *prober) state(peer string) PeerState {
+	if peer == p.self {
+		return StateHealthy
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ph, ok := p.peers[peer]; ok {
+		return ph.state
+	}
+	return StateDown
+}
+
+// routable reports whether requests should be offered to peer.
+func (p *prober) routable(peer string) bool {
+	return peer == p.self || p.state(peer).Routable()
+}
+
+// PeerStatus is one peer's health as surfaced by GET /v1/cluster.
+type PeerStatus struct {
+	Peer  string    `json:"peer"`
+	State string    `json:"state"`
+	Since time.Time `json:"since"`
+	Error string    `json:"error,omitempty"`
+}
+
+func (p *prober) snapshot() []PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerStatus, 0, len(p.peers))
+	for n, ph := range p.peers {
+		out = append(out, PeerStatus{Peer: n, State: ph.state.String(), Since: ph.since, Error: ph.err})
+	}
+	return out
+}
+
+// probeLoop polls every peer's /healthz on the interval until ctx ends.
+func (p *prober) probeLoop(ctx context.Context, interval time.Duration, hc *http.Client) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		targets := make([]string, 0, len(p.peers))
+		for n := range p.peers {
+			targets = append(targets, n)
+		}
+		p.probes++
+		p.mu.Unlock()
+		for _, peer := range targets {
+			p.probeOne(ctx, peer, hc)
+		}
+	}
+}
+
+// probeOne performs one /healthz round trip. A 503 (draining node) is a
+// failure for routing purposes: the peer would reject proxied work.
+func (p *prober) probeOne(ctx context.Context, peer string, hc *http.Client) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		p.observe(peer, false, err.Error())
+		return
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		p.observe(peer, false, err.Error())
+		return
+	}
+	resp.Body.Close()
+	p.observe(peer, resp.StatusCode == http.StatusOK, resp.Status)
+}

@@ -1,0 +1,69 @@
+// Package cluster turns N resd processes into one logical crash-analysis
+// service. Membership is static (every node is started with the same
+// -peers list); coordination is peer-to-peer with no leader: every node
+// embeds the same router, so any node can accept any request and proxy
+// it to the node that owns it.
+//
+// Ownership is rendezvous (highest-random-weight) hashing on the program
+// fingerprint — the same key the service already shards on internally.
+// Rendezvous hashing gives each (key, node) pair an independent score
+// and routes the key to the highest-scoring live node, which has two
+// properties this layer leans on: every node computes the same owner
+// with no coordination, and when a node dies only the keys it owned move
+// (each to its own second-highest node — the failover target is per-key,
+// so a dead node's load spreads over the whole cluster instead of
+// dogpiling one neighbor).
+//
+// The content-addressed store gains a replication tier here: completed
+// results and dump blobs are written through to the key's top-R nodes,
+// and a local store miss pulls from peers (verified against the
+// content address), so a node that lost its disk repopulates lazily.
+// Together with each node's job journal (internal/service.Journal) this
+// makes the cluster lose no durable state when any single node's disk
+// or process goes away, R-1 disks' worth of history when R-1 do.
+//
+// Trust model: the cluster endpoints — like the rest of resd's HTTP API —
+// carry no authentication. Replicated dump blobs are re-verified against
+// their content address and result blobs must parse as reports, but a
+// result's key is not derivable from its bytes, so a peer (or anyone who
+// can reach the listen address) is trusted not to forge result entries.
+// Run the cluster on a trusted network segment or behind an
+// authenticating proxy, exactly as you would the single-node daemon.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// score is one node's rendezvous weight for one key: a keyed hash,
+// reduced to its first 8 bytes. Independent per (node, key) pair, stable
+// across processes — every node agrees on every ranking.
+func score(node, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte("rescluster\x00"))
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// rank orders nodes by descending rendezvous score for key (ties broken
+// by node ID for determinism). rank(...)[0] is the key's owner; the rest
+// is the failover/replication preference order.
+func rank(nodes []string, key string) []string {
+	out := append([]string(nil), nodes...)
+	scores := make(map[string]uint64, len(out))
+	for _, n := range out {
+		scores[n] = score(n, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

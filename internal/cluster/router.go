@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"res/internal/service"
+)
+
+// Handler returns the node's cluster-aware HTTP API. It serves the same
+// public surface as a single resd (the cluster is invisible to clients —
+// any node answers any request), plus the cluster's own endpoints:
+//
+//	GET /v1/cluster                     membership + per-peer health
+//	GET /v1/cluster/route/{program}     a program's owner + failover order
+//	GET /internal/v1/store/{id}         replication: serve one artifact
+//	PUT /internal/v1/store/{id}         replication: accept one artifact
+//
+// Routing: dump submissions are proxied to the program's rendezvous
+// owner (failing over down the preference order when the owner is
+// unreachable), result lookups try the local service, then the local
+// store's replica tier, then the peers, and bucket listings merge the
+// whole cluster's view.
+func (n *Node) Handler() http.Handler {
+	local := n.svc.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/dumps", n.routeSubmit)
+	mux.HandleFunc("POST /v1/dumps/batch", n.routeSubmit)
+	mux.HandleFunc("POST /v1/programs", n.handleRegister)
+	mux.HandleFunc("GET /v1/results/{id}", n.handleResult)
+	mux.HandleFunc("GET /v1/buckets", n.handleBuckets)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
+	mux.HandleFunc("GET /v1/cluster/route/{program}", n.handleRoute)
+	mux.HandleFunc("GET /internal/v1/store/{id}", n.handleStoreGet)
+	mux.HandleFunc("PUT /internal/v1/store/{id}", n.handleStorePut)
+	mux.Handle("/", local)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: fmt.Sprintf(format, args...)})
+}
+
+// forwarded reports whether the request already made an intra-cluster
+// hop and must be served locally (the loop guard).
+func forwarded(r *http.Request) bool { return r.Header.Get(forwardedHeader) != "" }
+
+// serveLocal replays a buffered request body into the local service.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	n.svc.Handler().ServeHTTP(w, r2)
+}
+
+// maxRouteBody mirrors the service's own request bound.
+const maxRouteBody = 64 << 20
+
+// routeSubmit is the dump ingestion router, shared by the single and
+// batch endpoints (both route on the same program head fields): pick the
+// program's owner by rendezvous hash, serve locally if that is us,
+// otherwise proxy — failing over down the preference order past down or
+// unreachable nodes.
+func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if forwarded(r) {
+		n.serveLocal(w, r, body)
+		return
+	}
+	var head struct {
+		ProgramID     string `json:"program_id"`
+		ProgramSource string `json:"program_source"`
+	}
+	if err := json.Unmarshal(body, &head); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	fp, err := n.programFingerprint(head.ProgramID, head.ProgramSource)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n.routeToOwner(w, r, body, fp)
+}
+
+// routeToOwner walks the key's preference order: self serves locally, a
+// routable peer gets a proxy attempt, down nodes are skipped, and
+// transport failures and draining targets (503) fail over to the next
+// candidate. A request served by anyone but order[0] counts as a
+// failover.
+func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, body []byte, programFP string) {
+	order := rank(n.peers, programFP)
+	var lastErr string
+	for i, target := range order {
+		if target == n.self {
+			if i > 0 {
+				n.countFailover()
+			}
+			n.serveLocal(w, r, body)
+			return
+		}
+		if !n.prober.routable(target) {
+			lastErr = target + " is down"
+			continue
+		}
+		ok, errMsg := n.proxy(w, r, body, target)
+		if ok {
+			if i > 0 {
+				n.countFailover()
+			}
+			return
+		}
+		lastErr = errMsg
+		n.prober.observe(target, false, errMsg)
+	}
+	writeErr(w, http.StatusBadGateway, "no live node for program %s: %s", programFP, lastErr)
+}
+
+func (n *Node) countFailover() {
+	n.mu.Lock()
+	n.failovers++
+	n.mu.Unlock()
+}
+
+// proxy relays the buffered request to target. The bool reports whether
+// the response was delivered; false means the caller may fail over (the
+// target was unreachable or draining — nothing was written to w).
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, body []byte, target string) (bool, string) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false, err.Error()
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.Header.Set(forwardedHeader, n.self)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// The owner is draining: it answered, but will not take the work.
+		io.Copy(io.Discard, resp.Body)
+		return false, resp.Status
+	}
+	n.mu.Lock()
+	n.proxied++
+	n.mu.Unlock()
+	n.prober.observe(target, true, "")
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true, ""
+}
+
+// handleRegister registers the program locally and broadcasts the
+// registration to every routable peer. Registration is content-keyed
+// and idempotent, so the broadcast just pre-warms shards fleet-wide —
+// any node can then accept the program's dumps by ID even after a
+// failover (submissions carrying source never needed the broadcast).
+func (n *Node) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if !forwarded(r) {
+		for _, peer := range n.peers {
+			if peer == n.self || !n.prober.routable(peer) {
+				continue
+			}
+			req, err := http.NewRequest(http.MethodPost, peer+"/v1/programs", bytes.NewReader(body))
+			if err != nil {
+				continue
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(forwardedHeader, n.self)
+			if resp, err := n.hc.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	n.serveLocal(w, r, body)
+}
+
+// handleResult answers a result poll from, in order: the local service
+// (it ran or restored the job — the record carries the full metadata:
+// bucket, program, timings), then the peers (one of them ran it), and
+// finally the local store's replica tier — a bare but correct answer
+// that keeps results readable even when every node that knew the job's
+// metadata is gone.
+func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := n.svc.Job(id); ok {
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	if !forwarded(r) {
+		for _, peer := range n.peers {
+			if peer == n.self || !n.prober.routable(peer) {
+				continue
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/v1/results/"+id, nil)
+			if err != nil {
+				continue
+			}
+			req.Header.Set(forwardedHeader, n.self)
+			resp, err := n.hc.Do(req)
+			if err != nil {
+				n.prober.observe(peer, false, err.Error())
+				continue
+			}
+			if resp.StatusCode == http.StatusOK {
+				n.mu.Lock()
+				n.proxied++
+				n.mu.Unlock()
+				w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+				w.WriteHeader(http.StatusOK)
+				io.Copy(w, resp.Body)
+				resp.Body.Close()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if data, ok := n.st.GetByID(id); ok && id != journalSnapshotID && looksLikeReport(data) {
+		writeJSON(w, http.StatusOK, service.Job{
+			ID:     id,
+			Status: service.StatusDone,
+			Cached: true,
+			Report: json.RawMessage(data),
+		})
+		return
+	}
+	writeErr(w, http.StatusNotFound, "unknown job %s", id)
+}
+
+// journalSnapshotID is the one store ID that must never leave the node:
+// the journal snapshot mirror holds program sources and the full job
+// history under a globally constant key, and it is neither a result nor
+// a replicated artifact.
+var journalSnapshotID = service.JournalSnapshotKey().ID()
+
+// looksLikeReport guards the by-ID store path: only JSON objects (result
+// reports) are served as results — a dump blob whose ID was guessed is
+// not a job.
+func looksLikeReport(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{' && json.Valid(data)
+}
+
+// handleBuckets merges the whole cluster's crash-dedup view: the same
+// root cause analyzed on two nodes is still one bucket.
+func (n *Node) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	merged := make(map[string]map[string]bool)
+	add := func(bs []service.Bucket) {
+		for _, b := range bs {
+			ids := merged[b.Key]
+			if ids == nil {
+				ids = make(map[string]bool)
+				merged[b.Key] = ids
+			}
+			for _, id := range b.JobIDs {
+				ids[id] = true
+			}
+		}
+	}
+	add(n.svc.Buckets())
+	if !forwarded(r) {
+		for _, peer := range n.peers {
+			if peer == n.self || !n.prober.routable(peer) {
+				continue
+			}
+			if bs, err := n.peerBuckets(r, peer); err == nil {
+				add(bs)
+			}
+		}
+	}
+	out := make([]service.Bucket, 0, len(merged))
+	for k, ids := range merged {
+		b := service.Bucket{Key: k, Count: len(ids)}
+		for id := range ids {
+			b.JobIDs = append(b.JobIDs, id)
+		}
+		sort.Strings(b.JobIDs)
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	writeJSON(w, http.StatusOK, struct {
+		Buckets []service.Bucket `json:"buckets"`
+	}{Buckets: out})
+}
+
+func (n *Node) peerBuckets(r *http.Request, peer string) ([]service.Bucket, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/v1/buckets", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(forwardedHeader, n.self)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		n.prober.observe(peer, false, err.Error())
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: %s", resp.Status)
+	}
+	var parsed struct {
+		Buckets []service.Bucket `json:"buckets"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&parsed); err != nil {
+		return nil, err
+	}
+	return parsed.Buckets, nil
+}
+
+// Status is the GET /v1/cluster body.
+type Status struct {
+	Self     string       `json:"self"`
+	Peers    []string     `json:"peers"`
+	Replicas int          `json:"replicas"`
+	Health   []PeerStatus `json:"health"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	health := n.prober.snapshot()
+	sort.Slice(health, func(i, j int) bool { return health[i].Peer < health[j].Peer })
+	writeJSON(w, http.StatusOK, Status{
+		Self:     n.self,
+		Peers:    n.Peers(),
+		Replicas: n.replicas,
+		Health:   health,
+	})
+}
+
+// RouteInfo is the GET /v1/cluster/route/{program} body: where a
+// program's dumps go, in failover order. Scripts (and the CI smoke test)
+// use it to find a program's owner without reimplementing the hash.
+type RouteInfo struct {
+	Program string   `json:"program"`
+	Owner   string   `json:"owner"`
+	Order   []string `json:"order"`
+	Replica []string `json:"replicas"`
+}
+
+func (n *Node) handleRoute(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("program")
+	order := rank(n.peers, fp)
+	replicas := order
+	if len(replicas) > n.replicas {
+		replicas = replicas[:n.replicas]
+	}
+	writeJSON(w, http.StatusOK, RouteInfo{
+		Program: fp,
+		Owner:   order[0],
+		Order:   order,
+		Replica: replicas,
+	})
+}
+
+// handleStoreGet serves one artifact to a pulling peer. Local tiers
+// only: answering from our own fetch path would let two missing nodes
+// ping-pong forever. The journal snapshot's constant ID is refused —
+// it is node-local state, not a replicated artifact.
+func (n *Node) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if r.PathValue("id") == journalSnapshotID {
+		writeErr(w, http.StatusNotFound, "no artifact %s", r.PathValue("id"))
+		return
+	}
+	data, ok := n.st.GetByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no artifact %s", r.PathValue("id"))
+		return
+	}
+	n.mu.Lock()
+	n.served++
+	n.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handleStorePut accepts a peer's write-through. The artifact is
+// verified against its content address before entering the local store,
+// and stored with PutLocal so it does not echo back into the cluster.
+func (n *Node) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	var env artifactEnvelope
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRouteBody)).Decode(&env); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad envelope: %v", err)
+		return
+	}
+	k, err := env.key()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad key: %v", err)
+		return
+	}
+	if k.ID() != r.PathValue("id") {
+		writeErr(w, http.StatusBadRequest, "key does not hash to %s", r.PathValue("id"))
+		return
+	}
+	if err := verifyArtifact(k, env.Data); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := n.st.PutLocal(k, env.Data); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMetrics appends the cluster's own series to the service's
+// Prometheus text.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferingWriter{header: make(http.Header)}
+	n.svc.Handler().ServeHTTP(rec, r)
+	if rec.code != 0 && rec.code != http.StatusOK {
+		// The service handler failed; relay its reply untouched rather
+		// than wrapping an error body in a 200 exposition.
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.code)
+		w.Write(rec.buf.Bytes())
+		return
+	}
+
+	n.mu.Lock()
+	proxied, failovers := n.proxied, n.failovers
+	rputs, rerrs := n.replicaPuts, n.putErrors
+	fetches, fmisses := n.fetches, n.fetchMisses
+	served := n.served
+	n.mu.Unlock()
+
+	var b strings.Builder
+	emit := func(name, typ, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	emit("resd_cluster_peers", "gauge", "Cluster membership size (self included).", float64(len(n.peers)))
+	emit("resd_cluster_proxied_total", "counter", "Requests proxied to their owning node.", float64(proxied))
+	emit("resd_cluster_failovers_total", "counter", "Proxy attempts that failed over past an unhealthy owner.", float64(failovers))
+	emit("resd_cluster_replica_puts_total", "counter", "Artifacts written through to peer replicas.", float64(rputs))
+	emit("resd_cluster_replica_put_errors_total", "counter", "Write-through attempts that failed.", float64(rerrs))
+	emit("resd_cluster_replica_fetches_total", "counter", "Read-through pulls that recovered an artifact from a peer.", float64(fetches))
+	emit("resd_cluster_replica_fetch_misses_total", "counter", "Read-through pulls no peer could answer.", float64(fmisses))
+	emit("resd_cluster_replica_serves_total", "counter", "Artifacts served to pulling peers.", float64(served))
+	states := map[string]int{}
+	for _, ps := range n.prober.snapshot() {
+		states[ps.State]++
+	}
+	fmt.Fprintf(&b, "# HELP resd_cluster_peer_state Peers per health state.\n# TYPE resd_cluster_peer_state gauge\n")
+	for _, st := range []string{"healthy", "suspect", "down", "recovering"} {
+		fmt.Fprintf(&b, "resd_cluster_peer_state{state=%q} %d\n", st, states[st])
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	w.Write(rec.buf.Bytes())
+	io.WriteString(w, b.String())
+}
+
+// bufferingWriter captures a downstream handler's response so it can be
+// re-emitted with additions.
+type bufferingWriter struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (b *bufferingWriter) Header() http.Header         { return b.header }
+func (b *bufferingWriter) WriteHeader(code int)        { b.code = code }
+func (b *bufferingWriter) Write(p []byte) (int, error) { return b.buf.Write(p) }

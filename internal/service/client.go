@@ -91,6 +91,24 @@ func (c *Client) SubmitSource(ctx context.Context, name, source string, dump []b
 	return job, err
 }
 
+// SubmitWithOptions submits a dump with per-request analysis-option
+// overrides (folded into the result's cache key server-side).
+func (c *Client) SubmitWithOptions(ctx context.Context, programID string, dump []byte, o *SubmitOverrides) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps",
+		SubmitRequest{ProgramID: programID, Dump: dump, Options: o}, &job)
+	return job, err
+}
+
+// SubmitBatch ships a burst of dumps for one program in a single request
+// (POST /v1/dumps/batch). The returned items are positional with
+// req.Dumps; per-dump failures are reported in place, not as an error.
+func (c *Client) SubmitBatch(ctx context.Context, req BatchSubmitRequest) ([]BatchItem, error) {
+	var resp BatchSubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/dumps/batch", req, &resp)
+	return resp.Jobs, err
+}
+
 // Result fetches the job's current snapshot.
 func (c *Client) Result(ctx context.Context, id string) (Job, error) {
 	var job Job

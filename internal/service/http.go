@@ -12,12 +12,30 @@ import (
 // already-registered program, or ProgramSource carries the assembly text
 // (registered on first sight, keyed by content, so resubmitting the same
 // source is free). Dump is the serialized coredump, base64-encoded on the
-// wire by encoding/json.
+// wire by encoding/json. Options, when present, override analysis knobs
+// for this request only (and become part of the result's cache key).
 type SubmitRequest struct {
-	ProgramID     string `json:"program_id,omitempty"`
-	ProgramName   string `json:"program_name,omitempty"`
-	ProgramSource string `json:"program_source,omitempty"`
-	Dump          []byte `json:"dump"`
+	ProgramID     string           `json:"program_id,omitempty"`
+	ProgramName   string           `json:"program_name,omitempty"`
+	ProgramSource string           `json:"program_source,omitempty"`
+	Options       *SubmitOverrides `json:"options,omitempty"`
+	Dump          []byte           `json:"dump"`
+}
+
+// BatchSubmitRequest is the POST /v1/dumps/batch body: one program, many
+// dumps, optional shared per-request option overrides.
+type BatchSubmitRequest struct {
+	ProgramID     string           `json:"program_id,omitempty"`
+	ProgramName   string           `json:"program_name,omitempty"`
+	ProgramSource string           `json:"program_source,omitempty"`
+	Options       *SubmitOverrides `json:"options,omitempty"`
+	Dumps         [][]byte         `json:"dumps"`
+}
+
+// BatchSubmitResponse is the POST /v1/dumps/batch reply; Jobs is
+// positional with the request's Dumps.
+type BatchSubmitResponse struct {
+	Jobs []BatchItem `json:"jobs"`
 }
 
 // RegisterRequest is the POST /v1/programs body.
@@ -49,6 +67,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/programs", s.handleRegister)
 	mux.HandleFunc("POST /v1/dumps", s.handleSubmit)
+	mux.HandleFunc("POST /v1/dumps/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /v1/buckets", s.handleBuckets)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -130,7 +149,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := s.Submit(programID, req.Dump)
+	job, err := s.SubmitWithOptions(programID, req.Dump, req.Options)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -140,6 +159,37 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, job)
+}
+
+// handleSubmitBatch ingests a burst of dumps for one program in a single
+// request. The response is always 200 with positional per-item outcomes;
+// only request-level problems (bad body, unknown/unregisterable program)
+// get a non-2xx status.
+func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req BatchSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Dumps) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dumps is required"})
+		return
+	}
+	programID := req.ProgramID
+	if programID == "" {
+		if req.ProgramSource == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "program_id or program_source is required"})
+			return
+		}
+		var err error
+		programID, err = s.RegisterSource(req.ProgramName, req.ProgramSource)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: s.SubmitBatch(programID, req.Dumps, req.Options)})
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -196,6 +246,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("resd_programs", gauge, "Registered program shards.", float64(m.Programs))
 	emit("resd_jobs", gauge, "Job records retained in memory.", float64(m.Jobs))
 	emit("resd_jobs_evicted_total", counter, "Terminal job records evicted by the MaxJobs/JobRetention bounds.", float64(m.JobsEvicted))
+	emit("resd_jobs_retried_total", counter, "Failed analyses re-queued by the retry policy.", float64(m.Retried))
+	emit("resd_store_replica_hits_total", counter, "Store gets answered by the cluster read-through fetch.", float64(m.Store.ReplicaHits))
+	emit("resd_journal_appends_total", counter, "Entries appended to the job journal.", float64(m.Journal.Appends))
+	emit("resd_journal_compactions_total", counter, "Journal compactions into a snapshot.", float64(m.Journal.Compactions))
+	emit("resd_journal_replayed", gauge, "Journal entries replayed at startup.", float64(m.JournalReplayed))
 	shardVec := func(name, typ, help string, v func(ShardMetrics) float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		for _, sh := range m.Shards {

@@ -124,11 +124,54 @@ type Config struct {
 	// JobRetention additionally evicts terminal job records older than
 	// this, regardless of MaxJobs. 0 = no TTL.
 	JobRetention time.Duration
+	// MaxRetries re-queues a failed analysis up to this many times with
+	// exponential backoff (RetryBackoff, 2*RetryBackoff, 4*...), so a
+	// transient failure — resource exhaustion, a crashed helper — does not
+	// permanently mark the tuple failed. 0 = failures are final.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; each subsequent retry
+	// doubles it. <= 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Journal, when set, makes job history and bucket membership durable:
+	// every terminal job (and every source-registered program) is appended
+	// to it, and New replays it so a restarted daemon still answers result
+	// polls for past jobs and lists their buckets. Open one with
+	// OpenJournal; the caller closes it after Shutdown.
+	Journal *Journal
+	// JournalCompactEvery bounds the journal's live tail: past this many
+	// entries it is compacted into a single snapshot (and mirrored into
+	// the store's disk tier when one exists). 0 = DefaultJournalCompactEvery.
+	JournalCompactEvery int
 
-	// beforeAnalyze, when set, runs in the worker just before each
+	// BeforeAnalyze, when set, runs in the worker just before each
 	// analysis. Test-only: it lets lifecycle tests hold a worker busy
 	// deterministically.
-	beforeAnalyze func()
+	BeforeAnalyze func()
+	// analyzeHook, when set, runs in the worker in place of the analysis
+	// preflight; a non-nil return fails the attempt. Test-only: it lets
+	// retry tests inject transient failures deterministically.
+	analyzeHook func(attempt int) error
+}
+
+// DefaultRetryBackoff is the first retry delay when Config.RetryBackoff
+// is unset.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+// SubmitOverrides are per-request analysis-option overrides: a submitter
+// can ask for a deeper or narrower search than the daemon's default for
+// one dump without redeploying the fleet's configuration. Overridden
+// knobs are folded into the options fingerprint, so a result computed
+// under overrides is cached under its own key and can never be served to
+// a submitter who asked for different options. Zero fields inherit the
+// daemon's configuration.
+type SubmitOverrides struct {
+	MaxDepth  int `json:"max_depth,omitempty"`
+	BeamWidth int `json:"beam_width,omitempty"`
+}
+
+// empty reports whether the overrides change nothing.
+func (o *SubmitOverrides) empty() bool {
+	return o == nil || (o.MaxDepth == 0 && o.BeamWidth == 0)
 }
 
 // DefaultQueueDepth is the per-shard queue bound when Config leaves it 0.
@@ -166,16 +209,21 @@ type Job struct {
 	Bucket  string `json:"bucket,omitempty"`
 	Error   string `json:"error,omitempty"`
 	// Report is the deterministic analysis report (res.Result.JSON).
-	Report      json.RawMessage `json:"report,omitempty"`
-	SubmittedAt time.Time       `json:"submitted_at"`
-	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+	Report json.RawMessage `json:"report,omitempty"`
+	// Retries counts how many times a failed analysis of this tuple was
+	// re-queued by the retry policy.
+	Retries     int       `json:"retries,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
 }
 
 type jobState struct {
-	job  Job
-	key  store.Key // result key (the ID is its hash)
-	dump *res.Dump
-	done chan struct{}
+	job       Job
+	key       store.Key // result key (the ID is its hash)
+	dump      *res.Dump
+	overrides *SubmitOverrides // per-request analysis options, nil = daemon defaults
+	retries   int
+	done      chan struct{}
 }
 
 // shard is one program's analysis pool: a shared Analyzer session (the
@@ -207,6 +255,15 @@ type Service struct {
 	draining bool
 	wg       sync.WaitGroup
 
+	// sources retains each source-registered program's text (keyed by
+	// program fingerprint hex) so journal compaction can snapshot the
+	// registration; replaying restores the shard.
+	sources map[string]JournalProgram
+	// replaying suppresses journal appends while New replays the journal
+	// (replayed state must not be re-journaled). Only New's goroutine
+	// runs while it is set.
+	replaying bool
+
 	// doneOrder tracks terminal job records oldest-finished first, the
 	// eviction order for the MaxJobs/JobRetention bounds. Maintained only
 	// when one of the bounds is configured.
@@ -214,14 +271,22 @@ type Service struct {
 	// evicted maps evicted complete jobs to the slim record needed to
 	// keep GET /v1/results/{id} answering from the result store after the
 	// full job record is gone. Bounded FIFO (evictedOrder), ~200 bytes
-	// per entry against the kilobytes a full record holds.
+	// per entry against the kilobytes a full record holds. Each tombstone
+	// carries a sequence number matched by its order entry, so an entry
+	// staled by resurrect-and-reinsert (or a journal replay supersede)
+	// can never trim a live tombstone.
 	evicted      map[string]evictedRec
-	evictedOrder []string
+	evictedOrder []evictedRef
+	evictedSeq   uint64
+	// pendingRetries tracks jobs waiting out a retry backoff, so Shutdown
+	// can terminalize them instead of abandoning their timers.
+	pendingRetries map[*jobState]*retryRec
 
 	submitted, completed, failed, canceled uint64
 	rejected, coalesced                    uint64
 	cacheHits, cacheMisses                 uint64
-	jobsEvicted                            uint64
+	jobsEvicted, retried                   uint64
+	journalReplayed                        int
 }
 
 // doneRec is one entry of the eviction queue. The timestamp doubles as a
@@ -240,6 +305,41 @@ type evictedRec struct {
 	programName string
 	bucket      string
 	finished    time.Time
+	seq         uint64
+}
+
+// evictedRef is one entry of the tombstone trim queue.
+type evictedRef struct {
+	id  string
+	seq uint64
+}
+
+// retryRec pairs a backed-off job with its timer and shard.
+type retryRec struct {
+	sh    *shard
+	timer *time.Timer
+}
+
+// insertEvictedLocked installs (or replaces) a tombstone and queues its
+// trim entry. Caller holds s.mu.
+func (s *Service) insertEvictedLocked(id string, rec evictedRec) {
+	if s.evicted == nil {
+		s.evicted = make(map[string]evictedRec)
+	}
+	s.evictedSeq++
+	rec.seq = s.evictedSeq
+	s.evicted[id] = rec
+	s.evictedOrder = append(s.evictedOrder, evictedRef{id: id, seq: rec.seq})
+	for len(s.evictedOrder) > s.maxEvictedIndex() {
+		ref := s.evictedOrder[0]
+		s.evictedOrder = s.evictedOrder[1:]
+		// Only the entry matching the live tombstone's sequence may trim
+		// it; entries staled by resurrection or replay supersede are
+		// skipped.
+		if live, ok := s.evicted[ref.id]; ok && live.seq == ref.seq {
+			delete(s.evicted, ref.id)
+		}
+	}
 }
 
 // bounded reports whether any job-record bound is configured.
@@ -285,20 +385,10 @@ func (s *Service) evictJobsLocked() {
 		delete(s.jobs, ent.id)
 		s.jobsEvicted++
 		if js.job.Status == StatusDone && !js.job.Partial {
-			if s.evicted == nil {
-				s.evicted = make(map[string]evictedRec)
-			}
-			if _, dup := s.evicted[ent.id]; !dup {
-				s.evictedOrder = append(s.evictedOrder, ent.id)
-			}
-			s.evicted[ent.id] = evictedRec{
+			s.insertEvictedLocked(ent.id, evictedRec{
 				key: js.key, program: js.job.Program, programName: js.job.ProgramName,
 				bucket: js.job.Bucket, finished: js.job.FinishedAt,
-			}
-			for len(s.evictedOrder) > s.maxEvictedIndex() {
-				delete(s.evicted, s.evictedOrder[0])
-				s.evictedOrder = s.evictedOrder[1:]
-			}
+			})
 		}
 	}
 }
@@ -339,7 +429,12 @@ func (s *Service) evictedJob(id string) (Job, bool) {
 }
 
 // New creates a service; it accepts work immediately (programs register
-// lazily via RegisterProgram/RegisterSource).
+// lazily via RegisterProgram/RegisterSource). When Config.Journal is set,
+// the journal is replayed first: journaled programs are re-registered and
+// terminal jobs are restored — completed ones as store-backed records
+// whose reports resolve from the content-addressed store, the rest as
+// bare history — so job IDs, result polls, and crash-bucket membership
+// survive a restart.
 func New(cfg Config) *Service {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = DefaultQueueDepth
@@ -351,7 +446,7 @@ func New(cfg Config) *Service {
 		cfg.Store = store.New(0)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		store:   cfg.Store,
 		optFP:   cfg.Analysis.Fingerprint(),
@@ -360,7 +455,30 @@ func New(cfg Config) *Service {
 		shards:  make(map[string]*shard),
 		jobs:    make(map[string]*jobState),
 		buckets: make(map[string][]string),
+		sources: make(map[string]JournalProgram),
 	}
+	if cfg.Journal != nil {
+		s.replayJournal()
+	}
+	return s
+}
+
+// effectiveAnalysis resolves per-request overrides against the daemon's
+// configuration and returns the matching options fingerprint — the
+// overridden knobs are part of the cache identity, so results computed
+// under different options never collide.
+func (s *Service) effectiveAnalysis(o *SubmitOverrides) (AnalysisConfig, store.Fingerprint) {
+	if o.empty() {
+		return s.cfg.Analysis, s.optFP
+	}
+	eff := s.cfg.Analysis
+	if o.MaxDepth > 0 {
+		eff.MaxDepth = o.MaxDepth
+	}
+	if o.BeamWidth > 0 {
+		eff.BeamWidth = o.BeamWidth
+	}
+	return eff, eff.Fingerprint()
 }
 
 // Store exposes the backing store (for metrics and tests).
@@ -408,13 +526,29 @@ func (s *Service) RegisterProgram(name string, p *res.Program) (string, error) {
 	return id, nil
 }
 
-// RegisterSource assembles src and registers the resulting program.
+// RegisterSource assembles src and registers the resulting program. The
+// source text is retained (and journaled, when a journal is configured)
+// so the registration survives a restart.
 func (s *Service) RegisterSource(name, src string) (string, error) {
 	p, err := res.Assemble(src)
 	if err != nil {
 		return "", fmt.Errorf("service: assembling %q: %w", name, err)
 	}
-	return s.RegisterProgram(name, p)
+	id, err := s.RegisterProgram(name, p)
+	if err != nil {
+		return id, err
+	}
+	rec := JournalProgram{Name: name, Source: src}
+	s.mu.Lock()
+	_, known := s.sources[id]
+	if !known {
+		s.sources[id] = rec
+	}
+	s.mu.Unlock()
+	if !known {
+		s.journalAppend(journalEntry{T: "program", Program: &rec})
+	}
+	return id, nil
 }
 
 // Submit ingests one serialized coredump for the given program. The
@@ -424,6 +558,13 @@ func (s *Service) RegisterSource(name, src string) (string, error) {
 // coalesces onto the existing job. A full shard queue returns
 // ErrQueueFull — the caller's cue to back off.
 func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
+	return s.SubmitWithOptions(programID, dumpBytes, nil)
+}
+
+// SubmitWithOptions is Submit with per-request analysis-option overrides.
+// The overrides participate in the cache identity: the same dump under
+// different options is a different job with its own store entry.
+func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *SubmitOverrides) (Job, error) {
 	progFP, err := store.ParseFingerprint(programID)
 	if err != nil {
 		return Job{}, ErrUnknownProgram
@@ -438,7 +579,11 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrBadDump, err)
 	}
-	key := store.ResultKey(progFP, dumpFP, s.optFP)
+	if o.empty() {
+		o = nil
+	}
+	_, optFP := s.effectiveAnalysis(o)
+	key := store.ResultKey(progFP, dumpFP, optFP)
 	id := key.ID()
 
 	// Probe the store before taking the service lock (the disk tier does
@@ -521,7 +666,9 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 		s.jobs[id] = js
 		s.addBucketLocked(js.job.Bucket, id)
 		s.recordDoneLocked(js)
+		rec := journalJobRecord(js)
 		s.mu.Unlock()
+		s.journalAppend(journalEntry{T: "job", Job: rec})
 		return js.job, nil
 	}
 	js := &jobState{
@@ -529,9 +676,10 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 			ID: id, Program: programID, ProgramName: sh.name,
 			Status: StatusQueued, SubmittedAt: now,
 		},
-		key:  key,
-		dump: d,
-		done: make(chan struct{}),
+		key:       key,
+		dump:      d,
+		overrides: o,
+		done:      make(chan struct{}),
 	}
 	select {
 	case sh.queue <- js:
@@ -562,11 +710,122 @@ func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
 	return snap, nil
 }
 
+// BatchItem is one dump's outcome within a batch submission. Exactly one
+// of Job/Error is meaningful; Duplicate marks a dump that was
+// byte-identical to an earlier dump in the same batch and was coalesced
+// onto its job without a second ingest.
+type BatchItem struct {
+	Job       Job    `json:"job"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// SubmitBatch ingests many dumps for one program in a single call,
+// amortizing per-request overhead for fleets shipping dump bursts.
+// Results are positional: out[i] is dumps[i]'s outcome. Byte-identical
+// dumps within the batch are coalesced before ingest (marked Duplicate);
+// dumps that canonicalize to the same bytes additionally coalesce via
+// the regular in-flight/cache machinery. Per-item failures (bad dump,
+// full queue) are reported in place — one poisoned dump does not fail
+// the rest of the batch.
+func (s *Service) SubmitBatch(programID string, dumps [][]byte, o *SubmitOverrides) []BatchItem {
+	items := make([]BatchItem, len(dumps))
+	seen := make(map[[sha256.Size]byte]int, len(dumps))
+	for i, db := range dumps {
+		h := sha256.Sum256(db)
+		if j, ok := seen[h]; ok {
+			items[i] = items[j]
+			items[i].Duplicate = true
+			continue
+		}
+		seen[h] = i
+		job, err := s.SubmitWithOptions(programID, db, o)
+		items[i].Job = job
+		if err != nil {
+			items[i].Error = err.Error()
+		}
+	}
+	return items
+}
+
 // worker drains one shard's queue until Shutdown closes it.
 func (s *Service) worker(sh *shard) {
 	defer s.wg.Done()
 	for js := range sh.queue {
 		s.run(sh, js)
+	}
+}
+
+// maybeRetry re-queues a failed analysis under the retry policy: up to
+// Config.MaxRetries attempts with exponential backoff. Returns false —
+// the failure is final — when retries are off, exhausted, or the service
+// is draining.
+func (s *Service) maybeRetry(sh *shard, js *jobState, cause error) bool {
+	if s.cfg.MaxRetries <= 0 || s.baseCtx.Err() != nil {
+		return false
+	}
+	s.mu.Lock()
+	if s.draining || js.retries >= s.cfg.MaxRetries {
+		s.mu.Unlock()
+		return false
+	}
+	js.retries++
+	js.job.Retries = js.retries
+	js.job.Status = StatusQueued
+	if cause != nil {
+		// Visible to pollers while the retry waits out its backoff; a
+		// successful retry clears it.
+		js.job.Error = cause.Error()
+	}
+	s.retried++
+	backoff := s.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	delay := backoff << (js.retries - 1)
+	// Register the timer before arming it so Shutdown can find the job:
+	// a backed-off job is neither on a queue nor in a worker, and an
+	// abandoned timer would leave its waiters hanging past the drain.
+	if s.pendingRetries == nil {
+		s.pendingRetries = make(map[*jobState]*retryRec)
+	}
+	rec := &retryRec{sh: sh}
+	s.pendingRetries[js] = rec
+	rec.timer = time.AfterFunc(delay, func() { s.requeueRetry(sh, js) })
+	s.mu.Unlock()
+	return true
+}
+
+// requeueRetry puts a backed-off job back on its shard's queue. By the
+// time the timer fires the service may be draining (the queue is closed:
+// sending would panic) or the queue may be full; either way the job
+// finishes terminally instead of retrying into the void.
+func (s *Service) requeueRetry(sh *shard, js *jobState) {
+	s.mu.Lock()
+	if _, ok := s.pendingRetries[js]; !ok {
+		// Shutdown already terminalized this job between the timer firing
+		// and this callback taking the lock.
+		s.mu.Unlock()
+		return
+	}
+	delete(s.pendingRetries, js)
+	if s.draining {
+		s.mu.Unlock()
+		s.finish(sh, js, func(j *Job) {
+			j.Status = StatusCanceled
+			j.Error = "canceled during drain"
+		})
+		return
+	}
+	select {
+	case sh.queue <- js:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.finish(sh, js, func(j *Job) {
+			j.Status = StatusFailed
+			j.Error = "retry abandoned: analysis queue full"
+		})
 	}
 }
 
@@ -584,8 +843,20 @@ func (s *Service) run(sh *shard, js *jobState) {
 	js.job.Status = StatusRunning
 	s.mu.Unlock()
 
-	if s.cfg.beforeAnalyze != nil {
-		s.cfg.beforeAnalyze()
+	if s.cfg.BeforeAnalyze != nil {
+		s.cfg.BeforeAnalyze()
+	}
+	if s.cfg.analyzeHook != nil {
+		if herr := s.cfg.analyzeHook(js.retries); herr != nil {
+			if s.maybeRetry(sh, js, herr) {
+				return
+			}
+			s.finish(sh, js, func(j *Job) {
+				j.Status = StatusFailed
+				j.Error = herr.Error()
+			})
+			return
+		}
 	}
 	ctx := s.baseCtx
 	if s.cfg.JobTimeout > 0 {
@@ -593,8 +864,16 @@ func (s *Service) run(sh *shard, js *jobState) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
-	r, err := sh.analyzer.Analyze(ctx, js.dump)
+	var aopts []res.Option
+	if !js.overrides.empty() {
+		eff, _ := s.effectiveAnalysis(js.overrides)
+		aopts = append(aopts, res.WithMaxDepth(eff.MaxDepth), res.WithBeamWidth(eff.BeamWidth))
+	}
+	r, err := sh.analyzer.Analyze(ctx, js.dump, aopts...)
 	if r == nil {
+		if s.baseCtx.Err() == nil && s.maybeRetry(sh, js, err) {
+			return
+		}
 		s.finish(sh, js, func(j *Job) {
 			j.Status = StatusFailed
 			if err != nil {
@@ -623,11 +902,12 @@ func (s *Service) run(sh *shard, js *jobState) {
 		j.Partial = r.Partial
 		j.Report = rep
 		j.Bucket = bucket
+		j.Error = "" // clear any transient error surfaced between retries
 	})
 }
 
-// finish applies the terminal mutation, updates counters and buckets, and
-// releases waiters.
+// finish applies the terminal mutation, updates counters and buckets,
+// journals the outcome, and releases waiters.
 func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	s.mu.Lock()
 	mut(&js.job)
@@ -647,7 +927,9 @@ func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 		s.canceled++
 	}
 	s.recordDoneLocked(js)
+	rec := journalJobRecord(js)
 	s.mu.Unlock()
+	s.journalAppend(journalEntry{T: "job", Job: rec})
 	close(js.done)
 }
 
@@ -755,23 +1037,27 @@ type ShardMetrics struct {
 
 // Metrics is a consistent snapshot of service health.
 type Metrics struct {
-	QueueDepth   int            `json:"queue_depth"`
-	Submitted    uint64         `json:"submitted"`
-	Completed    uint64         `json:"completed"`
-	Failed       uint64         `json:"failed"`
-	Canceled     uint64         `json:"canceled"`
-	Rejected     uint64         `json:"rejected"`
-	Coalesced    uint64         `json:"coalesced"`
-	CacheHits    uint64         `json:"cache_hits"`
-	CacheMisses  uint64         `json:"cache_misses"`
-	CacheHitRate float64        `json:"cache_hit_rate"`
-	Store        store.Stats    `json:"store"`
-	Jobs         int            `json:"jobs"`
-	JobsEvicted  uint64         `json:"jobs_evicted"`
-	Buckets      int            `json:"buckets"`
-	Programs     int            `json:"programs"`
-	Draining     bool           `json:"draining"`
-	Shards       []ShardMetrics `json:"shards"`
+	QueueDepth   int          `json:"queue_depth"`
+	Submitted    uint64       `json:"submitted"`
+	Completed    uint64       `json:"completed"`
+	Failed       uint64       `json:"failed"`
+	Canceled     uint64       `json:"canceled"`
+	Rejected     uint64       `json:"rejected"`
+	Coalesced    uint64       `json:"coalesced"`
+	Retried      uint64       `json:"retried"`
+	CacheHits    uint64       `json:"cache_hits"`
+	CacheMisses  uint64       `json:"cache_misses"`
+	CacheHitRate float64      `json:"cache_hit_rate"`
+	Store        store.Stats  `json:"store"`
+	Jobs         int          `json:"jobs"`
+	JobsEvicted  uint64       `json:"jobs_evicted"`
+	Buckets      int          `json:"buckets"`
+	Programs     int          `json:"programs"`
+	Draining     bool         `json:"draining"`
+	Journal      JournalStats `json:"journal,omitzero"`
+	// JournalReplayed counts entries restored from the journal at startup.
+	JournalReplayed int            `json:"journal_replayed,omitempty"`
+	Shards          []ShardMetrics `json:"shards"`
 }
 
 // Metrics returns a snapshot of all counters.
@@ -780,10 +1066,12 @@ func (s *Service) Metrics() Metrics {
 	m := Metrics{
 		Submitted: s.submitted, Completed: s.completed, Failed: s.failed,
 		Canceled: s.canceled, Rejected: s.rejected, Coalesced: s.coalesced,
+		Retried:   s.retried,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		Jobs: len(s.jobs), JobsEvicted: s.jobsEvicted,
 		Buckets: len(s.buckets), Programs: len(s.shards),
-		Draining: s.draining,
+		Draining:        s.draining,
+		JournalReplayed: s.journalReplayed,
 	}
 	if total := m.CacheHits + m.CacheMisses; total > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(total)
@@ -800,6 +1088,9 @@ func (s *Service) Metrics() Metrics {
 	s.mu.Unlock()
 	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Program < m.Shards[j].Program })
 	m.Store = s.store.Stats()
+	if s.cfg.Journal != nil {
+		m.Journal = s.cfg.Journal.Stats()
+	}
 	return m
 }
 
@@ -817,7 +1108,19 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			close(sh.queue)
 		}
 	}
+	// Jobs waiting out a retry backoff sit on timers, not queues: cancel
+	// them now so their waiters release and their outcome is journaled —
+	// an abandoned timer would strand the job as silently never-finished.
+	pending := s.pendingRetries
+	s.pendingRetries = nil
 	s.mu.Unlock()
+	for js, rec := range pending {
+		rec.timer.Stop() // a timer that already fired finds its registration gone
+		s.finish(rec.sh, js, func(j *Job) {
+			j.Status = StatusCanceled
+			j.Error = "canceled during drain (retry pending)"
+		})
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -826,11 +1129,27 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.finalizeJournal()
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
+		s.finalizeJournal()
 		return ctx.Err()
+	}
+}
+
+// finalizeJournal compacts the journal once the drain completes, so the
+// next start replays one snapshot instead of the whole append history.
+func (s *Service) finalizeJournal() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.mu.Lock()
+	snap := s.journalSnapshotLocked()
+	s.mu.Unlock()
+	if s.cfg.Journal.Compact(snap) == nil {
+		s.mirrorSnapshot(snap)
 	}
 }
 

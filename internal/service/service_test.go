@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"res"
 	"res/internal/coredump"
+	"res/internal/store"
 	"res/internal/workload"
 )
 
@@ -141,13 +143,13 @@ func TestBackpressure(t *testing.T) {
 	svc, progID, dumps := testService(t, Config{
 		QueueDepth:    1,
 		ShardWorkers:  1,
-		beforeAnalyze: func() { <-release },
+		BeforeAnalyze: func() { <-release },
 	})
 	defer func() {
 		svc.Shutdown(context.Background())
 	}()
 
-	// First dump occupies the worker (blocked in beforeAnalyze)...
+	// First dump occupies the worker (blocked in BeforeAnalyze)...
 	j1, err := svc.Submit(progID, dumps[0])
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +184,7 @@ func TestGracefulDrainPartialResults(t *testing.T) {
 	svc, progID, dumps := testService(t, Config{
 		QueueDepth:    4,
 		ShardWorkers:  1,
-		beforeAnalyze: func() { <-release },
+		BeforeAnalyze: func() { <-release },
 	})
 
 	j1, err := svc.Submit(progID, dumps[0])
@@ -385,6 +387,343 @@ func waitStatus(t *testing.T, svc *Service, id string, want Status) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("job %s never reached %v", id, want)
+}
+
+// TestRetryTransientFailure is the retry policy's contract: an analysis
+// that fails transiently is re-queued with backoff and eventually
+// completes, observable in the retried counter and the job's Retries.
+func TestRetryTransientFailure(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{
+		MaxRetries:   3,
+		RetryBackoff: time.Millisecond,
+		analyzeHook: func(attempt int) error {
+			if attempt < 2 {
+				return errors.New("transient resource exhaustion")
+			}
+			return nil // third attempt: let the real analysis run
+		},
+	})
+	defer svc.Shutdown(context.Background())
+
+	job, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone || len(done.Report) == 0 {
+		t.Fatalf("job = %+v, want done after retries", done)
+	}
+	if done.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", done.Retries)
+	}
+	if done.Error != "" {
+		t.Fatalf("successful retry left error %q on the job", done.Error)
+	}
+	m := svc.Metrics()
+	if m.Retried != 2 || m.Failed != 0 || m.Completed != 1 {
+		t.Fatalf("metrics = %+v, want retried=2 failed=0 completed=1", m)
+	}
+}
+
+// TestRetryExhaustion: a persistently failing analysis fails for good
+// once MaxRetries is spent.
+func TestRetryExhaustion(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		analyzeHook:  func(int) error { return errors.New("permanent breakage") },
+	})
+	defer svc.Shutdown(context.Background())
+
+	job, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusFailed || done.Error != "permanent breakage" {
+		t.Fatalf("job = %+v, want failed with the analysis error", done)
+	}
+	if done.Retries != 2 {
+		t.Fatalf("retries = %d, want MaxRetries(2)", done.Retries)
+	}
+	m := svc.Metrics()
+	if m.Retried != 2 || m.Failed != 1 {
+		t.Fatalf("metrics = %+v, want retried=2 failed=1", m)
+	}
+}
+
+// TestShutdownCancelsRetryBackoff: a job waiting out a retry backoff is
+// on a timer, not a queue — Shutdown must terminalize it instead of
+// abandoning the timer and leaving its waiters hanging.
+func TestShutdownCancelsRetryBackoff(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{
+		MaxRetries:   5,
+		RetryBackoff: time.Hour, // would fire long after the test is gone
+		analyzeHook:  func(int) error { return errors.New("always failing") },
+	})
+	job, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, _ := svc.Job(job.ID)
+		if j.Retries >= 1 && j.Status == StatusQueued {
+			break // in backoff
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never entered retry backoff: %+v", j)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v; a backed-off retry must not stall the drain", err)
+	}
+	got, ok := svc.Job(job.ID)
+	if !ok || got.Status != StatusCanceled {
+		t.Fatalf("backed-off job after shutdown = %+v, ok=%v; want canceled", got, ok)
+	}
+	if _, err := svc.Wait(context.Background(), job.ID); err != nil {
+		t.Fatalf("Wait on the canceled job = %v, want immediate return", err)
+	}
+}
+
+// TestPerRequestOverrides: overridden analysis options are part of the
+// cache identity — the same dump under two option sets is two jobs with
+// two store entries, while overrides equal to the daemon's configuration
+// share the daemon's cache key.
+func TestPerRequestOverrides(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{ShardWorkers: 2})
+	defer svc.Shutdown(context.Background())
+
+	base, err := svc.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base, err = svc.Wait(context.Background(), base.ID); err != nil || base.Status != StatusDone {
+		t.Fatalf("base job = %+v, err = %v", base, err)
+	}
+
+	// A different depth is a different tuple: fresh analysis, own entry.
+	over, err := svc.SubmitWithOptions(progID, dumps[0], &SubmitOverrides{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.ID == base.ID {
+		t.Fatal("override did not move the cache key")
+	}
+	if over.Cached {
+		t.Fatalf("override submission = %+v, want fresh analysis", over)
+	}
+	if over, err = svc.Wait(context.Background(), over.ID); err != nil || over.Status != StatusDone {
+		t.Fatalf("override job = %+v, err = %v", over, err)
+	}
+	if st := svc.Store().Stats(); st.Puts != 2 {
+		t.Fatalf("store puts = %d, want 2 distinct cache entries", st.Puts)
+	}
+
+	// Resubmitting under the same overrides hits the override's entry.
+	again, err := svc.SubmitWithOptions(progID, dumps[0], &SubmitOverrides{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != over.ID || !bytes.Equal(again.Report, over.Report) {
+		t.Fatalf("override resubmission = %+v, want cached byte-identical", again)
+	}
+
+	// Overrides that spell out the daemon's own configuration are the
+	// daemon's tuple — no cache split.
+	same, err := svc.SubmitWithOptions(progID, dumps[0], &SubmitOverrides{MaxDepth: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.ID != base.ID || !same.Cached {
+		t.Fatalf("identity override = %+v, want the base job's cache entry", same)
+	}
+}
+
+// TestSubmitBatchCoalesces: one batch call ingests many dumps, coalesces
+// intra-batch duplicates, and isolates per-item failures.
+func TestSubmitBatchCoalesces(t *testing.T) {
+	svc, progID, dumps := testService(t, Config{ShardWorkers: 2, QueueDepth: 16})
+	defer svc.Shutdown(context.Background())
+
+	items := svc.SubmitBatch(progID, [][]byte{dumps[0], dumps[1], dumps[0], []byte("garbage")}, nil)
+	if len(items) != 4 {
+		t.Fatalf("items = %d, want 4 (positional)", len(items))
+	}
+	if !items[2].Duplicate || items[2].Job.ID != items[0].Job.ID {
+		t.Fatalf("intra-batch duplicate not coalesced: %+v vs %+v", items[2], items[0])
+	}
+	if items[3].Error == "" || items[3].Job.ID != "" {
+		t.Fatalf("bad dump item = %+v, want per-item error", items[3])
+	}
+	for _, i := range []int{0, 1} {
+		job, err := svc.Wait(context.Background(), items[i].Job.ID)
+		if err != nil || job.Status != StatusDone {
+			t.Fatalf("batch item %d = %+v, err = %v", i, job, err)
+		}
+	}
+	m := svc.Metrics()
+	if m.Submitted != 2 || m.CacheMisses != 2 {
+		t.Fatalf("metrics = %+v, want 2 submissions (duplicate pre-coalesced)", m)
+	}
+}
+
+// TestJournalRestart is the durability acceptance: job history, bucket
+// membership, and program registrations survive a restart via the
+// journal, and the restored jobs' reports resolve byte-identical from
+// the store's disk tier.
+func TestJournalRestart(t *testing.T) {
+	bug := workload.RaceCounter()
+	dir := t.TempDir()
+	newNode := func() (*Service, *Journal) {
+		st, err := store.NewDisk(0, filepath.Join(dir, "store"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(filepath.Join(dir, "journal.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(Config{
+			Analysis:     AnalysisConfig{MaxDepth: 12, MaxNodes: 2000},
+			ShardWorkers: 2,
+			Store:        st,
+			Journal:      j,
+		}), j
+	}
+	svc, j := newNode()
+	progID, err := svc.RegisterSource(bug.Name, bug.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumps := failingDumps(t, bug, 2)
+	var jobs []Job
+	for _, db := range dumps {
+		job, err := svc.Submit(progID, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job, err = svc.Wait(context.Background(), job.ID); err != nil || job.Status != StatusDone {
+			t.Fatalf("job = %+v, err = %v", job, err)
+		}
+		jobs = append(jobs, job)
+	}
+	buckets := svc.Buckets()
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Restart: same store directory, same journal.
+	svc2, j2 := newNode()
+	defer func() {
+		svc2.Shutdown(context.Background())
+		j2.Close()
+	}()
+	m := svc2.Metrics()
+	if m.Programs != 1 {
+		t.Fatalf("programs after restart = %d, want the journaled registration back", m.Programs)
+	}
+	if m.JournalReplayed == 0 {
+		t.Fatal("nothing replayed from the journal")
+	}
+	for _, want := range jobs {
+		got, ok := svc2.Job(want.ID)
+		if !ok || got.Status != StatusDone || !got.Cached {
+			t.Fatalf("restored job = %+v, ok=%v; want store-backed done", got, ok)
+		}
+		if !bytes.Equal(got.Report, want.Report) {
+			t.Fatal("restored report differs from the original")
+		}
+		if got.Bucket != want.Bucket {
+			t.Fatalf("restored bucket = %q, want %q", got.Bucket, want.Bucket)
+		}
+	}
+	after := svc2.Buckets()
+	if len(after) != len(buckets) {
+		t.Fatalf("buckets after restart = %+v, want %+v", after, buckets)
+	}
+	for i := range after {
+		if after[i].Key != buckets[i].Key || after[i].Count != buckets[i].Count {
+			t.Fatalf("bucket %d = %+v, want %+v", i, after[i], buckets[i])
+		}
+	}
+	// Resubmission of a restored tuple is a cache hit, not a re-analysis.
+	again, err := svc2.Submit(progID, dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || !bytes.Equal(again.Report, jobs[0].Report) {
+		t.Fatalf("resubmit after restart = %+v, want cached original report", again)
+	}
+}
+
+// TestJournalCompaction: the live tail is bounded — past the threshold
+// the journal collapses into one snapshot, and replay from the compacted
+// form restores the same state.
+func TestJournalCompaction(t *testing.T) {
+	bug := workload.RaceCounter()
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{
+		Analysis:            AnalysisConfig{MaxDepth: 12, MaxNodes: 2000},
+		ShardWorkers:        2,
+		Journal:             j,
+		JournalCompactEvery: 3,
+	})
+	progID, err := svc.RegisterSource(bug.Name, bug.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumps := failingDumps(t, bug, 4)
+	for _, db := range dumps {
+		job, err := svc.Submit(progID, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Wait(context.Background(), job.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Compactions == 0 {
+		t.Fatalf("journal stats = %+v, want a compaction after 5 appends with threshold 3", st)
+	}
+	entries, err := j.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || entries[0].T != "snapshot" {
+		t.Fatalf("compacted journal starts with %+v, want a snapshot entry", entries)
+	}
+	svc.Shutdown(context.Background())
+	j.Close()
+
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	svc2 := New(Config{Analysis: AnalysisConfig{MaxDepth: 12, MaxNodes: 2000}, Journal: j2})
+	defer svc2.Shutdown(context.Background())
+	// The store was memory-only, so reports are gone — but the history
+	// (IDs, buckets, program registration) replays from the snapshot.
+	if m := svc2.Metrics(); m.Programs != 1 || m.Buckets == 0 {
+		t.Fatalf("metrics after compacted replay = %+v, want program and buckets back", m)
+	}
 }
 
 // TestSubmitErrors covers the rejection paths.

@@ -12,17 +12,29 @@ import (
 // strict LRU bounded by entry count; the optional disk tier holds every
 // artifact ever Put and serves memory misses (promoting what it finds
 // back into the LRU). All methods are safe for concurrent use.
+//
+// A third, optional tier is the cluster: SetReplication installs a
+// write-through callback (every Put is offered to peer replicas) and a
+// read-through fetch (a miss in both local tiers is pulled from a peer
+// and repopulated locally), so a node that lost its disk heals lazily.
 type Store struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List            // front = most recently used
 	items map[Key]*list.Element // key -> entry element
-	dir   string                // "" = memory-only
+	byID  map[string]*list.Element
+	dir   string // "" = memory-only
 	stats Stats
+
+	// Replication callbacks; nil outside a cluster. onPut runs after the
+	// local tiers accept a Put; fetch runs after both local tiers miss.
+	onPut func(Key, []byte)
+	fetch func(Key) ([]byte, bool)
 }
 
 type entry struct {
 	key  Key
+	id   string // key.ID(), cached for the byID index
 	data []byte
 }
 
@@ -36,6 +48,9 @@ type Stats struct {
 	// Puts counts successful writes; Evictions counts LRU entries dropped
 	// from the memory tier to respect the capacity bound.
 	Puts, Evictions uint64
+	// ReplicaHits is the subset of Hits answered by the read-through
+	// replication fetch: both local tiers missed and a peer had the bytes.
+	ReplicaHits uint64
 	// Entries is the current memory-tier population.
 	Entries int
 }
@@ -59,7 +74,25 @@ func New(capacity int) *Store {
 	if capacity < 1 {
 		capacity = DefaultCapacity
 	}
-	return &Store{cap: capacity, ll: list.New(), items: make(map[Key]*list.Element)}
+	return &Store{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+		byID:  make(map[string]*list.Element),
+	}
+}
+
+// SetReplication installs the cluster tier's callbacks: onPut is invoked
+// (outside the store lock) after every successful Put so completed
+// artifacts can be written through to peer replicas, and fetch is invoked
+// when both local tiers miss so the artifact can be pulled from a peer
+// and repopulated locally. Either may be nil. Replicated writes arriving
+// from peers must use PutLocal, and peers serving fetches must read with
+// GetLocal/GetByID, so the callbacks never recurse.
+func (s *Store) SetReplication(onPut func(Key, []byte), fetch func(Key) ([]byte, bool)) {
+	s.mu.Lock()
+	s.onPut, s.fetch = onPut, fetch
+	s.mu.Unlock()
 }
 
 // NewDisk creates a store whose memory tier spills nothing but whose disk
@@ -73,10 +106,46 @@ func NewDisk(capacity int, dir string) (*Store, error) {
 	return s, nil
 }
 
-// Get returns the artifact stored under k. The boolean reports whether it
-// was found; the returned slice is the caller's to keep (it is never
-// mutated by the store).
+// Get returns the artifact stored under k, consulting the memory tier,
+// then the disk tier, then (when SetReplication installed one) the
+// cluster fetch. The boolean reports whether it was found; the returned
+// slice is the caller's to keep (it is never mutated by the store).
 func (s *Store) Get(k Key) ([]byte, bool) {
+	if data, ok := s.getLocal(k); ok {
+		return data, true
+	}
+	s.mu.Lock()
+	fetch := s.fetch
+	s.mu.Unlock()
+	if fetch != nil {
+		if data, ok := fetch(k); ok {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.stats.ReplicaHits++
+			s.insertLocked(k, data)
+			s.mu.Unlock()
+			s.writeDisk(k, data) // repopulate the local disk tier too
+			return data, true
+		}
+	}
+	s.miss()
+	return nil, false
+}
+
+// GetLocal is Get restricted to the local tiers: it never invokes the
+// replication fetch. Cluster peers answering a fetch must use it (or
+// GetByID) so two nodes missing the same key cannot fetch from each
+// other forever.
+func (s *Store) GetLocal(k Key) ([]byte, bool) {
+	if data, ok := s.getLocal(k); ok {
+		return data, true
+	}
+	s.miss()
+	return nil, false
+}
+
+// getLocal probes the memory and disk tiers without counting a miss.
+func (s *Store) getLocal(k Key) ([]byte, bool) {
 	s.mu.Lock()
 	if el, ok := s.items[k]; ok {
 		s.ll.MoveToFront(el)
@@ -89,12 +158,10 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	s.mu.Unlock()
 
 	if dir == "" {
-		s.miss()
 		return nil, false
 	}
 	data, err := os.ReadFile(s.path(k))
 	if err != nil {
-		s.miss()
 		return nil, false
 	}
 	s.mu.Lock()
@@ -105,20 +172,74 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	return data, true
 }
 
+// GetByID returns the artifact whose Key.ID() equals id, probing the
+// memory tier's ID index and then the disk tier (whose filenames are the
+// IDs). It is local-only — no replication fetch — because the caller by
+// construction does not know the key's components, only its address. The
+// cluster layer uses it to serve results replicated from peers and to
+// answer peers' fetches.
+func (s *Store) GetByID(id string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.byID[id]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		return data, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" || len(id) < 3 {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, id[:2], id))
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.stats.DiskHits++
+	s.mu.Unlock()
+	return data, true
+}
+
 func (s *Store) miss() {
 	s.mu.Lock()
 	s.stats.Misses++
 	s.mu.Unlock()
 }
 
-// Put stores data under k in both tiers. Storing under an existing key
-// replaces the previous value (content-addressed keys make that a no-op
-// in practice).
+// Put stores data under k in both local tiers and offers it to the
+// replication write-through, if one is installed. Storing under an
+// existing key replaces the previous value (content-addressed keys make
+// that a no-op in practice).
 func (s *Store) Put(k Key, data []byte) error {
+	err := s.PutLocal(k, data)
 	s.mu.Lock()
-	dir := s.dir
+	onPut := s.onPut
+	s.mu.Unlock()
+	if onPut != nil {
+		onPut(k, data)
+	}
+	return err
+}
+
+// PutLocal stores data under k in the local tiers only, without invoking
+// the replication write-through. It is the entry point for writes that
+// are themselves replication traffic (a peer's write-through, a fetch
+// repopulation), which must not echo back into the cluster.
+func (s *Store) PutLocal(k Key, data []byte) error {
+	s.mu.Lock()
 	s.stats.Puts++
 	s.insertLocked(k, data)
+	s.mu.Unlock()
+	return s.writeDisk(k, data)
+}
+
+// writeDisk persists one artifact to the disk tier (no-op without one).
+func (s *Store) writeDisk(k Key, data []byte) error {
+	s.mu.Lock()
+	dir := s.dir
 	s.mu.Unlock()
 	if dir == "" {
 		return nil
@@ -148,11 +269,14 @@ func (s *Store) insertLocked(k Key, data []byte) {
 		el.Value.(*entry).data = data
 		return
 	}
-	s.items[k] = s.ll.PushFront(&entry{key: k, data: data})
+	el := s.ll.PushFront(&entry{key: k, id: k.ID(), data: data})
+	s.items[k] = el
+	s.byID[el.Value.(*entry).id] = el
 	for s.ll.Len() > s.cap {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.items, oldest.Value.(*entry).key)
+		delete(s.byID, oldest.Value.(*entry).id)
 		s.stats.Evictions++
 	}
 }

@@ -185,6 +185,79 @@ func TestDiskTierSurvivesEvictionAndRestart(t *testing.T) {
 	}
 }
 
+func TestGetByID(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := NewDisk(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := DumpKey(BytesFingerprint([]byte("a")))
+	k2 := DumpKey(BytesFingerprint([]byte("b")))
+	s.Put(k1, []byte("alpha"))
+	// Memory-tier index answers by ID.
+	if got, ok := s.GetByID(k1.ID()); !ok || string(got) != "alpha" {
+		t.Fatalf("GetByID from memory = %q, %v", got, ok)
+	}
+	s.Put(k2, []byte("beta")) // evicts k1 from memory
+	// Disk tier answers by ID (the filename is the ID).
+	if got, ok := s.GetByID(k1.ID()); !ok || string(got) != "alpha" {
+		t.Fatalf("GetByID from disk = %q, %v", got, ok)
+	}
+	if _, ok := s.GetByID("feedfacefeedface"); ok {
+		t.Fatal("unknown ID answered")
+	}
+	// Memory-only store: the evicted ID is gone.
+	m := New(1)
+	m.Put(k1, []byte("alpha"))
+	m.Put(k2, []byte("beta"))
+	if _, ok := m.GetByID(k1.ID()); ok {
+		t.Fatal("evicted ID still answered from a memory-only store")
+	}
+	if got, ok := m.GetByID(k2.ID()); !ok || string(got) != "beta" {
+		t.Fatalf("live ID = %q, %v", got, ok)
+	}
+}
+
+func TestReplicationHooks(t *testing.T) {
+	s := New(8)
+	var putKeys []Key
+	backing := map[Key][]byte{}
+	s.SetReplication(
+		func(k Key, data []byte) { putKeys = append(putKeys, k) },
+		func(k Key) ([]byte, bool) { d, ok := backing[k]; return d, ok },
+	)
+	k1 := DumpKey(BytesFingerprint([]byte("a")))
+	k2 := DumpKey(BytesFingerprint([]byte("b")))
+	k3 := DumpKey(BytesFingerprint([]byte("c")))
+
+	// Put write-through fires; PutLocal stays local.
+	s.Put(k1, []byte("alpha"))
+	s.PutLocal(k2, []byte("beta"))
+	if len(putKeys) != 1 || putKeys[0] != k1 {
+		t.Fatalf("write-through saw %v, want just %s", putKeys, k1.ID())
+	}
+
+	// A local miss falls through to the fetch and repopulates the store.
+	backing[k3] = []byte("gamma")
+	if got, ok := s.Get(k3); !ok || string(got) != "gamma" {
+		t.Fatalf("read-through = %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.ReplicaHits != 1 {
+		t.Fatalf("stats = %+v, want 1 replica hit", st)
+	}
+	delete(backing, k3)
+	if got, ok := s.Get(k3); !ok || string(got) != "gamma" {
+		t.Fatalf("repopulated entry = %q, %v; want a local hit", got, ok)
+	}
+
+	// GetLocal never consults the fetch.
+	k4 := DumpKey(BytesFingerprint([]byte("d")))
+	backing[k4] = []byte("delta")
+	if _, ok := s.GetLocal(k4); ok {
+		t.Fatal("GetLocal consulted the replication fetch")
+	}
+}
+
 func TestStoreConcurrency(t *testing.T) {
 	s := New(32)
 	var wg sync.WaitGroup
