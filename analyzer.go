@@ -10,6 +10,7 @@ import (
 
 	"res/internal/breadcrumb"
 	"res/internal/core"
+	"res/internal/evidence"
 	"res/internal/hwerr"
 	"res/internal/replay"
 	"res/internal/rootcause"
@@ -65,6 +66,7 @@ type config struct {
 	useLBR       bool
 	lbrMode      LBRMode
 	matchOutputs bool
+	evidence     []evidence.Source
 	solver       SolverOptions
 	observer     func(Event)
 	parallelism  int
@@ -93,6 +95,17 @@ func WithLBR(mode LBRMode) Option {
 // WithMatchOutputs prunes the search with error-log breadcrumbs: the
 // suffix's OUTPUT records must match the tail of the dump's output log.
 func WithMatchOutputs() Option { return func(c *config) { c.matchOutputs = true } }
+
+// WithEvidence prunes the search with production-side evidence: each
+// source (an event log, a partial branch trace, memory probes, ...) is
+// compiled into backward-search constraints for the analyzed dump.
+// Sources accumulate across options — WithEvidence(a), WithEvidence(b)
+// is WithEvidence(a, b) — and apply after any WithLBR/WithMatchOutputs
+// hints (which are the same machinery under their classic names). The
+// supplied sources are reported in the Result's Evidence provenance.
+func WithEvidence(srcs ...EvidenceSource) Option {
+	return func(c *config) { c.evidence = append(c.evidence, srcs...) }
+}
 
 // WithSolverOptions tunes constraint solving; zero fields take defaults.
 func WithSolverOptions(o SolverOptions) Option { return func(c *config) { c.solver = o } }
@@ -142,26 +155,43 @@ func NewAnalyzer(p *Program, opts ...Option) *Analyzer {
 // Program returns the program this session analyzes.
 func (a *Analyzer) Program() *Program { return a.p }
 
+// sources resolves the configured evidence, classic hints first: the
+// WithLBR/WithMatchOutputs flags lower to their evidence.Source forms,
+// then the explicitly supplied sources follow in order.
+func (c config) sources() evidence.Set {
+	var srcs evidence.Set
+	if c.useLBR {
+		srcs = append(srcs, evidence.LBR{Mode: c.lbrMode})
+	}
+	if c.matchOutputs {
+		srcs = append(srcs, evidence.OutputLog{})
+	}
+	return append(srcs, c.evidence...)
+}
+
 // coreOptions lowers the resolved config to engine options for one dump.
-func (c config) coreOptions(a *Analyzer, d *Dump) core.Options {
+// Evidence compiles per-dump (its constraints anchor to the dump's step
+// count and breadcrumbs), which is why this can fail.
+func (c config) coreOptions(a *Analyzer, d *Dump) (core.Options, error) {
 	par := c.parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	copt := core.Options{
-		MaxDepth:     c.maxDepth,
-		MaxNodes:     c.maxNodes,
-		BeamWidth:    c.beamWidth,
-		Solver:       c.solver,
-		MatchOutputs: c.matchOutputs,
-		OnEvent:      c.observer,
-		Preds:        a.preds,
-		Parallelism:  par,
+		MaxDepth:    c.maxDepth,
+		MaxNodes:    c.maxNodes,
+		BeamWidth:   c.beamWidth,
+		Solver:      c.solver,
+		OnEvent:     c.observer,
+		Preds:       a.preds,
+		Parallelism: par,
 	}
-	if c.useLBR {
-		copt.Filter = breadcrumb.LBRFilter(a.p, d.LBR, c.lbrMode)
+	pruners, err := c.sources().Compile(a.p, d)
+	if err != nil {
+		return core.Options{}, err
 	}
-	return copt
+	copt.Evidence = pruners
+	return copt, nil
 }
 
 // Analyze synthesizes an execution suffix for the dump and identifies the
@@ -183,7 +213,10 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 	}
 	start := time.Now()
 
-	copt := cfg.coreOptions(a, d)
+	copt, cerr := cfg.coreOptions(a, d)
+	if cerr != nil {
+		return nil, cerr
+	}
 	var (
 		eng     *core.Engine
 		best    *analysisCandidate
@@ -213,6 +246,13 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 		return nil, err
 	}
 	res := &Result{Report: rep, HardwareSuspect: rep.HardwareSuspect}
+	if len(cfg.evidence) > 0 {
+		// Provenance: the explicitly supplied evidence sources. The classic
+		// WithLBR/WithMatchOutputs hints are deliberately not listed, so
+		// reports produced through the legacy options are byte-identical to
+		// the pre-evidence engine's.
+		res.Evidence = evidence.Set(cfg.evidence).Kinds()
+	}
 	if best != nil {
 		res.Cause = best.cause
 		res.CauseDepth = best.node.Depth
@@ -314,7 +354,11 @@ func (a *Analyzer) ClassifyHardware(ctx context.Context, d *Dump, opts ...Option
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return hwerr.ClassifyContext(ctx, a.p, d, cfg.coreOptions(a, d))
+	copt, err := cfg.coreOptions(a, d)
+	if err != nil {
+		return HardwareVerdict{}, err
+	}
+	return hwerr.ClassifyContext(ctx, a.p, d, copt)
 }
 
 type analysisCandidate struct {

@@ -41,6 +41,7 @@ import (
 	"res/internal/breadcrumb"
 	"res/internal/core"
 	"res/internal/coredump"
+	"res/internal/evidence"
 	"res/internal/hwerr"
 	"res/internal/prog"
 	"res/internal/rootcause"
@@ -375,7 +376,11 @@ func BenchmarkE7Breadcrumbs(b *testing.B) {
 			p, d := mkDump(k, false)
 			opt := core.Options{MaxDepth: 34, MaxNodes: 10000}
 			if k > 0 {
-				opt.Filter = breadcrumb.LBRFilter(p, d.LBR, breadcrumb.RecordAll)
+				prs, err := evidence.Set{evidence.LBR{Mode: breadcrumb.RecordAll}}.Compile(p, d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt.Evidence = prs
 			}
 			var attempts, depth int
 			b.ResetTimer()
@@ -394,9 +399,13 @@ func BenchmarkE7Breadcrumbs(b *testing.B) {
 	}
 	b.Run("lbr-16-filtered", func(b *testing.B) {
 		p, d := mkDump(16, true)
+		prs, err := evidence.Set{evidence.LBR{Mode: breadcrumb.SkipConditional}}.Compile(p, d)
+		if err != nil {
+			b.Fatal(err)
+		}
 		opt := core.Options{
 			MaxDepth: 34, MaxNodes: 10000,
-			Filter: breadcrumb.LBRFilter(p, d.LBR, breadcrumb.SkipConditional),
+			Evidence: prs,
 		}
 		var attempts, depth int
 		b.ResetTimer()

@@ -7,21 +7,32 @@
 //
 //	res -prog crash.s -dump core.dump [-lbr] [-outputs] [-depth 24]
 //	    [-timeout 30s] [-progress] [-json]
-//	res -prog crash.s -dump core.dump -submit host:8467 [-json]
+//	res -prog crash.s -dump core.dump -evidence crash.ev [-json]
+//	res -prog crash.s -dump core.dump -submit host:8467 [-progress] [-json]
 //	res -prog crash.s -dump a.dump,b.dump,c.dump -submit host:8467
 //
 // With -timeout the analysis is deadline-bounded and reports the best
 // partial answer found before the cutoff; -progress streams search events
 // to stderr; -json emits the machine-readable report on stdout.
 //
+// Evidence: a dump file written by resrun -record-evidence embeds its
+// evidence attachment and it is used automatically (disable with
+// -ignore-evidence); -evidence supplies or overrides the attachment from
+// a separate file of canonical evidence wire bytes (comma-separated,
+// positional with -dump, "" entries for none). Evidence prunes the
+// search locally and ships with the dump on -submit, where it becomes
+// part of the result's cache identity.
+//
 // With -submit the analysis runs remotely: the program source and dump are
 // shipped to a resd ingestion daemon, which dedups the dump against its
 // content-addressed store (an identical dump already analyzed is answered
-// without re-analysis) and the result is polled until done. Analysis
-// options are the daemon's; the local tuning flags do not apply. When
-// -dump names several comma-separated files, they ship as one batch
-// request (POST /v1/dumps/batch): one HTTP round trip for the whole
-// burst, duplicates coalesced server-side.
+// without re-analysis) and the result is polled until done — or streamed:
+// with -progress the client tails GET /v1/jobs/{id}/events and prints the
+// daemon's live search events. Analysis options are the daemon's; the
+// local tuning flags do not apply. When -dump names several
+// comma-separated files, they ship as one batch request
+// (POST /v1/dumps/batch): one HTTP round trip for the whole burst,
+// duplicates coalesced server-side.
 package main
 
 import (
@@ -55,6 +66,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
 		submit   = flag.String("submit", "", "submit to a resd daemon at this address instead of analyzing locally")
 		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential; results identical either way)")
+		evPath   = flag.String("evidence", "", "evidence file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
+		ignoreEv = flag.Bool("ignore-evidence", false, "drop any evidence embedded in the dump file")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
@@ -62,12 +75,19 @@ func main() {
 		os.Exit(2)
 	}
 	dumpPaths := strings.Split(*dumpPath, ",")
+	var evPaths []string
+	if *evPath != "" {
+		evPaths = strings.Split(*evPath, ",")
+		if len(evPaths) != len(dumpPaths) {
+			cli.Fatal(fmt.Errorf("-evidence names %d files for %d dumps", len(evPaths), len(dumpPaths)))
+		}
+	}
 	if *submit != "" {
 		if len(dumpPaths) > 1 {
-			submitRemoteBatch(*submit, *progPath, dumpPaths, *timeout, *jsonOut)
+			submitRemoteBatch(*submit, *progPath, dumpPaths, evPaths, *ignoreEv, *timeout, *jsonOut)
 			return
 		}
-		submitRemote(*submit, *progPath, *dumpPath, *timeout, *jsonOut)
+		submitRemote(*submit, *progPath, *dumpPath, evidencePathAt(evPaths, 0), *ignoreEv, *timeout, *progress, *jsonOut)
 		return
 	}
 	if len(dumpPaths) > 1 {
@@ -77,7 +97,11 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	d, err := cli.LoadDump(*dumpPath)
+	d, evBytes, err := cli.LoadDumpEvidence(*dumpPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	evBytes, err = resolveEvidence(evBytes, evidencePathAt(evPaths, 0), *ignoreEv)
 	if err != nil {
 		cli.Fatal(err)
 	}
@@ -92,6 +116,16 @@ func main() {
 	}
 	if *outputs {
 		opts = append(opts, res.WithMatchOutputs())
+	}
+	if len(evBytes) > 0 {
+		set, derr := res.DecodeEvidence(evBytes)
+		if derr != nil {
+			cli.Fatal(derr)
+		}
+		if !*jsonOut {
+			fmt.Printf("evidence: %s\n", strings.Join(set.Kinds(), ", "))
+		}
+		opts = append(opts, res.WithEvidence(set...))
 	}
 	if *progress {
 		opts = append(opts, res.WithObserver(progressObserver()))
@@ -144,17 +178,41 @@ func main() {
 	}
 }
 
-// submitRemote ships the program source and dump to a resd daemon and
-// polls the result. The program registers on first sight (content-keyed),
-// so a fleet of res clients submitting dumps of one binary share a single
-// analysis session server-side.
-func submitRemote(addr, progPath, dumpPath string, timeout time.Duration, jsonOut bool) {
+// evidencePathAt returns the i-th -evidence entry, or "".
+func evidencePathAt(paths []string, i int) string {
+	if i < len(paths) {
+		return strings.TrimSpace(paths[i])
+	}
+	return ""
+}
+
+// resolveEvidence applies the evidence flags to a dump's embedded
+// attachment: -ignore-evidence drops it, an -evidence file replaces it.
+func resolveEvidence(embedded []byte, override string, ignore bool) ([]byte, error) {
+	if ignore {
+		embedded = nil
+	}
+	if override == "" {
+		return embedded, nil
+	}
+	return os.ReadFile(override)
+}
+
+// submitRemote ships the program source and dump (with any evidence
+// attachment) to a resd daemon and polls the result — or, with
+// -progress, tails the daemon's live event stream. The program registers
+// on first sight (content-keyed), so a fleet of res clients submitting
+// dumps of one binary share a single analysis session server-side.
+func submitRemote(addr, progPath, dumpPath, evPath string, ignoreEv bool, timeout time.Duration, progress, jsonOut bool) {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		cli.Fatal(err)
 	}
-	dump, err := os.ReadFile(dumpPath)
+	dump, evBytes, err := cli.SplitDumpFile(dumpPath)
 	if err != nil {
+		cli.Fatal(err)
+	}
+	if evBytes, err = resolveEvidence(evBytes, evPath, ignoreEv); err != nil {
 		cli.Fatal(err)
 	}
 	ctx := context.Background()
@@ -165,14 +223,40 @@ func submitRemote(addr, progPath, dumpPath string, timeout time.Duration, jsonOu
 	}
 	c := service.NewClient(addr)
 	name := filepath.Base(progPath)
-	job, err := c.SubmitSource(ctx, name, string(src), dump)
+	job, err := c.SubmitSourceEvidence(ctx, name, string(src), dump, evBytes)
 	if err != nil {
 		cli.Fatal(err)
 	}
+	if len(job.Evidence) > 0 {
+		fmt.Fprintf(os.Stderr, "evidence attached: %s\n", strings.Join(job.Evidence, ", "))
+	}
 	if !job.Status.Terminal() {
-		fmt.Fprintf(os.Stderr, "submitted job %s (status %s), polling...\n", job.ID, job.Status)
-		if job, err = c.PollResult(ctx, job.ID, 250*time.Millisecond); err != nil {
-			cli.Fatal(err)
+		if progress {
+			fmt.Fprintf(os.Stderr, "submitted job %s (status %s), streaming progress...\n", job.ID, job.Status)
+			start := time.Now()
+			job, err = c.WatchResult(ctx, job.ID, func(ev service.ProgressEvent) {
+				switch ev.Kind {
+				case "depth":
+					fmt.Fprintf(os.Stderr, "[%7.3fs] depth %d (attempts=%d feasible=%d)\n",
+						time.Since(start).Seconds(), ev.Depth, ev.Attempts, ev.Feasible)
+				case "suffix":
+					fmt.Fprintf(os.Stderr, "[%7.3fs] feasible suffix at depth %d\n",
+						time.Since(start).Seconds(), ev.Depth)
+				case "solver":
+					fmt.Fprintf(os.Stderr, "[%7.3fs] ... attempts=%d solver-calls=%d\n",
+						time.Since(start).Seconds(), ev.Attempts, ev.SolverCalls)
+				case "status":
+					fmt.Fprintf(os.Stderr, "[%7.3fs] job %s\n", time.Since(start).Seconds(), ev.Status)
+				}
+			})
+			if err != nil {
+				cli.Fatal(err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "submitted job %s (status %s), polling...\n", job.ID, job.Status)
+			if job, err = c.PollResult(ctx, job.ID, 250*time.Millisecond); err != nil {
+				cli.Fatal(err)
+			}
 		}
 	}
 	switch job.Status {
@@ -200,10 +284,11 @@ func submitRemote(addr, progPath, dumpPath string, timeout time.Duration, jsonOu
 	}
 }
 
-// submitRemoteBatch ships several dumps in one POST /v1/dumps/batch
-// round trip, then polls every distinct job to completion and prints a
-// per-dump summary (or a JSON array of reports with -json).
-func submitRemoteBatch(addr, progPath string, dumpPaths []string, timeout time.Duration, jsonOut bool) {
+// submitRemoteBatch ships several dumps (with any evidence attachments)
+// in one POST /v1/dumps/batch round trip, then polls every distinct job
+// to completion and prints a per-dump summary (or a JSON array of
+// reports with -json).
+func submitRemoteBatch(addr, progPath string, dumpPaths, evPaths []string, ignoreEv bool, timeout time.Duration, jsonOut bool) {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		cli.Fatal(err)
@@ -212,12 +297,23 @@ func submitRemoteBatch(addr, progPath string, dumpPaths []string, timeout time.D
 		ProgramName:   filepath.Base(progPath),
 		ProgramSource: string(src),
 	}
-	for _, dp := range dumpPaths {
-		dump, err := os.ReadFile(strings.TrimSpace(dp))
+	anyEv := false
+	for i, dp := range dumpPaths {
+		dump, evBytes, err := cli.SplitDumpFile(strings.TrimSpace(dp))
 		if err != nil {
 			cli.Fatal(err)
 		}
+		if evBytes, err = resolveEvidence(evBytes, evidencePathAt(evPaths, i), ignoreEv); err != nil {
+			cli.Fatal(err)
+		}
+		if len(evBytes) > 0 {
+			anyEv = true
+		}
 		req.Dumps = append(req.Dumps, dump)
+		req.Evidence = append(req.Evidence, evBytes)
+	}
+	if !anyEv {
+		req.Evidence = nil
 	}
 	ctx := context.Background()
 	if timeout > 0 {

@@ -1,10 +1,18 @@
 // Command resrun executes a RES-VM assembly program in production mode and
 // writes a coredump when it fails — the front half of the paper's
-// workflow: nothing is recorded, and the dump is all a developer gets.
+// workflow: nothing heavier than the free production breadcrumbs is
+// recorded, and the dump is all a developer gets.
 //
 // Usage:
 //
 //	resrun -prog crash.s -seed 7 -preempt 50 -input 0=10,20 -o crash.dump
+//	resrun -prog crash.s -record-evidence -evidence-sample 4 -o crash.dump
+//
+// With -record-evidence the run additionally collects cheap production
+// evidence (a sampled event log, a partial branch trace, and optional
+// periodic memory probes of named globals via -probe) and writes the
+// dump as an attachment container carrying the evidence; res and resd
+// consume it to prune the backward search.
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"os"
 
 	"res/internal/cli"
+	"res/internal/coredump"
+	"res/internal/evidence"
 	"res/internal/vm"
 )
 
@@ -28,9 +38,17 @@ func main() {
 		lbrSkip  = flag.Bool("lbr-skip-cond", false, "simulate filtered LBR (skip conditional branches)")
 		verbose  = flag.Bool("v", false, "print execution statistics")
 		jsonOut  = flag.Bool("json", false, "emit run outcome as JSON on stdout")
+
+		recordEv     = flag.Bool("record-evidence", false, "record production evidence and attach it to the dump")
+		evSample     = flag.Int("evidence-sample", 8, "record every Nth block start into the event log")
+		evWindow     = flag.Int("evidence-window", 256, "event-log ring capacity (0 = unbounded)")
+		branchWindow = flag.Int("evidence-branch-window", 64, "conditional-branch trace window (0 = off)")
+		probeEvery   = flag.Int("probe-every", 0, "probe the -probe globals every Nth block start (0 = off)")
 	)
 	var inputs cli.InputSpecs
 	flag.Var(&inputs, "input", "input channel values, ch=v1,v2,... (repeatable)")
+	var probeNames cli.InputSpecs
+	flag.Var(&probeNames, "probe", "global to memory-probe when recording evidence (repeatable)")
 	flag.Parse()
 
 	if *progPath == "" {
@@ -45,16 +63,39 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	v, err := vm.New(p, vm.Config{
+	cfg := vm.Config{
 		Seed:               *seed,
 		PreemptPct:         *preempt,
 		MaxSteps:           *maxSteps,
 		Inputs:             ins,
 		LBRSize:            *lbrSize,
 		LBRSkipConditional: *lbrSkip,
-	})
+	}
+	var rec *evidence.Recorder
+	if *recordEv {
+		var addrs []uint32
+		for _, name := range probeNames {
+			addr, err := p.GlobalAddr(name)
+			if err != nil {
+				cli.Fatal(fmt.Errorf("-probe: %w", err))
+			}
+			addrs = append(addrs, addr)
+		}
+		rec = evidence.NewRecorder(p, evidence.RecordConfig{
+			EventEvery:   *evSample,
+			EventWindow:  *evWindow,
+			BranchWindow: *branchWindow,
+			ProbeAddrs:   addrs,
+			ProbeEvery:   *probeEvery,
+		})
+		cfg.Hooks = rec.Hooks()
+	}
+	v, err := vm.New(p, cfg)
 	if err != nil {
 		cli.Fatal(err)
+	}
+	if rec != nil {
+		rec.Bind(v)
 	}
 	d, err := v.Run()
 	if err != nil {
@@ -74,31 +115,56 @@ func main() {
 		}
 		return
 	}
-	if err := cli.SaveDump(*out, d); err != nil {
+	var set evidence.Set
+	if rec != nil {
+		set = rec.Evidence()
+	}
+	var evKinds []string
+	if len(set) > 0 {
+		// Attachment container: the dump plus its evidence in one file.
+		evKinds = set.Kinds()
+		dumpBytes, merr := d.Marshal()
+		if merr != nil {
+			cli.Fatal(merr)
+		}
+		att, merr := coredump.EncodeAttached(dumpBytes,
+			map[string][]byte{coredump.EvidenceAttachment: set.Encode()})
+		if merr != nil {
+			cli.Fatal(merr)
+		}
+		if werr := os.WriteFile(*out, att, 0o644); werr != nil {
+			cli.Fatal(werr)
+		}
+	} else if err := cli.SaveDump(*out, d); err != nil {
 		cli.Fatal(err)
 	}
 	if *jsonOut {
 		emitJSON(outcome{
-			Outcome: "failure",
-			Fault:   d.Fault.String(),
-			Blocks:  d.Steps,
-			Threads: len(d.Threads),
-			Dump:    *out,
+			Outcome:  "failure",
+			Fault:    d.Fault.String(),
+			Blocks:   d.Steps,
+			Threads:  len(d.Threads),
+			Dump:     *out,
+			Evidence: evKinds,
 		})
 	} else {
 		fmt.Printf("FAILURE: %s after %d blocks\n", d.Fault, d.Steps)
 		fmt.Printf("coredump written to %s\n", *out)
+		if len(evKinds) > 0 {
+			fmt.Printf("evidence attached: %v\n", evKinds)
+		}
 	}
 	os.Exit(1)
 }
 
 // outcome is the machine-readable run summary emitted with -json.
 type outcome struct {
-	Outcome string `json:"outcome"` // "clean-exit" or "failure"
-	Fault   string `json:"fault,omitempty"`
-	Blocks  uint64 `json:"blocks"`
-	Threads int    `json:"threads"`
-	Dump    string `json:"dump,omitempty"`
+	Outcome  string   `json:"outcome"` // "clean-exit" or "failure"
+	Fault    string   `json:"fault,omitempty"`
+	Blocks   uint64   `json:"blocks"`
+	Threads  int      `json:"threads"`
+	Dump     string   `json:"dump,omitempty"`
+	Evidence []string `json:"evidence,omitempty"`
 }
 
 func emitJSON(o outcome) {

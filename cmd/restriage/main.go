@@ -6,11 +6,17 @@
 // schedule-dependent manifestations each) and prints both evaluations;
 // with -manifest it reads lines of the form
 //
-//	<program.s> <dump file> <ground truth label>
+//	<program.s> <dump file> <ground truth label> [evidence file]
 //
 // and evaluates those. One analysis session is opened per distinct
 // program and reused for every report of that program; -parallel fans the
 // corpus out over a worker pool, and -timeout bounds the whole run.
+//
+// With -evidence, evidence attachments (the manifest's optional fourth
+// column, or attachments embedded in the dump files by
+// resrun -record-evidence) prune each report's analysis; the evidence
+// fingerprint joins the cache key, so cached and fresh classifications
+// under different evidence never collide.
 //
 // With -cache, results are kept in a content-addressed store keyed by
 // (program, dump, options) fingerprints — duplicate dumps across the
@@ -25,7 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"res"
@@ -48,6 +56,7 @@ func main() {
 		searchP  = flag.Int("search-parallel", 1, "candidate-level parallelism within each analysis (0 = all cores; keep 1 when -parallel already saturates the machine)")
 		timeout  = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
 		cache    = flag.Bool("cache", false, "dedup duplicate dumps through a content-addressed result store")
+		useEv    = flag.Bool("evidence", false, "prune analyses with evidence attachments (manifest 4th column or embedded in dump files)")
 	)
 	flag.Parse()
 
@@ -89,7 +98,7 @@ func main() {
 		st = store.New(0)
 	}
 	start := time.Now()
-	keys, errs, hits, misses := classifyAll(ctx, sessions, corpus, *parallel, *depth, st)
+	keys, errs, hits, misses := classifyAll(ctx, sessions, corpus, *parallel, *depth, st, *useEv)
 	elapsed := time.Since(start)
 
 	wer := triage.StackClassifier()
@@ -122,14 +131,42 @@ func main() {
 // misses reach the worker pool. Complete (non-partial) results are stored
 // as their deterministic JSON reports, so a cached classification is
 // byte-for-byte the one a fresh analysis would have produced.
-func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, corpus []triage.Item, parallelism, depth int, st *store.Store) (keys []string, errs []error, hits, misses int) {
+//
+// With useEvidence, an item's evidence attachment prunes its analysis
+// and its fingerprint joins the item's cache key; evidence-carrying
+// items are analyzed individually (evidence is per-dump, a batch shares
+// its options), evidence-free items still batch.
+func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, corpus []triage.Item, parallelism, depth int, st *store.Store, useEvidence bool) (keys []string, errs []error, hits, misses int) {
 	keys = make([]string, len(corpus))
 	errs = make([]error, len(corpus))
 	groups := make(map[*prog.Program][]int)
 	for i, it := range corpus {
 		groups[it.Prog] = append(groups[it.Prog], i)
 	}
-	optFP := store.OptionsFingerprint(fmt.Sprintf("restriage depth=%d", depth))
+	baseDesc := fmt.Sprintf("restriage depth=%d", depth)
+	evidenceOf := make(map[int]res.EvidenceSet)
+	itemFP := func(i int) store.Fingerprint {
+		desc := baseDesc
+		if set := evidenceOf[i]; len(set) > 0 {
+			desc += " evidence=" + set.Fingerprint()
+		}
+		return store.OptionsFingerprint(desc)
+	}
+	if useEvidence {
+		for i, it := range corpus {
+			if len(it.Evidence) == 0 {
+				continue
+			}
+			set, err := res.DecodeEvidence(it.Evidence)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			if len(set) > 0 {
+				evidenceOf[i] = set
+			}
+		}
+	}
 	for p, idxs := range groups {
 		// Resolve cache hits and dedup duplicates first: `fresh` keeps one
 		// representative position per distinct tuple; `sharing` maps each
@@ -145,12 +182,15 @@ func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, 
 			}
 			firstSeen := make(map[store.Key]int, len(idxs))
 			for _, i := range idxs {
+				if errs[i] != nil {
+					continue // bad evidence attachment
+				}
 				dumpFP, _, err := store.DumpFingerprint(corpus[i].Dump)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				k := store.ResultKey(progFP, dumpFP, optFP)
+				k := store.ResultKey(progFP, dumpFP, itemFP(i))
 				if rep, ok := st.Get(k); ok {
 					hits++
 					keys[i], errs[i] = keyFromReport(corpus[i].App, rep)
@@ -168,26 +208,80 @@ func classifyAll(ctx context.Context, sessions map[*prog.Program]*res.Analyzer, 
 				sharing[i] = []int{i}
 			}
 		} else {
-			fresh = idxs
 			for _, i := range idxs {
+				if errs[i] != nil {
+					continue
+				}
+				fresh = append(fresh, i)
 				sharing[i] = []int{i}
 			}
 		}
 		if len(fresh) == 0 {
 			continue
 		}
-		dumps := make([]*coredump.Dump, len(fresh))
-		for j, i := range fresh {
-			dumps[j] = corpus[i].Dump
+		// Evidence is per-dump while a batch shares its options, so
+		// evidence-carrying representatives run individually — fanned over
+		// the same worker count as the batch; the rest batch as before.
+		var batchFresh, evFresh []int
+		resultOf := make(map[int]*res.Result, len(fresh))
+		for _, i := range fresh {
+			if len(evidenceOf[i]) > 0 {
+				evFresh = append(evFresh, i)
+			} else {
+				batchFresh = append(batchFresh, i)
+			}
 		}
-		results, err := sessions[p].AnalyzeBatch(ctx, dumps, parallelism)
-		if err != nil {
-			// Per-dump failures surface positionally below; the joined
-			// batch error is diagnostic only.
-			fmt.Fprintf(os.Stderr, "batch: %v\n", err)
+		if len(evFresh) > 0 {
+			workers := parallelism
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			if workers > len(evFresh) {
+				workers = len(evFresh)
+			}
+			evResults := make([]*res.Result, len(evFresh))
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range jobs {
+						i := evFresh[j]
+						r, aerr := sessions[p].Analyze(ctx, corpus[i].Dump, res.WithEvidence(evidenceOf[i]...))
+						if aerr != nil && r == nil {
+							fmt.Fprintf(os.Stderr, "analyze: %v\n", aerr)
+						}
+						evResults[j] = r
+					}
+				}()
+			}
+			for j := range evFresh {
+				jobs <- j
+			}
+			close(jobs)
+			wg.Wait()
+			for j, i := range evFresh {
+				resultOf[i] = evResults[j]
+			}
 		}
-		for j, rep := range fresh {
-			r := results[j]
+		if len(batchFresh) > 0 {
+			dumps := make([]*coredump.Dump, len(batchFresh))
+			for j, i := range batchFresh {
+				dumps[j] = corpus[i].Dump
+			}
+			results, err := sessions[p].AnalyzeBatch(ctx, dumps, parallelism)
+			if err != nil {
+				// Per-dump failures surface positionally below; the joined
+				// batch error is diagnostic only.
+				fmt.Fprintf(os.Stderr, "batch: %v\n", err)
+			}
+			for j, i := range batchFresh {
+				resultOf[i] = results[j]
+			}
+		}
+		for _, rep := range fresh {
+			r := resultOf[rep]
 			for _, i := range sharing[rep] {
 				switch {
 				case r == nil:
@@ -286,8 +380,8 @@ func loadManifest(path string) ([]triage.Item, error) {
 		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
 			continue
 		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("%s:%d: want 'prog dump label'", path, line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want 'prog dump label [evidence]'", path, line)
 		}
 		p, ok := progs[fields[0]]
 		if !ok {
@@ -298,11 +392,16 @@ func loadManifest(path string) ([]triage.Item, error) {
 			}
 			progs[fields[0]] = p
 		}
-		d, err := cli.LoadDump(fields[1])
+		d, evBytes, err := cli.LoadDumpEvidence(fields[1])
 		if err != nil {
 			return nil, err
 		}
-		corpus = append(corpus, triage.Item{Label: fields[2], Dump: d, Prog: p})
+		if len(fields) == 4 {
+			if evBytes, err = os.ReadFile(fields[3]); err != nil {
+				return nil, err
+			}
+		}
+		corpus = append(corpus, triage.Item{Label: fields[2], Dump: d, Prog: p, Evidence: evBytes})
 	}
 	return corpus, sc.Err()
 }

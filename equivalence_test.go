@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"res"
+	"res/internal/evidence"
 	"res/internal/workload"
 )
 
@@ -77,6 +78,55 @@ func TestSearchEquivalenceParallelVsSequential(t *testing.T) {
 				}
 				if jp2 := normalizedJSON(t, rp2); !bytes.Equal(jp, jp2) {
 					t.Errorf("depth %d: parallel engine nondeterministic across runs", depth)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchEquivalenceWithEvidence extends the byte-identity contract to
+// the pruned search paths: with the classic hints (now lowered through
+// evidence.Source) and with recorded evidence attached, the parallel
+// engine's report is still byte-identical to the sequential one.
+func TestSearchEquivalenceWithEvidence(t *testing.T) {
+	bugs := []*workload.Bug{
+		workload.RaceCounter(),
+		workload.AmbiguousDispatch(8),
+		workload.MultiSiteRace(),
+	}
+	ctx := context.Background()
+	for _, bug := range bugs {
+		bug := bug
+		t.Run(bug.Name, func(t *testing.T) {
+			t.Parallel()
+			p := bug.Program()
+			rcfg := evidence.RecordConfig{EventEvery: 3, EventWindow: 64, BranchWindow: 64}
+			d, set, _, err := bug.FindFailureRecorded(60, rcfg)
+			if err != nil {
+				t.Fatalf("no failing dump: %v", err)
+			}
+			if len(set) == 0 {
+				t.Fatal("no evidence recorded")
+			}
+			variants := map[string][]res.Option{
+				"legacy-hints": {res.WithLBR(res.LBRRecordAll), res.WithMatchOutputs()},
+				"evidence":     {res.WithEvidence(set...)},
+			}
+			for name, extra := range variants {
+				base := append([]res.Option{res.WithMaxDepth(10), res.WithMaxNodes(2500)}, extra...)
+				seq := res.NewAnalyzer(p, append(base, res.WithSearchParallelism(1))...)
+				par := res.NewAnalyzer(p, append(base, res.WithSearchParallelism(4))...)
+				rs, err := seq.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("%s: sequential: %v", name, err)
+				}
+				rp, err := par.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("%s: parallel: %v", name, err)
+				}
+				js, jp := normalizedJSON(t, rs), normalizedJSON(t, rp)
+				if !bytes.Equal(js, jp) {
+					t.Errorf("%s: parallel report differs from sequential:\n--- sequential\n%s\n--- parallel\n%s", name, js, jp)
 				}
 			}
 		})

@@ -1,0 +1,149 @@
+// Evidence-guided analysis: production hints rescue a search that a
+// node budget alone cannot finish.
+//
+// The program loses an update in a two-thread race on a shared counter,
+// then runs a long input-driven dispatch tail before an assert finally
+// trips on the stale value. Walking backward from the crash, every
+// dispatch round doubles the frontier (both handlers are feasible), so
+// a budgeted no-evidence search drowns in shallow interleavings and
+// never reaches the racy window — it can only report the generic
+// assertion failure. Production, however, had cheap hints to spare: a
+// sparse sampled event log (every third block start, with gaps). Each
+// timestamped record pins one suffix depth to its (thread, block) step,
+// collapsing the dispatch ambiguity, and the same budget now carries
+// the search all the way back to the lost update.
+//
+// Run with: go run ./examples/evidenceguided
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"res"
+)
+
+const program = `
+; lost-update race; the counter is read once right after the handshake,
+; then a long input-ambiguous tail runs before the assert fires
+.global c 1
+.global done 1
+.global m 1
+func main:
+    const r1, 0
+    spawn worker, r1
+    loadg r3, &c
+    yield
+    addi r3, r3, 1
+    storeg r3, &c
+m_wait:
+    const r8, &m
+    lock r8
+    loadg r4, &done
+    unlock r8
+    br r4, grab, m_wait
+grab:
+    loadg r5, &c
+    const r1, 6
+loop:
+    input r2, 0
+    andi r3, r2, 1
+    br r3, ha, hb
+ha:
+    addi r6, r6, 1
+    jmp join
+hb:
+    addi r6, r6, 2
+    jmp join
+join:
+    addi r1, r1, -1
+    br r1, loop, check
+check:
+    const r6, 2
+    cmpeq r7, r5, r6
+    assert r7
+    halt
+func worker:
+    loadg r3, &c
+    yield
+    addi r3, r3, 1
+    storeg r3, &c
+    const r8, &m
+    lock r8
+    const r4, 1
+    storeg r4, &done
+    unlock r8
+    halt
+`
+
+func main() {
+	p, err := res.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Production mode, with the cheap evidence recorder attached: a
+	// sampled event log and a conditional-branch trace window. The
+	// recorder only observes — the dump is byte-identical to a run
+	// without it. One fresh recorder per attempt: its block-step
+	// timestamps must count the failing run alone.
+	rcfg := res.EvidenceRecordConfig{
+		EventEvery:   3,
+		EventWindow:  64,
+		BranchWindow: 64,
+	}
+	cfg := res.RunConfig{
+		PreemptPct: 60,
+		Inputs:     map[int64][]int64{0: {0, 1, 1, 0, 2, 1, 0, 1}},
+		MaxSteps:   10000,
+	}
+	var (
+		dump *res.Dump
+		set  res.EvidenceSet
+	)
+	for seed := int64(1); seed < 100 && dump == nil; seed++ {
+		rec := res.NewEvidenceRecorder(p, rcfg)
+		cfg.Seed = seed
+		cfg.Hooks = rec.Hooks()
+		if dump, err = res.Run(p, cfg); err != nil {
+			log.Fatal(err)
+		}
+		set = rec.Evidence()
+	}
+	if dump == nil {
+		log.Fatal("the race never manifested")
+	}
+	fmt.Printf("production failure: %s after %d blocks\n", dump.Fault, dump.Steps)
+	fmt.Printf("evidence collected for free: %v\n\n", set.Kinds())
+
+	const budget = 800
+	a := res.NewAnalyzer(p, res.WithMaxDepth(40), res.WithMaxNodes(budget))
+	ctx := context.Background()
+
+	// Attempt 1: the dump alone. The dispatch tail's frontier doubles
+	// at every backward round, so the budget dies at shallow depth.
+	plain, err := a.Analyze(ctx, dump)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without evidence (budget %d attempts):\n", budget)
+	fmt.Printf("  %s\n", plain.Describe())
+	fmt.Printf("  deepest suffix reached: %d blocks — the racy window is far beyond it\n\n",
+		plain.Report.Stats.MaxDepth)
+
+	// Attempt 2: same dump, same budget, plus the sparse event log.
+	guided, err := a.Analyze(ctx, dump, res.WithEvidence(set...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with the sampled event log (same budget):\n")
+	fmt.Printf("  %s\n", guided.Describe())
+	fmt.Printf("  search effort: %d attempts vs %d without evidence\n",
+		guided.Report.Stats.Attempts, plain.Report.Stats.Attempts)
+	if guided.Cause == nil {
+		log.Fatal("expected the evidence-guided search to identify the root cause")
+	}
+	fmt.Printf("\nthe suffix (%d blocks) reaches the lost update; replay pinpoints it:\n", guided.CauseDepth)
+	fmt.Printf("  %v\n", guided.Suffix)
+}

@@ -1,0 +1,31 @@
+; Eight dispatch rounds with state-indistinguishable handlers: walking
+; backward, both handlers are feasible at every round, so the frontier
+; doubles per depth. Production evidence (a sampled event log or a
+; branch-trace window) pins the real path and prunes the search.
+; Crash it with:
+;   resrun -prog dispatch.s -lbr 64 -input 0=0,1,2,0,1,2,0,1 \
+;          -record-evidence -evidence-sample 3 -o crash.dump
+.global cnt 1
+func main:
+    const r1, 8
+loop:
+    input r2, 0
+    andi r3, r2, 1
+    br r3, ha, hb
+ha:
+    loadg r4, &cnt
+    addi r4, r4, 1
+    storeg r4, &cnt
+    jmp join
+hb:
+    loadg r4, &cnt
+    addi r4, r4, 1
+    storeg r4, &cnt
+    jmp join
+join:
+    addi r1, r1, -1
+    br r1, loop, bug
+bug:
+    const r5, 0
+    assert r5
+    halt

@@ -7,6 +7,7 @@ import (
 	"res/internal/breadcrumb"
 	"res/internal/core"
 	"res/internal/coredump"
+	"res/internal/evidence"
 	"res/internal/vm"
 	"res/internal/workload"
 )
@@ -123,9 +124,13 @@ func TestLBRPrunesSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	prs, err := evidence.Set{evidence.LBR{Mode: breadcrumb.RecordAll}}.Compile(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pruned := core.New(p, core.Options{
 		MaxDepth: 14,
-		Filter:   breadcrumb.LBRFilter(p, d.LBR, breadcrumb.RecordAll),
+		Evidence: prs,
 	})
 	prunedRep, err := pruned.Analyze(d)
 	if err != nil {
@@ -156,7 +161,11 @@ func main:
 	if d == nil || len(d.Outputs) != 1 {
 		t.Fatalf("dump outputs = %+v", d)
 	}
-	eng := core.New(p, core.Options{MaxDepth: 4, MatchOutputs: true})
+	outPrs, err := evidence.Set{evidence.OutputLog{}}.Compile(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(p, core.Options{MaxDepth: 4, Evidence: outPrs})
 	rep, err := eng.Analyze(d)
 	if err != nil {
 		t.Fatal(err)

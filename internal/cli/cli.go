@@ -69,14 +69,46 @@ func LoadProgram(path string) (*prog.Program, error) {
 	return p, nil
 }
 
-// LoadDump reads a serialized coredump.
+// LoadDump reads a serialized coredump. Files in the attachment
+// container form are accepted; their attachments are ignored (use
+// LoadDumpEvidence to keep them).
 func LoadDump(path string) (*coredump.Dump, error) {
-	f, err := os.Open(path)
+	d, _, err := LoadDumpEvidence(path)
+	return d, err
+}
+
+// LoadDumpEvidence reads a coredump file in either the plain or the
+// attachment-container form and returns the dump together with its
+// evidence attachment's wire bytes (nil when the file carries none).
+func LoadDumpEvidence(path string) (*coredump.Dump, []byte, error) {
+	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	defer f.Close()
-	return coredump.Read(f)
+	dumpBytes, att, err := coredump.DecodeAttached(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d, err := coredump.Unmarshal(dumpBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, att[coredump.EvidenceAttachment], nil
+}
+
+// SplitDumpFile reads a coredump file and returns its raw dump bytes and
+// evidence attachment bytes without decoding the dump — the shape remote
+// submission ships over the wire.
+func SplitDumpFile(path string) (dump, evidence []byte, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	dumpBytes, att, err := coredump.DecodeAttached(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return dumpBytes, att[coredump.EvidenceAttachment], nil
 }
 
 // SaveDump writes a coredump to a file.

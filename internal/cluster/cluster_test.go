@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 
 	"res"
 	"res/internal/coredump"
+	"res/internal/evidence"
 	"res/internal/service"
 	"res/internal/store"
 	"res/internal/workload"
@@ -431,6 +433,71 @@ func TestTwoNodeClusterEndToEnd(t *testing.T) {
 	}
 	if m := tc.svcs[ownerIdx].Metrics(); m.Programs != 1 || m.JournalReplayed == 0 {
 		t.Fatalf("restarted owner metrics = %+v, want journaled program + replayed entries", m)
+	}
+
+	// Evidence attachments traverse the proxy byte-exactly. Submit a
+	// dump+evidence pair through the NON-owner (proxied to the owner),
+	// then the identical pair directly at the owner: the job ID hashes
+	// the canonical evidence bytes into the cache identity, so the IDs
+	// can only match if the proxy preserved the attachment bit-for-bit.
+	evDump, evSet, _, err := bug.FindFailureRecorded(60, evidence.RecordConfig{
+		EventEvery: 3, EventWindow: 64, BranchWindow: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evSet) == 0 {
+		t.Fatal("recorder produced no evidence")
+	}
+	evDumpBytes, err := evDump.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evBytes := evSet.Encode()
+	viaProxy, err := client.SubmitSourceEvidence(ctx, bug.Name, bug.Source, evDumpBytes, evBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaProxy.Evidence) == 0 {
+		t.Fatalf("proxied submission lost its evidence kinds: %+v", viaProxy)
+	}
+	if viaProxy, err = client.PollResult(ctx, viaProxy.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if viaProxy.Status != service.StatusDone {
+		t.Fatalf("evidence job = %+v, want done", viaProxy)
+	}
+	direct, err := ownerClient.SubmitEvidence(ctx, programFP(t, bug), evDumpBytes, evBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.ID != viaProxy.ID {
+		t.Fatalf("proxied evidence tuple %s != direct tuple %s: attachment not preserved byte-exactly", viaProxy.ID, direct.ID)
+	}
+	if !direct.Cached {
+		t.Fatalf("identical (dump, evidence) resubmission did not cache-hit: %+v", direct)
+	}
+	// And the same dump without evidence is a different tuple.
+	plain, err := ownerClient.SubmitEvidence(ctx, programFP(t, bug), evDumpBytes, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ID == viaProxy.ID {
+		t.Fatal("evidence did not change the cluster-side cache identity")
+	}
+	// The events endpoint resolves the owner's job from the non-owner
+	// (terminal job: a single status line).
+	resp, err := http.Get(tc.urls[otherIdx] + "/v1/jobs/" + viaProxy.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"status":"done"`)) {
+		t.Fatalf("events via non-owner: %d %q", resp.StatusCode, body)
 	}
 }
 

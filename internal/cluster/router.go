@@ -33,6 +33,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/dumps/batch", n.routeSubmit)
 	mux.HandleFunc("POST /v1/programs", n.handleRegister)
 	mux.HandleFunc("GET /v1/results/{id}", n.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", n.handleJobEvents)
 	mux.HandleFunc("GET /v1/buckets", n.handleBuckets)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
@@ -252,6 +253,72 @@ func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeErr(w, http.StatusNotFound, "unknown job %s", id)
+}
+
+// handleJobEvents serves a job's progress stream: locally when this node
+// runs (or ran) the job, otherwise proxied live from the peer that does,
+// flushing per chunk so NDJSON progress lines arrive as they are
+// produced. The stream proxy uses an untimed client — a watch legally
+// outlives the router's request timeout.
+func (n *Node) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := n.svc.Job(id); ok || forwarded(r) {
+		n.svc.Handler().ServeHTTP(w, r)
+		return
+	}
+	streamClient := &http.Client{Transport: n.hc.Transport}
+	for _, peer := range n.peers {
+		if peer == n.self || !n.prober.routable(peer) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(forwardedHeader, n.self)
+		resp, err := streamClient.Do(req)
+		if err != nil {
+			n.prober.observe(peer, false, err.Error())
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		n.mu.Lock()
+		n.proxied++
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(http.StatusOK)
+		flushCopy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	// No peer knows the job either: the local service renders the
+	// canonical answer (a store-backed status, or 404).
+	n.svc.Handler().ServeHTTP(w, r)
+}
+
+// flushCopy streams r to w, flushing after every chunk so proxied
+// event lines are delivered live rather than buffered.
+func flushCopy(w http.ResponseWriter, r io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		nr, err := r.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 // journalSnapshotID is the one store ID that must never leave the node:

@@ -70,15 +70,18 @@ type Node struct {
 	Parent *Node
 	Step   StepRec // the step that produced this node from Parent (zero for root)
 	Depth  int     // number of steps from the dump (root partial step = 1)
-	// lbrUsed counts LBR-visible control transfers consumed along this
-	// path, for breadcrumb pruning.
-	lbrUsed int
-	// outUsed counts output-log entries consumed along this path.
-	outUsed int
+	// ev holds one evidence cursor per Options.Evidence pruner: the number
+	// of that pruner's records this path has consumed. nil when the search
+	// runs without evidence.
+	ev []int32
 	// fp is the snapshot's structural fingerprint, used to deduplicate
 	// equivalent frontier nodes before they are expanded.
 	fp uint64
 }
+
+// EvidenceCursors exposes the node's evidence-consumption counters
+// (positional with Options.Evidence); diagnostic only.
+func (n *Node) EvidenceCursors() []int32 { return n.ev }
 
 // Steps returns the node's suffix steps, oldest first. Each node's Step is
 // the one that produced it from its parent, and deeper nodes correspond to
@@ -160,6 +163,54 @@ func BuildPredIndex(p *prog.Program) PredIndex {
 // transfer kinds, so not every transfer consumes).
 type Filter func(used int, hasTransfer bool, from, to int) (ok, consume bool)
 
+// StepInfo describes one candidate backward step to evidence pruners.
+type StepInfo struct {
+	Kind StepKind
+	// Tid and Block identify the executing thread and the block the
+	// candidate step would add to the suffix.
+	Tid, Block int
+	// ChildDepth is the suffix depth the step's child node would have.
+	ChildDepth int
+	// HasTransfer is true when the candidate's terminator produces a
+	// branch-record entry (jmp/br/call/ret); From/To are the transfer's
+	// source pc and destination pc when it does.
+	HasTransfer bool
+	From, To    int
+}
+
+// Child is the view of a feasible backward step handed to Pruner.Constrain:
+// the child's symbolic snapshot (pruners may append constraints to it) and
+// the OUTPUT records the step executed.
+type Child struct {
+	Snap    *symstate.Snapshot
+	Outputs []symvm.OutputUse
+}
+
+// MaxPruners bounds Options.Evidence: per-candidate consume verdicts are
+// tracked in a 64-bit mask, one bit per pruner. New panics beyond it;
+// the evidence wire format rejects such sets long before they get here.
+const MaxPruners = 64
+
+// Pruner is the compiled form of one piece of production evidence (see
+// internal/evidence): it prunes the backward search by vetoing candidate
+// steps before they are attempted and/or by constraining feasible children
+// through the solver. Implementations must be read-only and safe for
+// concurrent use — all per-path state lives in the integer cursor the
+// engine threads through the search nodes (the count of evidence records
+// the path has consumed for this pruner).
+type Pruner interface {
+	// Filter vets a candidate before BackExec. ok=false prunes the
+	// candidate without consuming attempt budget; consume=true advances
+	// the cursor on the child this candidate produces.
+	Filter(used int, s StepInfo) (ok, consume bool)
+	// Constrain runs after a feasible BackExec produced child. It may
+	// append constraints to child.Snap; consumed advances the cursor,
+	// needCheck requests an incremental solver check of the appended
+	// constraints (counted as one solver call), and ok=false rejects the
+	// child outright with no solver call (a structural mismatch).
+	Constrain(used int, s StepInfo, child *Child) (consumed int, needCheck, ok bool)
+}
+
 // Options tunes the analysis.
 type Options struct {
 	// MaxDepth bounds the suffix length in blocks (including the base-case
@@ -174,14 +225,15 @@ type Options struct {
 	Solver solver.Options
 	// DisableProbe forwards the symvm ablation knob (see symvm.Options).
 	DisableProbe bool
-	// Filter, when non-nil, prunes candidates (breadcrumb integration).
-	Filter Filter
+	// Evidence is the ordered list of compiled evidence pruners applied to
+	// the search (the internal/evidence integration point; the classic LBR
+	// filter and output-log matching are two of them). Order matters: each
+	// pruner owns one cursor slot on every node, and cursors participate
+	// in frontier deduplication.
+	Evidence []Pruner
 	// OnSuffix is invoked for every feasible node (depth >= 1). Returning
 	// true stops the search. When nil, the search runs to its budgets.
 	OnSuffix func(*Node) bool
-	// MatchOutputs constrains the suffix's OUTPUT records against the
-	// tail of the dump's output log (error-log breadcrumbs).
-	MatchOutputs bool
 	// OnEvent, when non-nil, observes search progress. Events are
 	// delivered synchronously from the search loop, so handlers must be
 	// fast and must not call back into the engine.
@@ -265,8 +317,13 @@ type Engine struct {
 	solverOpt solver.Options
 }
 
-// New creates an engine.
+// New creates an engine. It panics when opt.Evidence exceeds MaxPruners
+// — a programmer error public callers cannot reach (evidence sets are
+// size-checked at decode and compile time).
 func New(p *prog.Program, opt Options) *Engine {
+	if len(opt.Evidence) > MaxPruners {
+		panic(fmt.Sprintf("core: %d evidence pruners exceeds MaxPruners (%d)", len(opt.Evidence), MaxPruners))
+	}
 	return &Engine{P: p, opt: opt, pool: symx.NewPool(), solverOpt: opt.Solver}
 }
 
@@ -377,7 +434,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 				// Sequential mode (or a worker skipped by cancellation):
 				// compute lazily, so an early stop attempts exactly what
 				// the seed engine would have.
-				out = e.tryStep(it.node, it.cand, it.consume, d)
+				out = e.tryStep(it.node, it.cand, it.consumeMask, d)
 			}
 			if it.filterOK {
 				rep.Stats.Attempts++
@@ -446,7 +503,7 @@ func (e *Engine) baseCase(d *coredump.Dump, rep *Report) (*Node, error) {
 	// snapshot extends it with only the constraints its own step added.
 	snap.AttachSession(e.solverOpt)
 	if d.Fault.Thread < 0 {
-		return &Node{Snap: snap, fp: snap.Fingerprint()}, nil
+		return &Node{Snap: snap, ev: e.rootCursors(), fp: snap.Fingerprint()}, nil
 	}
 	t, err := d.Thread(d.Fault.Thread)
 	if err != nil {
@@ -486,6 +543,7 @@ func (e *Engine) baseCase(d *coredump.Dump, rep *Report) (*Node, error) {
 		Snap:  res.Pre,
 		Step:  StepRec{Kind: StepPartial, Tid: d.Fault.Thread, Block: block.ID, StartPC: block.Start, EndPC: d.Fault.PC, Inputs: res.Inputs, Outputs: res.Outputs, Accesses: res.Accesses},
 		Depth: 1,
+		ev:    e.rootCursors(),
 		fp:    res.Pre.Fingerprint(),
 	}
 	node.Parent = &Node{Snap: snap} // sentinel root so Steps() includes the partial step
@@ -619,13 +677,37 @@ func (e *Engine) candidates(n *Node) []candidate {
 }
 
 // workItem pairs a frontier node with one enumerated candidate, plus the
-// breadcrumb filter's verdict, evaluated at enumeration time so the
+// evidence filters' verdict, evaluated at enumeration time so the
 // budget cut and the parallel fan-out agree with sequential order.
 type workItem struct {
 	node     *Node
 	cand     candidate
 	filterOK bool
-	consume  bool
+	// consumeMask has bit i set when Evidence[i].Filter consumed a record
+	// for this candidate (applied to the child's cursor on success).
+	consumeMask uint64
+}
+
+// rootCursors allocates the zeroed evidence-cursor vector for a root
+// node, or nil when the search runs without evidence.
+func (e *Engine) rootCursors() []int32 {
+	if len(e.opt.Evidence) == 0 {
+		return nil
+	}
+	return make([]int32, len(e.opt.Evidence))
+}
+
+// stepInfo describes a candidate to the evidence pruners.
+func stepInfo(n *Node, c candidate) StepInfo {
+	return StepInfo{
+		Kind:        c.kind,
+		Tid:         c.tid,
+		Block:       c.block.ID,
+		ChildDepth:  n.Depth + 1,
+		HasTransfer: c.hasTransfer,
+		From:        c.from,
+		To:          c.to,
+	}
 }
 
 // stepOut is the outcome of one attempted backward step.
@@ -641,7 +723,7 @@ type stepOut struct {
 // not consume budget, exactly as the sequential loop counts), and
 // fingerprint deduplication: a frontier node whose snapshot is
 // structurally identical to an earlier node of the same depth — with the
-// same breadcrumb cursors, which govern how descendants are filtered —
+// same evidence cursors, which govern how descendants are filtered —
 // expands to an isomorphic subtree, so only the first is expanded (the
 // dropped twin itself was already reported as a suffix).
 func (e *Engine) buildWork(frontier []*Node, rep *Report) []workItem {
@@ -656,7 +738,10 @@ func (e *Engine) buildWork(frontier []*Node, rep *Report) []workItem {
 		if att >= max {
 			break
 		}
-		key := symx.MixHash(symx.MixHash(node.fp, uint64(node.lbrUsed)), uint64(node.outUsed))
+		key := node.fp
+		for _, u := range node.ev {
+			key = symx.MixHash(key, uint64(u))
+		}
 		if seen[key] {
 			continue
 		}
@@ -666,8 +751,18 @@ func (e *Engine) buildWork(frontier []*Node, rep *Report) []workItem {
 				break
 			}
 			it := workItem{node: node, cand: cand, filterOK: true}
-			if e.opt.Filter != nil {
-				it.filterOK, it.consume = e.opt.Filter(node.lbrUsed, cand.hasTransfer, cand.from, cand.to)
+			if len(e.opt.Evidence) > 0 {
+				info := stepInfo(node, cand)
+				for i, pr := range e.opt.Evidence {
+					ok, consume := pr.Filter(int(node.ev[i]), info)
+					if !ok {
+						it.filterOK = false
+						break
+					}
+					if consume {
+						it.consumeMask |= 1 << i
+					}
+				}
 			}
 			if it.filterOK {
 				att++
@@ -701,7 +796,7 @@ func (e *Engine) runWork(ctx context.Context, work []workItem, d *coredump.Dump)
 				if ctx.Err() != nil || !work[i].filterOK {
 					continue
 				}
-				results[i] = e.tryStep(work[i].node, work[i].cand, work[i].consume, d)
+				results[i] = e.tryStep(work[i].node, work[i].cand, work[i].consumeMask, d)
 				results[i].computed = true
 			}
 		}()
@@ -718,7 +813,7 @@ func (e *Engine) runWork(ctx context.Context, work []workItem, d *coredump.Dump)
 // does not touch the engine or the report, so distinct candidates may run
 // concurrently; the merge loop applies the returned statistics in
 // candidate order.
-func (e *Engine) tryStep(n *Node, c candidate, consume bool, d *coredump.Dump) stepOut {
+func (e *Engine) tryStep(n *Node, c candidate, consumeMask uint64, d *coredump.Dump) stepOut {
 	req := symvm.Req{
 		P:          e.P,
 		Post:       n.Snap,
@@ -743,37 +838,35 @@ func (e *Engine) tryStep(n *Node, c candidate, consume bool, d *coredump.Dump) s
 			SpawnChild: c.spawnChild,
 			Inputs:     res.Inputs, Outputs: res.Outputs, Accesses: res.Accesses,
 		},
-		lbrUsed: n.lbrUsed,
-		outUsed: n.outUsed,
 	}
-	if consume {
-		child.lbrUsed++
-	}
-	// Error-log breadcrumbs: the step's OUTPUT records must match the
-	// tail of the dump's output log, newest first (§2.4: "existing error
-	// logs can provide RES with useful, coarse-grained breadcrumbs").
-	if e.opt.MatchOutputs && len(res.Outputs) > 0 {
-		for i := len(res.Outputs) - 1; i >= 0; i-- {
-			ou := res.Outputs[i]
-			idx := len(d.Outputs) - 1 - child.outUsed
-			if idx < 0 {
-				break // beyond the recorded log horizon
+	// Evidence: advance the filter-consumed cursors, then let each pruner
+	// constrain the child (output matching, memory probes, ...). Each
+	// needCheck propagates only the constraints appended since the last
+	// check, on top of the child's incremental session.
+	if len(e.opt.Evidence) > 0 {
+		child.ev = append([]int32(nil), n.ev...)
+		for i := range e.opt.Evidence {
+			if consumeMask&(1<<i) != 0 {
+				child.ev[i]++
 			}
-			want := d.Outputs[idx]
-			if want.PC != ou.PC || want.Tag != ou.Tag {
+		}
+		info := stepInfo(n, c)
+		view := &Child{Snap: child.Snap, Outputs: res.Outputs}
+		for i, pr := range e.opt.Evidence {
+			consumed, needCheck, ok := pr.Constrain(int(child.ev[i]), info, view)
+			if !ok {
 				out.verdict = symvm.Infeasible
 				return out
 			}
-			child.Snap.AddCons(solver.Eq(ou.Value, symx.Const(want.Value)))
-			child.outUsed++
-		}
-		// Incremental: only the output equations are propagated on top of
-		// the child's session.
-		chk := child.Snap.Check(e.solverOpt)
-		out.solverCalls++
-		if chk.Verdict == solver.Unsat {
-			out.verdict = symvm.Infeasible
-			return out
+			child.ev[i] += int32(consumed)
+			if needCheck {
+				chk := child.Snap.Check(e.solverOpt)
+				out.solverCalls++
+				if chk.Verdict == solver.Unsat {
+					out.verdict = symvm.Infeasible
+					return out
+				}
+			}
 		}
 	}
 	child.fp = child.Snap.Fingerprint()

@@ -1,0 +1,63 @@
+package evidence
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEvidenceDecode guards the evidence wire decoder the way
+// FuzzDumpRoundTrip guards the dump codec: arbitrary bytes must never
+// panic or allocate unboundedly, anything that decodes must re-encode to
+// a canonical form that is a fixed point under another decode/encode
+// cycle, and the content fingerprint must be stable across the trip — a
+// violation would make identical evidence hash to different cache keys
+// (misses forever) or different evidence collide. The seed corpus under
+// testdata/fuzz/FuzzEvidenceDecode is checked in.
+func FuzzEvidenceDecode(f *testing.F) {
+	seeds := []Set{
+		nil,
+		{LBR{Mode: 0}},
+		{LBR{Mode: 1}, OutputLog{}},
+		{EventLog{Records: []EventRec{{Index: 0, Tid: 0, Block: 1}, {Index: 7, Tid: 1, Block: 3}}}},
+		{BranchTrace{Bits: []bool{true, false, true, true, false, false, false, true, true}}},
+		{MemProbe{Probes: []Probe{{Index: 2, Addr: 16, Value: -9}, {Index: 2, Addr: 20, Value: 4}}}},
+		{
+			LBR{Mode: 1},
+			OutputLog{},
+			EventLog{Records: []EventRec{{Index: 5, Tid: 2, Block: 9}}},
+			BranchTrace{Bits: []bool{false}},
+			MemProbe{Probes: []Probe{{Index: 1, Addr: 3, Value: 1 << 40}}},
+		},
+	}
+	for _, s := range seeds {
+		f.Add(s.Encode())
+	}
+	f.Add([]byte("RESEVID1"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Decode(data)
+		if err != nil {
+			return // not evidence; rejecting is the correct behavior
+		}
+		canon := set.Encode()
+		set2, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if canon2 := set2.Encode(); !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %x\nsecond: %x", canon, canon2)
+		}
+		if set.Fingerprint() != set2.Fingerprint() {
+			t.Fatal("fingerprint changed across round trip")
+		}
+		if len(set) != len(set2) {
+			t.Fatalf("round trip changed source count: %d vs %d", len(set), len(set2))
+		}
+		for i := range set {
+			if set[i].Kind() != set2[i].Kind() {
+				t.Fatalf("source %d kind changed: %s vs %s", i, set[i].Kind(), set2[i].Kind())
+			}
+		}
+	})
+}

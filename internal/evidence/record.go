@@ -1,0 +1,136 @@
+package evidence
+
+import (
+	"sort"
+
+	"res/internal/isa"
+	"res/internal/prog"
+	"res/internal/vm"
+)
+
+// RecordConfig tunes the production-side evidence recorder. Every knob
+// models something a deployment could collect almost for free: sampled
+// scheduler breadcrumbs, a hardware branch-trace window, a watchdog
+// peeking at a few globals.
+type RecordConfig struct {
+	// EventEvery samples every Nth block start into the event log
+	// (0 disables the log).
+	EventEvery int
+	// EventWindow bounds the event log to its most recent entries
+	// (0 = unbounded).
+	EventWindow int
+	// BranchWindow keeps the taken/not-taken outcome of the last N
+	// conditional branches (0 disables the trace).
+	BranchWindow int
+	// ProbeAddrs are the memory words probed every ProbeEvery block
+	// starts (both must be set for probes to record).
+	ProbeAddrs []uint32
+	// ProbeEvery samples the probe addresses every Nth block start.
+	ProbeEvery int
+	// ProbeWindow bounds the probe log to its most recent entries
+	// (0 = unbounded).
+	ProbeWindow int
+}
+
+// Recorder collects evidence from a live VM run. Create one per run,
+// install its Hooks in the vm.Config, Bind it to the VM (required only
+// for memory probes), run, and take the Evidence after the failure:
+//
+//	rec := evidence.NewRecorder(p, cfg)
+//	vcfg.Hooks = rec.Hooks()
+//	v, _ := vm.New(p, vcfg)
+//	rec.Bind(v)
+//	d, _ := v.Run()
+//	set := rec.Evidence()
+//
+// The recorder is observation-only: it never changes the execution, so
+// the dump produced with recording is byte-identical to one produced
+// without.
+type Recorder struct {
+	cfg    RecordConfig
+	p      *prog.Program
+	v      *vm.VM
+	steps  uint64
+	events []EventRec
+	bits   []bool
+	probes []Probe
+}
+
+// NewRecorder creates a recorder for one run of p.
+func NewRecorder(p *prog.Program, cfg RecordConfig) *Recorder {
+	addrs := append([]uint32(nil), cfg.ProbeAddrs...)
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	// Deduplicate: the wire form requires strictly increasing (index, addr).
+	j := 0
+	for i, a := range addrs {
+		if i == 0 || a != addrs[j-1] {
+			addrs[j] = a
+			j++
+		}
+	}
+	cfg.ProbeAddrs = addrs[:j]
+	return &Recorder{cfg: cfg, p: p}
+}
+
+// Bind gives the recorder access to the VM's memory for probes. Call it
+// after vm.New and before Run.
+func (r *Recorder) Bind(v *vm.VM) { r.v = v }
+
+// Hooks returns the VM observation hooks that drive the recorder.
+func (r *Recorder) Hooks() vm.Hooks {
+	return vm.Hooks{OnBlockStart: r.onBlockStart, OnBranch: r.onBranch}
+}
+
+func (r *Recorder) onBlockStart(tid, block int) {
+	idx := r.steps
+	r.steps++
+	if r.cfg.EventEvery > 0 && idx%uint64(r.cfg.EventEvery) == 0 {
+		r.events = append(r.events, EventRec{Index: idx, Tid: tid, Block: block})
+		if r.cfg.EventWindow > 0 && len(r.events) > r.cfg.EventWindow {
+			r.events = r.events[1:]
+		}
+	}
+	if r.cfg.ProbeEvery > 0 && len(r.cfg.ProbeAddrs) > 0 && r.v != nil &&
+		idx%uint64(r.cfg.ProbeEvery) == 0 {
+		for _, a := range r.cfg.ProbeAddrs {
+			r.probes = append(r.probes, Probe{Index: idx, Addr: a, Value: r.v.Mem.Load(a)})
+		}
+		if r.cfg.ProbeWindow > 0 && len(r.probes) > r.cfg.ProbeWindow {
+			r.probes = r.probes[len(r.probes)-r.cfg.ProbeWindow:]
+		}
+	}
+}
+
+func (r *Recorder) onBranch(from, to int) {
+	if r.cfg.BranchWindow <= 0 || from < 0 || from >= len(r.p.Code) {
+		return
+	}
+	in := &r.p.Code[from]
+	if in.Op != isa.OpBr {
+		return
+	}
+	r.bits = append(r.bits, to == in.Target)
+	if len(r.bits) > r.cfg.BranchWindow {
+		r.bits = r.bits[1:]
+	}
+}
+
+// Steps returns the number of block starts observed so far.
+func (r *Recorder) Steps() uint64 { return r.steps }
+
+// Evidence snapshots the recorded evidence as a Set, in a fixed source
+// order (event log, branch trace, probes). Disabled or empty channels
+// are omitted, so a recorder that saw nothing yields an empty set.
+func (r *Recorder) Evidence() Set {
+	var set Set
+	if len(r.events) > 0 {
+		set = append(set, EventLog{Records: append([]EventRec(nil), r.events...)})
+	}
+	if len(r.bits) > 0 {
+		set = append(set, BranchTrace{Bits: append([]bool(nil), r.bits...)})
+	}
+	if len(r.probes) > 0 {
+		set = append(set, MemProbe{Probes: append([]Probe(nil), r.probes...)})
+	}
+	return set
+}

@@ -1,0 +1,191 @@
+package evidence
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"res/internal/core"
+)
+
+// The wire form is a canonical container: magic, source count, then each
+// source as (kind string, payload length, payload). Every numeric field
+// is a varint, payloads are themselves canonical (decode validates the
+// invariants the encoders maintain — sorted indexes, zeroed padding
+// bits), and Decode rejects trailing bytes at both the container and the
+// payload level, so decode∘encode is the identity on canonical bytes and
+// encode∘decode is a fixed point on anything that decodes at all. That
+// fixed point is what lets the ingestion service address evidence by
+// content: two byte streams describing the same evidence canonicalize to
+// the same fingerprint.
+const wireMagic = "RESEVID1"
+
+// Decode limits: a malicious or corrupt stream must fail fast, not
+// allocate unboundedly. maxSources mirrors core.MaxPruners — the engine
+// tracks one consume bit per pruner in a 64-bit mask, so larger sets
+// must never reach it.
+const (
+	maxSources = core.MaxPruners
+	maxRecords = 1 << 20
+	maxPayload = 1 << 24
+)
+
+type encoder struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+type decoder struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("evidence: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("evidence: %w", err)
+	}
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = fmt.Errorf("evidence: %w", err)
+	}
+	return v
+}
+
+func (d *decoder) str(max uint64) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > max {
+		d.fail("string too long (%d)", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("evidence: %w", err)
+		return ""
+	}
+	return string(b)
+}
+
+// Encode renders the set in its canonical wire form.
+func (s Set) Encode() []byte {
+	e := &encoder{}
+	e.buf.WriteString(wireMagic)
+	e.uvarint(uint64(len(s)))
+	for _, src := range s {
+		e.str(src.Kind())
+		payload := src.encodePayload()
+		e.uvarint(uint64(len(payload)))
+		e.buf.Write(payload)
+	}
+	return e.buf.Bytes()
+}
+
+// Decode parses a wire-form evidence set. nil/empty input decodes to a
+// nil set (no evidence); anything else must carry the magic and be fully
+// consumed. Unknown source kinds are an error: silently dropping
+// evidence would let a newer producer think an older analyzer used hints
+// it never understood.
+func Decode(b []byte) (Set, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b) < len(wireMagic) || string(b[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("evidence: bad magic")
+	}
+	d := &decoder{r: bytes.NewReader(b[len(wireMagic):])}
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > maxSources {
+		return nil, fmt.Errorf("evidence: unreasonable source count %d", n)
+	}
+	set := make(Set, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kind := d.str(256)
+		plen := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if plen > maxPayload {
+			return nil, fmt.Errorf("evidence: payload too long (%d)", plen)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(d.r, payload); err != nil {
+			return nil, fmt.Errorf("evidence: %w", err)
+		}
+		src, err := decodeSource(kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, src)
+	}
+	if d.r.Len() != 0 {
+		return nil, fmt.Errorf("evidence: %d trailing bytes", d.r.Len())
+	}
+	return set, nil
+}
+
+// decodeSource dispatches one payload to its kind's decoder. Every
+// decoder must consume the payload exactly and enforce its canonical
+// invariants.
+func decodeSource(kind string, payload []byte) (Source, error) {
+	d := &decoder{r: bytes.NewReader(payload)}
+	var src Source
+	switch kind {
+	case kindLBR:
+		src = decodeLBR(d)
+	case kindOutputLog:
+		src = decodeOutputLog(d)
+	case kindEventLog:
+		src = decodeEventLog(d)
+	case kindBranchTrace:
+		src = decodeBranchTrace(d)
+	case kindMemProbe:
+		src = decodeMemProbe(d)
+	default:
+		return nil, fmt.Errorf("evidence: unknown source kind %q", kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.r.Len() != 0 {
+		return nil, fmt.Errorf("evidence: %s: %d trailing payload bytes", kind, d.r.Len())
+	}
+	return src, nil
+}

@@ -100,6 +100,24 @@ func (c *Client) SubmitWithOptions(ctx context.Context, programID string, dump [
 	return job, err
 }
 
+// SubmitEvidence submits a dump together with an evidence attachment
+// (canonical evidence wire bytes); the evidence becomes part of the
+// result's cache identity server-side.
+func (c *Client) SubmitEvidence(ctx context.Context, programID string, dump, evidence []byte, o *SubmitOverrides) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps",
+		SubmitRequest{ProgramID: programID, Dump: dump, Evidence: evidence, Options: o}, &job)
+	return job, err
+}
+
+// SubmitSourceEvidence is SubmitSource with an evidence attachment.
+func (c *Client) SubmitSourceEvidence(ctx context.Context, name, source string, dump, evidence []byte) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps",
+		SubmitRequest{ProgramName: name, ProgramSource: source, Dump: dump, Evidence: evidence}, &job)
+	return job, err
+}
+
 // SubmitBatch ships a burst of dumps for one program in a single request
 // (POST /v1/dumps/batch). The returned items are positional with
 // req.Dumps; per-dump failures are reported in place, not as an error.
@@ -137,6 +155,57 @@ func (c *Client) PollResult(ctx context.Context, id string, interval time.Durati
 		case <-t.C:
 		}
 	}
+}
+
+// WatchResult tails the job's progress stream (GET /v1/jobs/{id}/events),
+// invoking fn for every event (fn may be nil), and returns the job's
+// final snapshot once the stream ends. The stream closes on the terminal
+// status event, so WatchResult doubles as a completion wait; if the
+// stream drops early (daemon restart, proxy timeout) it falls back to a
+// final Result fetch.
+func (c *Client) WatchResult(ctx context.Context, id string, fn func(ProgressEvent)) (Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return Job{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return Job{}, fmt.Errorf("resd: %s (%s)", e.Error, resp.Status)
+		}
+		return Job{}, fmt.Errorf("resd: watch %s: %s", id, resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	sawStatus := false
+	for {
+		var ev ProgressEvent
+		if err := dec.Decode(&ev); err != nil {
+			break // stream ended (cleanly or not); resolve below
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Kind == "status" {
+			sawStatus = true
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Job{}, err
+	}
+	if sawStatus {
+		return c.Result(ctx, id)
+	}
+	// The stream dropped before the terminal event (daemon restart, proxy
+	// timeout): fall back to polling so the returned snapshot is still
+	// final, as documented.
+	return c.PollResult(ctx, id, 250*time.Millisecond)
 }
 
 // Buckets fetches the crash-dedup buckets.

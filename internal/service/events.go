@@ -1,0 +1,114 @@
+package service
+
+import (
+	"res"
+)
+
+// ProgressEvent is one entry of a job's progress stream (the NDJSON
+// lines of GET /v1/jobs/{id}/events): a bridged search event from the
+// analysis session, or the terminal "status" marker that ends the
+// stream. Node-level events are deliberately not bridged — one line per
+// backward-step attempt would swamp the wire; depth advances, feasible
+// suffixes, and the periodic solver heartbeat carry the signal.
+type ProgressEvent struct {
+	// Kind is "depth", "suffix", "solver", or "status".
+	Kind string `json:"kind"`
+	// Depth is the suffix depth the event concerns.
+	Depth int `json:"depth,omitempty"`
+	// Attempts/Feasible/SolverCalls snapshot the cumulative search
+	// statistics at emission time.
+	Attempts    int `json:"attempts,omitempty"`
+	Feasible    int `json:"feasible,omitempty"`
+	SolverCalls int `json:"solver_calls,omitempty"`
+	// Status is the job's terminal status, set on the final "status"
+	// event only.
+	Status Status `json:"status,omitempty"`
+}
+
+// progressSub is one watcher of a job's progress stream. The channel is
+// buffered; a watcher that falls behind loses intermediate events (the
+// terminal status event still closes the stream).
+type progressSub struct {
+	ch chan ProgressEvent
+}
+
+// subscriberBuffer bounds each watcher's in-flight events.
+const subscriberBuffer = 64
+
+// publish bridges one search event from an analysis session to the
+// job's watchers. It runs synchronously on the analyzing goroutine, so
+// it must never block: slow watchers drop events.
+func (s *Service) publish(js *jobState, ev res.Event) {
+	var pe ProgressEvent
+	switch ev.Kind {
+	case res.EventDepth:
+		pe = ProgressEvent{Kind: "depth"}
+	case res.EventSuffix:
+		pe = ProgressEvent{Kind: "suffix"}
+	case res.EventSolver:
+		pe = ProgressEvent{Kind: "solver"}
+	default:
+		return // EventNode: too chatty for the wire
+	}
+	pe.Depth = ev.Depth
+	pe.Attempts = ev.Stats.Attempts
+	pe.Feasible = ev.Stats.Feasible
+	pe.SolverCalls = ev.Stats.SolverCalls
+
+	s.mu.Lock()
+	if len(js.subs) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	subs := append([]*progressSub(nil), js.subs...)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		select {
+		case sub.ch <- pe:
+		default:
+		}
+	}
+}
+
+// Watch subscribes to a job's progress events. The returned channel
+// delivers bridged search events while the job runs and is closed after
+// the terminal "status" event; cancel detaches early (the channel is
+// then closed by the job's completion, or garbage-collected with it).
+// A job that is already terminal — including one evicted to the store —
+// yields a single status event. Unknown IDs return ErrUnknownJob.
+func (s *Service) Watch(id string) (<-chan ProgressEvent, func(), error) {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	if ok && !js.job.Status.Terminal() {
+		sub := &progressSub{ch: make(chan ProgressEvent, subscriberBuffer)}
+		js.subs = append(js.subs, sub)
+		s.mu.Unlock()
+		cancel := func() {
+			s.mu.Lock()
+			for i, x := range js.subs {
+				if x == sub {
+					js.subs = append(js.subs[:i], js.subs[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+		}
+		return sub.ch, cancel, nil
+	}
+	var status Status
+	if ok {
+		status = js.job.Status
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+		job, found := s.evictedJob(id)
+		if !found {
+			return nil, nil, ErrUnknownJob
+		}
+		status = job.Status
+	}
+	ch := make(chan ProgressEvent, 1)
+	ch <- ProgressEvent{Kind: "status", Status: status}
+	close(ch)
+	return ch, func() {}, nil
+}

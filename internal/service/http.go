@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -20,6 +21,10 @@ type SubmitRequest struct {
 	ProgramSource string           `json:"program_source,omitempty"`
 	Options       *SubmitOverrides `json:"options,omitempty"`
 	Dump          []byte           `json:"dump"`
+	// Evidence is the dump's optional evidence attachment: canonical
+	// evidence wire bytes (internal/evidence), base64 on the wire. It is
+	// folded into the result's cache identity.
+	Evidence []byte `json:"evidence,omitempty"`
 }
 
 // BatchSubmitRequest is the POST /v1/dumps/batch body: one program, many
@@ -30,6 +35,9 @@ type BatchSubmitRequest struct {
 	ProgramSource string           `json:"program_source,omitempty"`
 	Options       *SubmitOverrides `json:"options,omitempty"`
 	Dumps         [][]byte         `json:"dumps"`
+	// Evidence, when present, is positional with Dumps (entries may be
+	// empty/null for dumps submitted without evidence).
+	Evidence [][]byte `json:"evidence,omitempty"`
 }
 
 // BatchSubmitResponse is the POST /v1/dumps/batch reply; Jobs is
@@ -56,19 +64,21 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/programs       register a program, returns its program_id
-//	POST /v1/dumps          submit a dump (202 queued, 200 done/cached,
-//	                        429 queue full, 503 draining)
-//	GET  /v1/results/{id}   job status + report
-//	GET  /v1/buckets        crash-dedup buckets
-//	GET  /healthz           liveness (503 while draining)
-//	GET  /metrics           Prometheus-style text metrics
+//	POST /v1/programs         register a program, returns its program_id
+//	POST /v1/dumps            submit a dump (202 queued, 200 done/cached,
+//	                          429 queue full, 503 draining)
+//	GET  /v1/results/{id}     job status + report
+//	GET  /v1/jobs/{id}/events NDJSON stream of analysis progress events
+//	GET  /v1/buckets          crash-dedup buckets
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus-style text metrics
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/programs", s.handleRegister)
 	mux.HandleFunc("POST /v1/dumps", s.handleSubmit)
 	mux.HandleFunc("POST /v1/dumps/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/buckets", s.handleBuckets)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -90,7 +100,7 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownJob):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrBadDump):
+	case errors.Is(err, ErrBadDump), errors.Is(err, ErrBadEvidence):
 		code = http.StatusBadRequest
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
@@ -149,7 +159,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := s.SubmitWithOptions(programID, req.Dump, req.Options)
+	job, err := s.SubmitEvidence(programID, req.Dump, req.Evidence, req.Options)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -189,7 +199,11 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: s.SubmitBatch(programID, req.Dumps, req.Options)})
+	if len(req.Evidence) != 0 && len(req.Evidence) != len(req.Dumps) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "evidence must be positional with dumps"})
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: s.SubmitBatch(programID, req.Dumps, req.Evidence, req.Options)})
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -199,6 +213,42 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobEvents streams a job's analysis progress as NDJSON: one
+// ProgressEvent per line, flushed as produced, ending with a terminal
+// "status" event. Already-terminal jobs get just the status line, so the
+// endpoint doubles as a blocking completion wait.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := s.Watch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if enc.Encode(ev) != nil {
+				return // client gone
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Kind == "status" {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Service) handleBuckets(w http.ResponseWriter, r *http.Request) {
@@ -247,6 +297,19 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("resd_jobs", gauge, "Job records retained in memory.", float64(m.Jobs))
 	emit("resd_jobs_evicted_total", counter, "Terminal job records evicted by the MaxJobs/JobRetention bounds.", float64(m.JobsEvicted))
 	emit("resd_jobs_retried_total", counter, "Failed analyses re-queued by the retry policy.", float64(m.Retried))
+	emit("resd_evidence_attached_total", counter, "Accepted submissions carrying an evidence attachment.", float64(m.EvidenceAttached))
+	{
+		name := "resd_evidence_sources_total"
+		fmt.Fprintf(&b, "# HELP %s Evidence sources attached to accepted submissions, per kind.\n# TYPE %s counter\n", name, name)
+		kinds := make([]string, 0, len(m.EvidenceSources))
+		for k := range m.EvidenceSources {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "%s{kind=%q} %d\n", name, k, m.EvidenceSources[k])
+		}
+	}
 	emit("resd_store_replica_hits_total", counter, "Store gets answered by the cluster read-through fetch.", float64(m.Store.ReplicaHits))
 	emit("resd_journal_appends_total", counter, "Entries appended to the job journal.", float64(m.Journal.Appends))
 	emit("resd_journal_compactions_total", counter, "Journal compactions into a snapshot.", float64(m.Journal.Compactions))

@@ -102,6 +102,7 @@ type JournalJob struct {
 	Partial     bool       `json:"partial,omitempty"`
 	Bucket      string     `json:"bucket,omitempty"`
 	Error       string     `json:"error,omitempty"`
+	Evidence    []string   `json:"evidence,omitempty"`
 	Key         JournalKey `json:"key"`
 	FinishedAt  time.Time  `json:"finished_at"`
 }
@@ -260,6 +261,7 @@ func journalJobRecord(js *jobState) *JournalJob {
 		Partial:     js.job.Partial,
 		Bucket:      js.job.Bucket,
 		Error:       js.job.Error,
+		Evidence:    js.job.Evidence,
 		Key:         journalKey(js.key),
 		FinishedAt:  js.job.FinishedAt,
 	}
@@ -417,7 +419,7 @@ func (s *Service) replayJob(jj JournalJob) {
 		job: Job{
 			ID: jj.ID, Program: jj.Program, ProgramName: jj.ProgramName,
 			Status: jj.Status, Partial: jj.Partial, Bucket: jj.Bucket,
-			Error: jj.Error, FinishedAt: jj.FinishedAt,
+			Error: jj.Error, Evidence: jj.Evidence, FinishedAt: jj.FinishedAt,
 		},
 		key:  key,
 		done: done,

@@ -16,6 +16,7 @@ package service
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"res"
+	"res/internal/evidence"
 	"res/internal/store"
 )
 
@@ -43,6 +45,9 @@ var (
 	ErrUnknownJob = errors.New("service: unknown job")
 	// ErrBadDump rejects bytes that do not parse as a coredump.
 	ErrBadDump = errors.New("service: bad dump")
+	// ErrBadEvidence rejects evidence attachments that do not parse as the
+	// canonical evidence wire form.
+	ErrBadEvidence = errors.New("service: bad evidence")
 )
 
 // AnalysisConfig is the service-wide analysis configuration. It is part
@@ -212,7 +217,10 @@ type Job struct {
 	Report json.RawMessage `json:"report,omitempty"`
 	// Retries counts how many times a failed analysis of this tuple was
 	// re-queued by the retry policy.
-	Retries     int       `json:"retries,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// Evidence lists the kinds of the evidence sources attached to the
+	// submission, in application order.
+	Evidence    []string  `json:"evidence,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
 }
@@ -222,8 +230,12 @@ type jobState struct {
 	key       store.Key // result key (the ID is its hash)
 	dump      *res.Dump
 	overrides *SubmitOverrides // per-request analysis options, nil = daemon defaults
+	evidence  evidence.Set     // per-request evidence attachment, nil = none
 	retries   int
 	done      chan struct{}
+	// subs fan the job's analysis progress out to event-stream watchers;
+	// guarded by the service mutex.
+	subs []*progressSub
 }
 
 // shard is one program's analysis pool: a shared Analyzer session (the
@@ -287,6 +299,10 @@ type Service struct {
 	cacheHits, cacheMisses                 uint64
 	jobsEvicted, retried                   uint64
 	journalReplayed                        int
+	// evidenceAttached counts accepted submissions that carried an
+	// evidence attachment; evidenceKinds breaks them down per source kind.
+	evidenceAttached uint64
+	evidenceKinds    map[string]uint64
 }
 
 // doneRec is one entry of the eviction queue. The timestamp doubles as a
@@ -481,6 +497,32 @@ func (s *Service) effectiveAnalysis(o *SubmitOverrides) (AnalysisConfig, store.F
 	return eff, eff.Fingerprint()
 }
 
+// optionsFingerprint folds an evidence attachment's content fingerprint
+// into the analysis-options fingerprint: evidence changes what the
+// search may conclude, so it is part of the result's cache identity.
+func optionsFingerprint(eff AnalysisConfig, ev evidence.Set) store.Fingerprint {
+	desc := eff.Canonical()
+	if fp := ev.Fingerprint(); fp != "" {
+		desc += " evidence=" + fp
+	}
+	return store.OptionsFingerprint(desc)
+}
+
+// noteEvidenceLocked counts an accepted submission's evidence
+// attachment. Caller holds s.mu.
+func (s *Service) noteEvidenceLocked(ev evidence.Set) {
+	if len(ev) == 0 {
+		return
+	}
+	s.evidenceAttached++
+	if s.evidenceKinds == nil {
+		s.evidenceKinds = make(map[string]uint64)
+	}
+	for _, src := range ev {
+		s.evidenceKinds[src.Kind()]++
+	}
+}
+
 // Store exposes the backing store (for metrics and tests).
 func (s *Service) Store() *store.Store { return s.store }
 
@@ -558,13 +600,23 @@ func (s *Service) RegisterSource(name, src string) (string, error) {
 // coalesces onto the existing job. A full shard queue returns
 // ErrQueueFull — the caller's cue to back off.
 func (s *Service) Submit(programID string, dumpBytes []byte) (Job, error) {
-	return s.SubmitWithOptions(programID, dumpBytes, nil)
+	return s.SubmitEvidence(programID, dumpBytes, nil, nil)
 }
 
 // SubmitWithOptions is Submit with per-request analysis-option overrides.
 // The overrides participate in the cache identity: the same dump under
 // different options is a different job with its own store entry.
 func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *SubmitOverrides) (Job, error) {
+	return s.SubmitEvidence(programID, dumpBytes, nil, o)
+}
+
+// SubmitEvidence is Submit with an evidence attachment (canonical
+// evidence wire bytes, internal/evidence.Set.Encode; nil/empty = none)
+// and per-request option overrides. The evidence's content fingerprint
+// is folded into the options fingerprint, so the same dump with
+// different evidence is a different tuple with its own cache entry,
+// while byte-equivalent evidence coalesces like everything else.
+func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []byte, o *SubmitOverrides) (Job, error) {
 	progFP, err := store.ParseFingerprint(programID)
 	if err != nil {
 		return Job{}, ErrUnknownProgram
@@ -579,10 +631,17 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrBadDump, err)
 	}
+	evSet, err := evidence.Decode(evidenceBytes)
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrBadEvidence, err)
+	}
 	if o.empty() {
 		o = nil
 	}
-	_, optFP := s.effectiveAnalysis(o)
+	eff, optFP := s.effectiveAnalysis(o)
+	if len(evSet) > 0 {
+		optFP = optionsFingerprint(eff, evSet)
+	}
 	key := store.ResultKey(progFP, dumpFP, optFP)
 	id := key.ID()
 
@@ -614,6 +673,7 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 			s.submitted++
 			sh.submitted++
 			s.coalesced++
+			s.noteEvidenceLocked(evSet)
 			s.mu.Unlock()
 			return snap, nil
 		case snap.Status == StatusDone && !snap.Partial:
@@ -621,6 +681,7 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 			sh.submitted++
 			s.cacheHits++
 			sh.cached++
+			s.noteEvidenceLocked(evSet)
 			snap.Cached = true
 			if haveCached {
 				snap.Report = cachedRep
@@ -652,11 +713,13 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 		sh.cached++
 		sh.submitted++
 		s.submitted++
+		s.noteEvidenceLocked(evSet)
 		js := &jobState{
 			job: Job{
 				ID: id, Program: programID, ProgramName: sh.name,
 				Status: StatusDone, Cached: true, Report: cachedRep,
 				Bucket:      bucketFromReport(sh.name, cachedRep),
+				Evidence:    evSet.Kinds(),
 				SubmittedAt: now, FinishedAt: now,
 			},
 			key:  key,
@@ -674,11 +737,12 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 	js := &jobState{
 		job: Job{
 			ID: id, Program: programID, ProgramName: sh.name,
-			Status: StatusQueued, SubmittedAt: now,
+			Status: StatusQueued, Evidence: evSet.Kinds(), SubmittedAt: now,
 		},
 		key:       key,
 		dump:      d,
 		overrides: o,
+		evidence:  evSet,
 		done:      make(chan struct{}),
 	}
 	select {
@@ -696,6 +760,7 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 	s.cacheMisses++
 	sh.submitted++
 	s.submitted++
+	s.noteEvidenceLocked(evSet)
 	s.jobs[id] = js
 	snap := js.job
 	s.mu.Unlock()
@@ -722,24 +787,39 @@ type BatchItem struct {
 
 // SubmitBatch ingests many dumps for one program in a single call,
 // amortizing per-request overhead for fleets shipping dump bursts.
-// Results are positional: out[i] is dumps[i]'s outcome. Byte-identical
-// dumps within the batch are coalesced before ingest (marked Duplicate);
-// dumps that canonicalize to the same bytes additionally coalesce via
-// the regular in-flight/cache machinery. Per-item failures (bad dump,
-// full queue) are reported in place — one poisoned dump does not fail
-// the rest of the batch.
-func (s *Service) SubmitBatch(programID string, dumps [][]byte, o *SubmitOverrides) []BatchItem {
+// Results are positional: out[i] is dumps[i]'s outcome, and evidence —
+// when non-nil — is positional with dumps (entries may be empty).
+// Byte-identical (dump, evidence) pairs within the batch are coalesced
+// before ingest (marked Duplicate); pairs that canonicalize to the same
+// bytes additionally coalesce via the regular in-flight/cache machinery.
+// Per-item failures (bad dump, full queue) are reported in place — one
+// poisoned dump does not fail the rest of the batch.
+func (s *Service) SubmitBatch(programID string, dumps [][]byte, ev [][]byte, o *SubmitOverrides) []BatchItem {
 	items := make([]BatchItem, len(dumps))
 	seen := make(map[[sha256.Size]byte]int, len(dumps))
 	for i, db := range dumps {
-		h := sha256.Sum256(db)
-		if j, ok := seen[h]; ok {
+		var evb []byte
+		if i < len(ev) {
+			evb = ev[i]
+		}
+		// Length-prefix the dump so the (dump, evidence) pair encoding is
+		// injective — a bare separator byte could be aliased by the
+		// payloads themselves.
+		h := sha256.New()
+		var dlen [8]byte
+		binary.BigEndian.PutUint64(dlen[:], uint64(len(db)))
+		h.Write(dlen[:])
+		h.Write(db)
+		h.Write(evb)
+		var hk [sha256.Size]byte
+		h.Sum(hk[:0])
+		if j, ok := seen[hk]; ok {
 			items[i] = items[j]
 			items[i].Duplicate = true
 			continue
 		}
-		seen[h] = i
-		job, err := s.SubmitWithOptions(programID, db, o)
+		seen[hk] = i
+		job, err := s.SubmitEvidence(programID, db, evb, o)
 		items[i].Job = job
 		if err != nil {
 			items[i].Error = err.Error()
@@ -869,6 +949,11 @@ func (s *Service) run(sh *shard, js *jobState) {
 		eff, _ := s.effectiveAnalysis(js.overrides)
 		aopts = append(aopts, res.WithMaxDepth(eff.MaxDepth), res.WithBeamWidth(eff.BeamWidth))
 	}
+	if len(js.evidence) > 0 {
+		aopts = append(aopts, res.WithEvidence(js.evidence...))
+	}
+	// Bridge the session's search events to any progress watchers.
+	aopts = append(aopts, res.WithObserver(func(ev res.Event) { s.publish(js, ev) }))
 	r, err := sh.analyzer.Analyze(ctx, js.dump, aopts...)
 	if r == nil {
 		if s.baseCtx.Err() == nil && s.maybeRetry(sh, js, err) {
@@ -907,14 +992,17 @@ func (s *Service) run(sh *shard, js *jobState) {
 }
 
 // finish applies the terminal mutation, updates counters and buckets,
-// journals the outcome, and releases waiters.
+// journals the outcome, releases waiters, and ends any progress streams
+// with a terminal status event.
 func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	s.mu.Lock()
 	mut(&js.job)
 	js.job.FinishedAt = time.Now()
-	// The decoded dump (a full memory image) is only needed for analysis;
-	// dropping it here keeps the long-lived jobs map lightweight.
+	// The decoded dump (a full memory image) and the compiled evidence are
+	// only needed for analysis; dropping them here keeps the long-lived
+	// jobs map lightweight.
 	js.dump = nil
+	js.evidence = nil
 	switch js.job.Status {
 	case StatusDone:
 		sh.completed++
@@ -928,9 +1016,29 @@ func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	}
 	s.recordDoneLocked(js)
 	rec := journalJobRecord(js)
+	subs := js.subs
+	js.subs = nil
+	status := js.job.Status
 	s.mu.Unlock()
 	s.journalAppend(journalEntry{T: "job", Job: rec})
 	close(js.done)
+	// Detaching the subscribers above made this goroutine each channel's
+	// only sender, so the terminal status line — the one event the stream
+	// contract guarantees — can always be delivered: a buffer still full
+	// of undrained progress events sacrifices one of them for it.
+	final := ProgressEvent{Kind: "status", Status: status}
+	for _, sub := range subs {
+		select {
+		case sub.ch <- final:
+		default:
+			select {
+			case <-sub.ch:
+			default:
+			}
+			sub.ch <- final
+		}
+		close(sub.ch)
+	}
 }
 
 func (s *Service) addBucketLocked(bucket, id string) {
@@ -1037,24 +1145,28 @@ type ShardMetrics struct {
 
 // Metrics is a consistent snapshot of service health.
 type Metrics struct {
-	QueueDepth   int          `json:"queue_depth"`
-	Submitted    uint64       `json:"submitted"`
-	Completed    uint64       `json:"completed"`
-	Failed       uint64       `json:"failed"`
-	Canceled     uint64       `json:"canceled"`
-	Rejected     uint64       `json:"rejected"`
-	Coalesced    uint64       `json:"coalesced"`
-	Retried      uint64       `json:"retried"`
-	CacheHits    uint64       `json:"cache_hits"`
-	CacheMisses  uint64       `json:"cache_misses"`
-	CacheHitRate float64      `json:"cache_hit_rate"`
-	Store        store.Stats  `json:"store"`
-	Jobs         int          `json:"jobs"`
-	JobsEvicted  uint64       `json:"jobs_evicted"`
-	Buckets      int          `json:"buckets"`
-	Programs     int          `json:"programs"`
-	Draining     bool         `json:"draining"`
-	Journal      JournalStats `json:"journal,omitzero"`
+	QueueDepth   int         `json:"queue_depth"`
+	Submitted    uint64      `json:"submitted"`
+	Completed    uint64      `json:"completed"`
+	Failed       uint64      `json:"failed"`
+	Canceled     uint64      `json:"canceled"`
+	Rejected     uint64      `json:"rejected"`
+	Coalesced    uint64      `json:"coalesced"`
+	Retried      uint64      `json:"retried"`
+	CacheHits    uint64      `json:"cache_hits"`
+	CacheMisses  uint64      `json:"cache_misses"`
+	CacheHitRate float64     `json:"cache_hit_rate"`
+	Store        store.Stats `json:"store"`
+	Jobs         int         `json:"jobs"`
+	JobsEvicted  uint64      `json:"jobs_evicted"`
+	Buckets      int         `json:"buckets"`
+	Programs     int         `json:"programs"`
+	Draining     bool        `json:"draining"`
+	// EvidenceAttached counts accepted submissions that carried an
+	// evidence attachment; EvidenceSources breaks them down per kind.
+	EvidenceAttached uint64            `json:"evidence_attached"`
+	EvidenceSources  map[string]uint64 `json:"evidence_sources,omitempty"`
+	Journal          JournalStats      `json:"journal,omitzero"`
 	// JournalReplayed counts entries restored from the journal at startup.
 	JournalReplayed int            `json:"journal_replayed,omitempty"`
 	Shards          []ShardMetrics `json:"shards"`
@@ -1070,8 +1182,15 @@ func (s *Service) Metrics() Metrics {
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		Jobs: len(s.jobs), JobsEvicted: s.jobsEvicted,
 		Buckets: len(s.buckets), Programs: len(s.shards),
-		Draining:        s.draining,
-		JournalReplayed: s.journalReplayed,
+		Draining:         s.draining,
+		JournalReplayed:  s.journalReplayed,
+		EvidenceAttached: s.evidenceAttached,
+	}
+	if len(s.evidenceKinds) > 0 {
+		m.EvidenceSources = make(map[string]uint64, len(s.evidenceKinds))
+		for k, v := range s.evidenceKinds {
+			m.EvidenceSources[k] = v
+		}
 	}
 	if total := m.CacheHits + m.CacheMisses; total > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(total)

@@ -25,6 +25,9 @@ type Item struct {
 	App  string
 	Dump *coredump.Dump
 	Prog *prog.Program
+	// Evidence is the report's optional evidence attachment (canonical
+	// evidence wire bytes); classifiers that analyze may use it to prune.
+	Evidence []byte
 }
 
 // Classifier assigns a bucket key to a report.

@@ -69,6 +69,10 @@ type Hooks struct {
 	OnLock func(tid, pc int, addr uint32, acquire bool)
 	// OnBlockStart fires when a thread begins executing a block.
 	OnBlockStart func(tid, block int)
+	// OnBranch fires for every retired control transfer (jmp/br/call/ret),
+	// regardless of the LBR ring configuration. The evidence recorder uses
+	// it to collect partial branch traces.
+	OnBranch func(from, to int)
 }
 
 func (c Config) maxSteps() uint64 {
@@ -375,6 +379,9 @@ func (v *VM) checkAccess(t *Thread, pc int, addr int64) *coredump.Fault {
 }
 
 func (v *VM) recordBranch(from, to int) {
+	if v.cfg.Hooks.OnBranch != nil {
+		v.cfg.Hooks.OnBranch(from, to)
+	}
 	if v.lbrSize < 0 {
 		return
 	}

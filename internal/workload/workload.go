@@ -15,6 +15,7 @@ import (
 
 	"res/internal/asm"
 	"res/internal/coredump"
+	"res/internal/evidence"
 	"res/internal/prog"
 	"res/internal/rootcause"
 	"res/internal/vm"
@@ -66,18 +67,34 @@ func (b *Bug) Program() *prog.Program {
 // This mirrors how rare concurrency failures surface in production: some
 // executions crash, most do not.
 func (b *Bug) FindFailure(maxSeeds int) (*coredump.Dump, vm.Config, error) {
+	d, _, c, err := b.findFailure(maxSeeds, nil)
+	return d, c, err
+}
+
+// findFailure is the shared seed sweep; with a non-nil record config a
+// fresh evidence recorder observes each attempted run and the failing
+// run's evidence is returned.
+func (b *Bug) findFailure(maxSeeds int, rcfg *evidence.RecordConfig) (*coredump.Dump, evidence.Set, vm.Config, error) {
 	p := b.Program()
 	for _, cfg := range b.Configs {
 		for s := 0; s < maxSeeds; s++ {
 			c := cfg
 			c.Seed = cfg.Seed + int64(s)
+			var rec *evidence.Recorder
+			if rcfg != nil {
+				rec = evidence.NewRecorder(p, *rcfg)
+				c.Hooks = rec.Hooks()
+			}
 			v, err := vm.New(p, c)
 			if err != nil {
-				return nil, c, err
+				return nil, nil, c, err
+			}
+			if rec != nil {
+				rec.Bind(v)
 			}
 			d, err := v.Run()
 			if err != nil {
-				return nil, c, err
+				return nil, nil, c, err
 			}
 			if d == nil || d.Fault.Kind == coredump.FaultBudget {
 				continue
@@ -85,10 +102,29 @@ func (b *Bug) FindFailure(maxSeeds int) (*coredump.Dump, vm.Config, error) {
 			if b.WantFault != coredump.FaultNone && d.Fault.Kind != b.WantFault {
 				continue
 			}
-			return d, c, nil
+			var set evidence.Set
+			if rec != nil {
+				set = rec.Evidence()
+			}
+			return d, set, c, nil
 		}
 	}
-	return nil, vm.Config{}, fmt.Errorf("workload: %s never failed within %d seeds/config", b.Name, maxSeeds)
+	return nil, nil, vm.Config{}, fmt.Errorf("workload: %s never failed within %d seeds/config", b.Name, maxSeeds)
+}
+
+// FindFailureRecorded is FindFailure with a production evidence recorder
+// attached: the failing run's sampled breadcrumbs come back alongside
+// the dump. Recording is observation-only, so the dump is byte-identical
+// to the one FindFailure returns for the same seed.
+func (b *Bug) FindFailureRecorded(maxSeeds int, rcfg evidence.RecordConfig) (*coredump.Dump, evidence.Set, vm.Config, error) {
+	return b.findFailure(maxSeeds, &rcfg)
+}
+
+// GlobalAddr resolves a global's address (for memory-probe evidence);
+// ok=false when the program has no such global.
+func (b *Bug) GlobalAddr(name string) (uint32, bool) {
+	addr, err := b.Program().GlobalAddr(name)
+	return addr, err == nil
 }
 
 // --- The three §4 synthetic concurrency bugs -------------------------------

@@ -23,6 +23,9 @@ type ReportJSON struct {
 	Exploitable *bool `json:"exploitable,omitempty"`
 	// ExploitDetail explains an exploitable verdict.
 	ExploitDetail string `json:"exploit_detail,omitempty"`
+	// Evidence lists the kinds of the evidence sources supplied to the
+	// analysis (WithEvidence provenance), in application order.
+	Evidence []string `json:"evidence,omitempty"`
 	// ReplayMatches reports whether the verification replay reproduced
 	// the coredump exactly.
 	ReplayMatches bool `json:"replay_matches"`
@@ -107,6 +110,9 @@ func (r *Result) JSONReport() *ReportJSON {
 		if exp {
 			rep.ExploitDetail = r.Exploitability.Detail
 		}
+	}
+	if len(r.Evidence) > 0 {
+		rep.Evidence = append([]string(nil), r.Evidence...)
 	}
 	rep.ReplayMatches = r.Replay != nil && r.Replay.Matches
 	if r.Report != nil {

@@ -48,6 +48,7 @@ import (
 	"res/internal/breadcrumb"
 	"res/internal/core"
 	"res/internal/coredump"
+	"res/internal/evidence"
 	"res/internal/prog"
 	"res/internal/replay"
 	"res/internal/rootcause"
@@ -69,7 +70,61 @@ type (
 	Suffix = trace.Suffix
 	// RunConfig configures a concrete (production) execution.
 	RunConfig = vm.Config
+
+	// EvidenceSource is one piece of production-side evidence that can
+	// prune the backward search (WithEvidence). Build sources with the
+	// Evidence* constructors, a recorded run (NewEvidenceRecorder), or by
+	// decoding wire bytes (DecodeEvidence).
+	EvidenceSource = evidence.Source
+	// EvidenceSet is an ordered collection of evidence sources with a
+	// canonical wire encoding and content fingerprint.
+	EvidenceSet = evidence.Set
+	// EventRec is one sampled scheduling breadcrumb (block index, thread,
+	// block) for EvidenceEventLog.
+	EventRec = evidence.EventRec
+	// ProbeRec is one timestamped memory observation for
+	// EvidenceMemProbe.
+	ProbeRec = evidence.Probe
+	// EvidenceRecordConfig tunes the production-side evidence recorder.
+	EvidenceRecordConfig = evidence.RecordConfig
+	// EvidenceRecorder collects evidence from a live VM run.
+	EvidenceRecorder = evidence.Recorder
 )
+
+// EvidenceLBR interprets the dump's hardware branch ring under the given
+// recording mode — the Source form of WithLBR.
+func EvidenceLBR(mode LBRMode) EvidenceSource { return evidence.LBR{Mode: mode} }
+
+// EvidenceOutputLog matches suffix OUTPUT records against the dump's
+// output-log tail — the Source form of WithMatchOutputs.
+func EvidenceOutputLog() EvidenceSource { return evidence.OutputLog{} }
+
+// EvidenceEventLog builds a sparse timestamped schedule sample: each
+// record pins one suffix depth to a (thread, block) step.
+func EvidenceEventLog(recs []EventRec) EvidenceSource { return evidence.EventLog{Records: recs} }
+
+// EvidenceBranchTrace builds an Intel-PT-style partial branch trace: the
+// taken/not-taken outcomes of the most recent conditional branches,
+// oldest first.
+func EvidenceBranchTrace(bits []bool) EvidenceSource { return evidence.BranchTrace{Bits: bits} }
+
+// EvidenceMemProbe builds a set of timestamped memory observations,
+// discharged through the solver like dump state.
+func EvidenceMemProbe(probes []ProbeRec) EvidenceSource { return evidence.MemProbe{Probes: probes} }
+
+// EncodeEvidence renders evidence sources in their canonical wire form
+// (the bytes resd accepts as a dump's evidence attachment).
+func EncodeEvidence(srcs ...EvidenceSource) []byte { return evidence.Set(srcs).Encode() }
+
+// DecodeEvidence parses wire-form evidence bytes.
+func DecodeEvidence(b []byte) (EvidenceSet, error) { return evidence.Decode(b) }
+
+// NewEvidenceRecorder creates a recorder that collects evidence from a
+// live VM run of p: install rec.Hooks() in the RunConfig, rec.Bind the
+// VM, run, then rec.Evidence().
+func NewEvidenceRecorder(p *Program, cfg EvidenceRecordConfig) *EvidenceRecorder {
+	return evidence.NewRecorder(p, cfg)
+}
 
 // Assemble builds a program from RES assembly source.
 func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
@@ -140,6 +195,10 @@ type Result struct {
 	Replay *replay.Result
 	// Exploitability is the taint verdict for the failure.
 	Exploitability *taint.Report
+	// Evidence is the provenance of the analysis: the kinds of the
+	// evidence sources supplied via WithEvidence, in application order
+	// (nil when the analysis used none beyond the classic dump hints).
+	Evidence []string
 	// HardwareSuspect: no feasible suffix explains the dump.
 	HardwareSuspect bool
 	// Partial is set when the analysis was cut short by context
