@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"res/internal/breadcrumb"
+	"res/internal/checkpoint"
 	"res/internal/core"
 	"res/internal/evidence"
 	"res/internal/hwerr"
@@ -70,6 +71,7 @@ type config struct {
 	solver       SolverOptions
 	observer     func(Event)
 	parallelism  int
+	checkpoints  *checkpoint.Ring
 }
 
 // Option configures an Analyzer (at construction) or a single analysis
@@ -105,6 +107,23 @@ func WithMatchOutputs() Option { return func(c *config) { c.matchOutputs = true 
 // supplied sources are reported in the Result's Evidence provenance.
 func WithEvidence(srcs ...EvidenceSource) Option {
 	return func(c *config) { c.evidence = append(c.evidence, srcs...) }
+}
+
+// WithCheckpoints anchors the backward search on a checkpoint ring
+// recorded during the failing execution (resrun -record-checkpoints).
+// Before searching, the analyzer bisects the ring — forward-replays from
+// candidate checkpoints to find the latest one that still reproduces the
+// failure — and pins the search there: the suffix is bounded by the
+// checkpoint interval instead of the execution length, and the anchor
+// state is asserted as solver constraints, so histories inconsistent
+// with the recording die early. If the anchored window yields only a
+// generic cause, the analyzer widens to the next-earlier checkpoint and
+// accepts the narrow answer only when the wider window confirms its
+// cause key; disagreement falls back to the plain unanchored search, so
+// anchoring never changes which root cause is reported. Pass nil to
+// clear a previously configured ring.
+func WithCheckpoints(r *CheckpointRing) Option {
+	return func(c *config) { c.checkpoints = r }
 }
 
 // WithSolverOptions tunes constraint solving; zero fields take defaults.
@@ -212,10 +231,107 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 		o(&cfg)
 	}
 	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	if cfg.checkpoints != nil && !cfg.checkpoints.Empty() {
+		res, err = a.analyzeCheckpointed(ctx, d, cfg)
+	} else {
+		res, _, err = a.runAnalysis(ctx, d, cfg, nil)
+	}
+	if res != nil {
+		res.Elapsed = time.Since(start)
+	}
+	return res, err
+}
 
+// searchAnchor pairs a checkpoint with its compiled anchor descriptor
+// for one runAnalysis invocation. nil means an unanchored (plain) run.
+type searchAnchor struct {
+	ck     *checkpoint.Checkpoint
+	anchor checkpoint.Anchor
+}
+
+// analyzeCheckpointed is Analyze with a checkpoint ring: bisect for the
+// latest checkpoint that reproduces the failure, search the bounded
+// window it pins, and escalate to wider windows only as far as needed to
+// trust the answer.
+//
+// The escalation ladder is (1) anchored at the bisected checkpoint,
+// (2) anchored at the next-earlier checkpoint, (3) plain full-depth
+// search. A faithful specific cause is accepted where it is found — the
+// suffix provably contains the defect. A faithful generic cause is
+// accepted only when the next-wider window reproduces its cause key
+// (the narrow window might have truncated the real defect); agreement
+// returns the narrower run's result, so the reported anchor reflects
+// the tightest window that was independently confirmed.
+func (a *Analyzer) analyzeCheckpointed(ctx context.Context, d *Dump, cfg config) (*Result, error) {
+	ring := cfg.checkpoints
+	ck, verified := ring.Bisect(a.p, d)
+	if ck == nil {
+		res, _, err := a.runAnalysis(ctx, d, cfg, nil)
+		return res, err
+	}
+	ladder := []*searchAnchor{{ck: ck, anchor: checkpoint.NewAnchor(ck, d.Steps, verified)}}
+	if prev := ring.EarlierThan(ck.Step, d.Steps); prev != nil {
+		ladder = append(ladder, &searchAnchor{
+			ck:     prev,
+			anchor: checkpoint.NewAnchor(prev, d.Steps, ring.Verify(a.p, prev, d)),
+		})
+	}
+	ladder = append(ladder, nil)
+
+	var (
+		prevRes  *Result
+		prevBest *analysisCandidate
+	)
+	for i, sa := range ladder {
+		res, best, err := a.runAnalysis(ctx, d, cfg, sa)
+		if err != nil {
+			return res, err
+		}
+		if best != nil && best.faithful {
+			if specific(best.cause) {
+				return res, nil
+			}
+			if prevBest != nil && prevBest.cause.Key() == best.cause.Key() {
+				return prevRes, nil
+			}
+			if i == len(ladder)-1 {
+				return res, nil
+			}
+			prevRes, prevBest = res, best
+			continue
+		}
+		// Nothing faithful in this window: a wider window may still
+		// succeed, but a previously found answer is not "confirmed
+		// failed" by an empty wider search — the plain run decides.
+		if i == len(ladder)-1 {
+			if best == nil && prevRes != nil {
+				return prevRes, nil
+			}
+			return res, nil
+		}
+		prevRes, prevBest = nil, nil
+	}
+	panic("unreachable")
+}
+
+// runAnalysis performs one backward search over the dump, optionally
+// anchored at a checkpoint, and assembles the Result. It also returns
+// the winning candidate so callers can reason about its quality.
+func (a *Analyzer) runAnalysis(ctx context.Context, d *Dump, cfg config, sa *searchAnchor) (*Result, *analysisCandidate, error) {
 	copt, cerr := cfg.coreOptions(a, d)
 	if cerr != nil {
-		return nil, cerr
+		return nil, nil, cerr
+	}
+	if sa != nil {
+		// The anchor pins the complete machine state at its depth:
+		// searching deeper would only re-derive the recording, so the
+		// anchor depth is also the depth bound.
+		copt.MaxDepth = sa.anchor.Depth
+		copt.Evidence = append(copt.Evidence, sa.anchor.Pruner(sa.ck))
 	}
 	var (
 		eng     *core.Engine
@@ -243,9 +359,13 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 
 	rep, err := eng.AnalyzeContext(ctx, d)
 	if rep == nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res := &Result{Report: rep, HardwareSuspect: rep.HardwareSuspect}
+	if sa != nil {
+		anchor := sa.anchor
+		res.CheckpointAnchor = &anchor
+	}
 	if len(cfg.evidence) > 0 {
 		// Provenance: the explicitly supplied evidence sources. The classic
 		// WithLBR/WithMatchOutputs hints are deliberately not listed, so
@@ -271,8 +391,7 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 		err = stopErr
 	}
 	res.Partial = err != nil
-	res.Elapsed = time.Since(start)
-	return res, err
+	return res, best, err
 }
 
 // AnalyzeBatch analyzes many dumps of the session's program over a worker

@@ -1,0 +1,170 @@
+package res_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"res"
+	"res/internal/checkpoint"
+	"res/internal/workload"
+)
+
+// checkpointed produces a failing dump and its recorded ring for a bug.
+func checkpointed(t *testing.T, bug *workload.Bug, every uint64) (*res.Dump, *res.CheckpointRing) {
+	t.Helper()
+	d, ring, _, err := bug.FindFailureCheckpointed(60, checkpoint.Config{Every: every})
+	if err != nil {
+		t.Fatalf("no failing dump: %v", err)
+	}
+	if ring.Empty() {
+		t.Fatal("no checkpoints recorded")
+	}
+	return d, ring
+}
+
+// TestCheckpointAnchoredEquivalence is the correctness contract of
+// checkpoint anchoring: across workload bugs — including the race whose
+// cause manifests far from the failure — the anchored analysis buckets
+// to the same root-cause key as the full-suffix search.
+func TestCheckpointAnchoredEquivalence(t *testing.T) {
+	cases := []struct {
+		bug   *workload.Bug
+		every uint64
+	}{
+		{workload.RaceCounter(), 16},
+		{workload.AtomViolation(), 16},
+		{workload.LongPrefix(400), 16},
+		{workload.DistanceChain(120), 16},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bug.Name, func(t *testing.T) {
+			t.Parallel()
+			p := tc.bug.Program()
+			d, ring := checkpointed(t, tc.bug, tc.every)
+			base := []res.Option{res.WithMaxDepth(12), res.WithMaxNodes(4000)}
+
+			full := res.NewAnalyzer(p, base...)
+			rf, err := full.Analyze(ctx, d)
+			if err != nil {
+				t.Fatalf("full search: %v", err)
+			}
+			if rf.Cause == nil {
+				t.Fatal("full search found no cause")
+			}
+
+			anchored := res.NewAnalyzer(p, append(base, res.WithCheckpoints(ring))...)
+			ra, err := anchored.Analyze(ctx, d)
+			if err != nil {
+				t.Fatalf("anchored search: %v", err)
+			}
+			if ra.Cause == nil {
+				t.Fatal("anchored search found no cause")
+			}
+			if got, want := ra.Cause.Key(), rf.Cause.Key(); got != want {
+				t.Errorf("anchoring changed the root cause: %q vs %q", got, want)
+			}
+		})
+	}
+}
+
+// TestCheckpointAnchoredParallelDeterminism extends the byte-identity
+// contract to anchored searches: the report produced with candidate
+// parallelism is identical to the sequential engine's, checkpoint_anchor
+// field included.
+func TestCheckpointAnchoredParallelDeterminism(t *testing.T) {
+	bugs := []struct {
+		bug   *workload.Bug
+		every uint64
+	}{
+		{workload.RaceCounter(), 16},
+		{workload.LongPrefix(400), 16},
+	}
+	ctx := context.Background()
+	for _, tc := range bugs {
+		tc := tc
+		t.Run(tc.bug.Name, func(t *testing.T) {
+			t.Parallel()
+			p := tc.bug.Program()
+			d, ring := checkpointed(t, tc.bug, tc.every)
+			base := []res.Option{res.WithMaxDepth(12), res.WithMaxNodes(4000), res.WithCheckpoints(ring)}
+			seq := res.NewAnalyzer(p, append(base, res.WithSearchParallelism(1))...)
+			par := res.NewAnalyzer(p, append(base, res.WithSearchParallelism(4))...)
+			rs, err := seq.Analyze(ctx, d)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			rp, err := par.Analyze(ctx, d)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			js, jp := normalizedJSON(t, rs), normalizedJSON(t, rp)
+			if !bytes.Equal(js, jp) {
+				t.Errorf("parallel anchored report differs from sequential:\n--- sequential\n%s\n--- parallel\n%s", js, jp)
+			}
+		})
+	}
+}
+
+// TestCheckpointLongExecutionAcceptance is the PR's acceptance bar: a
+// workload whose failure manifests more than 50000 steps into the run.
+// Without checkpoints the suffix search is bounded only by the execution
+// length; with the recorded ring the anchored analysis must reach the
+// identical root-cause key while the suffix depth stays within the
+// ring's (thinned) checkpoint interval — time-bounded, not
+// length-bounded.
+func TestCheckpointLongExecutionAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long execution")
+	}
+	bug := workload.DistanceChain(50000)
+	p := bug.Program()
+	d, ring, _, err := bug.FindFailureCheckpointed(4, checkpoint.Config{Every: 64, Cap: 256})
+	if err != nil {
+		t.Fatalf("no failing dump: %v", err)
+	}
+	if d.Steps < 50000 {
+		t.Fatalf("failure after only %d steps, want >= 50000", d.Steps)
+	}
+	ctx := context.Background()
+	base := []res.Option{res.WithMaxNodes(200000)}
+
+	full := res.NewAnalyzer(p, base...)
+	rf, err := full.Analyze(ctx, d)
+	if err != nil {
+		t.Fatalf("uncheckpointed: %v", err)
+	}
+	if rf.Cause == nil {
+		t.Fatal("uncheckpointed search found no cause")
+	}
+
+	anchored := res.NewAnalyzer(p, append(base, res.WithCheckpoints(ring))...)
+	ra, err := anchored.Analyze(ctx, d)
+	if err != nil {
+		t.Fatalf("anchored: %v", err)
+	}
+	if ra.Cause == nil {
+		t.Fatal("anchored search found no cause")
+	}
+	if got, want := ra.Cause.Key(), rf.Cause.Key(); got != want {
+		t.Errorf("anchoring changed the root cause: %q vs %q", got, want)
+	}
+	if ra.CheckpointAnchor == nil {
+		t.Fatal("anchored analysis reported no checkpoint anchor")
+	}
+	if !ra.CheckpointAnchor.Verified {
+		t.Error("anchor was not verified by forward replay")
+	}
+	if uint64(ra.CheckpointAnchor.Depth) > ring.Interval {
+		t.Errorf("anchored suffix depth %d exceeds the checkpoint interval %d",
+			ra.CheckpointAnchor.Depth, ring.Interval)
+	}
+	if uint64(ra.Report.Stats.MaxDepth) > ring.Interval {
+		t.Errorf("search explored depth %d past the checkpoint interval %d",
+			ra.Report.Stats.MaxDepth, ring.Interval)
+	}
+	t.Logf("execution %d steps, anchor at step %d (depth %d), interval %d",
+		d.Steps, ra.CheckpointAnchor.Step, ra.CheckpointAnchor.Depth, ring.Interval)
+}

@@ -23,6 +23,14 @@
 // search locally and ships with the dump on -submit, where it becomes
 // part of the result's cache identity.
 //
+// Checkpoints work the same way: a dump written by resrun
+// -record-checkpoints embeds its checkpoint ring and it anchors the
+// backward search automatically (disable with -ignore-checkpoints);
+// -checkpoints supplies or overrides the ring from a separate file.
+// Anchoring bounds the search's suffix depth by the checkpoint interval
+// instead of the execution length, and the ring ships with the dump on
+// -submit, where it too becomes part of the result's cache identity.
+//
 // With -submit the analysis runs remotely: the program source and dump are
 // shipped to a resd ingestion daemon, which dedups the dump against its
 // content-addressed store (an identical dump already analyzed is answered
@@ -68,6 +76,8 @@ func main() {
 		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential; results identical either way)")
 		evPath   = flag.String("evidence", "", "evidence file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
 		ignoreEv = flag.Bool("ignore-evidence", false, "drop any evidence embedded in the dump file")
+		ckPath   = flag.String("checkpoints", "", "checkpoint ring file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
+		ignoreCk = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
 	)
 	flag.Parse()
 	if *progPath == "" || *dumpPath == "" {
@@ -82,12 +92,19 @@ func main() {
 			cli.Fatal(fmt.Errorf("-evidence names %d files for %d dumps", len(evPaths), len(dumpPaths)))
 		}
 	}
+	var ckPaths []string
+	if *ckPath != "" {
+		ckPaths = strings.Split(*ckPath, ",")
+		if len(ckPaths) != len(dumpPaths) {
+			cli.Fatal(fmt.Errorf("-checkpoints names %d files for %d dumps", len(ckPaths), len(dumpPaths)))
+		}
+	}
 	if *submit != "" {
 		if len(dumpPaths) > 1 {
-			submitRemoteBatch(*submit, *progPath, dumpPaths, evPaths, *ignoreEv, *timeout, *jsonOut)
+			submitRemoteBatch(*submit, *progPath, dumpPaths, evPaths, ckPaths, *ignoreEv, *ignoreCk, *timeout, *jsonOut)
 			return
 		}
-		submitRemote(*submit, *progPath, *dumpPath, evidencePathAt(evPaths, 0), *ignoreEv, *timeout, *progress, *jsonOut)
+		submitRemote(*submit, *progPath, *dumpPath, evidencePathAt(evPaths, 0), evidencePathAt(ckPaths, 0), *ignoreEv, *ignoreCk, *timeout, *progress, *jsonOut)
 		return
 	}
 	if len(dumpPaths) > 1 {
@@ -97,11 +114,15 @@ func main() {
 	if err != nil {
 		cli.Fatal(err)
 	}
-	d, evBytes, err := cli.LoadDumpEvidence(*dumpPath)
+	d, evBytes, ckBytes, err := cli.LoadDumpAttachments(*dumpPath)
 	if err != nil {
 		cli.Fatal(err)
 	}
 	evBytes, err = resolveEvidence(evBytes, evidencePathAt(evPaths, 0), *ignoreEv)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	ckBytes, err = resolveEvidence(ckBytes, evidencePathAt(ckPaths, 0), *ignoreCk)
 	if err != nil {
 		cli.Fatal(err)
 	}
@@ -126,6 +147,18 @@ func main() {
 			fmt.Printf("evidence: %s\n", strings.Join(set.Kinds(), ", "))
 		}
 		opts = append(opts, res.WithEvidence(set...))
+	}
+	if len(ckBytes) > 0 {
+		ring, derr := res.DecodeCheckpoints(ckBytes)
+		if derr != nil {
+			cli.Fatal(derr)
+		}
+		if !ring.Empty() {
+			if !*jsonOut {
+				fmt.Printf("checkpoints: %d (interval %d)\n", len(ring.Checkpoints), ring.Interval)
+			}
+			opts = append(opts, res.WithCheckpoints(ring))
+		}
 	}
 	if *progress {
 		opts = append(opts, res.WithObserver(progressObserver()))
@@ -158,6 +191,10 @@ func main() {
 		return
 	}
 	fmt.Println(r.Describe())
+	if r.CheckpointAnchor != nil {
+		fmt.Printf("checkpoint anchor: step %d (suffix depth %d)\n",
+			r.CheckpointAnchor.Step, r.CheckpointAnchor.Depth)
+	}
 	if r.HardwareSuspect {
 		fmt.Println("verdict: the coredump is inconsistent with every feasible execution suffix")
 	}
@@ -198,21 +235,25 @@ func resolveEvidence(embedded []byte, override string, ignore bool) ([]byte, err
 	return os.ReadFile(override)
 }
 
-// submitRemote ships the program source and dump (with any evidence
-// attachment) to a resd daemon and polls the result — or, with
-// -progress, tails the daemon's live event stream. The program registers
-// on first sight (content-keyed), so a fleet of res clients submitting
-// dumps of one binary share a single analysis session server-side.
-func submitRemote(addr, progPath, dumpPath, evPath string, ignoreEv bool, timeout time.Duration, progress, jsonOut bool) {
+// submitRemote ships the program source and dump (with any evidence and
+// checkpoint attachments) to a resd daemon and polls the result — or,
+// with -progress, tails the daemon's live event stream. The program
+// registers on first sight (content-keyed), so a fleet of res clients
+// submitting dumps of one binary share a single analysis session
+// server-side.
+func submitRemote(addr, progPath, dumpPath, evPath, ckPath string, ignoreEv, ignoreCk bool, timeout time.Duration, progress, jsonOut bool) {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		cli.Fatal(err)
 	}
-	dump, evBytes, err := cli.SplitDumpFile(dumpPath)
+	dump, evBytes, ckBytes, err := cli.SplitDumpFile(dumpPath)
 	if err != nil {
 		cli.Fatal(err)
 	}
 	if evBytes, err = resolveEvidence(evBytes, evPath, ignoreEv); err != nil {
+		cli.Fatal(err)
+	}
+	if ckBytes, err = resolveEvidence(ckBytes, ckPath, ignoreCk); err != nil {
 		cli.Fatal(err)
 	}
 	ctx := context.Background()
@@ -223,12 +264,15 @@ func submitRemote(addr, progPath, dumpPath, evPath string, ignoreEv bool, timeou
 	}
 	c := service.NewClient(addr)
 	name := filepath.Base(progPath)
-	job, err := c.SubmitSourceEvidence(ctx, name, string(src), dump, evBytes)
+	job, err := c.SubmitSourceEvidenceCheckpoints(ctx, name, string(src), dump, evBytes, ckBytes)
 	if err != nil {
 		cli.Fatal(err)
 	}
 	if len(job.Evidence) > 0 {
 		fmt.Fprintf(os.Stderr, "evidence attached: %s\n", strings.Join(job.Evidence, ", "))
+	}
+	if job.Checkpointed {
+		fmt.Fprintln(os.Stderr, "checkpoint ring attached")
 	}
 	if !job.Status.Terminal() {
 		if progress {
@@ -284,11 +328,11 @@ func submitRemote(addr, progPath, dumpPath, evPath string, ignoreEv bool, timeou
 	}
 }
 
-// submitRemoteBatch ships several dumps (with any evidence attachments)
-// in one POST /v1/dumps/batch round trip, then polls every distinct job
-// to completion and prints a per-dump summary (or a JSON array of
-// reports with -json).
-func submitRemoteBatch(addr, progPath string, dumpPaths, evPaths []string, ignoreEv bool, timeout time.Duration, jsonOut bool) {
+// submitRemoteBatch ships several dumps (with any evidence and
+// checkpoint attachments) in one POST /v1/dumps/batch round trip, then
+// polls every distinct job to completion and prints a per-dump summary
+// (or a JSON array of reports with -json).
+func submitRemoteBatch(addr, progPath string, dumpPaths, evPaths, ckPaths []string, ignoreEv, ignoreCk bool, timeout time.Duration, jsonOut bool) {
 	src, err := os.ReadFile(progPath)
 	if err != nil {
 		cli.Fatal(err)
@@ -297,23 +341,33 @@ func submitRemoteBatch(addr, progPath string, dumpPaths, evPaths []string, ignor
 		ProgramName:   filepath.Base(progPath),
 		ProgramSource: string(src),
 	}
-	anyEv := false
+	anyEv, anyCk := false, false
 	for i, dp := range dumpPaths {
-		dump, evBytes, err := cli.SplitDumpFile(strings.TrimSpace(dp))
+		dump, evBytes, ckBytes, err := cli.SplitDumpFile(strings.TrimSpace(dp))
 		if err != nil {
 			cli.Fatal(err)
 		}
 		if evBytes, err = resolveEvidence(evBytes, evidencePathAt(evPaths, i), ignoreEv); err != nil {
 			cli.Fatal(err)
 		}
+		if ckBytes, err = resolveEvidence(ckBytes, evidencePathAt(ckPaths, i), ignoreCk); err != nil {
+			cli.Fatal(err)
+		}
 		if len(evBytes) > 0 {
 			anyEv = true
 		}
+		if len(ckBytes) > 0 {
+			anyCk = true
+		}
 		req.Dumps = append(req.Dumps, dump)
 		req.Evidence = append(req.Evidence, evBytes)
+		req.Checkpoints = append(req.Checkpoints, ckBytes)
 	}
 	if !anyEv {
 		req.Evidence = nil
+	}
+	if !anyCk {
+		req.Checkpoints = nil
 	}
 	ctx := context.Background()
 	if timeout > 0 {

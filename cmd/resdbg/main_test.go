@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"res"
+	"res/internal/checkpoint"
+	"res/internal/replay"
+	"res/internal/workload"
+)
+
+// gotoFixture synthesizes a suffix for a checkpointed failure and wires
+// up the debugger plus checkpoint navigator the REPL drives.
+type gotoFixture struct {
+	p     *res.Program
+	dbg   *replay.Debugger
+	nav   *checkpoint.Nav
+	ring  *checkpoint.Ring
+	steps uint64
+}
+
+func newGotoFixture(t *testing.T) *gotoFixture {
+	t.Helper()
+	bug := workload.LongPrefix(300)
+	d, ring, _, err := bug.FindFailureCheckpointed(16, checkpoint.Config{Every: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Empty() {
+		t.Fatal("no checkpoints recorded")
+	}
+	p := bug.Program()
+	r, err := res.NewAnalyzer(p, res.WithMaxDepth(12), res.WithCheckpoints(ring)).Analyze(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Synthesized == nil {
+		t.Fatal("no suffix synthesized")
+	}
+	dbg, err := replay.NewDebugger(p, r.Synthesized, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nav, err := checkpoint.NewNav(p, ring, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &gotoFixture{p: p, dbg: dbg, nav: nav, ring: ring, steps: d.Steps}
+}
+
+// run feeds a command script to the REPL and returns its output.
+func (f *gotoFixture) run(nav *checkpoint.Nav, script string) string {
+	var out bytes.Buffer
+	repl(f.p, f.dbg, nav, strings.NewReader(script), &out)
+	return out.String()
+}
+
+func TestREPLGoto(t *testing.T) {
+	f := newGotoFixture(t)
+
+	t.Run("exact checkpoint step", func(t *testing.T) {
+		ck := f.ring.Checkpoints[len(f.ring.Checkpoints)-1]
+		out := f.run(f.nav, fmt.Sprintf("goto %d\nquit\n", ck.Step))
+		want := fmt.Sprintf("at step %d (restored checkpoint at step %d, replayed 0 blocks)", ck.Step, ck.Step)
+		if !strings.Contains(out, want) {
+			t.Errorf("goto %d output missing %q:\n%s", ck.Step, want, out)
+		}
+		if strings.Contains(out, "error:") {
+			t.Errorf("goto %d errored:\n%s", ck.Step, out)
+		}
+	})
+
+	t.Run("between checkpoints", func(t *testing.T) {
+		ck := f.ring.Checkpoints[len(f.ring.Checkpoints)-1]
+		target := ck.Step + 1
+		if target > f.steps {
+			t.Skipf("execution too short: checkpoint at %d, %d steps", ck.Step, f.steps)
+		}
+		out := f.run(f.nav, fmt.Sprintf("goto %d\nquit\n", target))
+		want := fmt.Sprintf("at step %d (restored checkpoint at step %d, replayed 1 blocks)", target, ck.Step)
+		if !strings.Contains(out, want) {
+			t.Errorf("goto %d output missing %q:\n%s", target, want, out)
+		}
+	})
+
+	t.Run("failure state", func(t *testing.T) {
+		out := f.run(f.nav, fmt.Sprintf("goto %d\nquit\n", f.steps))
+		if !strings.Contains(out, fmt.Sprintf("at step %d ", f.steps)) {
+			t.Errorf("goto %d did not land:\n%s", f.steps, out)
+		}
+		if !strings.Contains(out, "fault:") {
+			t.Errorf("goto %d (the failure step) reported no fault:\n%s", f.steps, out)
+		}
+	})
+
+	t.Run("past the end", func(t *testing.T) {
+		out := f.run(f.nav, fmt.Sprintf("goto %d\nquit\n", f.steps+10))
+		if !strings.Contains(out, "error:") || !strings.Contains(out, "beyond the end") {
+			t.Errorf("goto past the end did not error:\n%s", out)
+		}
+	})
+
+	t.Run("no ring attached", func(t *testing.T) {
+		out := f.run(nil, "goto 0\nquit\n")
+		if !strings.Contains(out, "no checkpoint ring attached") {
+			t.Errorf("goto without a ring did not explain itself:\n%s", out)
+		}
+	})
+
+	t.Run("usage", func(t *testing.T) {
+		out := f.run(f.nav, "goto\nquit\n")
+		if !strings.Contains(out, "usage: goto <step>") {
+			t.Errorf("bare goto did not print usage:\n%s", out)
+		}
+	})
+}

@@ -7,12 +7,22 @@
 //
 //	resrun -prog crash.s -seed 7 -preempt 50 -input 0=10,20 -o crash.dump
 //	resrun -prog crash.s -record-evidence -evidence-sample 4 -o crash.dump
+//	resrun -prog crash.s -record-checkpoints -checkpoint-every 256 -o crash.dump
 //
 // With -record-evidence the run additionally collects cheap production
 // evidence (a sampled event log, a partial branch trace, and optional
 // periodic memory probes of named globals via -probe) and writes the
 // dump as an attachment container carrying the evidence; res and resd
 // consume it to prune the backward search.
+//
+// With -record-checkpoints the run additionally records a bounded ring
+// of VM-state checkpoints (every -checkpoint-every block steps, thinned
+// exponentially past -checkpoint-cap so memory stays O(log T)) plus the
+// schedule window that makes them replayable, attached to the dump the
+// same way; res and resd use the ring to anchor the backward search so
+// its cost is bounded by the checkpoint interval, not the execution
+// length. Both recorders compose: their hooks are merged when both
+// flags are set.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"res/internal/checkpoint"
 	"res/internal/cli"
 	"res/internal/coredump"
 	"res/internal/evidence"
@@ -44,6 +55,11 @@ func main() {
 		evWindow     = flag.Int("evidence-window", 256, "event-log ring capacity (0 = unbounded)")
 		branchWindow = flag.Int("evidence-branch-window", 64, "conditional-branch trace window (0 = off)")
 		probeEvery   = flag.Int("probe-every", 0, "probe the -probe globals every Nth block start (0 = off)")
+
+		recordCk = flag.Bool("record-checkpoints", false, "record a checkpoint ring and attach it to the dump")
+		ckEvery  = flag.Uint64("checkpoint-every", 0, "checkpoint every Nth block step (0 = default 256)")
+		ckCap    = flag.Int("checkpoint-cap", 0, "checkpoint ring capacity before exponential thinning (0 = default 64)")
+		ckLogWin = flag.Int("checkpoint-log-window", 0, "schedule/input log window in steps (0 = default 32768)")
 	)
 	var inputs cli.InputSpecs
 	flag.Var(&inputs, "input", "input channel values, ch=v1,v2,... (repeatable)")
@@ -90,12 +106,24 @@ func main() {
 		})
 		cfg.Hooks = rec.Hooks()
 	}
+	var ckRec *checkpoint.Recorder
+	if *recordCk {
+		ckRec = checkpoint.NewRecorder(p, checkpoint.Config{
+			Every:     *ckEvery,
+			Cap:       *ckCap,
+			LogWindow: *ckLogWin,
+		})
+		cfg.Hooks = vm.MergeHooks(cfg.Hooks, ckRec.Hooks())
+	}
 	v, err := vm.New(p, cfg)
 	if err != nil {
 		cli.Fatal(err)
 	}
 	if rec != nil {
 		rec.Bind(v)
+	}
+	if ckRec != nil {
+		ckRec.Bind(v)
 	}
 	d, err := v.Run()
 	if err != nil {
@@ -120,15 +148,25 @@ func main() {
 		set = rec.Evidence()
 	}
 	var evKinds []string
+	attachments := map[string][]byte{}
 	if len(set) > 0 {
-		// Attachment container: the dump plus its evidence in one file.
 		evKinds = set.Kinds()
+		attachments[coredump.EvidenceAttachment] = set.Encode()
+	}
+	checkpoints := 0
+	if ckRec != nil {
+		if ring := ckRec.Ring(); !ring.Empty() {
+			checkpoints = len(ring.Checkpoints)
+			attachments[coredump.CheckpointAttachment] = ring.Encode()
+		}
+	}
+	if len(attachments) > 0 {
+		// Attachment container: the dump plus its attachments in one file.
 		dumpBytes, merr := d.Marshal()
 		if merr != nil {
 			cli.Fatal(merr)
 		}
-		att, merr := coredump.EncodeAttached(dumpBytes,
-			map[string][]byte{coredump.EvidenceAttachment: set.Encode()})
+		att, merr := coredump.EncodeAttached(dumpBytes, attachments)
 		if merr != nil {
 			cli.Fatal(merr)
 		}
@@ -140,18 +178,22 @@ func main() {
 	}
 	if *jsonOut {
 		emitJSON(outcome{
-			Outcome:  "failure",
-			Fault:    d.Fault.String(),
-			Blocks:   d.Steps,
-			Threads:  len(d.Threads),
-			Dump:     *out,
-			Evidence: evKinds,
+			Outcome:     "failure",
+			Fault:       d.Fault.String(),
+			Blocks:      d.Steps,
+			Threads:     len(d.Threads),
+			Dump:        *out,
+			Evidence:    evKinds,
+			Checkpoints: checkpoints,
 		})
 	} else {
 		fmt.Printf("FAILURE: %s after %d blocks\n", d.Fault, d.Steps)
 		fmt.Printf("coredump written to %s\n", *out)
 		if len(evKinds) > 0 {
 			fmt.Printf("evidence attached: %v\n", evKinds)
+		}
+		if checkpoints > 0 {
+			fmt.Printf("checkpoints attached: %d\n", checkpoints)
 		}
 	}
 	os.Exit(1)
@@ -165,6 +207,9 @@ type outcome struct {
 	Threads  int      `json:"threads"`
 	Dump     string   `json:"dump,omitempty"`
 	Evidence []string `json:"evidence,omitempty"`
+	// Checkpoints counts the recorded ring's checkpoints (0 = none
+	// recorded or attached).
+	Checkpoints int `json:"checkpoints,omitempty"`
 }
 
 func emitJSON(o outcome) {

@@ -1,0 +1,24 @@
+; A failure tens of thousands of blocks into the run: the poisoned input
+; is read and stored once at the start, then a counting loop spins ~50k
+; blocks before the assert trips over the long-dead value. Without
+; checkpoints, reconstructing the root cause means unwinding the whole
+; loop; a checkpoint ring recorded with
+;   resrun -prog longloop.s -input 0=0 -record-checkpoints -o crash.dump
+; anchors the analysis at the last verified checkpoint, bounding the
+; suffix depth by the checkpoint interval instead of the run length.
+.global bad 1
+.global cnt 1
+func main:
+    input r1, 0
+    storeg r1, &bad
+    const r2, 50000
+loop:
+    loadg r3, &cnt
+    addi r3, r3, 1
+    storeg r3, &cnt
+    addi r2, r2, -1
+    br r2, loop, done
+done:
+    loadg r4, &bad
+    assert r4
+    halt

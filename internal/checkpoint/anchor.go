@@ -1,0 +1,92 @@
+package checkpoint
+
+import (
+	"res/internal/core"
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/solver"
+	"res/internal/symx"
+)
+
+// Anchor describes how an analysis was anchored: the checkpoint's step,
+// the suffix depth it pins (dump steps minus checkpoint step), and
+// whether forward replay verified that the failure reproduces from it.
+type Anchor struct {
+	Step     uint64
+	Depth    int
+	Verified bool
+}
+
+// NewAnchor derives the anchor descriptor for a checkpoint of a dump
+// with dumpSteps executed blocks.
+func NewAnchor(ck *Checkpoint, dumpSteps uint64, verified bool) Anchor {
+	return Anchor{Step: ck.Step, Depth: int(dumpSteps - ck.Step), Verified: verified}
+}
+
+// Pruner compiles the checkpoint into a backward-search anchor: a node
+// at suffix depth equal to the anchor depth holds the symbolic machine
+// state before the checkpointed block ran, so it must equal the
+// checkpoint — structurally (thread set, PCs) without solver work, and
+// via register/memory equality constraints discharged through the
+// child's incremental solver session, exactly like dump state. Wrong
+// histories die at the anchor; the true one survives with its pre-image
+// pinned to recorded fact. Searches using the pruner should also bound
+// MaxDepth to the anchor depth — beyond it the state is known, so deeper
+// unwinding only re-derives the recording.
+func (a Anchor) Pruner(ck *Checkpoint) core.Pruner {
+	return anchorPruner{ck: ck, depth: a.Depth}
+}
+
+type anchorPruner struct {
+	ck    *Checkpoint
+	depth int
+}
+
+// Filter does structural vetting only in Constrain (the candidate's
+// (tid, block) alone cannot contradict a full-state anchor).
+func (anchorPruner) Filter(int, core.StepInfo) (bool, bool) { return true, false }
+
+func (a anchorPruner) Constrain(_ int, s core.StepInfo, c *core.Child) (int, bool, bool) {
+	if s.ChildDepth != a.depth {
+		return 0, false, true
+	}
+	// Structural check: the snapshot's thread set at the anchor depth
+	// must be exactly the threads alive at the checkpoint, each at the
+	// checkpoint's PC. Scheduling states are compared loosely: Blocked
+	// vs Runnable differ only by an uncounted lock-park transition the
+	// backward search does not model.
+	ids := c.Snap.ThreadIDs()
+	if len(ids) != len(a.ck.Threads) {
+		return 0, false, false
+	}
+	for _, id := range ids {
+		if id < 0 || id >= len(a.ck.Threads) {
+			return 0, false, false
+		}
+		want := a.ck.Threads[id]
+		ts := c.Snap.Thread(id)
+		if ts == nil || ts.PC != want.PC {
+			return 0, false, false
+		}
+		if (ts.State == coredump.ThreadExited) != (want.State == coredump.ThreadExited) {
+			return 0, false, false
+		}
+	}
+	// State equality, discharged through the solver: all registers of
+	// every thread, and every memory word the suffix reasoned about.
+	var cons []solver.Constraint
+	for _, id := range ids {
+		want := a.ck.Threads[id]
+		ts := c.Snap.Thread(id)
+		for reg := 0; reg < isa.NumRegs; reg++ {
+			cons = append(cons, solver.Eq(ts.Regs[reg], symx.Const(want.Regs[reg])))
+		}
+	}
+	c.Snap.ForEachMem(func(addr uint32, _ *symx.Expr) {
+		if a.ck.Mem.InRange(addr) {
+			cons = append(cons, solver.Eq(c.Snap.MemAt(addr), symx.Const(a.ck.Mem.Load(addr))))
+		}
+	})
+	c.Snap.AddCons(cons...)
+	return 0, true, true
+}

@@ -1,0 +1,53 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"res/internal/checkpoint"
+	"res/internal/workload"
+)
+
+// FuzzCheckpointDecode hardens the wire decoder: arbitrary bytes must
+// never panic, and anything that decodes must be canonical — re-encoding
+// reproduces the input byte for byte, and the fingerprint is stable.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RESCKPT1"))
+	f.Add([]byte("RESDUMP1 not a checkpoint"))
+	for _, bug := range []*workload.Bug{
+		workload.LongPrefix(120),
+		workload.RaceCounter(),
+	} {
+		if d, ring, _, err := bug.FindFailureCheckpointed(16, checkpoint.Config{Every: 8}); err == nil && d != nil {
+			f.Add(ring.Encode())
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := checkpoint.Decode(data)
+		if err != nil {
+			return
+		}
+		if r == nil {
+			if len(data) != 0 {
+				t.Fatalf("nil ring decoded from %d non-empty bytes without error", len(data))
+			}
+			return
+		}
+		enc := r.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode∘encode is not the identity: %d bytes in, %d out", len(data), len(enc))
+		}
+		if fp := r.Fingerprint(); fp == "" {
+			t.Fatal("decoded non-empty ring has empty fingerprint")
+		}
+		r2, err := checkpoint.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		if r2.Fingerprint() != r.Fingerprint() {
+			t.Fatal("fingerprint unstable across round trips")
+		}
+	})
+}

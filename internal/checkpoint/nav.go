@@ -1,0 +1,58 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"res/internal/coredump"
+	"res/internal/prog"
+	"res/internal/vm"
+)
+
+// Nav is timestamp-based execution control over a recorded run: "go to
+// step T" restores the nearest preceding checkpoint and deterministically
+// replays the remainder, the navigation model of the Timestamp-Based
+// Execution Control line of work. resdbg's goto command wraps it.
+type Nav struct {
+	p    *prog.Program
+	ring *Ring
+	d    *coredump.Dump
+}
+
+// NewNav creates a navigator for a dump and its recorded ring.
+func NewNav(p *prog.Program, ring *Ring, d *coredump.Dump) (*Nav, error) {
+	if ring.Empty() || len(ring.Checkpoints) == 0 {
+		return nil, fmt.Errorf("checkpoint: no checkpoints recorded")
+	}
+	if ring.End() != d.Steps {
+		return nil, fmt.Errorf("checkpoint: ring covers %d steps, dump has %d", ring.End(), d.Steps)
+	}
+	return &Nav{p: p, ring: ring, d: d}, nil
+}
+
+// Steps returns the execution's total step count.
+func (n *Nav) Steps() uint64 { return n.d.Steps }
+
+// Goto materializes the machine exactly as it was when step blocks had
+// executed: it restores the newest checkpoint at or before the target
+// and replays the recorded schedule for the remainder. step == Steps()
+// lands on the failure state (the final, faulting block replayed). The
+// returned fault is non-nil only there. Targets beyond the end of the
+// execution, or before the reach of the checkpoint ring's schedule
+// window, are errors.
+func (n *Nav) Goto(step uint64) (*vm.VM, *Checkpoint, *coredump.Fault, error) {
+	if step > n.d.Steps {
+		return nil, nil, nil, fmt.Errorf("step %d is beyond the end of the execution (%d steps)", step, n.d.Steps)
+	}
+	ck := n.ring.Latest(step)
+	if ck == nil {
+		return nil, nil, nil, fmt.Errorf("no checkpoint at or before step %d", step)
+	}
+	if !n.ring.Covered(ck.Step, step) {
+		return nil, nil, nil, fmt.Errorf("step %d is outside the checkpoint schedule window [%d,%d)", step, n.ring.LogBase, n.ring.End())
+	}
+	v, f, err := n.ring.Resume(n.p, ck, step)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return v, ck, f, nil
+}

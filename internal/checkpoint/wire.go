@@ -1,0 +1,327 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"res/internal/coredump"
+	"res/internal/isa"
+	"res/internal/mem"
+	"res/internal/vm"
+)
+
+// Wire form: "RESCKPT1" magic, then the ring in a canonical varint
+// encoding — checkpoints sorted by strictly increasing step, locks by
+// address, memory as sorted nonzero (addr, value) pairs against a shared
+// image size. The canonical form is a decode∘encode fixed point: any
+// bytes that decode re-encode to themselves, so the content fingerprint
+// is well-defined on the wire bytes.
+const wireMagic = "RESCKPT1"
+
+// Decode hardening bounds. Generous against real rings, tight against
+// allocation bombs.
+const (
+	maxCheckpoints = 1 << 12
+	maxThreads     = 1 << 10
+	maxLocks       = 1 << 16
+	maxHeap        = 1 << 16
+	maxMemPairs    = 1 << 22
+	maxSchedRecs   = 1 << 20
+	maxInputRecs   = 1 << 20
+	maxMemSize     = 1 << 28
+)
+
+type encoder struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+type decoder struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	return v
+}
+
+// Encode renders the ring in canonical wire form. An empty ring encodes
+// to nil.
+func (r *Ring) Encode() []byte {
+	if r.Empty() {
+		return nil
+	}
+	e := &encoder{}
+	e.buf.WriteString(wireMagic)
+	e.uvarint(r.Interval)
+	memSize := uint64(0)
+	if len(r.Checkpoints) > 0 {
+		memSize = uint64(r.Checkpoints[0].Mem.Size())
+	}
+	e.uvarint(memSize)
+	e.uvarint(uint64(len(r.Checkpoints)))
+	for _, c := range r.Checkpoints {
+		e.uvarint(c.Step)
+		e.uvarint(uint64(len(c.Threads)))
+		for _, t := range c.Threads {
+			for reg := 0; reg < isa.NumRegs; reg++ {
+				e.varint(t.Regs[reg])
+			}
+			e.uvarint(uint64(t.PC))
+			e.uvarint(uint64(t.State))
+			e.uvarint(uint64(t.WaitAddr))
+		}
+		addrs := make([]uint32, 0, len(c.Locks))
+		for a := range c.Locks {
+			addrs = append(addrs, a)
+		}
+		for i := 1; i < len(addrs); i++ {
+			for j := i; j > 0 && addrs[j] < addrs[j-1]; j-- {
+				addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+			}
+		}
+		e.uvarint(uint64(len(addrs)))
+		for _, a := range addrs {
+			e.uvarint(uint64(a))
+			e.uvarint(uint64(c.Locks[a]))
+		}
+		e.uvarint(uint64(len(c.Heap)))
+		for _, h := range c.Heap {
+			e.uvarint(uint64(h.Base))
+			e.uvarint(uint64(h.Size))
+			e.varint(int64(h.AllocPC))
+			e.varint(int64(h.FreePC))
+			freed := uint64(0)
+			if h.Freed {
+				freed = 1
+			}
+			e.uvarint(freed)
+		}
+		e.uvarint(uint64(c.HeapNext))
+		words := c.Mem.Words()
+		pairs := 0
+		for _, w := range words {
+			if w != 0 {
+				pairs++
+			}
+		}
+		e.uvarint(uint64(pairs))
+		for a, w := range words {
+			if w != 0 {
+				e.uvarint(uint64(a))
+				e.varint(w)
+			}
+		}
+	}
+	e.uvarint(r.LogBase)
+	e.uvarint(uint64(len(r.Sched)))
+	for _, s := range r.Sched {
+		e.varint(int64(s.Tid))
+		e.varint(int64(s.Block))
+	}
+	e.uvarint(uint64(len(r.Inputs)))
+	for _, in := range r.Inputs {
+		e.uvarint(in.Step)
+		e.varint(in.Channel)
+		e.varint(in.Value)
+	}
+	return e.buf.Bytes()
+}
+
+// Decode parses wire-form checkpoint bytes. Empty input decodes to a nil
+// ring (no checkpoints recorded).
+func Decode(b []byte) (*Ring, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b) < len(wireMagic) || string(b[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	d := &decoder{r: bytes.NewReader(b[len(wireMagic):])}
+	r := &Ring{Interval: d.uvarint()}
+	memSize := d.uvarint()
+	if d.err == nil && memSize > maxMemSize {
+		d.fail("unreasonable memory size %d", memSize)
+	}
+	if d.err == nil && r.Interval == 0 {
+		d.fail("zero interval")
+	}
+	nCks := d.uvarint()
+	if d.err == nil && nCks > maxCheckpoints {
+		d.fail("unreasonable checkpoint count %d", nCks)
+	}
+	if d.err == nil && nCks == 0 && memSize != 0 {
+		d.fail("memory size without checkpoints")
+	}
+	for i := uint64(0); i < nCks && d.err == nil; i++ {
+		c := &Checkpoint{Step: d.uvarint(), Locks: map[uint32]int{}}
+		nThreads := d.uvarint()
+		if d.err == nil && (nThreads == 0 || nThreads > maxThreads) {
+			d.fail("checkpoint %d: bad thread count %d", i, nThreads)
+		}
+		for id := uint64(0); id < nThreads && d.err == nil; id++ {
+			t := vm.Thread{ID: int(id)}
+			for reg := 0; reg < isa.NumRegs; reg++ {
+				t.Regs[reg] = d.varint()
+			}
+			t.PC = int(d.uvarint())
+			t.State = coredump.ThreadState(d.uvarint())
+			t.WaitAddr = uint32(d.uvarint())
+			c.Threads = append(c.Threads, t)
+		}
+		nLocks := d.uvarint()
+		if d.err == nil && nLocks > maxLocks {
+			d.fail("checkpoint %d: unreasonable lock count %d", i, nLocks)
+		}
+		prevAddr := int64(-1)
+		for j := uint64(0); j < nLocks && d.err == nil; j++ {
+			a := d.uvarint()
+			owner := d.uvarint()
+			if d.err != nil {
+				break
+			}
+			if int64(a) <= prevAddr {
+				d.fail("checkpoint %d: locks not sorted", i)
+				break
+			}
+			if a > uint64(^uint32(0)) || owner >= nThreads {
+				d.fail("checkpoint %d: bad lock record", i)
+				break
+			}
+			prevAddr = int64(a)
+			c.Locks[uint32(a)] = int(owner)
+		}
+		nHeap := d.uvarint()
+		if d.err == nil && nHeap > maxHeap {
+			d.fail("checkpoint %d: unreasonable heap count %d", i, nHeap)
+		}
+		for j := uint64(0); j < nHeap && d.err == nil; j++ {
+			c.Heap = append(c.Heap, coredump.HeapObject{
+				Base:    uint32(d.uvarint()),
+				Size:    uint32(d.uvarint()),
+				AllocPC: int(d.varint()),
+				FreePC:  int(d.varint()),
+				Freed:   d.uvarint() != 0,
+			})
+		}
+		c.HeapNext = uint32(d.uvarint())
+		nPairs := d.uvarint()
+		if d.err == nil && (nPairs > maxMemPairs || nPairs > memSize) {
+			d.fail("checkpoint %d: unreasonable memory pair count %d", i, nPairs)
+		}
+		if d.err == nil {
+			c.Mem = mem.NewImage(uint32(memSize))
+			prev := int64(-1)
+			for j := uint64(0); j < nPairs && d.err == nil; j++ {
+				a := d.uvarint()
+				v := d.varint()
+				if d.err != nil {
+					break
+				}
+				if int64(a) <= prev || a >= memSize {
+					d.fail("checkpoint %d: memory pairs not sorted or out of range", i)
+					break
+				}
+				if v == 0 {
+					d.fail("checkpoint %d: zero memory pair (not canonical)", i)
+					break
+				}
+				prev = int64(a)
+				c.Mem.Store(uint32(a), v)
+			}
+		}
+		r.Checkpoints = append(r.Checkpoints, c)
+	}
+	r.LogBase = d.uvarint()
+	nSched := d.uvarint()
+	if d.err == nil && nSched > maxSchedRecs {
+		d.fail("unreasonable schedule length %d", nSched)
+	}
+	for i := uint64(0); i < nSched && d.err == nil; i++ {
+		tid := d.varint()
+		block := d.varint()
+		if d.err != nil {
+			break
+		}
+		if tid < 0 || tid >= maxThreads || block < 0 {
+			d.fail("schedule record %d: bad tid/block", i)
+			break
+		}
+		r.Sched = append(r.Sched, SchedRec{Tid: int(tid), Block: int(block)})
+	}
+	nInputs := d.uvarint()
+	if d.err == nil && nInputs > maxInputRecs {
+		d.fail("unreasonable input count %d", nInputs)
+	}
+	for i := uint64(0); i < nInputs && d.err == nil; i++ {
+		r.Inputs = append(r.Inputs, InputRec{
+			Step:    d.uvarint(),
+			Channel: d.varint(),
+			Value:   d.varint(),
+		})
+	}
+	if d.err == nil && d.r.Len() != 0 {
+		d.fail("trailing bytes")
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", d.err)
+	}
+	if r.Empty() {
+		return nil, fmt.Errorf("checkpoint: empty ring encoded non-canonically")
+	}
+	if err := r.validate(uint32(memSize)); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return r, nil
+}
+
+// Fingerprint is the content identity of the ring: the hex SHA-256 of
+// its canonical encoding, or "" for an empty ring. The service folds it
+// into the analysis cache key exactly like the evidence fingerprint.
+func (r *Ring) Fingerprint() string {
+	b := r.Encode()
+	if len(b) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

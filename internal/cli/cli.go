@@ -81,34 +81,43 @@ func LoadDump(path string) (*coredump.Dump, error) {
 // attachment-container form and returns the dump together with its
 // evidence attachment's wire bytes (nil when the file carries none).
 func LoadDumpEvidence(path string) (*coredump.Dump, []byte, error) {
+	d, ev, _, err := LoadDumpAttachments(path)
+	return d, ev, err
+}
+
+// LoadDumpAttachments reads a coredump file in either the plain or the
+// attachment-container form and returns the dump together with its
+// evidence and checkpoint attachments' wire bytes (nil when the file
+// carries none).
+func LoadDumpAttachments(path string) (d *coredump.Dump, evidence, checkpoints []byte, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	dumpBytes, att, err := coredump.DecodeAttached(b)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	d, err := coredump.Unmarshal(dumpBytes)
+	d, err = coredump.Unmarshal(dumpBytes)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return d, att[coredump.EvidenceAttachment], nil
+	return d, att[coredump.EvidenceAttachment], att[coredump.CheckpointAttachment], nil
 }
 
 // SplitDumpFile reads a coredump file and returns its raw dump bytes and
-// evidence attachment bytes without decoding the dump — the shape remote
-// submission ships over the wire.
-func SplitDumpFile(path string) (dump, evidence []byte, err error) {
+// evidence and checkpoint attachment bytes without decoding the dump —
+// the shape remote submission ships over the wire.
+func SplitDumpFile(path string) (dump, evidence, checkpoints []byte, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	dumpBytes, att, err := coredump.DecodeAttached(b)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return dumpBytes, att[coredump.EvidenceAttachment], nil
+	return dumpBytes, att[coredump.EvidenceAttachment], att[coredump.CheckpointAttachment], nil
 }
 
 // SaveDump writes a coredump to a file.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"res"
+	"res/internal/checkpoint"
 	"res/internal/coredump"
 	"res/internal/evidence"
 	"res/internal/service"
@@ -498,6 +499,51 @@ func TestTwoNodeClusterEndToEnd(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"status":"done"`)) {
 		t.Fatalf("events via non-owner: %d %q", resp.StatusCode, body)
+	}
+
+	// Checkpoint attachments traverse the proxy byte-exactly too: the job
+	// ID hashes the canonical ring bytes into the cache identity, so the
+	// proxied and direct submissions can only coalesce if the proxy
+	// relayed the attachment bit-for-bit.
+	ckDump, ring, _, err := bug.FindFailureCheckpointed(60, checkpoint.Config{Every: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Empty() {
+		t.Fatal("recorder produced no checkpoints")
+	}
+	ckDumpBytes, err := ckDump.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckBytes := ring.Encode()
+	ckViaProxy, err := client.SubmitSourceEvidenceCheckpoints(ctx, bug.Name, bug.Source, ckDumpBytes, nil, ckBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ckViaProxy.Checkpointed {
+		t.Fatalf("proxied submission lost its checkpoint attachment: %+v", ckViaProxy)
+	}
+	if ckViaProxy, err = client.PollResult(ctx, ckViaProxy.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ckViaProxy.Status != service.StatusDone {
+		t.Fatalf("checkpoint job = %+v, want done", ckViaProxy)
+	}
+	ckDirect, err := ownerClient.SubmitEvidenceCheckpoints(ctx, programFP(t, bug), ckDumpBytes, nil, ckBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckDirect.ID != ckViaProxy.ID {
+		t.Fatalf("proxied checkpoint tuple %s != direct tuple %s: attachment not preserved byte-exactly", ckViaProxy.ID, ckDirect.ID)
+	}
+	if !ckDirect.Cached {
+		t.Fatalf("identical (dump, checkpoints) resubmission did not cache-hit: %+v", ckDirect)
+	}
+	if ckPlain, err := ownerClient.SubmitEvidence(ctx, programFP(t, bug), ckDumpBytes, nil, nil); err != nil {
+		t.Fatal(err)
+	} else if ckPlain.ID == ckViaProxy.ID {
+		t.Fatal("checkpoints did not change the cluster-side cache identity")
 	}
 }
 

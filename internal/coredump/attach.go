@@ -124,3 +124,7 @@ func DecodeAttached(b []byte) (dump []byte, attachments map[string][]byte, err e
 // EvidenceAttachment is the well-known attachment name for evidence wire
 // bytes (internal/evidence's canonical encoding).
 const EvidenceAttachment = "evidence"
+
+// CheckpointAttachment is the well-known attachment name for checkpoint
+// ring wire bytes (internal/checkpoint's canonical encoding).
+const CheckpointAttachment = "checkpoints"

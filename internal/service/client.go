@@ -118,6 +118,26 @@ func (c *Client) SubmitSourceEvidence(ctx context.Context, name, source string, 
 	return job, err
 }
 
+// SubmitEvidenceCheckpoints is SubmitEvidence with an additional
+// checkpoint-ring attachment (canonical checkpoint wire bytes); the ring
+// anchors the analysis server-side and is part of the result's cache
+// identity.
+func (c *Client) SubmitEvidenceCheckpoints(ctx context.Context, programID string, dump, evidence, checkpoints []byte, o *SubmitOverrides) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps",
+		SubmitRequest{ProgramID: programID, Dump: dump, Evidence: evidence, Checkpoints: checkpoints, Options: o}, &job)
+	return job, err
+}
+
+// SubmitSourceEvidenceCheckpoints is SubmitSourceEvidence with an
+// additional checkpoint-ring attachment.
+func (c *Client) SubmitSourceEvidenceCheckpoints(ctx context.Context, name, source string, dump, evidence, checkpoints []byte) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/dumps",
+		SubmitRequest{ProgramName: name, ProgramSource: source, Dump: dump, Evidence: evidence, Checkpoints: checkpoints}, &job)
+	return job, err
+}
+
 // SubmitBatch ships a burst of dumps for one program in a single request
 // (POST /v1/dumps/batch). The returned items are positional with
 // req.Dumps; per-dump failures are reported in place, not as an error.

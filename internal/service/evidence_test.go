@@ -160,7 +160,7 @@ func TestEvidenceBatchCoalescing(t *testing.T) {
 	dump, ev := recordedSubmission(t, bug)
 	items := svc.SubmitBatch(progID,
 		[][]byte{dump, dump, dump},
-		[][]byte{nil, ev, ev}, nil)
+		[][]byte{nil, ev, ev}, nil, nil)
 	if items[0].Error != "" || items[1].Error != "" || items[2].Error != "" {
 		t.Fatalf("batch errors: %+v", items)
 	}

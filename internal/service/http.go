@@ -25,6 +25,11 @@ type SubmitRequest struct {
 	// evidence wire bytes (internal/evidence), base64 on the wire. It is
 	// folded into the result's cache identity.
 	Evidence []byte `json:"evidence,omitempty"`
+	// Checkpoints is the dump's optional checkpoint-ring attachment:
+	// canonical checkpoint wire bytes (internal/checkpoint), base64 on
+	// the wire. It bounds the analysis's backward search and is folded
+	// into the result's cache identity.
+	Checkpoints []byte `json:"checkpoints,omitempty"`
 }
 
 // BatchSubmitRequest is the POST /v1/dumps/batch body: one program, many
@@ -38,6 +43,9 @@ type BatchSubmitRequest struct {
 	// Evidence, when present, is positional with Dumps (entries may be
 	// empty/null for dumps submitted without evidence).
 	Evidence [][]byte `json:"evidence,omitempty"`
+	// Checkpoints, when present, is positional with Dumps (entries may
+	// be empty/null for dumps submitted without a checkpoint ring).
+	Checkpoints [][]byte `json:"checkpoints,omitempty"`
 }
 
 // BatchSubmitResponse is the POST /v1/dumps/batch reply; Jobs is
@@ -100,7 +108,7 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownJob):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrBadDump), errors.Is(err, ErrBadEvidence):
+	case errors.Is(err, ErrBadDump), errors.Is(err, ErrBadEvidence), errors.Is(err, ErrBadCheckpoint):
 		code = http.StatusBadRequest
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
@@ -159,7 +167,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := s.SubmitEvidence(programID, req.Dump, req.Evidence, req.Options)
+	job, err := s.SubmitEvidenceCheckpoints(programID, req.Dump, req.Evidence, req.Checkpoints, req.Options)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -203,7 +211,11 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "evidence must be positional with dumps"})
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: s.SubmitBatch(programID, req.Dumps, req.Evidence, req.Options)})
+	if len(req.Checkpoints) != 0 && len(req.Checkpoints) != len(req.Dumps) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "checkpoints must be positional with dumps"})
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: s.SubmitBatch(programID, req.Dumps, req.Evidence, req.Checkpoints, req.Options)})
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -310,6 +322,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "%s{kind=%q} %d\n", name, k, m.EvidenceSources[k])
 		}
 	}
+	emit("resd_checkpoint_attached_total", counter, "Accepted submissions carrying a checkpoint-ring attachment.", float64(m.CheckpointAttached))
+	emit("resd_checkpoint_anchored_total", counter, "Completed analyses anchored on a recorded checkpoint.", float64(m.CheckpointAnchored))
 	emit("resd_store_replica_hits_total", counter, "Store gets answered by the cluster read-through fetch.", float64(m.Store.ReplicaHits))
 	emit("resd_journal_appends_total", counter, "Entries appended to the job journal.", float64(m.Journal.Appends))
 	emit("resd_journal_compactions_total", counter, "Journal compactions into a snapshot.", float64(m.Journal.Compactions))

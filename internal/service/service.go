@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"res"
+	"res/internal/checkpoint"
 	"res/internal/evidence"
 	"res/internal/store"
 )
@@ -48,6 +49,9 @@ var (
 	// ErrBadEvidence rejects evidence attachments that do not parse as the
 	// canonical evidence wire form.
 	ErrBadEvidence = errors.New("service: bad evidence")
+	// ErrBadCheckpoint rejects checkpoint attachments that do not parse as
+	// the canonical checkpoint-ring wire form.
+	ErrBadCheckpoint = errors.New("service: bad checkpoints")
 )
 
 // AnalysisConfig is the service-wide analysis configuration. It is part
@@ -220,19 +224,23 @@ type Job struct {
 	Retries int `json:"retries,omitempty"`
 	// Evidence lists the kinds of the evidence sources attached to the
 	// submission, in application order.
-	Evidence    []string  `json:"evidence,omitempty"`
-	SubmittedAt time.Time `json:"submitted_at"`
-	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Evidence []string `json:"evidence,omitempty"`
+	// Checkpointed marks a submission that carried a checkpoint-ring
+	// attachment; the anchoring outcome is the report's checkpoint_anchor.
+	Checkpointed bool      `json:"checkpointed,omitempty"`
+	SubmittedAt  time.Time `json:"submitted_at"`
+	FinishedAt   time.Time `json:"finished_at,omitzero"`
 }
 
 type jobState struct {
-	job       Job
-	key       store.Key // result key (the ID is its hash)
-	dump      *res.Dump
-	overrides *SubmitOverrides // per-request analysis options, nil = daemon defaults
-	evidence  evidence.Set     // per-request evidence attachment, nil = none
-	retries   int
-	done      chan struct{}
+	job         Job
+	key         store.Key // result key (the ID is its hash)
+	dump        *res.Dump
+	overrides   *SubmitOverrides // per-request analysis options, nil = daemon defaults
+	evidence    evidence.Set     // per-request evidence attachment, nil = none
+	checkpoints *checkpoint.Ring // per-request checkpoint attachment, nil = none
+	retries     int
+	done        chan struct{}
 	// subs fan the job's analysis progress out to event-stream watchers;
 	// guarded by the service mutex.
 	subs []*progressSub
@@ -303,6 +311,11 @@ type Service struct {
 	// evidence attachment; evidenceKinds breaks them down per source kind.
 	evidenceAttached uint64
 	evidenceKinds    map[string]uint64
+	// checkpointAttached counts accepted submissions that carried a
+	// checkpoint-ring attachment; checkpointAnchored counts completed
+	// analyses that anchored their search on one of its checkpoints.
+	checkpointAttached uint64
+	checkpointAnchored uint64
 }
 
 // doneRec is one entry of the eviction queue. The timestamp doubles as a
@@ -497,20 +510,27 @@ func (s *Service) effectiveAnalysis(o *SubmitOverrides) (AnalysisConfig, store.F
 	return eff, eff.Fingerprint()
 }
 
-// optionsFingerprint folds an evidence attachment's content fingerprint
-// into the analysis-options fingerprint: evidence changes what the
-// search may conclude, so it is part of the result's cache identity.
-func optionsFingerprint(eff AnalysisConfig, ev evidence.Set) store.Fingerprint {
+// optionsFingerprint folds the attachments' content fingerprints into
+// the analysis-options fingerprint: evidence and checkpoints change what
+// the search may conclude, so they are part of the result's cache
+// identity.
+func optionsFingerprint(eff AnalysisConfig, ev evidence.Set, ck *checkpoint.Ring) store.Fingerprint {
 	desc := eff.Canonical()
 	if fp := ev.Fingerprint(); fp != "" {
 		desc += " evidence=" + fp
 	}
+	if fp := ck.Fingerprint(); fp != "" {
+		desc += " checkpoints=" + fp
+	}
 	return store.OptionsFingerprint(desc)
 }
 
-// noteEvidenceLocked counts an accepted submission's evidence
-// attachment. Caller holds s.mu.
-func (s *Service) noteEvidenceLocked(ev evidence.Set) {
+// noteEvidenceLocked counts an accepted submission's attachments.
+// Caller holds s.mu.
+func (s *Service) noteEvidenceLocked(ev evidence.Set, ck *checkpoint.Ring) {
+	if ck != nil && !ck.Empty() {
+		s.checkpointAttached++
+	}
 	if len(ev) == 0 {
 		return
 	}
@@ -617,6 +637,17 @@ func (s *Service) SubmitWithOptions(programID string, dumpBytes []byte, o *Submi
 // different evidence is a different tuple with its own cache entry,
 // while byte-equivalent evidence coalesces like everything else.
 func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []byte, o *SubmitOverrides) (Job, error) {
+	return s.SubmitEvidenceCheckpoints(programID, dumpBytes, evidenceBytes, nil, o)
+}
+
+// SubmitEvidenceCheckpoints is SubmitEvidence with an additional
+// checkpoint-ring attachment (canonical checkpoint wire bytes,
+// internal/checkpoint.Ring.Encode; nil/empty = none). A ring bounds the
+// analysis: the search anchors on the latest checkpoint that reproduces
+// the failure, so the suffix depth is limited by the checkpoint interval
+// instead of the execution length. Like evidence, the ring's content
+// fingerprint is part of the result's cache identity.
+func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenceBytes, checkpointBytes []byte, o *SubmitOverrides) (Job, error) {
 	progFP, err := store.ParseFingerprint(programID)
 	if err != nil {
 		return Job{}, ErrUnknownProgram
@@ -635,12 +666,16 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrBadEvidence, err)
 	}
+	ring, err := checkpoint.Decode(checkpointBytes)
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
 	if o.empty() {
 		o = nil
 	}
 	eff, optFP := s.effectiveAnalysis(o)
-	if len(evSet) > 0 {
-		optFP = optionsFingerprint(eff, evSet)
+	if len(evSet) > 0 || !ring.Empty() {
+		optFP = optionsFingerprint(eff, evSet, ring)
 	}
 	key := store.ResultKey(progFP, dumpFP, optFP)
 	id := key.ID()
@@ -673,7 +708,7 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 			s.submitted++
 			sh.submitted++
 			s.coalesced++
-			s.noteEvidenceLocked(evSet)
+			s.noteEvidenceLocked(evSet, ring)
 			s.mu.Unlock()
 			return snap, nil
 		case snap.Status == StatusDone && !snap.Partial:
@@ -681,7 +716,7 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 			sh.submitted++
 			s.cacheHits++
 			sh.cached++
-			s.noteEvidenceLocked(evSet)
+			s.noteEvidenceLocked(evSet, ring)
 			snap.Cached = true
 			if haveCached {
 				snap.Report = cachedRep
@@ -713,14 +748,15 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 		sh.cached++
 		sh.submitted++
 		s.submitted++
-		s.noteEvidenceLocked(evSet)
+		s.noteEvidenceLocked(evSet, ring)
 		js := &jobState{
 			job: Job{
 				ID: id, Program: programID, ProgramName: sh.name,
 				Status: StatusDone, Cached: true, Report: cachedRep,
-				Bucket:      bucketFromReport(sh.name, cachedRep),
-				Evidence:    evSet.Kinds(),
-				SubmittedAt: now, FinishedAt: now,
+				Bucket:       bucketFromReport(sh.name, cachedRep),
+				Evidence:     evSet.Kinds(),
+				Checkpointed: !ring.Empty(),
+				SubmittedAt:  now, FinishedAt: now,
 			},
 			key:  key,
 			done: make(chan struct{}),
@@ -737,13 +773,15 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 	js := &jobState{
 		job: Job{
 			ID: id, Program: programID, ProgramName: sh.name,
-			Status: StatusQueued, Evidence: evSet.Kinds(), SubmittedAt: now,
+			Status: StatusQueued, Evidence: evSet.Kinds(),
+			Checkpointed: !ring.Empty(), SubmittedAt: now,
 		},
-		key:       key,
-		dump:      d,
-		overrides: o,
-		evidence:  evSet,
-		done:      make(chan struct{}),
+		key:         key,
+		dump:        d,
+		overrides:   o,
+		evidence:    evSet,
+		checkpoints: ring,
+		done:        make(chan struct{}),
 	}
 	select {
 	case sh.queue <- js:
@@ -760,7 +798,7 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 	s.cacheMisses++
 	sh.submitted++
 	s.submitted++
-	s.noteEvidenceLocked(evSet)
+	s.noteEvidenceLocked(evSet, ring)
 	s.jobs[id] = js
 	snap := js.job
 	s.mu.Unlock()
@@ -787,30 +825,37 @@ type BatchItem struct {
 
 // SubmitBatch ingests many dumps for one program in a single call,
 // amortizing per-request overhead for fleets shipping dump bursts.
-// Results are positional: out[i] is dumps[i]'s outcome, and evidence —
-// when non-nil — is positional with dumps (entries may be empty).
-// Byte-identical (dump, evidence) pairs within the batch are coalesced
-// before ingest (marked Duplicate); pairs that canonicalize to the same
-// bytes additionally coalesce via the regular in-flight/cache machinery.
-// Per-item failures (bad dump, full queue) are reported in place — one
-// poisoned dump does not fail the rest of the batch.
-func (s *Service) SubmitBatch(programID string, dumps [][]byte, ev [][]byte, o *SubmitOverrides) []BatchItem {
+// Results are positional: out[i] is dumps[i]'s outcome, and evidence and
+// checkpoints — when non-nil — are positional with dumps (entries may be
+// empty). Byte-identical (dump, evidence, checkpoints) triples within
+// the batch are coalesced before ingest (marked Duplicate); triples that
+// canonicalize to the same bytes additionally coalesce via the regular
+// in-flight/cache machinery. Per-item failures (bad dump, full queue)
+// are reported in place — one poisoned dump does not fail the rest of
+// the batch.
+func (s *Service) SubmitBatch(programID string, dumps [][]byte, ev, cks [][]byte, o *SubmitOverrides) []BatchItem {
 	items := make([]BatchItem, len(dumps))
 	seen := make(map[[sha256.Size]byte]int, len(dumps))
 	for i, db := range dumps {
-		var evb []byte
+		var evb, ckb []byte
 		if i < len(ev) {
 			evb = ev[i]
 		}
-		// Length-prefix the dump so the (dump, evidence) pair encoding is
-		// injective — a bare separator byte could be aliased by the
-		// payloads themselves.
+		if i < len(cks) {
+			ckb = cks[i]
+		}
+		// Length-prefix the dump and evidence so the (dump, evidence,
+		// checkpoints) triple encoding is injective — a bare separator
+		// byte could be aliased by the payloads themselves.
 		h := sha256.New()
-		var dlen [8]byte
-		binary.BigEndian.PutUint64(dlen[:], uint64(len(db)))
-		h.Write(dlen[:])
+		var plen [8]byte
+		binary.BigEndian.PutUint64(plen[:], uint64(len(db)))
+		h.Write(plen[:])
 		h.Write(db)
+		binary.BigEndian.PutUint64(plen[:], uint64(len(evb)))
+		h.Write(plen[:])
 		h.Write(evb)
+		h.Write(ckb)
 		var hk [sha256.Size]byte
 		h.Sum(hk[:0])
 		if j, ok := seen[hk]; ok {
@@ -819,7 +864,7 @@ func (s *Service) SubmitBatch(programID string, dumps [][]byte, ev [][]byte, o *
 			continue
 		}
 		seen[hk] = i
-		job, err := s.SubmitEvidence(programID, db, evb, o)
+		job, err := s.SubmitEvidenceCheckpoints(programID, db, evb, ckb, o)
 		items[i].Job = job
 		if err != nil {
 			items[i].Error = err.Error()
@@ -952,6 +997,9 @@ func (s *Service) run(sh *shard, js *jobState) {
 	if len(js.evidence) > 0 {
 		aopts = append(aopts, res.WithEvidence(js.evidence...))
 	}
+	if js.checkpoints != nil {
+		aopts = append(aopts, res.WithCheckpoints(js.checkpoints))
+	}
 	// Bridge the session's search events to any progress watchers.
 	aopts = append(aopts, res.WithObserver(func(ev res.Event) { s.publish(js, ev) }))
 	r, err := sh.analyzer.Analyze(ctx, js.dump, aopts...)
@@ -981,6 +1029,11 @@ func (s *Service) run(sh *shard, js *jobState) {
 	if err == nil && !r.Partial {
 		s.store.Put(js.key, rep)
 	}
+	if r.CheckpointAnchor != nil {
+		s.mu.Lock()
+		s.checkpointAnchored++
+		s.mu.Unlock()
+	}
 	bucket := bucketSignature(sh.name, r)
 	s.finish(sh, js, func(j *Job) {
 		j.Status = StatusDone
@@ -1003,6 +1056,7 @@ func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	// jobs map lightweight.
 	js.dump = nil
 	js.evidence = nil
+	js.checkpoints = nil
 	switch js.job.Status {
 	case StatusDone:
 		sh.completed++
@@ -1166,7 +1220,12 @@ type Metrics struct {
 	// evidence attachment; EvidenceSources breaks them down per kind.
 	EvidenceAttached uint64            `json:"evidence_attached"`
 	EvidenceSources  map[string]uint64 `json:"evidence_sources,omitempty"`
-	Journal          JournalStats      `json:"journal,omitzero"`
+	// CheckpointAttached counts accepted submissions that carried a
+	// checkpoint-ring attachment; CheckpointAnchored counts completed
+	// analyses whose search anchored on one of its checkpoints.
+	CheckpointAttached uint64       `json:"checkpoint_attached"`
+	CheckpointAnchored uint64       `json:"checkpoint_anchored"`
+	Journal            JournalStats `json:"journal,omitzero"`
 	// JournalReplayed counts entries restored from the journal at startup.
 	JournalReplayed int            `json:"journal_replayed,omitempty"`
 	Shards          []ShardMetrics `json:"shards"`
@@ -1182,9 +1241,11 @@ func (s *Service) Metrics() Metrics {
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		Jobs: len(s.jobs), JobsEvicted: s.jobsEvicted,
 		Buckets: len(s.buckets), Programs: len(s.shards),
-		Draining:         s.draining,
-		JournalReplayed:  s.journalReplayed,
-		EvidenceAttached: s.evidenceAttached,
+		Draining:           s.draining,
+		JournalReplayed:    s.journalReplayed,
+		EvidenceAttached:   s.evidenceAttached,
+		CheckpointAttached: s.checkpointAttached,
+		CheckpointAnchored: s.checkpointAnchored,
 	}
 	if len(s.evidenceKinds) > 0 {
 		m.EvidenceSources = make(map[string]uint64, len(s.evidenceKinds))

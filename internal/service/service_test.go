@@ -556,7 +556,7 @@ func TestSubmitBatchCoalesces(t *testing.T) {
 	svc, progID, dumps := testService(t, Config{ShardWorkers: 2, QueueDepth: 16})
 	defer svc.Shutdown(context.Background())
 
-	items := svc.SubmitBatch(progID, [][]byte{dumps[0], dumps[1], dumps[0], []byte("garbage")}, nil, nil)
+	items := svc.SubmitBatch(progID, [][]byte{dumps[0], dumps[1], dumps[0], []byte("garbage")}, nil, nil, nil)
 	if len(items) != 4 {
 		t.Fatalf("items = %d, want 4 (positional)", len(items))
 	}

@@ -73,6 +73,71 @@ type Hooks struct {
 	// regardless of the LBR ring configuration. The evidence recorder uses
 	// it to collect partial branch traces.
 	OnBranch func(from, to int)
+	// OnInput fires for every INPUT instruction with the value it
+	// returned (including the 0 EOF convention). The checkpoint recorder
+	// uses it to log post-checkpoint inputs for deterministic resume.
+	OnInput func(tid int, channel, value int64)
+}
+
+// MergeHooks composes hook sets: each callback fires every non-nil
+// handler in argument order. Recorders that each need their own hooks
+// (evidence, checkpoints) are combined this way in one Config.
+func MergeHooks(hs ...Hooks) Hooks {
+	var out Hooks
+	for _, h := range hs {
+		h := h
+		if h.OnAccess != nil {
+			prev := out.OnAccess
+			cur := h.OnAccess
+			out.OnAccess = func(tid, pc int, addr uint32, write bool) {
+				if prev != nil {
+					prev(tid, pc, addr, write)
+				}
+				cur(tid, pc, addr, write)
+			}
+		}
+		if h.OnLock != nil {
+			prev := out.OnLock
+			cur := h.OnLock
+			out.OnLock = func(tid, pc int, addr uint32, acquire bool) {
+				if prev != nil {
+					prev(tid, pc, addr, acquire)
+				}
+				cur(tid, pc, addr, acquire)
+			}
+		}
+		if h.OnBlockStart != nil {
+			prev := out.OnBlockStart
+			cur := h.OnBlockStart
+			out.OnBlockStart = func(tid, block int) {
+				if prev != nil {
+					prev(tid, block)
+				}
+				cur(tid, block)
+			}
+		}
+		if h.OnBranch != nil {
+			prev := out.OnBranch
+			cur := h.OnBranch
+			out.OnBranch = func(from, to int) {
+				if prev != nil {
+					prev(from, to)
+				}
+				cur(from, to)
+			}
+		}
+		if h.OnInput != nil {
+			prev := out.OnInput
+			cur := h.OnInput
+			out.OnInput = func(tid int, channel, value int64) {
+				if prev != nil {
+					prev(tid, channel, value)
+				}
+				cur(tid, channel, value)
+			}
+		}
+	}
+	return out
 }
 
 func (c Config) maxSteps() uint64 {
@@ -215,6 +280,27 @@ func NewFromState(p *prog.Program, cfg Config, st State) (*VM, error) {
 		return nil, fmt.Errorf("vm: state has no threads")
 	}
 	return v, nil
+}
+
+// CaptureState deep-copies the complete resumable machine state: feeding
+// it to NewFromState (with the same inputs and a forced schedule) resumes
+// the execution bit-exactly. The checkpoint recorder calls it at block
+// boundaries, where the state is well-defined (no instruction is
+// mid-flight).
+func (v *VM) CaptureState() State {
+	st := State{
+		Mem:      v.Mem.Clone(),
+		Locks:    make(map[uint32]int, len(v.locks)),
+		Heap:     append([]coredump.HeapObject(nil), v.heap...),
+		HeapNext: v.heapNext,
+	}
+	for a, o := range v.locks {
+		st.Locks[a] = o
+	}
+	for _, t := range v.Threads {
+		st.Threads = append(st.Threads, *t)
+	}
+	return st
 }
 
 // Steps returns the number of basic blocks executed so far.
@@ -606,6 +692,9 @@ func (v *VM) execInstr(t *Thread, in *isa.Instr) (bool, *coredump.Fault) {
 			v.inputPos[ch]++
 		}
 		r[in.Rd] = val
+		if v.cfg.Hooks.OnInput != nil {
+			v.cfg.Hooks.OnInput(t.ID, ch, val)
+		}
 		if v.Trace != nil {
 			v.Trace.Inputs = append(v.Trace.Inputs, trace.InputRec{Tid: t.ID, Channel: ch, Value: val})
 		}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"res/internal/asm"
+	"res/internal/checkpoint"
 	"res/internal/coredump"
 	"res/internal/evidence"
 	"res/internal/prog"
@@ -107,6 +108,39 @@ func (b *Bug) findFailure(maxSeeds int, rcfg *evidence.RecordConfig) (*coredump.
 				set = rec.Evidence()
 			}
 			return d, set, c, nil
+		}
+	}
+	return nil, nil, vm.Config{}, fmt.Errorf("workload: %s never failed within %d seeds/config", b.Name, maxSeeds)
+}
+
+// FindFailureCheckpointed is FindFailure with a checkpoint recorder
+// attached: the failing run's checkpoint ring comes back alongside the
+// dump. Recording is observation-only, so the dump is byte-identical to
+// the one FindFailure returns for the same seed.
+func (b *Bug) FindFailureCheckpointed(maxSeeds int, ccfg checkpoint.Config) (*coredump.Dump, *checkpoint.Ring, vm.Config, error) {
+	p := b.Program()
+	for _, cfg := range b.Configs {
+		for s := 0; s < maxSeeds; s++ {
+			c := cfg
+			c.Seed = cfg.Seed + int64(s)
+			rec := checkpoint.NewRecorder(p, ccfg)
+			c.Hooks = rec.Hooks()
+			v, err := vm.New(p, c)
+			if err != nil {
+				return nil, nil, c, err
+			}
+			rec.Bind(v)
+			d, err := v.Run()
+			if err != nil {
+				return nil, nil, c, err
+			}
+			if d == nil || d.Fault.Kind == coredump.FaultBudget {
+				continue
+			}
+			if b.WantFault != coredump.FaultNone && d.Fault.Kind != b.WantFault {
+				continue
+			}
+			return d, rec.Ring(), c, nil
 		}
 	}
 	return nil, nil, vm.Config{}, fmt.Errorf("workload: %s never failed within %d seeds/config", b.Name, maxSeeds)

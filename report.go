@@ -26,6 +26,9 @@ type ReportJSON struct {
 	// Evidence lists the kinds of the evidence sources supplied to the
 	// analysis (WithEvidence provenance), in application order.
 	Evidence []string `json:"evidence,omitempty"`
+	// CheckpointAnchor is present when the search was anchored on a
+	// recorded checkpoint (WithCheckpoints).
+	CheckpointAnchor *CheckpointAnchorJSON `json:"checkpoint_anchor,omitempty"`
 	// ReplayMatches reports whether the verification replay reproduced
 	// the coredump exactly.
 	ReplayMatches bool `json:"replay_matches"`
@@ -45,6 +48,16 @@ type CauseJSON struct {
 	// Key is the triage bucketing key (stable across manifestations of
 	// the same bug).
 	Key string `json:"key"`
+}
+
+// CheckpointAnchorJSON is the JSON shape of a checkpoint anchor: the
+// checkpoint's step counter, the suffix depth it bounds (dump steps
+// minus checkpoint step), and whether forward replay verified the
+// failure reproduces from it.
+type CheckpointAnchorJSON struct {
+	Step     uint64 `json:"step"`
+	Depth    int    `json:"depth"`
+	Verified bool   `json:"verified"`
 }
 
 // SuffixJSON is the JSON shape of a synthesized suffix.
@@ -113,6 +126,9 @@ func (r *Result) JSONReport() *ReportJSON {
 	}
 	if len(r.Evidence) > 0 {
 		rep.Evidence = append([]string(nil), r.Evidence...)
+	}
+	if a := r.CheckpointAnchor; a != nil {
+		rep.CheckpointAnchor = &CheckpointAnchorJSON{Step: a.Step, Depth: a.Depth, Verified: a.Verified}
 	}
 	rep.ReplayMatches = r.Replay != nil && r.Replay.Matches
 	if r.Report != nil {

@@ -46,6 +46,7 @@ import (
 
 	"res/internal/asm"
 	"res/internal/breadcrumb"
+	"res/internal/checkpoint"
 	"res/internal/core"
 	"res/internal/coredump"
 	"res/internal/evidence"
@@ -89,6 +90,21 @@ type (
 	EvidenceRecordConfig = evidence.RecordConfig
 	// EvidenceRecorder collects evidence from a live VM run.
 	EvidenceRecorder = evidence.Recorder
+
+	// CheckpointRing is a recorded ring of execution checkpoints plus the
+	// schedule/input log window that makes them replayable
+	// (WithCheckpoints). Produce one with NewCheckpointRecorder or by
+	// decoding wire bytes (DecodeCheckpoints).
+	CheckpointRing = checkpoint.Ring
+	// CheckpointConfig tunes the checkpoint recorder (interval, ring cap,
+	// log window).
+	CheckpointConfig = checkpoint.Config
+	// CheckpointRecorder captures a checkpoint ring from a live VM run.
+	CheckpointRecorder = checkpoint.Recorder
+	// CheckpointAnchor describes how a checkpointed analysis was anchored:
+	// the checkpoint step, the suffix depth it pins, and whether forward
+	// replay verified the failure reproduces from it.
+	CheckpointAnchor = checkpoint.Anchor
 )
 
 // EvidenceLBR interprets the dump's hardware branch ring under the given
@@ -125,6 +141,28 @@ func DecodeEvidence(b []byte) (EvidenceSet, error) { return evidence.Decode(b) }
 func NewEvidenceRecorder(p *Program, cfg EvidenceRecordConfig) *EvidenceRecorder {
 	return evidence.NewRecorder(p, cfg)
 }
+
+// NewCheckpointRecorder creates a recorder that captures a checkpoint
+// ring from a live VM run of p: install rec.Hooks() in the RunConfig
+// (compose with other hooks via vm.MergeHooks / MergeRunHooks), rec.Bind
+// the VM, run, then rec.Ring().
+func NewCheckpointRecorder(p *Program, cfg CheckpointConfig) *CheckpointRecorder {
+	return checkpoint.NewRecorder(p, cfg)
+}
+
+// MergeRunHooks composes several RunConfig hook sets into one; every
+// non-nil callback of every argument fires, in argument order. Use it to
+// record evidence and checkpoints in the same run.
+func MergeRunHooks(hs ...vm.Hooks) vm.Hooks { return vm.MergeHooks(hs...) }
+
+// EncodeCheckpoints renders a checkpoint ring in its canonical wire form
+// (the bytes resd accepts as a dump's checkpoint attachment). An empty
+// ring encodes to nil.
+func EncodeCheckpoints(r *CheckpointRing) []byte { return r.Encode() }
+
+// DecodeCheckpoints parses wire-form checkpoint ring bytes. Empty input
+// yields a nil ring.
+func DecodeCheckpoints(b []byte) (*CheckpointRing, error) { return checkpoint.Decode(b) }
 
 // Assemble builds a program from RES assembly source.
 func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
@@ -199,6 +237,11 @@ type Result struct {
 	// evidence sources supplied via WithEvidence, in application order
 	// (nil when the analysis used none beyond the classic dump hints).
 	Evidence []string
+	// CheckpointAnchor is set when the search was anchored on a recorded
+	// checkpoint (WithCheckpoints): the suffix depth was bounded by
+	// Depth instead of the execution length. Nil when the analysis ran
+	// unanchored (no ring, or escalation fell back to the full search).
+	CheckpointAnchor *CheckpointAnchor
 	// HardwareSuspect: no feasible suffix explains the dump.
 	HardwareSuspect bool
 	// Partial is set when the analysis was cut short by context
