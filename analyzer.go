@@ -13,6 +13,7 @@ import (
 	"res/internal/core"
 	"res/internal/evidence"
 	"res/internal/hwerr"
+	"res/internal/obs"
 	"res/internal/replay"
 	"res/internal/rootcause"
 	"res/internal/solver"
@@ -72,6 +73,7 @@ type config struct {
 	observer     func(Event)
 	parallelism  int
 	checkpoints  *checkpoint.Ring
+	trace        bool
 }
 
 // Option configures an Analyzer (at construction) or a single analysis
@@ -145,6 +147,18 @@ func WithSearchParallelism(n int) Option { return func(c *config) { c.parallelis
 // AnalyzeBatch it is called concurrently from all workers and must be
 // safe for concurrent use.
 func WithObserver(fn func(Event)) Option { return func(c *config) { c.observer = fn } }
+
+// WithTrace records a per-analysis observability span tree: evidence
+// compilation, checkpoint bisection (with per-probe forward-replay
+// timings), every search depth's attempt counts and solver time, and
+// each cause-extraction replay. The finished tree is attached to the
+// Result as Trace (and to the JSON report's "trace" field), renderable
+// as Chrome trace-event JSON via its ChromeTrace method. Tracing adds
+// no behavioral branches to the search: the produced report is
+// byte-identical (modulo the trace itself) with tracing on or off, at
+// any parallelism. Traces carry wall-clock timings and are excluded
+// from the report-determinism guarantee.
+func WithTrace(on bool) Option { return func(c *config) { c.trace = on } }
 
 // Analyzer is a long-lived analysis session for one program: construct it
 // once per program and reuse it for every coredump of that program. The
@@ -232,16 +246,28 @@ func (a *Analyzer) Analyze(ctx context.Context, d *Dump, opts ...Option) (*Resul
 	}
 	start := time.Now()
 	var (
+		tr   *obs.Trace
+		root *obs.Span
+	)
+	if cfg.trace {
+		tr = obs.NewTrace("analysis")
+		root = tr.Root()
+		root.SetInt("dump_steps", int64(d.Steps))
+	}
+	var (
 		res *Result
 		err error
 	)
 	if cfg.checkpoints != nil && !cfg.checkpoints.Empty() {
-		res, err = a.analyzeCheckpointed(ctx, d, cfg)
+		res, err = a.analyzeCheckpointed(ctx, d, cfg, root)
 	} else {
-		res, _, err = a.runAnalysis(ctx, d, cfg, nil)
+		res, _, err = a.runAnalysis(ctx, d, cfg, nil, root)
 	}
 	if res != nil {
 		res.Elapsed = time.Since(start)
+		if tr != nil {
+			res.Trace = tr.Finish()
+		}
 	}
 	return res, err
 }
@@ -266,19 +292,51 @@ type searchAnchor struct {
 // (the narrow window might have truncated the real defect); agreement
 // returns the narrower run's result, so the reported anchor reflects
 // the tightest window that was independently confirmed.
-func (a *Analyzer) analyzeCheckpointed(ctx context.Context, d *Dump, cfg config) (*Result, error) {
+func (a *Analyzer) analyzeCheckpointed(ctx context.Context, d *Dump, cfg config, root *obs.Span) (*Result, error) {
 	ring := cfg.checkpoints
-	ck, verified := ring.Bisect(a.p, d)
+	bspan := root.Child("checkpoint-bisect")
+	onVerify := func(c *checkpoint.Checkpoint, dur time.Duration, ok bool) {
+		v := bspan.Child("verify")
+		v.SetAttrs(
+			obs.Attr{Key: "step", Val: int64(c.Step)},
+			obs.Attr{Key: "replay_ns", Val: dur.Nanoseconds()},
+			obs.Attr{Key: "ok", Val: b2i(ok)},
+		)
+		v.End()
+	}
+	var (
+		ck       *checkpoint.Checkpoint
+		verified bool
+	)
+	if bspan != nil {
+		ck, verified = ring.BisectObserved(a.p, d, onVerify)
+	} else {
+		ck, verified = ring.Bisect(a.p, d)
+	}
 	if ck == nil {
-		res, _, err := a.runAnalysis(ctx, d, cfg, nil)
+		bspan.End()
+		res, _, err := a.runAnalysis(ctx, d, cfg, nil, root)
 		return res, err
 	}
 	ladder := []*searchAnchor{{ck: ck, anchor: checkpoint.NewAnchor(ck, d.Steps, verified)}}
 	if prev := ring.EarlierThan(ck.Step, d.Steps); prev != nil {
+		var pv bool
+		if bspan != nil {
+			t0 := time.Now()
+			pv = ring.Verify(a.p, prev, d)
+			onVerify(prev, time.Since(t0), pv)
+		} else {
+			pv = ring.Verify(a.p, prev, d)
+		}
 		ladder = append(ladder, &searchAnchor{
 			ck:     prev,
-			anchor: checkpoint.NewAnchor(prev, d.Steps, ring.Verify(a.p, prev, d)),
+			anchor: checkpoint.NewAnchor(prev, d.Steps, pv),
 		})
+	}
+	if bspan != nil {
+		bspan.SetInt("anchor_step", int64(ck.Step))
+		bspan.SetInt("verified", b2i(verified))
+		bspan.End()
 	}
 	ladder = append(ladder, nil)
 
@@ -287,7 +345,7 @@ func (a *Analyzer) analyzeCheckpointed(ctx context.Context, d *Dump, cfg config)
 		prevBest *analysisCandidate
 	)
 	for i, sa := range ladder {
-		res, best, err := a.runAnalysis(ctx, d, cfg, sa)
+		res, best, err := a.runAnalysis(ctx, d, cfg, sa, root)
 		if err != nil {
 			return res, err
 		}
@@ -321,8 +379,15 @@ func (a *Analyzer) analyzeCheckpointed(ctx context.Context, d *Dump, cfg config)
 // runAnalysis performs one backward search over the dump, optionally
 // anchored at a checkpoint, and assembles the Result. It also returns
 // the winning candidate so callers can reason about its quality.
-func (a *Analyzer) runAnalysis(ctx context.Context, d *Dump, cfg config, sa *searchAnchor) (*Result, *analysisCandidate, error) {
+func (a *Analyzer) runAnalysis(ctx context.Context, d *Dump, cfg config, sa *searchAnchor, root *obs.Span) (*Result, *analysisCandidate, error) {
+	espan := root.Child("evidence-compile")
 	copt, cerr := cfg.coreOptions(a, d)
+	if espan != nil {
+		if cerr == nil {
+			espan.SetInt("pruners", int64(len(copt.Evidence)))
+		}
+		espan.End()
+	}
 	if cerr != nil {
 		return nil, nil, cerr
 	}
@@ -333,6 +398,12 @@ func (a *Analyzer) runAnalysis(ctx context.Context, d *Dump, cfg config, sa *sea
 		copt.MaxDepth = sa.anchor.Depth
 		copt.Evidence = append(copt.Evidence, sa.anchor.Pruner(sa.ck))
 	}
+	sspan := root.Child("search")
+	if sspan != nil {
+		sspan.SetInt("anchored", b2i(sa != nil))
+		sspan.SetInt("max_depth", int64(copt.MaxDepth))
+	}
+	copt.Trace = sspan
 	var (
 		eng     *core.Engine
 		best    *analysisCandidate
@@ -344,7 +415,20 @@ func (a *Analyzer) runAnalysis(ctx context.Context, d *Dump, cfg config, sa *sea
 			stopErr = cerr
 			return true
 		}
+		var cspan *obs.Span
+		if sspan != nil {
+			cspan = sspan.Child("cause-extraction")
+			cspan.SetInt("depth", int64(n.Depth))
+		}
 		cand := analyzeNode(a.p, eng, n, d)
+		if cspan != nil {
+			cspan.SetInt("cause_found", b2i(cand != nil))
+			if cand != nil {
+				cspan.SetInt("faithful", b2i(cand.faithful))
+				cspan.SetStr("cause", cand.cause.Kind.String())
+			}
+			cspan.End()
+		}
 		if cand == nil {
 			return false
 		}
@@ -358,6 +442,7 @@ func (a *Analyzer) runAnalysis(ctx context.Context, d *Dump, cfg config, sa *sea
 	eng = core.New(a.p, copt)
 
 	rep, err := eng.AnalyzeContext(ctx, d)
+	sspan.End()
 	if rep == nil {
 		return nil, nil, err
 	}
@@ -499,6 +584,14 @@ func (c *analysisCandidate) better(o *analysisCandidate) bool {
 		return cs
 	}
 	return c.node.Depth > o.node.Depth
+}
+
+// b2i lowers a bool to a span attribute value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // specific reports whether a cause pinpoints something beyond the failure

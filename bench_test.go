@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"res"
 	"res/internal/breadcrumb"
@@ -43,6 +44,7 @@ import (
 	"res/internal/coredump"
 	"res/internal/evidence"
 	"res/internal/hwerr"
+	"res/internal/obs"
 	"res/internal/prog"
 	"res/internal/rootcause"
 	"res/internal/service"
@@ -677,6 +679,138 @@ func BenchmarkDeepSuffix(b *testing.B) {
 			b.ReportMetric(float64(reached)/float64(b.N), "depth/op")
 		})
 	}
+}
+
+// BenchmarkDeepSuffixTraced is BenchmarkDeepSuffix with span tracing
+// enabled: the observability layer's overhead gauge. Its step-ns/op is
+// directly comparable to the untraced run's — the acceptance bar is
+// under 5% between the two (see BENCH.md). spans/op reports how many
+// spans one analysis emits, pinning that per-depth instrumentation
+// stays O(depth), not O(attempts).
+func BenchmarkDeepSuffixTraced(b *testing.B) {
+	bug := workload.DistanceChain(26)
+	p := bug.Program()
+	d := mustFail(b, bug, 2)
+	for _, depth := range []int{4, 8, 16, 24} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			var attempts, reached, spans int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr := obs.NewTrace("analysis")
+				eng := core.New(p, core.Options{MaxDepth: depth, MaxNodes: 20000, Trace: tr.Root()})
+				rep, err := eng.Analyze(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr.Root().End()
+				attempts += rep.Stats.Attempts
+				reached += rep.Stats.MaxDepth
+				spans += len(tr.Finish().Spans)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(attempts), "step-ns/op")
+			b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+			b.ReportMetric(float64(spans)/float64(b.N), "spans/op")
+			_ = reached
+		})
+	}
+}
+
+// BenchmarkTraceOverheadPaired is the tracing-overhead measurement the
+// observability layer is held to (< 5%). It interleaves an untraced and a
+// traced analysis inside every iteration and reports the ratio directly,
+// so slow drift on a shared machine (CPU frequency, noisy neighbours) —
+// which dominates back-to-back comparisons of BenchmarkDeepSuffix vs
+// BenchmarkDeepSuffixTraced — cancels out of the overhead-pct metric.
+func BenchmarkTraceOverheadPaired(b *testing.B) {
+	bug := workload.DistanceChain(26)
+	p := bug.Program()
+	d := mustFail(b, bug, 2)
+	for _, depth := range []int{4, 8, 16, 24} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			plain := func() int64 {
+				t0 := time.Now()
+				eng := core.New(p, core.Options{MaxDepth: depth, MaxNodes: 20000})
+				if _, err := eng.Analyze(d); err != nil {
+					b.Fatal(err)
+				}
+				return time.Since(t0).Nanoseconds()
+			}
+			traced := func() int64 {
+				t0 := time.Now()
+				tr := obs.NewTrace("analysis")
+				eng := core.New(p, core.Options{MaxDepth: depth, MaxNodes: 20000, Trace: tr.Root()})
+				if _, err := eng.Analyze(d); err != nil {
+					b.Fatal(err)
+				}
+				tr.Root().End()
+				if got := len(tr.Finish().Spans); got < 2 {
+					b.Fatalf("traced run produced %d spans", got)
+				}
+				return time.Since(t0).Nanoseconds()
+			}
+			var plainNS, tracedNS int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate which variant runs first so GC and cache
+				// state inherited from the previous run cancel out.
+				if i%2 == 0 {
+					plainNS += plain()
+					tracedNS += traced()
+				} else {
+					tracedNS += traced()
+					plainNS += plain()
+				}
+			}
+			b.ReportMetric(float64(plainNS)/float64(b.N), "plain-ns/op")
+			b.ReportMetric(float64(tracedNS)/float64(b.N), "traced-ns/op")
+			b.ReportMetric((float64(tracedNS)/float64(plainNS)-1)*100, "overhead-pct")
+		})
+	}
+	// The sweep sub-benchmark runs the whole depth schedule per
+	// iteration and reports the overall traced/untraced ratio — the
+	// headline "tracing costs N% of BenchmarkDeepSuffix" number, with
+	// each depth weighted by how long it actually takes.
+	b.Run("sweep", func(b *testing.B) {
+		depths := []int{4, 8, 16, 24}
+		sweep := func(trace bool) int64 {
+			t0 := time.Now()
+			for _, depth := range depths {
+				opt := core.Options{MaxDepth: depth, MaxNodes: 20000}
+				var tr *obs.Trace
+				if trace {
+					tr = obs.NewTrace("analysis")
+					opt.Trace = tr.Root()
+				}
+				eng := core.New(p, opt)
+				if _, err := eng.Analyze(d); err != nil {
+					b.Fatal(err)
+				}
+				if trace {
+					tr.Root().End()
+					if got := len(tr.Finish().Spans); got < 2 {
+						b.Fatalf("traced run produced %d spans", got)
+					}
+				}
+			}
+			return time.Since(t0).Nanoseconds()
+		}
+		var plainNS, tracedNS int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				plainNS += sweep(false)
+				tracedNS += sweep(true)
+			} else {
+				tracedNS += sweep(true)
+				plainNS += sweep(false)
+			}
+		}
+		b.ReportMetric(float64(plainNS)/float64(b.N), "plain-ns/op")
+		b.ReportMetric(float64(tracedNS)/float64(b.N), "traced-ns/op")
+		b.ReportMetric((float64(tracedNS)/float64(plainNS)-1)*100, "overhead-pct")
+	})
 }
 
 // BenchmarkParallelSearch measures the candidate-level worker pool on a

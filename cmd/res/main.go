@@ -13,7 +13,9 @@
 //
 // With -timeout the analysis is deadline-bounded and reports the best
 // partial answer found before the cutoff; -progress streams search events
-// to stderr; -json emits the machine-readable report on stdout.
+// to stderr; -json emits the machine-readable report on stdout; -trace
+// writes the analysis span tree as Chrome trace-event JSON (open it in
+// chrome://tracing or ui.perfetto.dev).
 //
 // Evidence: a dump file written by resrun -record-evidence embeds its
 // evidence attachment and it is used automatically (disable with
@@ -60,26 +62,32 @@ import (
 
 func main() {
 	var (
-		progPath = flag.String("prog", "", "assembly source file (required)")
-		dumpPath = flag.String("dump", "", "coredump file (required)")
-		depth    = flag.Int("depth", 0, "maximum suffix length in blocks (0 = default)")
-		nodes    = flag.Int("nodes", 0, "backward-step attempt budget (0 = default)")
-		useLBR   = flag.Bool("lbr", false, "prune the search with the dump's branch ring")
-		lbrSkip  = flag.Bool("lbr-skip-cond", false, "interpret the ring as filtered-LBR hardware")
-		outputs  = flag.Bool("outputs", false, "prune with error-log breadcrumbs")
-		showSfx  = flag.Bool("suffix", false, "print the synthesized suffix schedule")
-		stats    = flag.Bool("stats", false, "print search statistics")
-		timeout  = flag.Duration("timeout", 0, "analysis deadline (0 = none)")
-		progress = flag.Bool("progress", false, "stream search progress to stderr")
-		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
-		submit   = flag.String("submit", "", "submit to a resd daemon at this address instead of analyzing locally")
-		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential; results identical either way)")
-		evPath   = flag.String("evidence", "", "evidence file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
-		ignoreEv = flag.Bool("ignore-evidence", false, "drop any evidence embedded in the dump file")
-		ckPath   = flag.String("checkpoints", "", "checkpoint ring file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
-		ignoreCk = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
+		progPath  = flag.String("prog", "", "assembly source file (required)")
+		dumpPath  = flag.String("dump", "", "coredump file (required)")
+		depth     = flag.Int("depth", 0, "maximum suffix length in blocks (0 = default)")
+		nodes     = flag.Int("nodes", 0, "backward-step attempt budget (0 = default)")
+		useLBR    = flag.Bool("lbr", false, "prune the search with the dump's branch ring")
+		lbrSkip   = flag.Bool("lbr-skip-cond", false, "interpret the ring as filtered-LBR hardware")
+		outputs   = flag.Bool("outputs", false, "prune with error-log breadcrumbs")
+		showSfx   = flag.Bool("suffix", false, "print the synthesized suffix schedule")
+		stats     = flag.Bool("stats", false, "print search statistics")
+		timeout   = flag.Duration("timeout", 0, "analysis deadline (0 = none)")
+		progress  = flag.Bool("progress", false, "stream search progress to stderr")
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
+		submit    = flag.String("submit", "", "submit to a resd daemon at this address instead of analyzing locally")
+		searchP   = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential; results identical either way)")
+		evPath    = flag.String("evidence", "", "evidence file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
+		ignoreEv  = flag.Bool("ignore-evidence", false, "drop any evidence embedded in the dump file")
+		ckPath    = flag.String("checkpoints", "", "checkpoint ring file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
+		ignoreCk  = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
+		tracePath = flag.String("trace", "", "write the analysis span tree as Chrome trace-event JSON to this file (local analysis only)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("res"))
+		return
+	}
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -100,6 +108,9 @@ func main() {
 		}
 	}
 	if *submit != "" {
+		if *tracePath != "" {
+			cli.Fatal(fmt.Errorf("-trace applies to local analysis; for remote jobs fetch GET /v1/jobs/{id}/trace from the daemon"))
+		}
 		if len(dumpPaths) > 1 {
 			submitRemoteBatch(*submit, *progPath, dumpPaths, evPaths, ckPaths, *ignoreEv, *ignoreCk, *timeout, *jsonOut)
 			return
@@ -163,6 +174,9 @@ func main() {
 	if *progress {
 		opts = append(opts, res.WithObserver(progressObserver()))
 	}
+	if *tracePath != "" {
+		opts = append(opts, res.WithTrace(true))
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -181,6 +195,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analysis cut short: %v\n", err)
+	}
+	if *tracePath != "" && r.Trace != nil {
+		if werr := os.WriteFile(*tracePath, r.Trace.ChromeTrace(), 0o644); werr != nil {
+			cli.Fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(r.Trace.Spans), *tracePath)
 	}
 	if *jsonOut {
 		buf, jerr := r.JSON()
@@ -291,6 +312,9 @@ func submitRemote(addr, progPath, dumpPath, evPath, ckPath string, ignoreEv, ign
 						time.Since(start).Seconds(), ev.Attempts, ev.SolverCalls)
 				case "status":
 					fmt.Fprintf(os.Stderr, "[%7.3fs] job %s\n", time.Since(start).Seconds(), ev.Status)
+				case "dropped":
+					fmt.Fprintf(os.Stderr, "[%7.3fs] (stream congested: %d events dropped)\n",
+						time.Since(start).Seconds(), ev.Dropped)
 				}
 			})
 			if err != nil {

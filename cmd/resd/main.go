@@ -11,7 +11,7 @@
 //	     [-cache-entries 4096] [-cache-dir /var/lib/resd]
 //	     [-jobs-cap 65536] [-jobs-ttl 0] [-retries 2] [-journal path]
 //	     [-peers url,url,...] [-advertise url] [-replicas 2]
-//	     [-pprof] [-drain-timeout 30s]
+//	     [-pprof] [-slow-analysis 5s] [-drain-timeout 30s]
 //
 // API (JSON):
 //
@@ -23,9 +23,12 @@
 //	POST /v1/dumps/batch    {"program_id"|"program_source","dumps":[...]}
 //	                        -> {"jobs":[...]} (positional, per-item errors)
 //	GET  /v1/results/{id}   job status + deterministic report
+//	GET  /v1/jobs/{id}/trace  analysis span tree (?format=chrome for
+//	                          chrome://tracing / Perfetto trace-event JSON)
 //	GET  /v1/buckets        crash-dedup buckets
 //	GET  /healthz           liveness
-//	GET  /metrics           Prometheus text metrics
+//	GET  /metrics           Prometheus text metrics (counters + latency
+//	                        histograms)
 //
 // With -peers, N daemons form one logical service: every node routes
 // each program's dumps to its rendezvous owner (failing over when the
@@ -35,6 +38,9 @@
 //
 //	GET  /v1/cluster                membership + per-peer health
 //	GET  /v1/cluster/route/{prog}   a program's owner + failover order
+//	GET  /v1/cluster/metrics        federated metrics: counters summed and
+//	                                histograms merged across live nodes,
+//	                                gauges tagged per-node
 //
 // On SIGINT/SIGTERM the daemon drains: in-flight analyses finish (bounded
 // by -drain-timeout, after which they are cut and report partial
@@ -85,8 +91,14 @@ func main() {
 		advertise    = flag.String("advertise", "", "this node's URL within -peers (required with -peers)")
 		replicas     = flag.Int("replicas", cluster.DefaultReplicas, "nodes (owner included) holding each completed result/dump blob")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		slowAnalysis = flag.Duration("slow-analysis", 0, "log a span-tree summary to stderr for analyses at least this slow (0 = off)")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("resd"))
+		return
+	}
 
 	var st *store.Store
 	if *cacheDir != "" {
@@ -115,15 +127,16 @@ func main() {
 			MatchOutputs:       *outputs,
 			SearchParallelism:  *searchP,
 		},
-		QueueDepth:   *queue,
-		ShardWorkers: *workers,
-		JobTimeout:   *jobTimeout,
-		Store:        st,
-		MaxJobs:      *jobsCap,
-		JobRetention: *jobsTTL,
-		MaxRetries:   *retries,
-		RetryBackoff: *retryBackoff,
-		Journal:      journal,
+		QueueDepth:    *queue,
+		ShardWorkers:  *workers,
+		JobTimeout:    *jobTimeout,
+		Store:         st,
+		MaxJobs:       *jobsCap,
+		JobRetention:  *jobsTTL,
+		MaxRetries:    *retries,
+		RetryBackoff:  *retryBackoff,
+		Journal:       journal,
+		SlowThreshold: *slowAnalysis,
 	})
 
 	handler := http.Handler(svc.Handler())

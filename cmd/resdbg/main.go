@@ -43,8 +43,13 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "synthesis deadline (0 = none)")
 		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential)")
 		ignoreCk = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("resdbg"))
+		return
+	}
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -28,8 +28,13 @@ func main() {
 		flip     = flag.String("flip", "", "inject a memory bit flip, addr:bit")
 		flipReg  = flag.String("flip-reg", "", "inject a register bit flip, tid:reg:bit")
 		out      = flag.String("o", "", "output path for the corrupted dump (with -flip/-flip-reg)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.VersionString("reshw"))
+		return
+	}
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()
 		os.Exit(2)

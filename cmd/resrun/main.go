@@ -60,6 +60,7 @@ func main() {
 		ckEvery  = flag.Uint64("checkpoint-every", 0, "checkpoint every Nth block step (0 = default 256)")
 		ckCap    = flag.Int("checkpoint-cap", 0, "checkpoint ring capacity before exponential thinning (0 = default 64)")
 		ckLogWin = flag.Int("checkpoint-log-window", 0, "schedule/input log window in steps (0 = default 32768)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	var inputs cli.InputSpecs
 	flag.Var(&inputs, "input", "input channel values, ch=v1,v2,... (repeatable)")
@@ -67,6 +68,10 @@ func main() {
 	flag.Var(&probeNames, "probe", "global to memory-probe when recording evidence (repeatable)")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(cli.VersionString("resrun"))
+		return
+	}
 	if *progPath == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -57,9 +57,14 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
 		cache    = flag.Bool("cache", false, "dedup duplicate dumps through a content-addressed result store")
 		useEv    = flag.Bool("evidence", false, "prune analyses with evidence attachments (manifest 4th column or embedded in dump files)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(cli.VersionString("restriage"))
+		return
+	}
 	var corpus []triage.Item
 	switch {
 	case *demo:

@@ -14,11 +14,13 @@ import (
 )
 
 // normalizedJSON renders a result's deterministic JSON report with the
-// one documented nondeterministic field (elapsed_ms) zeroed.
+// documented nondeterministic fields (elapsed_ms and the wall-clock span
+// tree) zeroed.
 func normalizedJSON(t testing.TB, r *res.Result) []byte {
 	t.Helper()
 	rep := r.JSONReport()
 	rep.ElapsedMS = 0
+	rep.Trace = nil
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +129,61 @@ func TestSearchEquivalenceWithEvidence(t *testing.T) {
 				js, jp := normalizedJSON(t, rs), normalizedJSON(t, rp)
 				if !bytes.Equal(js, jp) {
 					t.Errorf("%s: parallel report differs from sequential:\n--- sequential\n%s\n--- parallel\n%s", name, js, jp)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchEquivalenceTracingOnOff is the zero-interference contract of
+// the observability layer: enabling span tracing changes nothing about
+// the analysis — across the corpus and at any search parallelism, the
+// report with tracing on is byte-identical (modulo the trace field
+// itself) to the report with tracing off, and the traced run actually
+// produced a span tree rooted at "analysis".
+func TestSearchEquivalenceTracingOnOff(t *testing.T) {
+	bugs := []*workload.Bug{
+		workload.Fig1(),
+		workload.RaceCounter(),
+		workload.AmbiguousDispatch(8),
+		workload.UseAfterFree(),
+		workload.HealthyCompute(),
+	}
+	ctx := context.Background()
+	for _, bug := range bugs {
+		bug := bug
+		t.Run(bug.Name, func(t *testing.T) {
+			t.Parallel()
+			p := bug.Program()
+			d, _, err := bug.FindFailure(60)
+			if err != nil {
+				t.Fatalf("no failing dump: %v", err)
+			}
+			for _, par := range []int{1, 4} {
+				base := []res.Option{res.WithMaxDepth(10), res.WithMaxNodes(2500), res.WithSearchParallelism(par)}
+				plain := res.NewAnalyzer(p, base...)
+				traced := res.NewAnalyzer(p, append(base, res.WithTrace(true))...)
+
+				r0, err := plain.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("parallelism %d: untraced: %v", par, err)
+				}
+				r1, err := traced.Analyze(ctx, d)
+				if err != nil {
+					t.Fatalf("parallelism %d: traced: %v", par, err)
+				}
+				if r0.Trace != nil {
+					t.Errorf("parallelism %d: untraced analysis carries a trace", par)
+				}
+				if r1.Trace == nil || len(r1.Trace.Spans) == 0 {
+					t.Fatalf("parallelism %d: traced analysis has no span tree", par)
+				}
+				if root := r1.Trace.Spans[0]; root.Name != "analysis" {
+					t.Errorf("parallelism %d: root span is %q, want \"analysis\"", par, root.Name)
+				}
+				j0, j1 := normalizedJSON(t, r0), normalizedJSON(t, r1)
+				if !bytes.Equal(j0, j1) {
+					t.Errorf("parallelism %d: tracing changed the report:\n--- off\n%s\n--- on\n%s", par, j0, j1)
 				}
 			}
 		})

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"time"
 
 	"res/internal/coredump"
 	"res/internal/isa"
@@ -133,6 +134,15 @@ func endStateMatches(v *vm.VM, d *coredump.Dump) bool {
 // soundness. The boolean reports whether the returned checkpoint was
 // verified; nil means the ring offers no usable anchor at all.
 func (r *Ring) Bisect(p *prog.Program, d *coredump.Dump) (*Checkpoint, bool) {
+	return r.BisectObserved(p, d, nil)
+}
+
+// BisectObserved is Bisect with an observer: onVerify, when non-nil,
+// is invoked after every forward-replay verification probe with the
+// probed checkpoint, the replay's wall time, and its outcome. This is
+// the observability hook — the analyzer wires it to per-probe trace
+// spans, and the service's bisect-replay histogram is fed from those.
+func (r *Ring) BisectObserved(p *prog.Program, d *coredump.Dump, onVerify func(ck *Checkpoint, dur time.Duration, ok bool)) (*Checkpoint, bool) {
 	cands := r.Candidates(d.Steps)
 	if len(cands) == 0 {
 		return nil, false
@@ -140,7 +150,15 @@ func (r *Ring) Bisect(p *prog.Program, d *coredump.Dump) (*Checkpoint, bool) {
 	lo, hi, best := 0, len(cands)-1, -1
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		if r.Verify(p, cands[mid], d) {
+		var t0 time.Time
+		if onVerify != nil {
+			t0 = time.Now()
+		}
+		ok := r.Verify(p, cands[mid], d)
+		if onVerify != nil {
+			onVerify(cands[mid], time.Since(t0), ok)
+		}
+		if ok {
 			best = mid
 			lo = mid + 1
 		} else {

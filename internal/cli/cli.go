@@ -6,13 +6,22 @@ package cli
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"res/internal/asm"
 	"res/internal/coredump"
+	"res/internal/obs"
 	"res/internal/prog"
 )
+
+// VersionString is the uniform -version output for every tool: the build
+// version (stamped at link time via
+// -ldflags "-X res/internal/obs.Version=v1.2.3") and the Go toolchain.
+func VersionString(tool string) string {
+	return fmt.Sprintf("%s %s (%s)", tool, obs.Version, runtime.Version())
+}
 
 // ParseInputs parses repeated "-input ch=v1,v2,..." specs into the VM's
 // input map.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"res"
+	"res/internal/obs"
 	"res/internal/service"
 	"res/internal/store"
 )
@@ -95,6 +96,10 @@ type Node struct {
 	replicaPuts, putErrors uint64
 	fetches, fetchMisses   uint64
 	served                 uint64 // internal store gets answered for peers
+
+	// histProxy times each intra-cluster proxy hop (request relay plus
+	// the owning node's handling), the resd_cluster_proxy_seconds series.
+	histProxy *obs.Histogram
 }
 
 // New assembles a node. The service's store gains the replication tier
@@ -134,15 +139,16 @@ func New(cfg Config) (*Node, error) {
 		repTO = DefaultReplicationTimeout
 	}
 	n := &Node{
-		self:     normalizeURL(cfg.Self),
-		peers:    peers,
-		replicas: replicas,
-		svc:      cfg.Service,
-		st:       cfg.Service.Store(),
-		prober:   newProber(normalizeURL(cfg.Self), peers, cfg.FailThreshold, cfg.RecoverThreshold),
-		hc:       hc,
-		repTO:    repTO,
-		fpCache:  make(map[[sha256.Size]byte]string),
+		self:      normalizeURL(cfg.Self),
+		peers:     peers,
+		replicas:  replicas,
+		svc:       cfg.Service,
+		st:        cfg.Service.Store(),
+		prober:    newProber(normalizeURL(cfg.Self), peers, cfg.FailThreshold, cfg.RecoverThreshold),
+		hc:        hc,
+		repTO:     repTO,
+		fpCache:   make(map[[sha256.Size]byte]string),
+		histProxy: obs.NewHistogram(obs.MicroBuckets),
 	}
 	n.st.SetReplication(n.writeThrough, n.fetchFromPeers)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -7,8 +7,9 @@ import (
 	"io"
 	"net/http"
 	"sort"
-	"strings"
+	"time"
 
+	"res/internal/obs"
 	"res/internal/service"
 )
 
@@ -18,6 +19,9 @@ import (
 //
 //	GET /v1/cluster                     membership + per-peer health
 //	GET /v1/cluster/route/{program}     a program's owner + failover order
+//	GET /v1/cluster/metrics             federated cluster-wide metrics
+//	GET /internal/v1/metrics            this node's snapshot (JSON), the
+//	                                    unit the federation merges
 //	GET /internal/v1/store/{id}         replication: serve one artifact
 //	PUT /internal/v1/store/{id}         replication: accept one artifact
 //
@@ -25,7 +29,8 @@ import (
 // owner (failing over down the preference order when the owner is
 // unreachable), result lookups try the local service, then the local
 // store's replica tier, then the peers, and bucket listings merge the
-// whole cluster's view.
+// whole cluster's view. Trace lookups follow results: local first, then
+// the peer that ran the analysis.
 func (n *Node) Handler() http.Handler {
 	local := n.svc.Handler()
 	mux := http.NewServeMux()
@@ -34,10 +39,13 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/programs", n.handleRegister)
 	mux.HandleFunc("GET /v1/results/{id}", n.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", n.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", n.handleJobTrace)
 	mux.HandleFunc("GET /v1/buckets", n.handleBuckets)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("GET /v1/cluster", n.handleStatus)
 	mux.HandleFunc("GET /v1/cluster/route/{program}", n.handleRoute)
+	mux.HandleFunc("GET /v1/cluster/metrics", n.handleClusterMetrics)
+	mux.HandleFunc("GET /internal/v1/metrics", n.handleNodeMetrics)
 	mux.HandleFunc("GET /internal/v1/store/{id}", n.handleStoreGet)
 	mux.HandleFunc("PUT /internal/v1/store/{id}", n.handleStorePut)
 	mux.Handle("/", local)
@@ -145,6 +153,8 @@ func (n *Node) countFailover() {
 // the response was delivered; false means the caller may fail over (the
 // target was unreachable or draining — nothing was written to w).
 func (n *Node) proxy(w http.ResponseWriter, r *http.Request, body []byte, target string) (bool, string) {
+	t0 := time.Now()
+	defer func() { n.histProxy.Observe(time.Since(t0).Seconds()) }()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
 		return false, err.Error()
@@ -319,6 +329,52 @@ func flushCopy(w http.ResponseWriter, r io.Reader) {
 			return
 		}
 	}
+}
+
+// handleJobTrace serves a job's analysis span tree: locally when this
+// node ran the job, otherwise proxied from the peer that did (the trace
+// lives only in the analyzing process's memory, so only that node can
+// answer).
+func (n *Node) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := n.svc.Trace(id); ok || forwarded(r) {
+		n.svc.Handler().ServeHTTP(w, r)
+		return
+	}
+	path := "/v1/jobs/" + id + "/trace"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	for _, peer := range n.peers {
+		if peer == n.self || !n.prober.routable(peer) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+path, nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(forwardedHeader, n.self)
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			n.prober.observe(peer, false, err.Error())
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			n.mu.Lock()
+			n.proxied++
+			n.mu.Unlock()
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.WriteHeader(http.StatusOK)
+			io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// No peer has it either: the local service renders the canonical
+	// answer (a no-trace 404, or unknown job).
+	n.svc.Handler().ServeHTTP(w, r)
 }
 
 // journalSnapshotID is the one store ID that must never leave the node:
@@ -501,66 +557,89 @@ func (n *Node) handleStorePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleMetrics appends the cluster's own series to the service's
-// Prometheus text.
-func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	rec := &bufferingWriter{header: make(http.Header)}
-	n.svc.Handler().ServeHTTP(rec, r)
-	if rec.code != 0 && rec.code != http.StatusOK {
-		// The service handler failed; relay its reply untouched rather
-		// than wrapping an error body in a 200 exposition.
-		for k, vs := range rec.header {
-			for _, v := range vs {
-				w.Header().Add(k, v)
-			}
-		}
-		w.WriteHeader(rec.code)
-		w.Write(rec.buf.Bytes())
-		return
-	}
-
+// clusterSnapshot renders the cluster layer's own series as an
+// obs.Snapshot, appended after the service's in every exposition.
+func (n *Node) clusterSnapshot() obs.Snapshot {
 	n.mu.Lock()
 	proxied, failovers := n.proxied, n.failovers
 	rputs, rerrs := n.replicaPuts, n.putErrors
 	fetches, fmisses := n.fetches, n.fetchMisses
 	served := n.served
 	n.mu.Unlock()
-
-	var b strings.Builder
-	emit := func(name, typ, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	snap := obs.Snapshot{
+		obs.Gauge("resd_cluster_peers", "Cluster membership size (self included).", float64(len(n.peers))),
+		obs.Counter("resd_cluster_proxied_total", "Requests proxied to their owning node.", float64(proxied)),
+		obs.Counter("resd_cluster_failovers_total", "Proxy attempts that failed over past an unhealthy owner.", float64(failovers)),
+		obs.Counter("resd_cluster_replica_puts_total", "Artifacts written through to peer replicas.", float64(rputs)),
+		obs.Counter("resd_cluster_replica_put_errors_total", "Write-through attempts that failed.", float64(rerrs)),
+		obs.Counter("resd_cluster_replica_fetches_total", "Read-through pulls that recovered an artifact from a peer.", float64(fetches)),
+		obs.Counter("resd_cluster_replica_fetch_misses_total", "Read-through pulls no peer could answer.", float64(fmisses)),
+		obs.Counter("resd_cluster_replica_serves_total", "Artifacts served to pulling peers.", float64(served)),
 	}
-	emit("resd_cluster_peers", "gauge", "Cluster membership size (self included).", float64(len(n.peers)))
-	emit("resd_cluster_proxied_total", "counter", "Requests proxied to their owning node.", float64(proxied))
-	emit("resd_cluster_failovers_total", "counter", "Proxy attempts that failed over past an unhealthy owner.", float64(failovers))
-	emit("resd_cluster_replica_puts_total", "counter", "Artifacts written through to peer replicas.", float64(rputs))
-	emit("resd_cluster_replica_put_errors_total", "counter", "Write-through attempts that failed.", float64(rerrs))
-	emit("resd_cluster_replica_fetches_total", "counter", "Read-through pulls that recovered an artifact from a peer.", float64(fetches))
-	emit("resd_cluster_replica_fetch_misses_total", "counter", "Read-through pulls no peer could answer.", float64(fmisses))
-	emit("resd_cluster_replica_serves_total", "counter", "Artifacts served to pulling peers.", float64(served))
 	states := map[string]int{}
 	for _, ps := range n.prober.snapshot() {
 		states[ps.State]++
 	}
-	fmt.Fprintf(&b, "# HELP resd_cluster_peer_state Peers per health state.\n# TYPE resd_cluster_peer_state gauge\n")
 	for _, st := range []string{"healthy", "suspect", "down", "recovering"} {
-		fmt.Fprintf(&b, "resd_cluster_peer_state{state=%q} %d\n", st, states[st])
+		snap = append(snap, obs.Gauge("resd_cluster_peer_state", "Peers per health state.",
+			float64(states[st])).With("state", st))
 	}
+	snap = append(snap, obs.HistogramMetric("resd_cluster_proxy_seconds",
+		"Intra-cluster proxy hop latency.", n.histProxy.Snapshot()))
+	return snap
+}
 
+// nodeSnapshot is this node's full metric state — service plus cluster
+// series — tagged with its identity: the unit of federation.
+func (n *Node) nodeSnapshot() obs.NodeSnapshot {
+	return obs.NodeSnapshot{
+		Node:    n.self,
+		Metrics: append(n.svc.MetricsSnapshot(), n.clusterSnapshot()...),
+	}
+}
+
+// handleMetrics renders this node's service + cluster series as
+// Prometheus text.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	w.WriteHeader(http.StatusOK)
-	w.Write(rec.buf.Bytes())
-	io.WriteString(w, b.String())
+	obs.WriteProm(w, n.nodeSnapshot().Metrics)
 }
 
-// bufferingWriter captures a downstream handler's response so it can be
-// re-emitted with additions.
-type bufferingWriter struct {
-	header http.Header
-	code   int
-	buf    bytes.Buffer
+// handleNodeMetrics serves the node's snapshot in its JSON wire form —
+// what a federating peer merges.
+func (n *Node) handleNodeMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.nodeSnapshot())
 }
 
-func (b *bufferingWriter) Header() http.Header         { return b.header }
-func (b *bufferingWriter) WriteHeader(code int)        { b.code = code }
-func (b *bufferingWriter) Write(p []byte) (int, error) { return b.buf.Write(p) }
+// handleClusterMetrics federates the whole cluster into one exposition:
+// this node's snapshot plus every routable peer's, merged by obs.Merge —
+// counters summed, histogram buckets merged, gauges tagged per node. A
+// peer that cannot be reached is skipped (its absence shows in
+// resd_cluster_peer_state), so one dead node never blanks the scrape.
+func (n *Node) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	nodes := []obs.NodeSnapshot{n.nodeSnapshot()}
+	for _, peer := range n.peers {
+		if peer == n.self || !n.prober.routable(peer) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/internal/v1/metrics", nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(forwardedHeader, n.self)
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			n.prober.observe(peer, false, err.Error())
+			continue
+		}
+		var ns obs.NodeSnapshot
+		if resp.StatusCode == http.StatusOK &&
+			json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&ns) == nil {
+			nodes = append(nodes, ns)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.WriteProm(w, obs.Merge(nodes))
+}

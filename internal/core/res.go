@@ -17,11 +17,15 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"res/internal/coredump"
 	"res/internal/isa"
 	"res/internal/mem"
+	"res/internal/obs"
 	"res/internal/prog"
 	"res/internal/solver"
 	"res/internal/symstate"
@@ -249,6 +253,16 @@ type Options struct {
 	// candidate order so statistics, events, suffix discovery order, and
 	// early-stop points match the sequential engine exactly.
 	Parallelism int
+	// Trace, when non-nil, is the parent observability span under which
+	// the engine records the search: one "base-case" span, then one
+	// "depth" span per frontier depth carrying attempt/feasibility
+	// counts and solver time. When the calling goroutine already carries
+	// pprof labels (the service's job/program labels), the engine
+	// additionally refines them with a depth_band label per band
+	// crossed. Tracing adds no behavioral branches — a nil Trace reduces
+	// every instrumentation site to a nil check, and the produced Report
+	// is identical either way.
+	Trace *obs.Span
 }
 
 func (o Options) maxDepth() int {
@@ -313,8 +327,13 @@ type Engine struct {
 	opt  Options
 	pool *symx.Pool
 	// solverOpt is the per-analysis solver tuning: opt.Solver plus the
-	// context interrupt installed by AnalyzeContext.
+	// context interrupt and trace observer installed by AnalyzeContext.
 	solverOpt solver.Options
+	// solverChecks/solverNS accumulate the solver Observe hook's output.
+	// Atomic because checks run on the candidate worker pool; only
+	// written when tracing is on.
+	solverChecks atomic.Int64
+	solverNS     atomic.Int64
 }
 
 // New creates an engine. It panics when opt.Evidence exceeds MaxPruners
@@ -375,13 +394,43 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 			}
 		}
 	}
+	labelBands := false
+	if e.opt.Trace != nil {
+		prevObs := e.opt.Solver.Observe
+		e.solverOpt.Observe = func(d time.Duration, v solver.Verdict) {
+			if prevObs != nil {
+				prevObs(d, v)
+			}
+			e.solverChecks.Add(1)
+			e.solverNS.Add(d.Nanoseconds())
+		}
+		// Depth-band pprof labels refine the service's per-job labels;
+		// when the caller's goroutine carries none (local runs,
+		// benchmarks), no profile consumes them, so skip the runtime
+		// label churn and restore only what was changed.
+		if _, ok := pprof.Label(ctx, "job"); ok {
+			labelBands = true
+			defer pprof.SetGoroutineLabels(ctx)
+		}
+	}
 
 	rep := &Report{}
 	if err := ctx.Err(); err != nil {
 		rep.Interrupted = true
 		return rep, err
 	}
+	var bspan *obs.Span
+	if e.opt.Trace != nil {
+		bspan = e.opt.Trace.Child("base-case")
+	}
 	root, err := e.baseCase(d, rep)
+	if bspan != nil {
+		bspan.SetAttrs(
+			obs.Attr{Key: "feasible", Val: boolInt(root != nil)},
+			obs.Attr{Key: "solver_calls", Val: int64(rep.Stats.SolverCalls)},
+		)
+		bspan.End()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -408,8 +457,40 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 
 	depth1Feasible := 0
 	depth1Unknown := 0
+	curBand := ""
 	for len(frontier) > 0 && rep.Stats.Attempts < e.opt.maxNodes() {
-		e.emit(EventDepth, frontier[0].Depth+1, false, rep)
+		depth := frontier[0].Depth + 1
+		e.emit(EventDepth, depth, false, rep)
+		// Open the per-depth trace span and label the goroutine (and the
+		// workers runWork spawns, which inherit labels) with the depth
+		// band, so CPU profiles attribute time to search depth.
+		var dspan *obs.Span
+		var att0, feas0, sc0 int
+		var checks0, checkNS0, stepNS int64
+		if e.opt.Trace != nil {
+			dspan = e.opt.Trace.Child("depth")
+			dspan.SetInt("depth", int64(depth))
+			att0, feas0, sc0 = rep.Stats.Attempts, rep.Stats.Feasible, rep.Stats.SolverCalls
+			checks0, checkNS0 = e.solverChecks.Load(), e.solverNS.Load()
+			if band := obs.DepthBand(depth); labelBands && band != curBand {
+				curBand = band
+				pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("depth_band", band)))
+			}
+		}
+		closeDepth := func() {
+			if dspan == nil {
+				return
+			}
+			dspan.SetAttrs(
+				obs.Attr{Key: "attempts", Val: int64(rep.Stats.Attempts - att0)},
+				obs.Attr{Key: "feasible", Val: int64(rep.Stats.Feasible - feas0)},
+				obs.Attr{Key: "solver_calls", Val: int64(rep.Stats.SolverCalls - sc0)},
+				obs.Attr{Key: "solver_checks", Val: e.solverChecks.Load() - checks0},
+				obs.Attr{Key: "solver_ns", Val: e.solverNS.Load() - checkNS0},
+				obs.Attr{Key: "step_ns", Val: stepNS},
+			)
+			dspan.End()
+		}
 		// Enumerate this depth's candidate work up front (budget- and
 		// filter-aware, deduplicating fingerprint-identical frontier
 		// nodes), optionally fan the per-candidate BackExec+check work
@@ -422,6 +503,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 			it := &work[i]
 			if err := ctx.Err(); err != nil {
 				rep.Interrupted = true
+				closeDepth()
 				return rep, err
 			}
 			var out stepOut
@@ -439,6 +521,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 			if it.filterOK {
 				rep.Stats.Attempts++
 				rep.Stats.SolverCalls += out.solverCalls
+				stepNS += out.durNS
 				switch out.verdict {
 				case symvm.Feasible:
 					rep.Stats.Feasible++
@@ -465,10 +548,12 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 				e.emit(EventSuffix, child.Depth, true, rep)
 				if e.opt.OnSuffix != nil && e.opt.OnSuffix(child) {
 					rep.Stopped = true
+					closeDepth()
 					return rep, nil
 				}
 				if full := e.checkFullReconstruction(child); full {
 					rep.FullReconstruction = child
+					closeDepth()
 					return rep, nil
 				}
 				next = append(next, child)
@@ -481,6 +566,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, d *coredump.Dump) (*Report,
 		if e.opt.BeamWidth > 0 && len(next) > e.opt.BeamWidth {
 			next = next[:e.opt.BeamWidth]
 		}
+		closeDepth()
 		frontier = next
 	}
 	if err := ctx.Err(); err != nil {
@@ -716,6 +802,17 @@ type stepOut struct {
 	verdict     symvm.Verdict
 	solverCalls int
 	computed    bool
+	// durNS is the wall time tryStep spent on this attempt (BackExec +
+	// evidence constraining + incremental checks). Only measured when
+	// tracing is on; merged into the depth span in candidate order.
+	durNS int64
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // buildWork enumerates this depth's candidate attempts in frontier order,
@@ -812,8 +909,22 @@ func (e *Engine) runWork(ctx context.Context, work []workItem, d *coredump.Dump)
 // tryStep runs one backward step and builds the child node on success. It
 // does not touch the engine or the report, so distinct candidates may run
 // concurrently; the merge loop applies the returned statistics in
-// candidate order.
+// candidate order. When tracing, the attempt's wall time is measured
+// here — a plain wrapper, not a defer, because the closure a deferred
+// measurement allocates per attempt is itself measurable search
+// overhead.
 func (e *Engine) tryStep(n *Node, c candidate, consumeMask uint64, d *coredump.Dump) stepOut {
+	if e.opt.Trace == nil {
+		return e.stepOnce(n, c, consumeMask, d)
+	}
+	t0 := time.Now()
+	out := e.stepOnce(n, c, consumeMask, d)
+	out.durNS = time.Since(t0).Nanoseconds()
+	return out
+}
+
+// stepOnce is tryStep without the timing shell.
+func (e *Engine) stepOnce(n *Node, c candidate, consumeMask uint64, d *coredump.Dump) (out stepOut) {
 	req := symvm.Req{
 		P:          e.P,
 		Post:       n.Snap,
@@ -824,7 +935,7 @@ func (e *Engine) tryStep(n *Node, c candidate, consumeMask uint64, d *coredump.D
 		HaltStep:   c.kind == StepHalt,
 	}
 	res := symvm.BackExec(req, symvm.Options{Solver: e.solverOpt, DisableProbe: e.opt.DisableProbe})
-	out := stepOut{verdict: res.Verdict, solverCalls: res.SolverCalls}
+	out = stepOut{verdict: res.Verdict, solverCalls: res.SolverCalls}
 	if res.Verdict != symvm.Feasible {
 		return out
 	}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default bounds (seconds) for whole-analysis
+// latencies: queue wait, end-to-end analysis time.
+var LatencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// MicroBuckets are the default bounds (seconds) for fast inner
+// operations: per-depth solver time, bisect replay, proxy hops, store
+// ops.
+var MicroBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// Histogram is a fixed-bucket, lock-free histogram. Observe is safe
+// from any goroutine; Snapshot is safe concurrently with Observe (it
+// may tear by at most the in-flight observations, which Prometheus
+// scraping tolerates by design).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given upper bounds
+// (seconds, ascending).
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. the le bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the current state as a mergeable wire value.
+func (h *Histogram) Snapshot() *HistData {
+	d := &HistData{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+	}
+	return d
+}
+
+// HistData is the serialized form of a histogram: per-bucket (not
+// cumulative) counts, with Counts[len(Bounds)] holding the +Inf
+// bucket.
+type HistData struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Merge folds another histogram into this one. Histograms with
+// different bucket layouts cannot be merged bucket-wise; their sum and
+// count still aggregate so totals stay truthful.
+func (h *HistData) Merge(o *HistData) {
+	if o == nil {
+		return
+	}
+	if len(h.Bounds) == len(o.Bounds) && len(h.Counts) == len(o.Counts) {
+		same := true
+		for i, b := range h.Bounds {
+			if o.Bounds[i] != b {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range h.Counts {
+				h.Counts[i] += o.Counts[i]
+			}
+			h.Sum += o.Sum
+			h.Count += o.Count
+			return
+		}
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+}
+
+// Clone returns a deep copy, so merges never alias a source snapshot.
+func (h *HistData) Clone() *HistData {
+	c := &HistData{Bounds: h.Bounds, Sum: h.Sum, Count: h.Count}
+	c.Counts = make([]uint64, len(h.Counts))
+	copy(c.Counts, h.Counts)
+	return c
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsInert(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatalf("Child on nil span = %v, want nil", c)
+	}
+	// None of these may panic.
+	s.SetInt("k", 1)
+	s.AddInt("k", 1)
+	s.SetStr("k", "v")
+	s.End()
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Fatal("Root on nil trace should be nil")
+	}
+	if tr.Finish() != nil {
+		t.Fatal("Finish on nil trace should be nil")
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("analysis")
+	root := tr.Root()
+	root.SetStr("program", "p")
+	search := root.Child("search")
+	d0 := search.Child("depth")
+	d0.SetInt("depth", 1)
+	d0.AddInt("solver_ns", 100)
+	d0.AddInt("solver_ns", 50)
+	d0.End()
+	d1 := search.Child("depth")
+	d1.SetInt("depth", 2)
+	// d1 and search left open deliberately: Finish must close them.
+	td := tr.Finish()
+	if len(td.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(td.Spans))
+	}
+	if td.Spans[0].Parent != -1 || td.Spans[0].Name != "analysis" {
+		t.Fatalf("bad root: %+v", td.Spans[0])
+	}
+	depths := td.ByName("depth")
+	if len(depths) != 2 {
+		t.Fatalf("got %d depth spans, want 2", len(depths))
+	}
+	if depths[0].Int("solver_ns") != 150 {
+		t.Fatalf("solver_ns = %d, want 150", depths[0].Int("solver_ns"))
+	}
+	if depths[0].Parent != td.ByName("search")[0].ID {
+		t.Fatal("depth span not parented under search")
+	}
+	for _, s := range td.Spans {
+		if s.DurUS < 0 {
+			t.Fatalf("span %s has negative duration", s.Name)
+		}
+	}
+	if got := len(td.Children(search.id)); got != 2 {
+		t.Fatalf("search has %d children, want 2", got)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("root")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s := root.Child("work")
+				s.AddInt("n", 1)
+				s.End()
+				root.AddInt("total", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	td := tr.Finish()
+	if got := len(td.ByName("work")); got != 800 {
+		t.Fatalf("got %d work spans, want 800", got)
+	}
+	if td.Spans[0].Int("total") != 800 {
+		t.Fatalf("total = %d, want 800", td.Spans[0].Int("total"))
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr := NewTrace("analysis")
+	tr.Root().Child("search").End()
+	td := tr.Finish()
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(td.ChromeTrace(), &out); err != nil {
+		t.Fatalf("ChromeTrace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	if out.TraceEvents[0].Ph != "X" || out.TraceEvents[0].TID != 1 || out.TraceEvents[1].TID != 2 {
+		t.Fatalf("bad events: %+v", out.TraceEvents)
+	}
+}
+
+func TestSummaryIndents(t *testing.T) {
+	tr := NewTrace("analysis")
+	tr.Root().Child("search").Child("depth").End()
+	sum := tr.Finish().Summary()
+	lines := strings.Split(strings.TrimRight(sum, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), sum)
+	}
+	if !strings.HasPrefix(lines[0], "analysis") || !strings.HasPrefix(lines[1], "  search") || !strings.HasPrefix(lines[2], "    depth") {
+		t.Fatalf("bad indentation:\n%s", sum)
+	}
+}
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(0.005) // le 0.01
+	h.Observe(0.05)  // le 0.1
+	h.Observe(0.05)  // le 0.1
+	h.Observe(0.5)   // le 1
+	h.Observe(5)     // +Inf
+	d := h.Snapshot()
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if d.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, d.Counts[i], w)
+		}
+	}
+	if d.Count != 5 {
+		t.Fatalf("count = %d, want 5", d.Count)
+	}
+	if d.Sum < 5.6 || d.Sum > 5.62 {
+		t.Fatalf("sum = %g, want ~5.61", d.Sum)
+	}
+	var b strings.Builder
+	WriteProm(&b, Snapshot{HistogramMetric("x_seconds", "help.", d)})
+	out := b.String()
+	for _, line := range []string{
+		`x_seconds_bucket{le="0.01"} 1`,
+		`x_seconds_bucket{le="0.1"} 3`,
+		`x_seconds_bucket{le="1"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		`x_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(MicroBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.0002)
+			}
+		}()
+	}
+	wg.Wait()
+	d := h.Snapshot()
+	if d.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", d.Count)
+	}
+	if d.Sum < 0.79 || d.Sum > 0.81 {
+		t.Fatalf("sum = %g, want ~0.8", d.Sum)
+	}
+}
+
+func TestWritePromCountersAndLabels(t *testing.T) {
+	snap := Snapshot{
+		Counter("a_total", "A.", 3),
+		Counter("b_total", "B.", 1).With("kind", "event-log"),
+		Counter("b_total", "B.", 2).With("kind", "branch-trace"),
+		Gauge("g", "G.", 0.5),
+	}
+	var b strings.Builder
+	WriteProm(&b, snap)
+	out := b.String()
+	for _, line := range []string{
+		"# HELP a_total A.",
+		"# TYPE a_total counter",
+		"a_total 3",
+		`b_total{kind="event-log"} 1`,
+		`b_total{kind="branch-trace"} 2`,
+		"g 0.5",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+	if strings.Count(out, "# TYPE b_total counter") != 1 {
+		t.Fatalf("TYPE header for b_total should appear once:\n%s", out)
+	}
+}
+
+func TestMergeFederation(t *testing.T) {
+	h1 := NewHistogram([]float64{0.1, 1})
+	h1.Observe(0.05)
+	h2 := NewHistogram([]float64{0.1, 1})
+	h2.Observe(0.5)
+	h2.Observe(2)
+	n1 := NodeSnapshot{Node: "a:1", Metrics: Snapshot{
+		Counter("ingest_total", "I.", 3),
+		Gauge("queue_depth", "Q.", 2),
+		HistogramMetric("lat_seconds", "L.", h1.Snapshot()),
+	}}
+	n2 := NodeSnapshot{Node: "b:2", Metrics: Snapshot{
+		Counter("ingest_total", "I.", 4),
+		Gauge("queue_depth", "Q.", 5),
+		HistogramMetric("lat_seconds", "L.", h2.Snapshot()),
+	}}
+	merged := Merge([]NodeSnapshot{n1, n2})
+	var b strings.Builder
+	WriteProm(&b, merged)
+	out := b.String()
+	for _, line := range []string{
+		"ingest_total 7",            // counters sum
+		`queue_depth{node="a:1"} 2`, // gauges tagged per node
+		`queue_depth{node="b:2"} 5`,
+		`lat_seconds_bucket{le="0.1"} 1`, // buckets merge
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+	// Merging must not mutate the source snapshots.
+	if n1.Metrics[2].Hist.Count != 1 {
+		t.Fatal("Merge mutated a source histogram")
+	}
+}
+
+func TestDepthBand(t *testing.T) {
+	cases := map[int]string{0: "0-4", 4: "0-4", 5: "5-8", 8: "5-8", 9: "9-16", 16: "9-16", 17: "17-32", 33: "33-64", 64: "33-64", 65: "65+", 1000: "65+"}
+	for d, want := range cases {
+		if got := DepthBand(d); got != want {
+			t.Fatalf("DepthBand(%d) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFinishSnapshotImmutable(t *testing.T) {
+	tr := NewTrace("r")
+	s := tr.Root().Child("x")
+	s.SetInt("n", 1)
+	s.SetStr("k", "a")
+	first := tr.Finish()
+	// In-place updates after Finish must copy-on-write, appends must
+	// stay invisible to the earlier snapshot.
+	s.SetInt("n", 2)
+	s.AddInt("n", 3)
+	s.SetStr("k", "b")
+	s.SetInt("extra", 9)
+	if got := first.Spans[1].Int("n"); got != 1 {
+		t.Fatalf("snapshot n mutated to %d, want 1", got)
+	}
+	if got := first.Spans[1].Str("k"); got != "a" {
+		t.Fatalf("snapshot k mutated to %q, want \"a\"", got)
+	}
+	if got := first.Spans[1].Int("extra"); got != 0 {
+		t.Fatalf("snapshot grew attr extra=%d, want absent", got)
+	}
+	second := tr.Finish()
+	if got := second.Spans[1].Int("n"); got != 5 {
+		t.Fatalf("second snapshot n = %d, want 5", got)
+	}
+	if got := second.Spans[1].Str("k"); got != "b" {
+		t.Fatalf("second snapshot k = %q, want \"b\"", got)
+	}
+	if got := second.Spans[1].Int("extra"); got != 9 {
+		t.Fatalf("second snapshot extra = %d, want 9", got)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("r")
+	s := tr.Root().Child("x")
+	s.End()
+	first := tr.Finish() // snapshot after first End
+	time.Sleep(2 * time.Millisecond)
+	s.End() // must not move the end time
+	second := tr.Finish()
+	if first.Spans[1].DurUS != second.Spans[1].DurUS {
+		t.Fatalf("second End moved duration: %d != %d", first.Spans[1].DurUS, second.Spans[1].DurUS)
+	}
+}

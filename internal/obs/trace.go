@@ -1,0 +1,476 @@
+// Package obs is the zero-dependency observability core: search-trace
+// spans, fixed-bucket histograms, and mergeable metric snapshots. It is
+// deliberately stdlib-only so every layer (core, solver, checkpoint,
+// analyzer, service, cluster, store) can depend on it without pulling
+// anything into the module graph.
+//
+// The tracing half is built around one invariant: a nil *Span is a
+// valid, fully inert span. Every method no-ops on a nil receiver, so
+// instrumented code never branches on "is tracing enabled" — it just
+// calls through, and when tracing is off the calls cost a nil check.
+// Call sites that would pay for an argument (time.Now, fmt.Sprintf)
+// guard with `if span != nil` themselves.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Version is the build version stamped at link time via
+//
+//	-ldflags "-X res/internal/obs.Version=v1.2.3"
+//
+// and reported by every CLI's -version flag and the
+// resd_build_info metric.
+var Version = "dev"
+
+// Trace collects a tree of timed spans for one analysis. It is safe
+// for concurrent use: spans may be created, annotated, and ended from
+// worker goroutines.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []*Span
+}
+
+// Span is one timed node in the trace tree. The zero value is not
+// useful; spans are created by Trace.Root or Span.Child. All methods
+// are safe on a nil receiver.
+//
+// Attributes live in small append-only slices, not maps: spans carry a
+// handful of keys, a linear scan beats hashing at that size, and Finish
+// snapshots them with one copy instead of rebuilding a map per span —
+// the difference between tracing costing ~1% and ~5% of an analysis.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Duration
+	end    time.Duration
+	done   bool
+	// shared marks the attribute slices as referenced by a Finish
+	// snapshot; the next in-place update copies them first
+	// (copy-on-write), so snapshots stay immutable without Finish
+	// paying a per-span copy.
+	shared bool
+	attrs  Attrs
+	sattrs StrAttrs
+	// inline backs attrs until it overflows, so a span's attributes
+	// cost no allocation of their own — it is sized for the busiest
+	// span (the per-depth search span, 7 attributes).
+	inline [7]Attr
+}
+
+// NewTrace starts a trace whose root span carries the given name.
+func NewTrace(root string) *Trace {
+	t := &Trace{start: time.Now(), spans: make([]*Span, 0, 16)}
+	t.newSpan(root, -1, 0)
+	return t
+}
+
+func (t *Trace) newSpan(name string, parent int, start time.Duration) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: len(t.spans), parent: parent, name: name, start: start, end: -1}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Root returns the root span, or nil when the trace is nil.
+func (t *Trace) Root() *Span {
+	if t == nil || len(t.spans) == 0 {
+		return nil
+	}
+	return t.spans[0]
+}
+
+// Child opens a sub-span. On a nil receiver it returns nil, so chains
+// of Child calls stay inert when tracing is disabled.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, time.Since(s.tr.start))
+}
+
+// cowLocked unshares the attribute slices before an in-place update.
+// Appends never need this: a snapshot's slice keeps its own length, so
+// new entries past it are invisible to the snapshot even when the
+// backing array is shared.
+func (s *Span) cowLocked() {
+	if !s.shared {
+		return
+	}
+	s.attrs = append(Attrs(nil), s.attrs...)
+	s.sattrs = append(StrAttrs(nil), s.sattrs...)
+	s.shared = false
+}
+
+func (s *Span) setIntLocked(key string, v int64, add bool) {
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.cowLocked()
+			if add {
+				s.attrs[i].Val += v
+			} else {
+				s.attrs[i].Val = v
+			}
+			return
+		}
+	}
+	if s.attrs == nil {
+		s.attrs = Attrs(s.inline[:0:len(s.inline)])
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// SetInt records an integer attribute on the span.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.setIntLocked(key, v, false)
+	s.tr.mu.Unlock()
+}
+
+// SetAttrs records several integer attributes under one lock
+// acquisition — what hot instrumentation sites (the per-depth search
+// span) use instead of a SetInt volley.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	for _, kv := range attrs {
+		s.setIntLocked(kv.Key, kv.Val, false)
+	}
+	s.tr.mu.Unlock()
+}
+
+// AddInt accumulates into an integer attribute. Safe to call from
+// concurrent workers feeding the same span.
+func (s *Span) AddInt(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.setIntLocked(key, delta, true)
+	s.tr.mu.Unlock()
+}
+
+// SetStr records a string attribute on the span.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	for i := range s.sattrs {
+		if s.sattrs[i].Key == key {
+			s.cowLocked()
+			s.sattrs[i].Val = v
+			s.tr.mu.Unlock()
+			return
+		}
+	}
+	s.sattrs = append(s.sattrs, StrAttr{Key: key, Val: v})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span. Idempotent; spans still open when the trace is
+// finished are closed at the trace end time, so early returns in
+// instrumented code never leak unterminated spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.tr.start)
+	s.tr.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.end = now
+	}
+	s.tr.mu.Unlock()
+}
+
+// Finish closes every open span and returns the immutable wire form.
+func (t *Trace) Finish() *TraceData {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	td := &TraceData{Spans: make([]SpanData, len(t.spans))}
+	for i, s := range t.spans {
+		end := s.end
+		if !s.done {
+			end = now
+		}
+		sd := SpanData{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartUS: s.start.Microseconds(),
+			DurUS:   (end - s.start).Microseconds(),
+		}
+		// Share the attribute slices instead of copying: the span
+		// marks itself shared and copies on the next in-place update,
+		// so the snapshot stays immutable and Finish stays cheap.
+		if len(s.attrs) > 0 {
+			sd.Attrs = s.attrs
+			s.shared = true
+		}
+		if len(s.sattrs) > 0 {
+			sd.StrAttrs = s.sattrs
+			s.shared = true
+		}
+		td.Spans[i] = sd
+	}
+	return td
+}
+
+// Attr is one integer span attribute.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Attrs holds a span's integer attributes. It marshals as a JSON
+// object with sorted keys — byte-identical to the map form it
+// replaces — but is stored as a slice, which a handful of keys is
+// both faster to build and cheaper to snapshot.
+type Attrs []Attr
+
+// Get returns the named attribute, or 0 when absent.
+func (a Attrs) Get(key string) int64 {
+	for i := range a {
+		if a[i].Key == key {
+			return a[i].Val
+		}
+	}
+	return 0
+}
+
+// MarshalJSON renders the attributes as an object with sorted keys, the
+// deterministic wire form the trace endpoint serves.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	m := make(map[string]int64, len(a))
+	for _, kv := range a {
+		m[kv.Key] = kv.Val
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON accepts the object form and stores keys sorted.
+func (a *Attrs) UnmarshalJSON(b []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*a = (*a)[:0]
+	for _, k := range sortedKeys(m) {
+		*a = append(*a, Attr{Key: k, Val: m[k]})
+	}
+	return nil
+}
+
+// StrAttr is one string span attribute.
+type StrAttr struct {
+	Key string
+	Val string
+}
+
+// StrAttrs holds a span's string attributes; same representation
+// trade-off and wire form as Attrs.
+type StrAttrs []StrAttr
+
+// Get returns the named attribute, or "" when absent.
+func (a StrAttrs) Get(key string) string {
+	for i := range a {
+		if a[i].Key == key {
+			return a[i].Val
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the attributes as an object with sorted keys.
+func (a StrAttrs) MarshalJSON() ([]byte, error) {
+	m := make(map[string]string, len(a))
+	for _, kv := range a {
+		m[kv.Key] = kv.Val
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON accepts the object form and stores keys sorted.
+func (a *StrAttrs) UnmarshalJSON(b []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*a = (*a)[:0]
+	for _, k := range sortedKeys(m) {
+		*a = append(*a, StrAttr{Key: k, Val: m[k]})
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// SpanData is the serialized form of one span. Parent is -1 for the
+// root. Attributes marshal as objects with sorted keys, so the wire
+// form is deterministic for a given span tree.
+type SpanData struct {
+	ID       int      `json:"id"`
+	Parent   int      `json:"parent"`
+	Name     string   `json:"name"`
+	StartUS  int64    `json:"start_us"`
+	DurUS    int64    `json:"dur_us"`
+	Attrs    Attrs    `json:"attrs,omitempty"`
+	StrAttrs StrAttrs `json:"str_attrs,omitempty"`
+}
+
+// Int returns the named integer attribute, or 0.
+func (s SpanData) Int(key string) int64 { return s.Attrs.Get(key) }
+
+// Str returns the named string attribute, or "".
+func (s SpanData) Str(key string) string { return s.StrAttrs.Get(key) }
+
+// TraceData is the canonical wire form of a finished trace: spans in
+// creation order, root first.
+type TraceData struct {
+	Spans []SpanData `json:"spans"`
+}
+
+// ByName returns all spans with the given name, in creation order.
+func (td *TraceData) ByName(name string) []SpanData {
+	if td == nil {
+		return nil
+	}
+	var out []SpanData
+	for _, s := range td.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Children returns the spans whose parent is the given span ID.
+func (td *TraceData) Children(id int) []SpanData {
+	if td == nil {
+		return nil
+	}
+	var out []SpanData
+	for _, s := range td.Spans {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ChromeTrace renders the trace in Chrome trace-event JSON ("X"
+// complete events), loadable in chrome://tracing or Perfetto. Span
+// depth in the tree is mapped to the tid column so nesting renders as
+// stacked tracks.
+func (td *TraceData) ChromeTrace() []byte {
+	type event struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	depth := make(map[int]int, len(td.Spans))
+	evs := make([]event, 0, len(td.Spans))
+	for _, s := range td.Spans {
+		d := 0
+		if s.Parent >= 0 {
+			d = depth[s.Parent] + 1
+		}
+		depth[s.ID] = d
+		ev := event{Name: s.Name, Ph: "X", TS: s.StartUS, Dur: s.DurUS, PID: 1, TID: d + 1}
+		if len(s.Attrs) > 0 || len(s.StrAttrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs)+len(s.StrAttrs))
+			for _, kv := range s.Attrs {
+				ev.Args[kv.Key] = kv.Val
+			}
+			for _, kv := range s.StrAttrs {
+				ev.Args[kv.Key] = kv.Val
+			}
+		}
+		evs = append(evs, ev)
+	}
+	b, _ := json.Marshal(struct {
+		TraceEvents []event `json:"traceEvents"`
+	}{evs})
+	return b
+}
+
+// Summary renders a one-line-per-span indented tree — the shape the
+// slow-analysis log writes to stderr.
+func (td *TraceData) Summary() string {
+	if td == nil {
+		return ""
+	}
+	depth := make(map[int]int, len(td.Spans))
+	var out []byte
+	for _, s := range td.Spans {
+		d := 0
+		if s.Parent >= 0 {
+			d = depth[s.Parent] + 1
+		}
+		depth[s.ID] = d
+		for i := 0; i < d; i++ {
+			out = append(out, ' ', ' ')
+		}
+		out = append(out, fmt.Sprintf("%s %.3fms", s.Name, float64(s.DurUS)/1000)...)
+		if len(s.Attrs) > 0 {
+			b, _ := json.Marshal(s.Attrs)
+			out = append(out, ' ')
+			out = append(out, b...)
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// DepthBands lists every band DepthBand can return, in ascending depth
+// order — the iteration order for per-band metric series.
+var DepthBands = []string{"0-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+
+// DepthBand buckets a search depth into the coarse bands used for
+// pprof labels and the per-depth solver-time histogram.
+func DepthBand(depth int) string {
+	switch {
+	case depth <= 4:
+		return "0-4"
+	case depth <= 8:
+		return "5-8"
+	case depth <= 16:
+		return "9-16"
+	case depth <= 32:
+		return "17-32"
+	case depth <= 64:
+		return "33-64"
+	default:
+		return "65+"
+	}
+}

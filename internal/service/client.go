@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"res/internal/obs"
 )
 
 // Client talks to a resd daemon over its HTTP JSON API. The zero
@@ -226,6 +228,17 @@ func (c *Client) WatchResult(ctx context.Context, id string, fn func(ProgressEve
 	// timeout): fall back to polling so the returned snapshot is still
 	// final, as documented.
 	return c.PollResult(ctx, id, 250*time.Millisecond)
+}
+
+// Trace fetches a finished job's analysis span tree
+// (GET /v1/jobs/{id}/trace). Jobs served from cache never ran an
+// analysis and have no trace; those return an error.
+func (c *Client) Trace(ctx context.Context, id string) (*obs.TraceData, error) {
+	var td obs.TraceData
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &td); err != nil {
+		return nil, err
+	}
+	return &td, nil
 }
 
 // Buckets fetches the crash-dedup buckets.

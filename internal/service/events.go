@@ -1,17 +1,20 @@
 package service
 
 import (
+	"sync/atomic"
+
 	"res"
 )
 
 // ProgressEvent is one entry of a job's progress stream (the NDJSON
 // lines of GET /v1/jobs/{id}/events): a bridged search event from the
-// analysis session, or the terminal "status" marker that ends the
-// stream. Node-level events are deliberately not bridged — one line per
-// backward-step attempt would swamp the wire; depth advances, feasible
-// suffixes, and the periodic solver heartbeat carry the signal.
+// analysis session, a "dropped" gap marker, or the terminal "status"
+// marker that ends the stream. Node-level events are deliberately not
+// bridged — one line per backward-step attempt would swamp the wire;
+// depth advances, feasible suffixes, and the periodic solver heartbeat
+// carry the signal.
 type ProgressEvent struct {
-	// Kind is "depth", "suffix", "solver", or "status".
+	// Kind is "depth", "suffix", "solver", "dropped", or "status".
 	Kind string `json:"kind"`
 	// Depth is the suffix depth the event concerns.
 	Depth int `json:"depth,omitempty"`
@@ -20,16 +23,23 @@ type ProgressEvent struct {
 	Attempts    int `json:"attempts,omitempty"`
 	Feasible    int `json:"feasible,omitempty"`
 	SolverCalls int `json:"solver_calls,omitempty"`
+	// Dropped, set on "dropped" records only, is how many events this
+	// watcher lost to slow-consumer drops since its last delivered
+	// event — the stream's gaps are marked, never silent. The wire shape
+	// is {"kind":"dropped","n":N}.
+	Dropped uint64 `json:"n,omitempty"`
 	// Status is the job's terminal status, set on the final "status"
 	// event only.
 	Status Status `json:"status,omitempty"`
 }
 
 // progressSub is one watcher of a job's progress stream. The channel is
-// buffered; a watcher that falls behind loses intermediate events (the
-// terminal status event still closes the stream).
+// buffered; a watcher that falls behind loses intermediate events, and
+// the loss is surfaced: dropped accumulates the gap, and the next event
+// that fits is preceded by a "dropped" record carrying the count.
 type progressSub struct {
-	ch chan ProgressEvent
+	ch      chan ProgressEvent
+	dropped atomic.Uint64
 }
 
 // subscriberBuffer bounds each watcher's in-flight events.
@@ -63,9 +73,24 @@ func (s *Service) publish(js *jobState, ev res.Event) {
 	subs := append([]*progressSub(nil), js.subs...)
 	s.mu.Unlock()
 	for _, sub := range subs {
+		if n := sub.dropped.Load(); n > 0 {
+			// Mark the gap before resuming the stream. If even the gap
+			// record does not fit, the gap just grew — and this event is
+			// part of it.
+			select {
+			case sub.ch <- ProgressEvent{Kind: "dropped", Dropped: n}:
+				sub.dropped.Store(0)
+			default:
+				sub.dropped.Add(1)
+				s.eventsDropped.Add(1)
+				continue
+			}
+		}
 		select {
 		case sub.ch <- pe:
 		default:
+			sub.dropped.Add(1)
+			s.eventsDropped.Add(1)
 		}
 	}
 }

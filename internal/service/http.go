@@ -3,10 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
+
+	"res/internal/obs"
 )
 
 // SubmitRequest is the POST /v1/dumps body. Either ProgramID names an
@@ -77,6 +76,8 @@ type errorResponse struct {
 //	                          429 queue full, 503 draining)
 //	GET  /v1/results/{id}     job status + report
 //	GET  /v1/jobs/{id}/events NDJSON stream of analysis progress events
+//	GET  /v1/jobs/{id}/trace  the analysis's span tree (?format=chrome
+//	                          for Chrome trace-event JSON)
 //	GET  /v1/buckets          crash-dedup buckets
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             Prometheus-style text metrics
@@ -87,6 +88,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/dumps/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/buckets", s.handleBuckets)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -263,6 +265,31 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobTrace serves a finished analysis's span tree: the canonical
+// wire form by default, Chrome trace-event JSON (loadable in
+// chrome://tracing or Perfetto) with ?format=chrome. Jobs that never
+// ran an analysis in this process — cache hits, journal-replayed or
+// evicted records — have no trace and return 404.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.Trace(id)
+	if !ok {
+		if _, exists := s.Job(id); exists {
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				Error: "no trace for job " + id + " (cached, replayed, or not yet finished)"})
+		} else {
+			writeError(w, ErrUnknownJob)
+		}
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(tr.ChromeTrace())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
 func (s *Service) handleBuckets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Buckets []Bucket `json:"buckets"`
@@ -282,64 +309,10 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}{Status: status})
 }
 
-// handleMetrics renders the snapshot in the Prometheus text exposition
-// format (gauges and counters only, no external dependency).
+// handleMetrics renders MetricsSnapshot in the Prometheus text
+// exposition format (counters, gauges, and histograms — still no
+// external dependency).
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.Metrics()
-	var b strings.Builder
-	emit := func(name, typ, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
-	}
-	const gauge, counter = "gauge", "counter"
-	emit("resd_queue_depth", gauge, "Dumps queued across all shards.", float64(m.QueueDepth))
-	emit("resd_submitted_total", counter, "Dumps accepted (fresh, cached, or coalesced).", float64(m.Submitted))
-	emit("resd_completed_total", counter, "Analyses finished successfully.", float64(m.Completed))
-	emit("resd_failed_total", counter, "Analyses that failed.", float64(m.Failed))
-	emit("resd_canceled_total", counter, "Jobs canceled during drain.", float64(m.Canceled))
-	emit("resd_rejected_total", counter, "Submissions rejected by backpressure.", float64(m.Rejected))
-	emit("resd_coalesced_total", counter, "Duplicate submissions merged onto in-flight jobs.", float64(m.Coalesced))
-	emit("resd_cache_hits_total", counter, "Submissions served from the result store.", float64(m.CacheHits))
-	emit("resd_cache_misses_total", counter, "Submissions that required fresh analysis.", float64(m.CacheMisses))
-	emit("resd_cache_hit_rate", gauge, "cache_hits / (cache_hits + cache_misses).", m.CacheHitRate)
-	emit("resd_store_entries", gauge, "Result-store memory-tier population.", float64(m.Store.Entries))
-	emit("resd_store_disk_hits_total", counter, "Store gets answered by the disk tier.", float64(m.Store.DiskHits))
-	emit("resd_store_evictions_total", counter, "LRU evictions from the store memory tier.", float64(m.Store.Evictions))
-	emit("resd_buckets", gauge, "Distinct crash-dedup buckets.", float64(m.Buckets))
-	emit("resd_programs", gauge, "Registered program shards.", float64(m.Programs))
-	emit("resd_jobs", gauge, "Job records retained in memory.", float64(m.Jobs))
-	emit("resd_jobs_evicted_total", counter, "Terminal job records evicted by the MaxJobs/JobRetention bounds.", float64(m.JobsEvicted))
-	emit("resd_jobs_retried_total", counter, "Failed analyses re-queued by the retry policy.", float64(m.Retried))
-	emit("resd_evidence_attached_total", counter, "Accepted submissions carrying an evidence attachment.", float64(m.EvidenceAttached))
-	{
-		name := "resd_evidence_sources_total"
-		fmt.Fprintf(&b, "# HELP %s Evidence sources attached to accepted submissions, per kind.\n# TYPE %s counter\n", name, name)
-		kinds := make([]string, 0, len(m.EvidenceSources))
-		for k := range m.EvidenceSources {
-			kinds = append(kinds, k)
-		}
-		sort.Strings(kinds)
-		for _, k := range kinds {
-			fmt.Fprintf(&b, "%s{kind=%q} %d\n", name, k, m.EvidenceSources[k])
-		}
-	}
-	emit("resd_checkpoint_attached_total", counter, "Accepted submissions carrying a checkpoint-ring attachment.", float64(m.CheckpointAttached))
-	emit("resd_checkpoint_anchored_total", counter, "Completed analyses anchored on a recorded checkpoint.", float64(m.CheckpointAnchored))
-	emit("resd_store_replica_hits_total", counter, "Store gets answered by the cluster read-through fetch.", float64(m.Store.ReplicaHits))
-	emit("resd_journal_appends_total", counter, "Entries appended to the job journal.", float64(m.Journal.Appends))
-	emit("resd_journal_compactions_total", counter, "Journal compactions into a snapshot.", float64(m.Journal.Compactions))
-	emit("resd_journal_replayed", gauge, "Journal entries replayed at startup.", float64(m.JournalReplayed))
-	shardVec := func(name, typ, help string, v func(ShardMetrics) float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, sh := range m.Shards {
-			fmt.Fprintf(&b, "%s{program=%q,name=%q} %g\n", name, sh.Program, sh.Name, v(sh))
-		}
-	}
-	shardVec("resd_shard_queue_depth", gauge, "Dumps queued per program shard.",
-		func(sh ShardMetrics) float64 { return float64(sh.QueueDepth) })
-	shardVec("resd_shard_submitted_total", counter, "Dumps accepted per program shard.",
-		func(sh ShardMetrics) float64 { return float64(sh.Submitted) })
-	shardVec("resd_shard_cached_total", counter, "Cache-hit responses per program shard.",
-		func(sh ShardMetrics) float64 { return float64(sh.Cached) })
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	w.Write([]byte(b.String()))
+	obs.WriteProm(w, s.MetricsSnapshot())
 }

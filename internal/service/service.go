@@ -21,14 +21,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"res"
 	"res/internal/checkpoint"
 	"res/internal/evidence"
+	"res/internal/obs"
 	"res/internal/store"
 )
 
@@ -151,6 +155,11 @@ type Config struct {
 	// entries it is compacted into a single snapshot (and mirrored into
 	// the store's disk tier when one exists). 0 = DefaultJournalCompactEvery.
 	JournalCompactEvery int
+	// SlowThreshold, when > 0, logs a span-tree summary to the standard
+	// logger for every analysis whose wall time meets it — the
+	// slow-analysis log. Tracing is always on inside the service, so no
+	// other configuration is needed.
+	SlowThreshold time.Duration
 
 	// BeforeAnalyze, when set, runs in the worker just before each
 	// analysis. Test-only: it lets lifecycle tests hold a worker busy
@@ -241,6 +250,11 @@ type jobState struct {
 	checkpoints *checkpoint.Ring // per-request checkpoint attachment, nil = none
 	retries     int
 	done        chan struct{}
+	// trace is the finished analysis's span tree, served by
+	// GET /v1/jobs/{id}/trace. Nil for cache hits (no analysis ran in
+	// this process) and replayed/evicted records. Guarded by the service
+	// mutex; immutable once set.
+	trace *obs.TraceData
 	// subs fan the job's analysis progress out to event-stream watchers;
 	// guarded by the service mutex.
 	subs []*progressSub
@@ -316,6 +330,21 @@ type Service struct {
 	// analyses that anchored their search on one of its checkpoints.
 	checkpointAttached uint64
 	checkpointAnchored uint64
+
+	// eventsDropped counts progress events lost to slow NDJSON watchers
+	// across all streams (resd_events_dropped_total). Atomic: drops are
+	// detected outside the service mutex, on the analyzing goroutine.
+	eventsDropped atomic.Uint64
+
+	// Latency histograms. All are created by New and never reassigned,
+	// so Observe/Snapshot need no locking beyond the histogram's own
+	// atomics. histSolver is keyed by obs.DepthBand band; histStoreOp by
+	// store operation ("get", "put").
+	histAnalysis  *obs.Histogram // end-to-end analysis wall time
+	histQueueWait *obs.Histogram // submit-to-start shard-queue wait
+	histBisect    *obs.Histogram // per-probe checkpoint-bisect replay
+	histSolver    map[string]*obs.Histogram
+	histStoreOp   map[string]*obs.Histogram
 }
 
 // doneRec is one entry of the eviction queue. The timestamp doubles as a
@@ -485,7 +514,24 @@ func New(cfg Config) *Service {
 		jobs:    make(map[string]*jobState),
 		buckets: make(map[string][]string),
 		sources: make(map[string]JournalProgram),
+
+		histAnalysis:  obs.NewHistogram(obs.LatencyBuckets),
+		histQueueWait: obs.NewHistogram(obs.LatencyBuckets),
+		histBisect:    obs.NewHistogram(obs.MicroBuckets),
+		histSolver:    make(map[string]*obs.Histogram, len(obs.DepthBands)),
+		histStoreOp: map[string]*obs.Histogram{
+			"get": obs.NewHistogram(obs.MicroBuckets),
+			"put": obs.NewHistogram(obs.MicroBuckets),
+		},
 	}
+	for _, band := range obs.DepthBands {
+		s.histSolver[band] = obs.NewHistogram(obs.MicroBuckets)
+	}
+	s.store.SetObserver(func(op string, d time.Duration) {
+		if h := s.histStoreOp[op]; h != nil {
+			h.Observe(d.Seconds())
+		}
+	})
 	if cfg.Journal != nil {
 		s.replayJournal()
 	}
@@ -964,9 +1010,12 @@ func (s *Service) run(sh *shard, js *jobState) {
 		})
 		return
 	}
+	start := time.Now()
 	s.mu.Lock()
 	js.job.Status = StatusRunning
+	submitted := js.job.SubmittedAt
 	s.mu.Unlock()
+	s.histQueueWait.Observe(start.Sub(submitted).Seconds())
 
 	if s.cfg.BeforeAnalyze != nil {
 		s.cfg.BeforeAnalyze()
@@ -1000,9 +1049,21 @@ func (s *Service) run(sh *shard, js *jobState) {
 	if js.checkpoints != nil {
 		aopts = append(aopts, res.WithCheckpoints(js.checkpoints))
 	}
+	// Tracing is always on inside the service: the span tree feeds the
+	// trace endpoint, the per-depth solver and bisect-replay histograms,
+	// and the slow-analysis log. The report itself stays byte-identical —
+	// the trace is detached before rendering below.
+	aopts = append(aopts, res.WithTrace(true))
 	// Bridge the session's search events to any progress watchers.
 	aopts = append(aopts, res.WithObserver(func(ev res.Event) { s.publish(js, ev) }))
-	r, err := sh.analyzer.Analyze(ctx, js.dump, aopts...)
+	var r *res.Result
+	var err error
+	// The pprof labels let a CPU profile attribute samples to the job and
+	// program under analysis (worker goroutines spawned by the search
+	// inherit them; the engine refines depth_band as the frontier deepens).
+	pprof.Do(ctx, pprof.Labels("job", js.job.ID, "program", sh.name), func(ctx context.Context) {
+		r, err = sh.analyzer.Analyze(ctx, js.dump, aopts...)
+	})
 	if r == nil {
 		if s.baseCtx.Err() == nil && s.maybeRetry(sh, js, err) {
 			return
@@ -1015,6 +1076,11 @@ func (s *Service) run(sh *shard, js *jobState) {
 		})
 		return
 	}
+	// Detach the trace before rendering: stored and cached reports must
+	// stay byte-deterministic, and the span tree (wall-clock timings) is
+	// served separately via GET /v1/jobs/{id}/trace.
+	tr := r.Trace
+	r.Trace = nil
 	rep, jerr := r.JSON()
 	if jerr != nil {
 		s.finish(sh, js, func(j *Job) {
@@ -1023,6 +1089,15 @@ func (s *Service) run(sh *shard, js *jobState) {
 		})
 		return
 	}
+	s.histAnalysis.Observe(r.Elapsed.Seconds())
+	s.observeTrace(tr)
+	if s.cfg.SlowThreshold > 0 && r.Elapsed >= s.cfg.SlowThreshold {
+		log.Printf("service: slow analysis job=%s program=%s elapsed=%s\n%s",
+			js.job.ID, sh.name, r.Elapsed.Round(time.Millisecond), tr.Summary())
+	}
+	s.mu.Lock()
+	js.trace = tr
+	s.mu.Unlock()
 	// Only complete, deterministic results enter the store: a partial
 	// (drained or timed-out) report depends on where the cut fell and
 	// must not be served to future submitters as the answer.
@@ -1042,6 +1117,41 @@ func (s *Service) run(sh *shard, js *jobState) {
 		j.Bucket = bucket
 		j.Error = "" // clear any transient error surfaced between retries
 	})
+}
+
+// observeTrace feeds the histograms that derive from the span tree
+// rather than from in-line timers: per-depth-band solver time from the
+// "depth" spans and bisect replay time from the "verify" probes.
+func (s *Service) observeTrace(tr *obs.TraceData) {
+	if tr == nil {
+		return
+	}
+	for _, sp := range tr.Spans {
+		switch sp.Name {
+		case "depth":
+			if ns := sp.Int("solver_ns"); ns > 0 {
+				if h := s.histSolver[obs.DepthBand(int(sp.Int("depth")))]; h != nil {
+					h.Observe(float64(ns) / 1e9)
+				}
+			}
+		case "verify":
+			s.histBisect.Observe(float64(sp.Int("replay_ns")) / 1e9)
+		}
+	}
+}
+
+// Trace returns the finished analysis's span tree. The boolean is false
+// when the job is unknown, not yet finished, or has no trace — a cache
+// hit, a journal-replayed record, or an evicted one (the trace lives
+// only in the analyzing process's memory, never in the store).
+func (s *Service) Trace(id string) (*obs.TraceData, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok || js.trace == nil {
+		return nil, false
+	}
+	return js.trace, true
 }
 
 // finish applies the terminal mutation, updates counters and buckets,
@@ -1082,6 +1192,15 @@ func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	// of undrained progress events sacrifices one of them for it.
 	final := ProgressEvent{Kind: "status", Status: status}
 	for _, sub := range subs {
+		if n := sub.dropped.Load(); n > 0 {
+			// Best-effort gap marker before the stream closes; a full
+			// buffer keeps the loss visible via resd_events_dropped_total.
+			select {
+			case sub.ch <- ProgressEvent{Kind: "dropped", Dropped: n}:
+				sub.dropped.Store(0)
+			default:
+			}
+		}
 		select {
 		case sub.ch <- final:
 		default:
@@ -1272,6 +1391,83 @@ func (s *Service) Metrics() Metrics {
 		m.Journal = s.cfg.Journal.Stats()
 	}
 	return m
+}
+
+// MetricsSnapshot renders every service metric as an obs.Snapshot —
+// the single source of truth behind GET /metrics (Prometheus text via
+// obs.WriteProm) and cluster federation (obs.NodeSnapshot JSON, merged
+// by GET /v1/cluster/metrics).
+func (s *Service) MetricsSnapshot() obs.Snapshot {
+	m := s.Metrics()
+	snap := obs.Snapshot{
+		obs.Gauge("resd_queue_depth", "Dumps queued across all shards.", float64(m.QueueDepth)),
+		obs.Counter("resd_submitted_total", "Dumps accepted (fresh, cached, or coalesced).", float64(m.Submitted)),
+		obs.Counter("resd_completed_total", "Analyses finished successfully.", float64(m.Completed)),
+		obs.Counter("resd_failed_total", "Analyses that failed.", float64(m.Failed)),
+		obs.Counter("resd_canceled_total", "Jobs canceled during drain.", float64(m.Canceled)),
+		obs.Counter("resd_rejected_total", "Submissions rejected by backpressure.", float64(m.Rejected)),
+		obs.Counter("resd_coalesced_total", "Duplicate submissions merged onto in-flight jobs.", float64(m.Coalesced)),
+		obs.Counter("resd_cache_hits_total", "Submissions served from the result store.", float64(m.CacheHits)),
+		obs.Counter("resd_cache_misses_total", "Submissions that required fresh analysis.", float64(m.CacheMisses)),
+		obs.Gauge("resd_cache_hit_rate", "cache_hits / (cache_hits + cache_misses).", m.CacheHitRate),
+		obs.Gauge("resd_store_entries", "Result-store memory-tier population.", float64(m.Store.Entries)),
+		obs.Counter("resd_store_disk_hits_total", "Store gets answered by the disk tier.", float64(m.Store.DiskHits)),
+		obs.Counter("resd_store_evictions_total", "LRU evictions from the store memory tier.", float64(m.Store.Evictions)),
+		obs.Gauge("resd_buckets", "Distinct crash-dedup buckets.", float64(m.Buckets)),
+		obs.Gauge("resd_programs", "Registered program shards.", float64(m.Programs)),
+		obs.Gauge("resd_jobs", "Job records retained in memory.", float64(m.Jobs)),
+		obs.Counter("resd_jobs_evicted_total", "Terminal job records evicted by the MaxJobs/JobRetention bounds.", float64(m.JobsEvicted)),
+		obs.Counter("resd_jobs_retried_total", "Failed analyses re-queued by the retry policy.", float64(m.Retried)),
+		obs.Counter("resd_evidence_attached_total", "Accepted submissions carrying an evidence attachment.", float64(m.EvidenceAttached)),
+	}
+	kinds := make([]string, 0, len(m.EvidenceSources))
+	for k := range m.EvidenceSources {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		snap = append(snap, obs.Counter("resd_evidence_sources_total",
+			"Evidence sources attached to accepted submissions, per kind.",
+			float64(m.EvidenceSources[k])).With("kind", k))
+	}
+	snap = append(snap,
+		obs.Counter("resd_checkpoint_attached_total", "Accepted submissions carrying a checkpoint-ring attachment.", float64(m.CheckpointAttached)),
+		obs.Counter("resd_checkpoint_anchored_total", "Completed analyses anchored on a recorded checkpoint.", float64(m.CheckpointAnchored)),
+		obs.Counter("resd_store_replica_hits_total", "Store gets answered by the cluster read-through fetch.", float64(m.Store.ReplicaHits)),
+		obs.Counter("resd_journal_appends_total", "Entries appended to the job journal.", float64(m.Journal.Appends)),
+		obs.Counter("resd_journal_compactions_total", "Journal compactions into a snapshot.", float64(m.Journal.Compactions)),
+		obs.Gauge("resd_journal_replayed", "Journal entries replayed at startup.", float64(m.JournalReplayed)),
+		obs.Counter("resd_events_dropped_total", "Progress events dropped by slow NDJSON watchers.", float64(s.eventsDropped.Load())),
+		obs.Gauge("resd_build_info", "Build metadata; the value is always 1.", 1).
+			With("version", obs.Version, "go_version", runtime.Version()),
+		obs.HistogramMetric("resd_analysis_seconds", "End-to-end analysis wall time.", s.histAnalysis.Snapshot()),
+		obs.HistogramMetric("resd_queue_wait_seconds", "Time a job waited on its shard queue before analysis started.", s.histQueueWait.Snapshot()),
+	)
+	for _, band := range obs.DepthBands {
+		snap = append(snap, obs.HistogramMetric("resd_solver_depth_seconds",
+			"Solver time per frontier depth, banded by depth.",
+			s.histSolver[band].Snapshot()).With("depth_band", band))
+	}
+	snap = append(snap, obs.HistogramMetric("resd_bisect_replay_seconds",
+		"Forward-replay time per checkpoint-bisect verification probe.", s.histBisect.Snapshot()))
+	for _, op := range []string{"get", "put"} {
+		snap = append(snap, obs.HistogramMetric("resd_store_op_seconds",
+			"Result-store operation latency, per operation.",
+			s.histStoreOp[op].Snapshot()).With("op", op))
+	}
+	for _, sh := range m.Shards {
+		snap = append(snap, obs.Gauge("resd_shard_queue_depth", "Dumps queued per program shard.",
+			float64(sh.QueueDepth)).With("program", sh.Program, "name", sh.Name))
+	}
+	for _, sh := range m.Shards {
+		snap = append(snap, obs.Counter("resd_shard_submitted_total", "Dumps accepted per program shard.",
+			float64(sh.Submitted)).With("program", sh.Program, "name", sh.Name))
+	}
+	for _, sh := range m.Shards {
+		snap = append(snap, obs.Counter("resd_shard_cached_total", "Cache-hit responses per program shard.",
+			float64(sh.Cached)).With("program", sh.Program, "name", sh.Name))
+	}
+	return snap
 }
 
 // Shutdown drains the service: new submissions are rejected with

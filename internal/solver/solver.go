@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"res/internal/symx"
 )
@@ -128,6 +129,14 @@ type Options struct {
 	// less complete. This is how context cancellation reaches the deepest
 	// loops of an analysis.
 	Interrupt func() bool
+	// Observe, when non-nil, is invoked once per top-level solver
+	// decision (Check, Session.CheckWith, Session.Extend) with the wall
+	// time the decision took and its verdict. It is the observability
+	// hook: the search engine wires it to its trace spans. Observers are
+	// called from whatever goroutine runs the check and must be
+	// concurrency-safe and fast. A nil Observe costs nothing — not even
+	// a clock read.
+	Observe func(d time.Duration, v Verdict)
 }
 
 // DefaultOptions returns the tuning used throughout the repo.
@@ -169,6 +178,10 @@ func (o Options) normalize() Options {
 // Check decides the conjunction of cs. Zero-valued option fields take the
 // package defaults, so Check(cs, Options{}) is meaningful.
 func Check(cs []Constraint, opt Options) Result {
+	var t0 time.Time
+	if opt.Observe != nil {
+		t0 = time.Now()
+	}
 	s := &state{
 		opt:       opt.normalize(),
 		bindings:  make(map[symx.Var]int64),
@@ -178,7 +191,11 @@ func Check(cs []Constraint, opt Options) Result {
 	for _, c := range cs {
 		s.pending = append(s.pending, c)
 	}
-	return finishResult(s, s.solve(), cs)
+	res := finishResult(s, s.solve(), cs)
+	if opt.Observe != nil {
+		opt.Observe(time.Since(t0), res.Verdict)
+	}
+	return res
 }
 
 // finishResult attaches the forced bindings and applies the model safety
@@ -281,11 +298,18 @@ func (s *Session) extend(added []Constraint, opt Options, keep bool) (Result, *S
 		// The base was already contradictory; nothing added can fix it.
 		return Result{Verdict: Unsat, Reason: s.reason}, s
 	}
+	var t0 time.Time
+	if opt.Observe != nil {
+		t0 = time.Now()
+	}
 	st := s.st.clone()
 	st.opt = opt.normalize()
 	recheck := append(append([]Constraint(nil), st.pending...), added...)
 	st.pending = append(st.pending, added...)
 	res := finishResult(st, st.solve(), recheck)
+	if opt.Observe != nil {
+		opt.Observe(time.Since(t0), res.Verdict)
+	}
 	if !keep {
 		return res, nil
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Store is a two-tier content-addressed store. The memory tier is a
@@ -30,6 +31,12 @@ type Store struct {
 	// local tiers accept a Put; fetch runs after both local tiers miss.
 	onPut func(Key, []byte)
 	fetch func(Key) ([]byte, bool)
+
+	// observer, when set, is invoked after every public Get/Put with the
+	// operation name ("get", "put") and its wall time — the service wires
+	// it to the resd_store_op_seconds histogram. Must be fast and
+	// non-blocking; it runs on the caller's goroutine.
+	observer func(op string, d time.Duration)
 }
 
 type entry struct {
@@ -95,6 +102,16 @@ func (s *Store) SetReplication(onPut func(Key, []byte), fetch func(Key) ([]byte,
 	s.mu.Unlock()
 }
 
+// SetObserver installs the op-latency observer (nil clears it). Only
+// the public Get/Put entry points are observed: replication-internal
+// reads and writes (GetLocal, PutLocal, GetByID) would double-count the
+// operation that triggered them.
+func (s *Store) SetObserver(fn func(op string, d time.Duration)) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
 // NewDisk creates a store whose memory tier spills nothing but whose disk
 // tier under dir retains every artifact; dir is created if missing.
 func NewDisk(capacity int, dir string) (*Store, error) {
@@ -111,6 +128,12 @@ func NewDisk(capacity int, dir string) (*Store, error) {
 // cluster fetch. The boolean reports whether it was found; the returned
 // slice is the caller's to keep (it is never mutated by the store).
 func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	fn := s.observer
+	s.mu.Unlock()
+	if fn != nil {
+		defer func(t0 time.Time) { fn("get", time.Since(t0)) }(time.Now())
+	}
 	if data, ok := s.getLocal(k); ok {
 		return data, true
 	}
@@ -214,6 +237,12 @@ func (s *Store) miss() {
 // existing key replaces the previous value (content-addressed keys make
 // that a no-op in practice).
 func (s *Store) Put(k Key, data []byte) error {
+	s.mu.Lock()
+	fn := s.observer
+	s.mu.Unlock()
+	if fn != nil {
+		defer func(t0 time.Time) { fn("put", time.Since(t0)) }(time.Now())
+	}
 	err := s.PutLocal(k, data)
 	s.mu.Lock()
 	onPut := s.onPut

@@ -1,12 +1,16 @@
 package res
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"res/internal/obs"
+)
 
 // ReportJSON is the machine-readable analysis artifact: a deterministic,
 // stable-schema rendering of a Result for downstream consumers (triage
 // pipelines, dashboards, agents). Two analyses of the same dump with the
 // same configuration produce byte-identical reports except for
-// elapsed_ms.
+// elapsed_ms and, when tracing is on, trace.
 type ReportJSON struct {
 	// Verdict is "root-cause", "hardware-suspect", or "no-cause".
 	Verdict string `json:"verdict"`
@@ -37,6 +41,10 @@ type ReportJSON struct {
 	// ElapsedMS is the wall-clock analysis time in milliseconds (the one
 	// nondeterministic field).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the analysis's span tree when tracing was on (WithTrace).
+	// Like ElapsedMS it carries wall-clock timings, so it is excluded
+	// from the byte-determinism guarantee.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // CauseJSON is the JSON shape of a root cause.
@@ -130,6 +138,7 @@ func (r *Result) JSONReport() *ReportJSON {
 	if a := r.CheckpointAnchor; a != nil {
 		rep.CheckpointAnchor = &CheckpointAnchorJSON{Step: a.Step, Depth: a.Depth, Verified: a.Verified}
 	}
+	rep.Trace = r.Trace
 	rep.ReplayMatches = r.Replay != nil && r.Replay.Matches
 	if r.Report != nil {
 		s := r.Report.Stats

@@ -50,6 +50,7 @@ import (
 	"res/internal/core"
 	"res/internal/coredump"
 	"res/internal/evidence"
+	"res/internal/obs"
 	"res/internal/prog"
 	"res/internal/replay"
 	"res/internal/rootcause"
@@ -250,7 +251,18 @@ type Result struct {
 	Partial bool
 	// Elapsed is the wall-clock analysis time.
 	Elapsed time.Duration
+	// Trace is the analysis's observability span tree (WithTrace):
+	// evidence compilation, checkpoint bisection probes, every search
+	// depth, and cause extraction, each with wall-clock timings. Nil
+	// when tracing was off. Like Elapsed, the trace carries timings and
+	// is excluded from the report-determinism guarantee.
+	Trace *obs.TraceData
 }
+
+// AnalysisTrace is the wire form of an analysis's observability span
+// tree (see WithTrace): spans in creation order, root first, with
+// Chrome trace-event export via its ChromeTrace method.
+type AnalysisTrace = obs.TraceData
 
 // Analyze is the one-shot form of Analyzer.Analyze: it builds a throwaway
 // session for p and analyzes d with no cancellation.
