@@ -11,6 +11,9 @@
 //	     [-cache-entries 4096] [-cache-dir /var/lib/resd]
 //	     [-jobs-cap 65536] [-jobs-ttl 0] [-retries 2] [-journal path]
 //	     [-peers url,url,...] [-advertise url] [-replicas 2]
+//	     [-repair-interval 0] [-breaker-threshold 3] [-breaker-cooldown 2s]
+//	     [-max-body-mb 256] [-spool-dir dir]
+//	     [-fault-spec seam:kind:prob,...] [-fault-seed 1]
 //	     [-pprof] [-slow-analysis 5s] [-drain-timeout 30s]
 //
 // API (JSON):
@@ -62,6 +65,7 @@ import (
 
 	"res/internal/cli"
 	"res/internal/cluster"
+	"res/internal/fault"
 	"res/internal/service"
 	"res/internal/store"
 )
@@ -92,6 +96,13 @@ func main() {
 		replicas     = flag.Int("replicas", cluster.DefaultReplicas, "nodes (owner included) holding each completed result/dump blob")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		slowAnalysis = flag.Duration("slow-analysis", 0, "log a span-tree summary to stderr for analyses at least this slow (0 = off)")
+		maxBodyMB    = flag.Int64("max-body-mb", 0, "request-body cap in MiB for submissions and routing (0 = 256)")
+		repairEvery  = flag.Duration("repair-interval", 0, "anti-entropy sweep period in cluster mode (0 = off; POST /internal/v1/repair always works)")
+		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive peer failures that open its circuit breaker (0 = 3)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open trial (0 = 2s)")
+		spoolDir     = flag.String("spool-dir", "", "directory for spooling oversized routed bodies (empty = system temp)")
+		faultSpec    = flag.String("fault-spec", "", "chaos-testing fault injection: comma-separated seam:kind:prob[:delay] rules (e.g. store:read-error:0.05)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "deterministic PRNG seed for -fault-spec")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -100,22 +111,30 @@ func main() {
 		return
 	}
 
+	faults, err := fault.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if faults != nil {
+		fmt.Fprintf(os.Stderr, "resd: CHAOS MODE: fault injection armed (%s, seed %d)\n", faults, *faultSeed)
+	}
+
 	var st *store.Store
 	if *cacheDir != "" {
-		var err error
 		if st, err = store.NewDisk(*cacheEntries, *cacheDir); err != nil {
 			cli.Fatal(err)
 		}
 	} else {
 		st = store.New(*cacheEntries)
 	}
+	st.SetFaults(faults)
 	var journal *service.Journal
 	if *journalPath != "" {
-		var err error
 		if journal, err = service.OpenJournal(*journalPath); err != nil {
 			cli.Fatal(err)
 		}
 		defer journal.Close()
+		journal.SetFaults(faults)
 	}
 	svc := service.New(service.Config{
 		Analysis: service.AnalysisConfig{
@@ -127,16 +146,18 @@ func main() {
 			MatchOutputs:       *outputs,
 			SearchParallelism:  *searchP,
 		},
-		QueueDepth:    *queue,
-		ShardWorkers:  *workers,
-		JobTimeout:    *jobTimeout,
-		Store:         st,
-		MaxJobs:       *jobsCap,
-		JobRetention:  *jobsTTL,
-		MaxRetries:    *retries,
-		RetryBackoff:  *retryBackoff,
-		Journal:       journal,
-		SlowThreshold: *slowAnalysis,
+		QueueDepth:     *queue,
+		ShardWorkers:   *workers,
+		JobTimeout:     *jobTimeout,
+		Store:          st,
+		MaxJobs:        *jobsCap,
+		JobRetention:   *jobsTTL,
+		MaxRetries:     *retries,
+		RetryBackoff:   *retryBackoff,
+		Journal:        journal,
+		SlowThreshold:  *slowAnalysis,
+		MaxRequestBody: *maxBodyMB << 20,
+		Faults:         faults,
 	})
 
 	handler := http.Handler(svc.Handler())
@@ -145,12 +166,17 @@ func main() {
 		if *advertise == "" {
 			cli.Fatal(errors.New("resd: -peers requires -advertise (this node's URL within the peer list)"))
 		}
-		var err error
 		node, err = cluster.New(cluster.Config{
-			Self:     *advertise,
-			Peers:    strings.Split(*peersFlag, ","),
-			Replicas: *replicas,
-			Service:  svc,
+			Self:             *advertise,
+			Peers:            strings.Split(*peersFlag, ","),
+			Replicas:         *replicas,
+			Service:          svc,
+			RepairInterval:   *repairEvery,
+			BreakerThreshold: *brkThreshold,
+			BreakerCooldown:  *brkCooldown,
+			SpoolDir:         *spoolDir,
+			MaxRouteBody:     *maxBodyMB << 20,
+			Faults:           faults,
 		})
 		if err != nil {
 			cli.Fatal(err)

@@ -97,15 +97,20 @@ func LoadDumpEvidence(path string) (*coredump.Dump, []byte, error) {
 // LoadDumpAttachments reads a coredump file in either the plain or the
 // attachment-container form and returns the dump together with its
 // evidence and checkpoint attachments' wire bytes (nil when the file
-// carries none).
+// carries none). A container whose attachment area is damaged degrades:
+// the dump still loads, the attachments are dropped with a warning on
+// stderr — a corrupt sidecar must not make the crash dump unreadable.
 func LoadDumpAttachments(path string) (d *coredump.Dump, evidence, checkpoints []byte, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	dumpBytes, att, err := coredump.DecodeAttached(b)
+	dumpBytes, att, warn, err := coredump.DecodeAttachedLenient(b)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if warn != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s: %s\n", path, warn)
 	}
 	d, err = coredump.Unmarshal(dumpBytes)
 	if err != nil {
@@ -116,15 +121,19 @@ func LoadDumpAttachments(path string) (d *coredump.Dump, evidence, checkpoints [
 
 // SplitDumpFile reads a coredump file and returns its raw dump bytes and
 // evidence and checkpoint attachment bytes without decoding the dump —
-// the shape remote submission ships over the wire.
+// the shape remote submission ships over the wire. Damaged attachment
+// areas degrade the same way LoadDumpAttachments does.
 func SplitDumpFile(path string) (dump, evidence, checkpoints []byte, err error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	dumpBytes, att, err := coredump.DecodeAttached(b)
+	dumpBytes, att, warn, err := coredump.DecodeAttachedLenient(b)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if warn != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s: %s\n", path, warn)
 	}
 	return dumpBytes, att[coredump.EvidenceAttachment], att[coredump.CheckpointAttachment], nil
 }

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-peer circuit breaker layered under the health prober.
+// The prober's state machine is deliberately slow (it waits for
+// consecutive probe failures on the probe interval); the breaker reacts
+// to the request path itself — threshold consecutive failures against a
+// peer open its circuit immediately, and while open the router stops
+// offering that peer work instead of burning a timeout per attempt.
+//
+//	closed ──threshold fails──▶ open ──cooldown──▶ half-open ──ok──▶ closed
+//	                              ▲                    │fail
+//	                              └────────────────────┘
+//
+// Half-open admits exactly one trial request after the cooldown; its
+// outcome decides between closing and re-opening. Any successful
+// observation — including a background /healthz probe — closes the
+// circuit, so an open breaker can never strand a recovered peer.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*breakerPeer
+	trips uint64 // closed→open transitions, resd_cluster_breaker_open_total
+}
+
+type breakerPeer struct {
+	fails    int
+	open     bool
+	probing  bool // the half-open trial is in flight
+	openedAt time.Time
+}
+
+// defaultBreakerThreshold and defaultBreakerCooldown apply when the
+// Config fields are zero.
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 2 * time.Second
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		peers:     make(map[string]*breakerPeer),
+	}
+}
+
+// observe feeds one outcome for peer into the breaker. Wired as the
+// prober's observation hook, so every call site that reports a proxy,
+// replication, or probe outcome feeds the breaker for free.
+func (b *breaker) observe(peer string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bp := b.peers[peer]
+	if bp == nil {
+		bp = &breakerPeer{}
+		b.peers[peer] = bp
+	}
+	if ok {
+		bp.fails = 0
+		bp.open = false
+		bp.probing = false
+		return
+	}
+	bp.fails++
+	if bp.open {
+		// A failure while open re-arms the cooldown (the half-open trial
+		// failed, or a straggling in-flight request lost its race).
+		bp.openedAt = time.Now()
+		bp.probing = false
+		return
+	}
+	if bp.fails >= b.threshold {
+		bp.open = true
+		bp.probing = false
+		bp.openedAt = time.Now()
+		b.trips++
+	}
+}
+
+// allow reports whether the router may offer peer a request. An open
+// circuit admits a single half-open trial once the cooldown has passed.
+func (b *breaker) allow(peer string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bp := b.peers[peer]
+	if bp == nil || !bp.open {
+		return true
+	}
+	if bp.probing || time.Since(bp.openedAt) < b.cooldown {
+		return false
+	}
+	bp.probing = true
+	return true
+}
+
+// snapshot returns (circuits currently open, lifetime trips).
+func (b *breaker) snapshot() (open int, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, bp := range b.peers {
+		if bp.open {
+			open++
+		}
+	}
+	return open, b.trips
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"res"
+	"res/internal/fault"
 	"res/internal/obs"
 	"res/internal/service"
 	"res/internal/store"
@@ -53,6 +54,25 @@ type Config struct {
 	// half-dead peer must cost a bounded wait, not the client's full
 	// proxy timeout. 0 = DefaultReplicationTimeout.
 	ReplicationTimeout time.Duration
+	// RepairInterval is the anti-entropy sweep period. 0 disables the
+	// background loop (RepairNow still works on demand).
+	RepairInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker; 0 = 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects a peer before
+	// admitting a half-open trial; 0 = 2s.
+	BreakerCooldown time.Duration
+	// SpoolDir is where oversized request bodies spool to disk while
+	// crossing the router; "" = the system temp directory.
+	SpoolDir string
+	// MaxRouteBody bounds request bodies crossing the router; <= 0 means
+	// service.DefaultMaxRequestBody (mirroring the local service bound).
+	MaxRouteBody int64
+	// Faults, when set, injects transport faults (resets, black holes,
+	// mid-body cuts) into every intra-cluster HTTP call. Chaos-testing
+	// only; nil in production.
+	Faults *fault.Injector
 }
 
 // DefaultReplicas keeps every artifact on two nodes: lose any one disk
@@ -80,8 +100,11 @@ type Node struct {
 	svc      *service.Service
 	st       *store.Store
 	prober   *prober
+	brk      *breaker
 	hc       *http.Client
 	repTO    time.Duration
+	spoolDir string
+	maxBody  int64
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -92,10 +115,13 @@ type Node struct {
 	// assembly.
 	fpCache map[[sha256.Size]byte]string
 
-	proxied, failovers     uint64
-	replicaPuts, putErrors uint64
-	fetches, fetchMisses   uint64
-	served                 uint64 // internal store gets answered for peers
+	proxied, failovers                        uint64
+	replicaPuts, putErrors                    uint64
+	fetches, fetchMisses                      uint64
+	served                                    uint64 // internal store gets answered for peers
+	spooledBytes                              uint64 // bodies spilled to disk while routing
+	repairSweeps                              uint64
+	repairPulled, repairPushed, repairCorrupt uint64
 
 	// histProxy times each intra-cluster proxy hop (request relay plus
 	// the owning node's handling), the resd_cluster_proxy_seconds series.
@@ -134,9 +160,19 @@ func New(cfg Config) (*Node, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.Faults.Enabled(fault.SeamTransport) {
+		// Clone: the caller's client must not inherit the fault layer.
+		faulty := *hc
+		faulty.Transport = fault.Transport(hc.Transport, cfg.Faults)
+		hc = &faulty
+	}
 	repTO := cfg.ReplicationTimeout
 	if repTO <= 0 {
 		repTO = DefaultReplicationTimeout
+	}
+	maxBody := cfg.MaxRouteBody
+	if maxBody <= 0 {
+		maxBody = service.DefaultMaxRequestBody
 	}
 	n := &Node{
 		self:      normalizeURL(cfg.Self),
@@ -145,11 +181,17 @@ func New(cfg Config) (*Node, error) {
 		svc:       cfg.Service,
 		st:        cfg.Service.Store(),
 		prober:    newProber(normalizeURL(cfg.Self), peers, cfg.FailThreshold, cfg.RecoverThreshold),
+		brk:       newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		hc:        hc,
 		repTO:     repTO,
+		spoolDir:  cfg.SpoolDir,
+		maxBody:   maxBody,
 		fpCache:   make(map[[sha256.Size]byte]string),
 		histProxy: obs.NewHistogram(obs.MicroBuckets),
 	}
+	// Every health observation — active probe or passive report from the
+	// request path — also feeds the circuit breaker.
+	n.prober.onObserve = n.brk.observe
 	n.st.SetReplication(n.writeThrough, n.fetchFromPeers)
 	ctx, cancel := context.WithCancel(context.Background())
 	n.cancel = cancel
@@ -162,7 +204,20 @@ func New(cfg Config) (*Node, error) {
 		defer n.wg.Done()
 		n.prober.probeLoop(ctx, interval, hc)
 	}()
+	if cfg.RepairInterval > 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.repairLoop(ctx, cfg.RepairInterval)
+		}()
+	}
 	return n, nil
+}
+
+// routable combines both exclusion layers: the prober's health state
+// machine and the peer's circuit breaker.
+func (n *Node) routable(peer string) bool {
+	return n.prober.routable(peer) && (peer == n.self || n.brk.allow(peer))
 }
 
 // Close stops the health prober and detaches the replication tier (the
@@ -232,7 +287,7 @@ func (n *Node) writeThrough(k store.Key, data []byte) {
 		if peer == n.self {
 			continue
 		}
-		if !n.prober.routable(peer) {
+		if !n.routable(peer) {
 			continue // a down node pulls what it missed when it recovers
 		}
 		if err := n.pushArtifact(peer, k, data); err != nil {
@@ -343,7 +398,7 @@ func (n *Node) fetchFromPeers(k store.Key) ([]byte, bool) {
 	tried := make(map[string]bool, len(n.peers))
 	order := append(n.replicaSet(k), rank(n.peers, k.Program.String())...)
 	for _, peer := range order {
-		if peer == n.self || tried[peer] || !n.prober.routable(peer) {
+		if peer == n.self || tried[peer] || !n.routable(peer) {
 			continue
 		}
 		tried[peer] = true

@@ -204,6 +204,10 @@ type testCluster struct {
 	journals []*service.Journal
 	nodes    []*Node
 	dir      string
+	// clusterCfg, when set (from inside mkCfg, before the first boot),
+	// tweaks each node's cluster-layer Config — chaos tests use it to arm
+	// fault injectors and shorten breaker timings.
+	clusterCfg func(i int, cfg Config) Config
 }
 
 func startCluster(t *testing.T, n int, mkCfg func(tc *testCluster, i int) service.Config) *testCluster {
@@ -277,14 +281,18 @@ func (tc *testCluster) nodeConfig(i int) service.Config {
 func (tc *testCluster) boot(i int, cfg service.Config) {
 	tc.t.Helper()
 	tc.svcs[i] = service.New(cfg)
-	node, err := New(Config{
+	ncfg := Config{
 		Self:          tc.urls[i],
 		Peers:         tc.urls,
 		Replicas:      2,
 		Service:       tc.svcs[i],
 		ProbeInterval: 100 * time.Millisecond,
 		Client:        &http.Client{Timeout: 5 * time.Second},
-	})
+	}
+	if tc.clusterCfg != nil {
+		ncfg = tc.clusterCfg(i, ncfg)
+	}
+	node, err := New(ncfg)
 	if err != nil {
 		tc.t.Fatal(err)
 	}

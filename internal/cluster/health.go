@@ -64,6 +64,11 @@ type prober struct {
 	failAfter int // consecutive failures before suspect becomes down
 	okAfter   int // consecutive successes before recovering becomes healthy
 
+	// onObserve, when set, is called (outside the lock) with every
+	// observation — the hook that feeds the circuit breaker from all
+	// existing report sites without touching them.
+	onObserve func(peer string, ok bool)
+
 	mu    sync.Mutex
 	peers map[string]*peerHealth
 
@@ -95,6 +100,9 @@ func newProber(self string, peers []string, failAfter, okAfter int) *prober {
 // observe feeds one observation (probe result or passive report) into
 // the state machine.
 func (p *prober) observe(peer string, ok bool, errMsg string) {
+	if p.onObserve != nil {
+		defer p.onObserve(peer, ok)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ph, known := p.peers[peer]

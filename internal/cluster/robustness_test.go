@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---- circuit breaker ----
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond)
+	if !b.allow("p") {
+		t.Fatal("fresh peer rejected")
+	}
+	b.observe("p", false)
+	b.observe("p", false)
+	if !b.allow("p") {
+		t.Fatal("circuit opened below the threshold")
+	}
+	b.observe("p", false)
+	if b.allow("p") {
+		t.Fatal("circuit did not open at the threshold")
+	}
+	if open, trips := b.snapshot(); open != 1 || trips != 1 {
+		t.Fatalf("snapshot after trip = (%d open, %d trips), want (1, 1)", open, trips)
+	}
+
+	// Half-open: after the cooldown exactly one trial is admitted.
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow("p") {
+		t.Fatal("no half-open trial after the cooldown")
+	}
+	if b.allow("p") {
+		t.Fatal("second trial admitted while the first is in flight")
+	}
+	// The trial fails: the circuit re-arms its cooldown.
+	b.observe("p", false)
+	if b.allow("p") {
+		t.Fatal("failed trial did not re-open the circuit")
+	}
+	if _, trips := b.snapshot(); trips != 1 {
+		t.Fatalf("re-arming an open circuit counted as a new trip (%d)", trips)
+	}
+
+	// Next trial succeeds: fully closed, unlimited traffic.
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow("p") {
+		t.Fatal("no trial after the re-armed cooldown")
+	}
+	b.observe("p", true)
+	for i := 0; i < 3; i++ {
+		if !b.allow("p") {
+			t.Fatal("closed circuit rejecting traffic")
+		}
+	}
+	if open, _ := b.snapshot(); open != 0 {
+		t.Fatalf("%d circuits open after recovery, want 0", open)
+	}
+
+	// A success from anywhere (e.g. a background probe) closes an open
+	// circuit without waiting for the cooldown.
+	b.observe("p", false)
+	b.observe("p", false)
+	b.observe("p", false)
+	if b.allow("p") {
+		t.Fatal("circuit should be open again")
+	}
+	b.observe("p", true)
+	if !b.allow("p") {
+		t.Fatal("probe success did not close the open circuit")
+	}
+}
+
+// ---- disk spool ----
+
+func TestSpoolMemoryAndSpill(t *testing.T) {
+	dir := t.TempDir()
+
+	small := []byte("a small submission body")
+	sp, err := newSpool(bytes.NewReader(small), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if sp.spilled() || sp.Size() != int64(len(small)) {
+		t.Fatalf("small body: spilled=%v size=%d", sp.spilled(), sp.Size())
+	}
+	got, _ := io.ReadAll(sp.NewReader())
+	if !bytes.Equal(got, small) {
+		t.Fatal("small body round-trip mismatch")
+	}
+
+	// A body past the memory limit spills to a temp file; readers are
+	// independent (each starts at offset 0) and Close removes the file.
+	big := bytes.Repeat([]byte("0123456789abcdef"), (spoolMemLimit/16)+1024)
+	sp2, err := newSpool(bytes.NewReader(big), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp2.spilled() || sp2.Size() != int64(len(big)) {
+		t.Fatalf("big body: spilled=%v size=%d want %d", sp2.spilled(), sp2.Size(), len(big))
+	}
+	name := sp2.f.Name()
+	if _, err := os.Stat(name); err != nil {
+		t.Fatalf("spool file missing: %v", err)
+	}
+	r1, r2 := sp2.NewReader(), sp2.NewReader()
+	head := make([]byte, 1024)
+	if _, err := io.ReadFull(r1, head); err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(r2)
+	if err != nil || !bytes.Equal(all, big) {
+		t.Fatalf("second reader not independent/complete: %v", err)
+	}
+	rest, err := io.ReadAll(r1)
+	if err != nil || !bytes.Equal(append(head, rest...), big) {
+		t.Fatalf("first reader lost its offset: %v", err)
+	}
+	sp2.Close()
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("Close left the spool file behind: %v", err)
+	}
+}
+
+// ---- streaming submit-head parser ----
+
+// failAfterEOF errors on any Read: appended after a prefix it proves the
+// parser stopped inside the prefix.
+type failReader struct{}
+
+func (failReader) Read([]byte) (int, error) {
+	return 0, fmt.Errorf("parser read past the routing head")
+}
+
+func TestParseSubmitHeadEarlyExit(t *testing.T) {
+	// program_id first, then a dump field whose value lives past the fail
+	// point: the parser must stop at the dump key without touching the
+	// payload. The padding keeps the decoder's read-ahead buffer inside
+	// the safe prefix.
+	prefix := `{"program_id":"deadbeef","dump":"` + strings.Repeat("A", 64<<10)
+	h, err := parseSubmitHead(io.MultiReader(strings.NewReader(prefix), failReader{}))
+	if err != nil {
+		t.Fatalf("parser did not early-exit before the dump payload: %v", err)
+	}
+	if h.ProgramID != "deadbeef" {
+		t.Fatalf("head = %+v", h)
+	}
+
+	// Batch form routes on the same head: "dumps" triggers the same stop.
+	prefix = `{"program_source":"mov r0, 1","dumps":["` + strings.Repeat("B", 64<<10)
+	h, err = parseSubmitHead(io.MultiReader(strings.NewReader(prefix), failReader{}))
+	if err != nil || h.ProgramSource != "mov r0, 1" {
+		t.Fatalf("batch head = %+v, err = %v", h, err)
+	}
+}
+
+func TestParseSubmitHeadReorderedAndEdgeCases(t *testing.T) {
+	// A client that puts the dump first still routes — the parser skips
+	// the payload value and finds the program afterwards.
+	dump := base64.StdEncoding.EncodeToString(bytes.Repeat([]byte{0xAB}, 4096))
+	body := fmt.Sprintf(`{"dump":%q,"options":{"max_depth":5,"nested":[1,{"a":2}]},"program_id":"cafe"}`, dump)
+	h, err := parseSubmitHead(strings.NewReader(body))
+	if err != nil || h.ProgramID != "cafe" {
+		t.Fatalf("reordered head = %+v, err = %v", h, err)
+	}
+
+	// No program field at all: empty head, no error (fingerprint
+	// resolution rejects it later with a proper message).
+	h, err = parseSubmitHead(strings.NewReader(`{"dump":"xyz"}`))
+	if err != nil || h.ProgramID != "" || h.ProgramSource != "" {
+		t.Fatalf("program-less head = %+v, err = %v", h, err)
+	}
+
+	// Not an object: a clean parse error, not a panic.
+	if _, err := parseSubmitHead(strings.NewReader(`[1,2,3]`)); err == nil {
+		t.Fatal("array body accepted")
+	}
+	if _, err := parseSubmitHead(strings.NewReader(``)); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}

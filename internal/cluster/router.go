@@ -48,6 +48,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /internal/v1/metrics", n.handleNodeMetrics)
 	mux.HandleFunc("GET /internal/v1/store/{id}", n.handleStoreGet)
 	mux.HandleFunc("PUT /internal/v1/store/{id}", n.handleStorePut)
+	mux.HandleFunc("GET /internal/v1/store-index", n.handleStoreIndex)
+	mux.HandleFunc("POST /internal/v1/repair", n.handleRepair)
 	mux.Handle("/", local)
 	return mux
 }
@@ -76,29 +78,45 @@ func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
 	n.svc.Handler().ServeHTTP(w, r2)
 }
 
-// maxRouteBody mirrors the service's own request bound.
+// serveSpool replays a spooled request body into the local service.
+func (n *Node) serveSpool(w http.ResponseWriter, r *http.Request, sp *spool) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(sp.NewReader())
+	r2.ContentLength = sp.Size()
+	n.svc.Handler().ServeHTTP(w, r2)
+}
+
+// maxRouteBody mirrors the service's own request bound (small control
+// endpoints that never carry a dump keep this fixed cap).
 const maxRouteBody = 64 << 20
 
 // routeSubmit is the dump ingestion router, shared by the single and
 // batch endpoints (both route on the same program head fields): pick the
 // program's owner by rendezvous hash, serve locally if that is us,
 // otherwise proxy — failing over down the preference order past down or
-// unreachable nodes.
+// unreachable nodes. The body is spooled, not buffered: a big dump
+// spills to a temp file and streams to the owner, so the router's memory
+// cost per request is bounded regardless of dump size, and the spool's
+// rewind makes the body replayable for failover after a dead owner ate
+// the first attempt.
 func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+	sp, err := newSpool(http.MaxBytesReader(w, r.Body, n.maxBody), n.spoolDir)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	defer sp.Close()
+	if sp.spilled() {
+		n.mu.Lock()
+		n.spooledBytes += uint64(sp.Size())
+		n.mu.Unlock()
+	}
 	if forwarded(r) {
-		n.serveLocal(w, r, body)
+		n.serveSpool(w, r, sp)
 		return
 	}
-	var head struct {
-		ProgramID     string `json:"program_id"`
-		ProgramSource string `json:"program_source"`
-	}
-	if err := json.Unmarshal(body, &head); err != nil {
+	head, err := parseSubmitHead(sp.NewReader())
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -107,7 +125,95 @@ func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	n.routeToOwner(w, r, body, fp)
+	n.routeToOwner(w, r, sp, fp)
+}
+
+// submitHead is the routing-relevant prefix of a submission body.
+type submitHead struct {
+	ProgramID     string
+	ProgramSource string
+}
+
+// parseSubmitHead extracts the program fields from a submission body by
+// streaming tokens instead of unmarshaling the whole object — the body
+// may carry a dump orders of magnitude larger than the head, and routing
+// must not materialize it. Our own client marshals the program fields
+// before the dump (struct field order), so the scan normally stops long
+// before the payload; a client that reorders fields still parses, just
+// slower.
+func parseSubmitHead(r io.Reader) (submitHead, error) {
+	var h submitHead
+	dec := json.NewDecoder(r)
+	tok, err := dec.Token()
+	if err != nil {
+		return h, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return h, fmt.Errorf("request body is not a JSON object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return h, err
+		}
+		key, _ := keyTok.(string)
+		// Once a routing key is known, stop before the payload fields —
+		// decoding a 100MB base64 dump token to discard it is the exact
+		// cost this parser exists to avoid.
+		if (key == "dump" || key == "dumps" || key == "evidence" || key == "checkpoints") &&
+			(h.ProgramID != "" || h.ProgramSource != "") {
+			return h, nil
+		}
+		switch key {
+		case "program_id":
+			if err := dec.Decode(&h.ProgramID); err != nil {
+				return h, err
+			}
+		case "program_source":
+			if err := dec.Decode(&h.ProgramSource); err != nil {
+				return h, err
+			}
+		default:
+			if err := skipJSONValue(dec); err != nil {
+				return h, err
+			}
+		}
+		if h.ProgramID != "" {
+			// program_id wins over program_source in routing; no later
+			// field can change the decision.
+			return h, nil
+		}
+	}
+	return h, nil
+}
+
+// skipJSONValue consumes one JSON value (scalar, object, or array) from
+// the decoder.
+func skipJSONValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+	}
+	return nil
 }
 
 // routeToOwner walks the key's preference order: self serves locally, a
@@ -115,7 +221,7 @@ func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
 // transport failures and draining targets (503) fail over to the next
 // candidate. A request served by anyone but order[0] counts as a
 // failover.
-func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, body []byte, programFP string) {
+func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, sp *spool, programFP string) {
 	order := rank(n.peers, programFP)
 	var lastErr string
 	for i, target := range order {
@@ -123,14 +229,14 @@ func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, body []byte,
 			if i > 0 {
 				n.countFailover()
 			}
-			n.serveLocal(w, r, body)
+			n.serveSpool(w, r, sp)
 			return
 		}
-		if !n.prober.routable(target) {
+		if !n.routable(target) {
 			lastErr = target + " is down"
 			continue
 		}
-		ok, errMsg := n.proxy(w, r, body, target)
+		ok, errMsg := n.proxy(w, r, sp, target)
 		if ok {
 			if i > 0 {
 				n.countFailover()
@@ -149,16 +255,20 @@ func (n *Node) countFailover() {
 	n.mu.Unlock()
 }
 
-// proxy relays the buffered request to target. The bool reports whether
+// proxy relays the spooled request to target. The bool reports whether
 // the response was delivered; false means the caller may fail over (the
-// target was unreachable or draining — nothing was written to w).
-func (n *Node) proxy(w http.ResponseWriter, r *http.Request, body []byte, target string) (bool, string) {
+// target was unreachable or draining — nothing was written to w). The
+// spool's rewind is what makes the failover safe: a target that died
+// mid-transfer consumed a throwaway reader, not the body.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, sp *spool, target string) (bool, string) {
 	t0 := time.Now()
 	defer func() { n.histProxy.Observe(time.Since(t0).Seconds()) }()
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, sp.NewReader())
 	if err != nil {
 		return false, err.Error()
 	}
+	req.ContentLength = sp.Size()
+	req.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(sp.NewReader()), nil }
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
 	req.Header.Set(forwardedHeader, n.self)
 	resp, err := n.hc.Do(req)
@@ -194,7 +304,7 @@ func (n *Node) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	if !forwarded(r) {
 		for _, peer := range n.peers {
-			if peer == n.self || !n.prober.routable(peer) {
+			if peer == n.self || !n.routable(peer) {
 				continue
 			}
 			req, err := http.NewRequest(http.MethodPost, peer+"/v1/programs", bytes.NewReader(body))
@@ -226,7 +336,7 @@ func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if !forwarded(r) {
 		for _, peer := range n.peers {
-			if peer == n.self || !n.prober.routable(peer) {
+			if peer == n.self || !n.routable(peer) {
 				continue
 			}
 			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/v1/results/"+id, nil)
@@ -278,7 +388,7 @@ func (n *Node) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	streamClient := &http.Client{Transport: n.hc.Transport}
 	for _, peer := range n.peers {
-		if peer == n.self || !n.prober.routable(peer) {
+		if peer == n.self || !n.routable(peer) {
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/v1/jobs/"+id+"/events", nil)
@@ -346,7 +456,7 @@ func (n *Node) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		path += "?" + r.URL.RawQuery
 	}
 	for _, peer := range n.peers {
-		if peer == n.self || !n.prober.routable(peer) {
+		if peer == n.self || !n.routable(peer) {
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+path, nil)
@@ -410,7 +520,7 @@ func (n *Node) handleBuckets(w http.ResponseWriter, r *http.Request) {
 	add(n.svc.Buckets())
 	if !forwarded(r) {
 		for _, peer := range n.peers {
-			if peer == n.self || !n.prober.routable(peer) {
+			if peer == n.self || !n.routable(peer) {
 				continue
 			}
 			if bs, err := n.peerBuckets(r, peer); err == nil {
@@ -521,11 +631,44 @@ func (n *Node) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no artifact %s", r.PathValue("id"))
 		return
 	}
+	if r.Method == http.MethodHead {
+		// The repair sweep's existence probe: status only, and not
+		// counted as a serve.
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	n.mu.Lock()
 	n.served++
 	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(data)
+}
+
+// handleStoreIndex serves this node's replicable key inventory — what a
+// sweeping peer unions into its repair work list. Keys only, never data;
+// the journal space and other node-local keys are excluded.
+func (n *Node) handleStoreIndex(w http.ResponseWriter, r *http.Request) {
+	keys := n.st.Keys()
+	recs := make([]keyRecord, 0, len(keys))
+	for _, k := range keys {
+		if !replicable(k) {
+			continue
+		}
+		recs = append(recs, keyRecord{
+			Space:   k.Space,
+			Program: k.Program.String(),
+			Dump:    k.Dump.String(),
+			Options: k.Options.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// handleRepair runs one synchronous anti-entropy sweep and returns its
+// stats — the deterministic trigger the chaos smoke test (and an
+// operator mid-incident) uses instead of waiting out RepairInterval.
+func (n *Node) handleRepair(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.RepairNow(r.Context()))
 }
 
 // handleStorePut accepts a peer's write-through. The artifact is
@@ -565,7 +708,11 @@ func (n *Node) clusterSnapshot() obs.Snapshot {
 	rputs, rerrs := n.replicaPuts, n.putErrors
 	fetches, fmisses := n.fetches, n.fetchMisses
 	served := n.served
+	spooled := n.spooledBytes
+	sweeps := n.repairSweeps
+	pulled, pushed, corrupt := n.repairPulled, n.repairPushed, n.repairCorrupt
 	n.mu.Unlock()
+	openNow, trips := n.brk.snapshot()
 	snap := obs.Snapshot{
 		obs.Gauge("resd_cluster_peers", "Cluster membership size (self included).", float64(len(n.peers))),
 		obs.Counter("resd_cluster_proxied_total", "Requests proxied to their owning node.", float64(proxied)),
@@ -575,6 +722,13 @@ func (n *Node) clusterSnapshot() obs.Snapshot {
 		obs.Counter("resd_cluster_replica_fetches_total", "Read-through pulls that recovered an artifact from a peer.", float64(fetches)),
 		obs.Counter("resd_cluster_replica_fetch_misses_total", "Read-through pulls no peer could answer.", float64(fmisses)),
 		obs.Counter("resd_cluster_replica_serves_total", "Artifacts served to pulling peers.", float64(served)),
+		obs.Counter("resd_cluster_spooled_bytes_total", "Request-body bytes spilled to the router's disk spool.", float64(spooled)),
+		obs.Counter("resd_cluster_breaker_open_total", "Peer circuit-breaker trips (closed to open).", float64(trips)),
+		obs.Gauge("resd_cluster_breaker_open", "Peer circuits currently open.", float64(openNow)),
+		obs.Counter("resd_repair_sweeps_total", "Anti-entropy sweeps completed.", float64(sweeps)),
+		obs.Counter("resd_repair_total", "Artifacts recovered (pulled) by the anti-entropy sweep.", float64(pulled)),
+		obs.Counter("resd_repair_pushed_total", "Artifacts re-pushed to under-replicated peers by the sweep.", float64(pushed)),
+		obs.Counter("resd_repair_corrupt_total", "Local artifacts dropped by the sweep for failing content verification.", float64(corrupt)),
 	}
 	states := map[string]int{}
 	for _, ps := range n.prober.snapshot() {
@@ -619,7 +773,7 @@ func (n *Node) handleNodeMetrics(w http.ResponseWriter, r *http.Request) {
 func (n *Node) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
 	nodes := []obs.NodeSnapshot{n.nodeSnapshot()}
 	for _, peer := range n.peers {
-		if peer == n.self || !n.prober.routable(peer) {
+		if peer == n.self || !n.routable(peer) {
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/internal/v1/metrics", nil)

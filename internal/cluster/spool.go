@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// spool captures a request body once and replays it any number of times.
+// Small bodies stay in memory; anything past the memory limit streams to
+// an unlinked-on-Close temp file, so a 100MB+ dump crossing the router
+// costs one disk spill instead of a heap buffer — and, unlike a plain
+// io.Reader, the body survives a failed proxy attempt intact for the
+// failover retry.
+type spool struct {
+	mem  []byte   // exactly one of mem/f is set
+	f    *os.File // file-backed when the body outgrew memLimit
+	size int64
+}
+
+// spoolMemLimit is the largest body kept in memory; bigger bodies go to
+// disk. Covers every routine submission (dumps are tiny relative to
+// this) while bounding per-request heap under a burst.
+const spoolMemLimit = 8 << 20
+
+// newSpool drains r to completion. dir is the temp-file directory ("" =
+// the system default).
+func newSpool(r io.Reader, dir string) (*spool, error) {
+	head := make([]byte, 0, 64<<10)
+	buf := make([]byte, 64<<10)
+	for int64(len(head)) <= spoolMemLimit {
+		nr, err := r.Read(buf)
+		head = append(head, buf[:nr]...)
+		if err == io.EOF {
+			return &spool{mem: head, size: int64(len(head))}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.CreateTemp(dir, "resd-spool-*")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spool: %w", err)
+	}
+	sp := &spool{f: f}
+	nw, err := f.Write(head)
+	if err == nil {
+		var rest int64
+		rest, err = io.Copy(f, r)
+		sp.size = int64(nw) + rest
+	}
+	if err != nil {
+		sp.Close()
+		return nil, fmt.Errorf("cluster: spool: %w", err)
+	}
+	return sp, nil
+}
+
+// NewReader returns a fresh reader over the full body, positioned at the
+// start. Readers are independent and safe to use concurrently (section
+// readers carry their own offset; they never seek the shared handle).
+func (sp *spool) NewReader() io.Reader {
+	if sp.f != nil {
+		return io.NewSectionReader(sp.f, 0, sp.size)
+	}
+	return bytes.NewReader(sp.mem)
+}
+
+// Size returns the body's byte length.
+func (sp *spool) Size() int64 { return sp.size }
+
+// spilled reports whether the body went to disk.
+func (sp *spool) spilled() bool { return sp.f != nil }
+
+// Close releases the temp file, if any.
+func (sp *spool) Close() {
+	if sp.f != nil {
+		name := sp.f.Name()
+		sp.f.Close()
+		os.Remove(name)
+		sp.f = nil
+	}
+}

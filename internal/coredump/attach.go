@@ -121,6 +121,35 @@ func DecodeAttached(b []byte) (dump []byte, attachments map[string][]byte, err e
 	return dump, attachments, nil
 }
 
+// DecodeAttachedLenient is DecodeAttached with degraded-mode recovery:
+// when the container is damaged but the dump section itself is intact
+// (the dump is length-prefixed first, so attachment-area corruption
+// cannot reach it), the dump is returned with nil attachments and a
+// non-empty warning instead of an error. A crash dump whose evidence
+// sidecar rotted is still a crash dump — the analysis runs without the
+// pruning rather than not at all. Damage to the dump section itself
+// still fails.
+func DecodeAttachedLenient(b []byte) (dump []byte, attachments map[string][]byte, warn string, err error) {
+	dump, attachments, err = DecodeAttached(b)
+	if err == nil {
+		return dump, attachments, "", nil
+	}
+	if len(b) < len(attachMagic) || string(b[:len(attachMagic)]) != attachMagic {
+		return nil, nil, "", err
+	}
+	br := bufio.NewReader(bytes.NewReader(b[len(attachMagic):]))
+	dec := &decoder{r: br}
+	n := dec.uvarint()
+	if dec.err != nil || n > maxAttachment {
+		return nil, nil, "", err
+	}
+	blob := make([]byte, n)
+	if _, rerr := io.ReadFull(br, blob); rerr != nil {
+		return nil, nil, "", err
+	}
+	return blob, nil, fmt.Sprintf("attachments dropped (%v)", err), nil
+}
+
 // EvidenceAttachment is the well-known attachment name for evidence wire
 // bytes (internal/evidence's canonical encoding).
 const EvidenceAttachment = "evidence"

@@ -1,0 +1,59 @@
+package coredump
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDecodeAttachedLenient: damage confined to the attachment area
+// degrades — the dump comes back with a warning — while damage to the
+// dump section itself still fails, and intact containers carry no
+// warning.
+func TestDecodeAttachedLenient(t *testing.T) {
+	dump := []byte("RESDUMP1-pretend-dump-payload")
+	att := map[string][]byte{
+		EvidenceAttachment:   bytes.Repeat([]byte{0xEE}, 64),
+		CheckpointAttachment: bytes.Repeat([]byte{0xCC}, 64),
+	}
+	full, err := EncodeAttached(dump, att)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Intact container: both attachments, no warning.
+	d, got, warn, err := DecodeAttachedLenient(full)
+	if err != nil || warn != "" {
+		t.Fatalf("intact container: warn=%q err=%v", warn, err)
+	}
+	if !bytes.Equal(d, dump) || len(got) != 2 {
+		t.Fatalf("intact container decoded wrong: %d attachments", len(got))
+	}
+
+	// Truncate inside the attachment area (past the dump section): the
+	// strict decoder fails, the lenient one recovers the dump.
+	dumpEnd := len(full) - 40
+	if _, _, err := DecodeAttached(full[:dumpEnd]); err == nil {
+		t.Fatal("strict decode accepted a truncated container")
+	}
+	d, got, warn, err = DecodeAttachedLenient(full[:dumpEnd])
+	if err != nil {
+		t.Fatalf("lenient decode failed on attachment-area damage: %v", err)
+	}
+	if !bytes.Equal(d, dump) {
+		t.Fatal("lenient decode corrupted the dump bytes")
+	}
+	if got != nil || warn == "" {
+		t.Fatalf("degraded decode: attachments=%v warn=%q", got, warn)
+	}
+
+	// Truncate inside the dump section: nothing to salvage.
+	if _, _, _, err := DecodeAttachedLenient(full[:len(attachMagic)+3]); err == nil {
+		t.Fatal("lenient decode invented a dump from a destroyed container")
+	}
+
+	// A plain dump passes through untouched.
+	d, got, warn, err = DecodeAttachedLenient(dump)
+	if err != nil || warn != "" || got != nil || !bytes.Equal(d, dump) {
+		t.Fatalf("plain dump pass-through broken: warn=%q err=%v", warn, err)
+	}
+}

@@ -1,0 +1,35 @@
+package evidence_test
+
+import (
+	"testing"
+
+	"res/internal/evidence"
+)
+
+// TestDecodeDamagedWire: every truncation of a valid evidence encoding
+// fails cleanly (no panic, no half-parsed set silently accepted as
+// complete), and single-bit flips never panic — the guarantees the
+// submit-path degrade semantics lean on.
+func TestDecodeDamagedWire(t *testing.T) {
+	set := evidence.Set{
+		evidence.EventLog{Records: []evidence.EventRec{
+			{Index: 3, Tid: 0, Block: 2},
+			{Index: 9, Tid: 1, Block: 5},
+		}},
+		evidence.BranchTrace{Bits: []bool{true, false, true, true, false}},
+	}
+	wire := set.Encode()
+	if _, err := evidence.Decode(wire); err != nil {
+		t.Fatalf("pristine wire does not decode: %v", err)
+	}
+	for cut := 1; cut < len(wire); cut++ {
+		if _, err := evidence.Decode(wire[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(wire))
+		}
+	}
+	for i := 0; i < len(wire); i++ {
+		flipped := append([]byte(nil), wire...)
+		flipped[i] ^= 0x10
+		evidence.Decode(flipped) // must not panic; error or reinterpretation both fine
+	}
+}

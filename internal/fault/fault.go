@@ -1,0 +1,252 @@
+// Package fault is a deterministic, seed-driven fault-injection layer
+// for chaos testing. Faults are registered per seam (store I/O, cluster
+// transport, decode paths, solver deadlines) as a kind plus a firing
+// probability; every decision is drawn from one seeded PRNG, so a chaos
+// run is reproducible from its seed alone.
+//
+// The layer is free when off: a nil *Injector is a valid receiver for
+// every method and compiles down to a nil check, the same discipline as
+// the tracing layer — production builds pay one branch per seam, no
+// allocation, no locking.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Seam names one of the system's failure surfaces.
+type Seam string
+
+const (
+	// SeamStore is disk I/O in the content-addressed store: read errors,
+	// write errors, partial writes, bit-flips in blobs read back.
+	SeamStore Seam = "store"
+	// SeamTransport is intra-cluster HTTP: connection resets, black-holed
+	// (slow then dead) requests, responses cut mid-body.
+	SeamTransport Seam = "transport"
+	// SeamDecode is the durable-format decode surface: torn or corrupt
+	// journal entries, truncated attachment payloads.
+	SeamDecode Seam = "decode"
+	// SeamSolver is the analysis path: injected stalls ahead of the
+	// backward search, exercising job timeouts and drain cut-offs.
+	SeamSolver Seam = "solver"
+)
+
+// Fault kinds understood by the seams that consume them. The injector
+// itself treats kinds as opaque strings; these constants just keep the
+// producers and consumers spelling them identically.
+const (
+	KindReadError         = "read-error"         // store: disk read fails (treated as a miss)
+	KindWriteError        = "write-error"        // store: disk write fails outright
+	KindPartialWrite      = "partial-write"      // store: only a prefix reaches disk
+	KindBitFlip           = "bit-flip"           // store: one bit flips in a blob read back
+	KindReset             = "reset"              // transport: connection reset before any response
+	KindBlackhole         = "blackhole"          // transport: request hangs for Delay, then dies
+	KindCutBody           = "cut-body"           // transport: response body cut mid-stream
+	KindJournalCorrupt    = "journal-corrupt"    // decode: a journal entry is corrupted on append
+	KindAttachmentCorrupt = "attachment-corrupt" // decode: evidence/checkpoint wire bytes corrupted
+	KindStall             = "stall"              // solver: analysis sleeps Delay before starting
+)
+
+// Rule arms one fault: at each opportunity on (Seam, Kind), fire with
+// probability P. Delay is the stall length for time-based kinds
+// (blackhole, stall); other kinds ignore it.
+type Rule struct {
+	Seam  Seam
+	Kind  string
+	P     float64
+	Delay time.Duration
+}
+
+type ruleKey struct {
+	seam Seam
+	kind string
+}
+
+// Injector is a set of armed rules over one deterministic PRNG. The nil
+// injector is valid and never fires. All methods are safe for concurrent
+// use; determinism is per draw sequence — concurrent callers interleave,
+// so a test that needs bit-exact replay serializes its opportunities.
+type Injector struct {
+	mu    sync.Mutex
+	state uint64 // splitmix64 state
+	rules map[ruleKey]Rule
+	fired map[ruleKey]uint64
+	seams map[Seam]bool
+}
+
+// New arms the given rules over a PRNG seeded with seed.
+func New(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{
+		state: seed,
+		rules: make(map[ruleKey]Rule, len(rules)),
+		fired: make(map[ruleKey]uint64),
+		seams: make(map[Seam]bool),
+	}
+	for _, r := range rules {
+		in.rules[ruleKey{r.Seam, r.Kind}] = r
+		in.seams[r.Seam] = true
+	}
+	return in
+}
+
+// Parse builds an injector from a flag-friendly spec: comma-separated
+// seam:kind:probability[:delay] entries, e.g.
+//
+//	store:read-error:0.05,transport:reset:0.1,solver:stall:0.2:10ms
+//
+// An empty spec returns nil — the free-when-off injector.
+func Parse(spec string, seed uint64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		parts := strings.Split(ent, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("fault: %q: want seam:kind:probability[:delay]", ent)
+		}
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("fault: %q: probability must be in [0,1]", ent)
+		}
+		r := Rule{Seam: Seam(parts[0]), Kind: parts[1], P: p}
+		switch r.Seam {
+		case SeamStore, SeamTransport, SeamDecode, SeamSolver:
+		default:
+			return nil, fmt.Errorf("fault: %q: unknown seam %q", ent, parts[0])
+		}
+		if len(parts) == 4 {
+			if r.Delay, err = time.ParseDuration(parts[3]); err != nil {
+				return nil, fmt.Errorf("fault: %q: bad delay: %v", ent, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	return New(seed, rules...), nil
+}
+
+// next is splitmix64: a full-period 64-bit generator small enough to
+// inline and dependency-free (math/rand/v2 would also do; this keeps the
+// sequence pinned to the algorithm, not a stdlib version).
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Enabled reports whether any rule is armed on the seam: the cheap guard
+// callers use before paying for a wrapper or a copy.
+func (in *Injector) Enabled(seam Seam) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seams[seam]
+}
+
+// Should draws one firing decision for (seam, kind). Without a matching
+// rule it returns false without consuming randomness, so arming one seam
+// never perturbs another seam's sequence.
+func (in *Injector) Should(seam Seam, kind string) bool {
+	fired, _ := in.decide(seam, kind)
+	return fired
+}
+
+// Delay draws one firing decision and returns the rule's stall length on
+// fire, 0 otherwise.
+func (in *Injector) Delay(seam Seam, kind string) time.Duration {
+	fired, r := in.decide(seam, kind)
+	if !fired {
+		return 0
+	}
+	return r.Delay
+}
+
+func (in *Injector) decide(seam Seam, kind string) (bool, Rule) {
+	if in == nil {
+		return false, Rule{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r, ok := in.rules[ruleKey{seam, kind}]
+	if !ok || r.P <= 0 {
+		return false, Rule{}
+	}
+	// 53 uniform bits -> [0, 1), the usual double construction.
+	if float64(in.next()>>11)/(1<<53) >= r.P {
+		return false, Rule{}
+	}
+	in.fired[ruleKey{seam, kind}]++
+	return true, r
+}
+
+// Corrupt draws one firing decision and, on fire, returns a copy of b
+// with one deterministically chosen bit flipped. Otherwise (or for empty
+// input) b is returned unchanged, uncopied.
+func (in *Injector) Corrupt(seam Seam, kind string, b []byte) []byte {
+	if in == nil || len(b) == 0 {
+		return b
+	}
+	fired, _ := in.decide(seam, kind)
+	if !fired {
+		return b
+	}
+	in.mu.Lock()
+	bit := in.next() % uint64(len(b)*8)
+	in.mu.Unlock()
+	out := make([]byte, len(b))
+	copy(out, b)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// Counts returns how often each armed fault fired, keyed "seam/kind".
+// Chaos tests assert on it to prove the run actually exercised the seams.
+func (in *Injector) Counts() map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[string(k.seam)+"/"+k.kind] = v
+	}
+	return out
+}
+
+// String renders the armed rules, sorted, for startup logging.
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	parts := make([]string, 0, len(in.rules))
+	for _, r := range in.rules {
+		s := fmt.Sprintf("%s:%s:%g", r.Seam, r.Kind, r.P)
+		if r.Delay > 0 {
+			s += ":" + r.Delay.String()
+		}
+		parts = append(parts, s)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsFree: every method on the nil injector is a no-op —
+// the free-when-off contract production code relies on.
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if in.Enabled(SeamStore) || in.Should(SeamStore, KindReadError) {
+		t.Fatal("nil injector fired")
+	}
+	if d := in.Delay(SeamSolver, KindStall); d != 0 {
+		t.Fatalf("nil injector delayed %v", d)
+	}
+	b := []byte("payload")
+	if got := in.Corrupt(SeamDecode, KindBitFlip, b); !bytes.Equal(got, b) {
+		t.Fatal("nil injector corrupted bytes")
+	}
+	if c := in.Counts(); c != nil {
+		t.Fatalf("nil injector counted %v", c)
+	}
+	if in.String() != "off" {
+		t.Fatalf("nil injector String = %q", in.String())
+	}
+}
+
+// TestDeterministicSequence: the same seed and the same draw sequence
+// produce the same decisions — the reproducibility chaos tests lean on.
+func TestDeterministicSequence(t *testing.T) {
+	draw := func() []bool {
+		in := New(42, Rule{Seam: SeamStore, Kind: KindReadError, P: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Should(SeamStore, KindReadError)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d times — PRNG looks broken", fired, len(a))
+	}
+	in := New(43, Rule{Seam: SeamStore, Kind: KindReadError, P: 0.3})
+	diff := 0
+	for i := range a {
+		if in.Should(SeamStore, KindReadError) != a[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestUnarmedKindNeverFiresOrDraws: asking about a rule that is not
+// armed returns false and does not consume randomness.
+func TestUnarmedKindNeverFiresOrDraws(t *testing.T) {
+	mk := func(probeOther bool) []bool {
+		in := New(7, Rule{Seam: SeamStore, Kind: KindBitFlip, P: 0.5})
+		out := make([]bool, 50)
+		for i := range out {
+			if probeOther {
+				if in.Should(SeamTransport, KindReset) {
+					t.Fatal("unarmed rule fired")
+				}
+			}
+			out[i] = in.Should(SeamStore, KindBitFlip)
+		}
+		return out
+	}
+	plain, interleaved := mk(false), mk(true)
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatal("probing an unarmed rule perturbed the armed rule's sequence")
+		}
+	}
+}
+
+// TestCorruptFlipsExactlyOneBit: corruption is a single deterministic
+// bit-flip in a copy; the input is never mutated.
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	in := New(1, Rule{Seam: SeamStore, Kind: KindBitFlip, P: 1})
+	orig := []byte("content-addressed blob")
+	keep := append([]byte(nil), orig...)
+	got := in.Corrupt(SeamStore, KindBitFlip, orig)
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	diffBits := 0
+	for i := range got {
+		b := got[i] ^ orig[i]
+		for ; b != 0; b &= b - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("Corrupt flipped %d bits, want exactly 1", diffBits)
+	}
+	if c := in.Counts()["store/bit-flip"]; c != 1 {
+		t.Fatalf("fired count = %d, want 1", c)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("store:read-error:0.05, transport:reset:0.1, solver:stall:1:10ms", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Enabled(SeamStore) || !in.Enabled(SeamTransport) || !in.Enabled(SeamSolver) || in.Enabled(SeamDecode) {
+		t.Fatalf("parsed seams wrong: %s", in)
+	}
+	if d := in.Delay(SeamSolver, KindStall); d != 10*time.Millisecond {
+		t.Fatalf("stall delay = %v, want 10ms", d)
+	}
+	if in, err := Parse("", 0); in != nil || err != nil {
+		t.Fatalf("empty spec = %v, %v; want nil, nil", in, err)
+	}
+	for _, bad := range []string{"store:read-error", "store:read-error:2", "nope:x:0.5", "solver:stall:0.5:xyz"} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTransportFaults exercises the three transport kinds against a real
+// server.
+func TestTransportFaults(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 8192)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", fmt.Sprint(len(payload)))
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	// Pass-through: transport rules absent, base returned untouched.
+	base := http.DefaultTransport
+	if got := Transport(base, nil); got != base {
+		t.Fatal("nil injector wrapped the transport")
+	}
+
+	reset := &http.Client{Transport: Transport(nil, New(3, Rule{Seam: SeamTransport, Kind: KindReset, P: 1}))}
+	if _, err := reset.Get(srv.URL); err == nil {
+		t.Fatal("injected reset did not surface")
+	}
+
+	cut := &http.Client{Transport: Transport(nil, New(3, Rule{Seam: SeamTransport, Kind: KindCutBody, P: 1}))}
+	resp, err := cut.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err == nil {
+		t.Fatal("cut body read to EOF cleanly")
+	}
+	if n == 0 || n >= int64(len(payload)) {
+		t.Fatalf("cut delivered %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+
+	hole := &http.Client{
+		Timeout:   50 * time.Millisecond,
+		Transport: Transport(nil, New(3, Rule{Seam: SeamTransport, Kind: KindBlackhole, P: 1, Delay: time.Minute})),
+	}
+	t0 := time.Now()
+	if _, err := hole.Get(srv.URL); err == nil {
+		t.Fatal("black-holed request succeeded")
+	}
+	if since := time.Since(t0); since > 5*time.Second {
+		t.Fatalf("black hole ignored the client timeout (took %v)", since)
+	}
+}

@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with the transport seam's faults:
+// connection resets (the request dies before any response), black holes
+// (the request hangs for the rule's Delay, then dies — exercising caller
+// timeouts), and mid-body cuts (a real response whose body dies halfway
+// through). When no transport rule is armed the base transport is
+// returned untouched, so the wrapper costs nothing when off.
+func Transport(base http.RoundTripper, in *Injector) http.RoundTripper {
+	if !in.Enabled(SeamTransport) {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{base: base, in: in}
+}
+
+type faultTransport struct {
+	base http.RoundTripper
+	in   *Injector
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.in.Should(SeamTransport, KindReset) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("fault: injected connection reset to %s", req.URL.Host)
+	}
+	if d := t.in.Delay(SeamTransport, KindBlackhole); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("fault: injected black hole to %s", req.URL.Host)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.in.Should(SeamTransport, KindCutBody) {
+		// Deliver roughly half the advertised body, then fail the read —
+		// the shape of a peer crashing mid-response.
+		cut := int64(1024)
+		if resp.ContentLength > 1 {
+			cut = resp.ContentLength / 2
+		}
+		resp.Body = &cutBody{rc: resp.Body, remain: cut}
+	}
+	return resp, nil
+}
+
+// cutBody reads through to its underlying body for remain bytes, then
+// fails with io.ErrUnexpectedEOF.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= int64(n)
+	if err == io.EOF {
+		return n, err
+	}
+	if c.remain <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

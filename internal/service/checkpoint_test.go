@@ -101,9 +101,17 @@ func TestCheckpointCacheIdentity(t *testing.T) {
 		t.Fatalf("identical checkpoint submission did not cache-hit: %+v", again)
 	}
 
-	// Garbage checkpoints are rejected up front.
-	if _, err := svc.SubmitEvidenceCheckpoints(progID, dump, nil, []byte("not a ring"), nil); err == nil {
-		t.Fatal("bad checkpoint attachment accepted")
+	// Garbage checkpoints degrade: the submission is accepted, the ring
+	// is dropped, and the job lands on the plain tuple with a warning.
+	degraded, err := svc.SubmitEvidenceCheckpoints(progID, dump, nil, []byte("not a ring"), nil)
+	if err != nil {
+		t.Fatalf("bad checkpoint attachment rejected instead of degraded: %v", err)
+	}
+	if degraded.ID != plain.ID {
+		t.Fatalf("degraded submission landed on tuple %s, want plain tuple %s", degraded.ID, plain.ID)
+	}
+	if degraded.Checkpointed || len(degraded.Warnings) == 0 {
+		t.Fatalf("degraded job not marked: %+v", degraded)
 	}
 
 	m := svc.Metrics()
@@ -112,5 +120,8 @@ func TestCheckpointCacheIdentity(t *testing.T) {
 	}
 	if m.CheckpointAnchored != 1 {
 		t.Errorf("CheckpointAnchored = %d, want 1", m.CheckpointAnchored)
+	}
+	if m.AttachmentsDegraded != 1 {
+		t.Errorf("AttachmentsDegraded = %d, want 1", m.AttachmentsDegraded)
 	}
 }

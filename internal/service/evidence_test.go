@@ -132,9 +132,17 @@ func TestEvidenceCacheIdentity(t *testing.T) {
 		t.Fatalf("different evidence reused an existing tuple: %s", other.ID)
 	}
 
-	// Garbage evidence is rejected up front.
-	if _, err := svc.SubmitEvidence(progID, dump, []byte("not evidence"), nil); err == nil {
-		t.Fatal("bad evidence accepted")
+	// Garbage evidence degrades: the submission is accepted, the evidence
+	// is dropped, and the job lands on the plain tuple with a warning.
+	degraded, err := svc.SubmitEvidence(progID, dump, []byte("not evidence"), nil)
+	if err != nil {
+		t.Fatalf("bad evidence rejected instead of degraded: %v", err)
+	}
+	if degraded.ID != plain.ID {
+		t.Fatalf("degraded submission landed on tuple %s, want plain tuple %s", degraded.ID, plain.ID)
+	}
+	if len(degraded.Evidence) != 0 || len(degraded.Warnings) == 0 {
+		t.Fatalf("degraded job not marked: %+v", degraded)
 	}
 
 	m := svc.Metrics()

@@ -116,14 +116,22 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
-// maxRequestBody bounds POST bodies (a dump is base64 in JSON, so this
-// admits dumps up to ~48MB serialized — far beyond the VM's images —
-// while keeping a malicious or runaway client from buffering the daemon
-// into the ground).
-const maxRequestBody = 64 << 20
+// DefaultMaxRequestBody bounds POST bodies when Config.MaxRequestBody is
+// unset (base64 in JSON inflates a dump ~4/3, so this admits dumps up to
+// ~192MB serialized while keeping a malicious or runaway client from
+// buffering the daemon into the ground).
+const DefaultMaxRequestBody = 256 << 20
+
+// maxBody resolves the configured request-body cap.
+func (s *Service) maxBody() int64 {
+	if s.cfg.MaxRequestBody > 0 {
+		return s.cfg.MaxRequestBody
+	}
+	return DefaultMaxRequestBody
+}
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req RegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
@@ -146,7 +154,7 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
@@ -186,7 +194,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // only request-level problems (bad body, unknown/unregisterable program)
 // get a non-2xx status.
 func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req BatchSubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"res/internal/fault"
 	"res/internal/store"
 )
 
@@ -35,8 +36,14 @@ type Journal struct {
 	f           *os.File
 	appends     uint64
 	compactions uint64
-	pending     int // entries in the file since the last compaction
+	corrupt     uint64 // undecodable mid-file entries skipped by replay
+	pending     int    // entries in the file since the last compaction
 	closed      bool
+
+	// faults, when set, corrupts appended entries on the decode seam —
+	// chaos testing's way of manufacturing the damage ReadAll must
+	// tolerate. Nil in production.
+	faults *fault.Injector
 }
 
 // DefaultJournalCompactEvery is the live-tail length that triggers
@@ -103,6 +110,7 @@ type JournalJob struct {
 	Bucket      string     `json:"bucket,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	Evidence    []string   `json:"evidence,omitempty"`
+	Warnings    []string   `json:"warnings,omitempty"`
 	Key         JournalKey `json:"key"`
 	FinishedAt  time.Time  `json:"finished_at"`
 }
@@ -148,6 +156,9 @@ func (j *Journal) Append(e journalEntry, compactEvery int) (needCompact bool, er
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	// Injected corruption happens to the persisted line, after marshal
+	// and before write: exactly what a bad sector does.
+	data = j.faults.Corrupt(fault.SeamDecode, fault.KindJournalCorrupt, data)
 	if j.closed {
 		return false, fmt.Errorf("journal: closed")
 	}
@@ -163,8 +174,11 @@ func (j *Journal) Append(e journalEntry, compactEvery int) (needCompact bool, er
 }
 
 // ReadAll parses every entry currently in the journal. A torn final line
-// (crash mid-append) ends the replay silently; anything before it is
-// returned.
+// (crash mid-append) ends the replay silently, but an undecodable entry
+// with intact entries after it is damage, not a torn tail: it is skipped
+// and counted (CorruptEntries / resd_journal_corrupt_entries_total), and
+// the replay keeps going — one flipped bit mid-file must cost one entry,
+// not the entire history behind it.
 func (j *Journal) ReadAll() ([]journalEntry, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -176,20 +190,32 @@ func (j *Journal) ReadAll() ([]journalEntry, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
-	var out []journalEntry
+	var lines [][]byte
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+		if line := sc.Bytes(); len(line) > 0 {
+			lines = append(lines, append([]byte(nil), line...))
 		}
+	}
+	var out []journalEntry
+	var corrupt uint64
+	for i, line := range lines {
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			break // torn tail: everything before it is intact
+			if i == len(lines)-1 {
+				break // torn tail: the crash-mid-append case, not corruption
+			}
+			corrupt++
+			continue
 		}
 		out = append(out, e)
 	}
+	// Set, not add: ReadAll runs more than once over the same file (open
+	// counts the tail, replay parses it), and one damaged entry must read
+	// as one, not one per pass. Compaction rewrites the file clean, so a
+	// later pass legitimately resets the count.
+	j.corrupt = corrupt
 	return out, nil
 }
 
@@ -228,13 +254,25 @@ func (j *Journal) Compact(snap journalSnapshot) error {
 type JournalStats struct {
 	Appends     uint64 `json:"appends"`
 	Compactions uint64 `json:"compactions"`
+	// CorruptEntries counts undecodable mid-file entries skipped (and
+	// lost) during replay — nonzero means the journal file took damage.
+	CorruptEntries uint64 `json:"corrupt_entries,omitempty"`
 }
 
 // Stats returns the activity counters.
 func (j *Journal) Stats() JournalStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JournalStats{Appends: j.appends, Compactions: j.compactions}
+	return JournalStats{Appends: j.appends, Compactions: j.compactions, CorruptEntries: j.corrupt}
+}
+
+// SetFaults installs (or clears) the decode-seam fault injector:
+// subsequently appended entries are corrupted with the armed
+// probability. Chaos-testing only.
+func (j *Journal) SetFaults(in *fault.Injector) {
+	j.mu.Lock()
+	j.faults = in
+	j.mu.Unlock()
 }
 
 // Close releases the file handle; later appends fail.
@@ -262,6 +300,7 @@ func journalJobRecord(js *jobState) *JournalJob {
 		Bucket:      js.job.Bucket,
 		Error:       js.job.Error,
 		Evidence:    js.job.Evidence,
+		Warnings:    js.job.Warnings,
 		Key:         journalKey(js.key),
 		FinishedAt:  js.job.FinishedAt,
 	}
@@ -419,7 +458,8 @@ func (s *Service) replayJob(jj JournalJob) {
 		job: Job{
 			ID: jj.ID, Program: jj.Program, ProgramName: jj.ProgramName,
 			Status: jj.Status, Partial: jj.Partial, Bucket: jj.Bucket,
-			Error: jj.Error, Evidence: jj.Evidence, FinishedAt: jj.FinishedAt,
+			Error: jj.Error, Evidence: jj.Evidence, Warnings: jj.Warnings,
+			FinishedAt: jj.FinishedAt,
 		},
 		key:  key,
 		done: done,

@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"res"
 	"res/internal/checkpoint"
 	"res/internal/evidence"
+	"res/internal/fault"
 	"res/internal/obs"
 	"res/internal/store"
 )
@@ -50,11 +53,15 @@ var (
 	ErrUnknownJob = errors.New("service: unknown job")
 	// ErrBadDump rejects bytes that do not parse as a coredump.
 	ErrBadDump = errors.New("service: bad dump")
-	// ErrBadEvidence rejects evidence attachments that do not parse as the
-	// canonical evidence wire form.
+	// ErrBadEvidence marks evidence attachments that do not parse as the
+	// canonical evidence wire form. Submission no longer fails on it —
+	// a corrupt attachment degrades to plain-dump analysis with a warning
+	// on the job — but the sentinel remains for callers that classify
+	// attachment damage.
 	ErrBadEvidence = errors.New("service: bad evidence")
-	// ErrBadCheckpoint rejects checkpoint attachments that do not parse as
-	// the canonical checkpoint-ring wire form.
+	// ErrBadCheckpoint marks checkpoint attachments that do not parse as
+	// the canonical checkpoint-ring wire form. Like ErrBadEvidence, now a
+	// degradation (the analysis runs unanchored), not a rejection.
 	ErrBadCheckpoint = errors.New("service: bad checkpoints")
 )
 
@@ -160,6 +167,15 @@ type Config struct {
 	// slow-analysis log. Tracing is always on inside the service, so no
 	// other configuration is needed.
 	SlowThreshold time.Duration
+	// MaxRequestBody bounds HTTP POST bodies accepted by the service's
+	// handlers; <= 0 means DefaultMaxRequestBody. Raise it in lockstep
+	// with the cluster router's spool bound when fleets ship huge dumps.
+	MaxRequestBody int64
+	// Faults, when set, threads the deterministic fault injector through
+	// the service's seams: injected solver stalls ahead of each analysis
+	// (SeamSolver) and corruption of attachment wire bytes at submit
+	// (SeamDecode). Chaos-testing only; nil is free.
+	Faults *fault.Injector
 
 	// BeforeAnalyze, when set, runs in the worker just before each
 	// analysis. Test-only: it lets lifecycle tests hold a worker busy
@@ -236,9 +252,14 @@ type Job struct {
 	Evidence []string `json:"evidence,omitempty"`
 	// Checkpointed marks a submission that carried a checkpoint-ring
 	// attachment; the anchoring outcome is the report's checkpoint_anchor.
-	Checkpointed bool      `json:"checkpointed,omitempty"`
-	SubmittedAt  time.Time `json:"submitted_at"`
-	FinishedAt   time.Time `json:"finished_at,omitzero"`
+	Checkpointed bool `json:"checkpointed,omitempty"`
+	// Warnings lists non-fatal degradations applied to this job — a
+	// corrupt evidence or checkpoint attachment that was dropped so the
+	// dump could still be analyzed plain. The report is then the plain
+	// tuple's report and is cached under the plain tuple's key.
+	Warnings    []string  `json:"warnings,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
 }
 
 type jobState struct {
@@ -330,6 +351,9 @@ type Service struct {
 	// analyses that anchored their search on one of its checkpoints.
 	checkpointAttached uint64
 	checkpointAnchored uint64
+	// attachmentsDegraded counts corrupt evidence/checkpoint attachments
+	// dropped at submit so the dump could still be analyzed plain.
+	attachmentsDegraded uint64
 
 	// eventsDropped counts progress events lost to slow NDJSON watchers
 	// across all streams (resd_events_dropped_total). Atomic: drops are
@@ -699,8 +723,16 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		return Job{}, ErrUnknownProgram
 	}
 	s.mu.Lock()
+	draining := s.draining
 	_, known := s.shards[programID]
 	s.mu.Unlock()
+	if draining {
+		// Draining wins over unknown-program: a drained node may simply
+		// have missed the registration broadcast, and 503 tells the client
+		// (or the routing proxy) to retry elsewhere instead of giving up
+		// on a 404.
+		return Job{}, ErrDraining
+	}
 	if !known {
 		return Job{}, ErrUnknownProgram
 	}
@@ -708,13 +740,30 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %v", ErrBadDump, err)
 	}
+	// Attachments degrade, the dump does not: a fleet shipping a real
+	// crash must not lose the analysis because a sidecar payload (LBR
+	// ring, checkpoint ring, error-log breadcrumbs) was torn in transit
+	// or on disk. A corrupt attachment is dropped with a warning on the
+	// job and the dump analyzed plain — cached under the plain tuple's
+	// key, which is exactly the result the degraded submission computes.
+	evidenceBytes = s.cfg.Faults.Corrupt(fault.SeamDecode, fault.KindAttachmentCorrupt, evidenceBytes)
+	checkpointBytes = s.cfg.Faults.Corrupt(fault.SeamDecode, fault.KindAttachmentCorrupt, checkpointBytes)
+	var warnings []string
 	evSet, err := evidence.Decode(evidenceBytes)
 	if err != nil {
-		return Job{}, fmt.Errorf("%w: %v", ErrBadEvidence, err)
+		warnings = append(warnings, fmt.Sprintf("%v: %v; analyzed without evidence", ErrBadEvidence, err))
+		evSet = nil
 	}
 	ring, err := checkpoint.Decode(checkpointBytes)
 	if err != nil {
-		return Job{}, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		warnings = append(warnings, fmt.Sprintf("%v: %v; analyzed without checkpoint anchoring", ErrBadCheckpoint, err))
+		ring = nil
+	}
+	if len(warnings) > 0 {
+		s.mu.Lock()
+		s.attachmentsDegraded += uint64(len(warnings))
+		s.mu.Unlock()
+		log.Printf("service: degraded submission for program %s: %s", programID, strings.Join(warnings, "; "))
 	}
 	if o.empty() {
 		o = nil
@@ -732,14 +781,14 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 
 	s.mu.Lock()
 	s.evictJobsLocked() // amortized TTL/cap sweep, uniform across all submit paths
+	if s.draining {
+		s.mu.Unlock()
+		return Job{}, ErrDraining
+	}
 	sh, ok := s.shards[programID]
 	if !ok {
 		s.mu.Unlock()
 		return Job{}, ErrUnknownProgram
-	}
-	if s.draining {
-		s.mu.Unlock()
-		return Job{}, ErrDraining
 	}
 	var stale *jobState
 	if js, ok := s.jobs[id]; ok {
@@ -749,6 +798,10 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		// job timeout): fall through and requeue — a partial answer must
 		// never become the tuple's answer of record.
 		snap := js.job
+		// The returned snapshot carries THIS submission's degradation
+		// warnings (the stored record keeps its own): the submitter whose
+		// attachment was dropped must hear about it even on a cache hit.
+		snap.Warnings = append(warnings, snap.Warnings...)
 		switch {
 		case !snap.Status.Terminal():
 			s.submitted++
@@ -802,6 +855,7 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 				Bucket:       bucketFromReport(sh.name, cachedRep),
 				Evidence:     evSet.Kinds(),
 				Checkpointed: !ring.Empty(),
+				Warnings:     warnings,
 				SubmittedAt:  now, FinishedAt: now,
 			},
 			key:  key,
@@ -820,7 +874,8 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		job: Job{
 			ID: id, Program: programID, ProgramName: sh.name,
 			Status: StatusQueued, Evidence: evSet.Kinds(),
-			Checkpointed: !ring.Empty(), SubmittedAt: now,
+			Checkpointed: !ring.Empty(), Warnings: warnings,
+			SubmittedAt: now,
 		},
 		key:         key,
 		dump:        d,
@@ -953,7 +1008,7 @@ func (s *Service) maybeRetry(sh *shard, js *jobState, cause error) bool {
 	if backoff <= 0 {
 		backoff = DefaultRetryBackoff
 	}
-	delay := backoff << (js.retries - 1)
+	delay := jitterDelay(backoff << (js.retries - 1))
 	// Register the timer before arming it so Shutdown can find the job:
 	// a backed-off job is neither on a queue nor in a worker, and an
 	// abandoned timer would leave its waiters hanging past the drain.
@@ -965,6 +1020,18 @@ func (s *Service) maybeRetry(sh *shard, js *jobState, cause error) bool {
 	rec.timer = time.AfterFunc(delay, func() { s.requeueRetry(sh, js) })
 	s.mu.Unlock()
 	return true
+}
+
+// jitterDelay spreads a retry delay uniformly over [d/2, d). Exponential
+// backoff alone synchronizes retries: every job failed by the same
+// transient outage retries on the same schedule and the herd re-arrives
+// together. Jitter decorrelates them while keeping the mean at 3d/4.
+func jitterDelay(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(d-half)))
 }
 
 // requeueRetry puts a backed-off job back on its shard's queue. By the
@@ -1037,6 +1104,17 @@ func (s *Service) run(sh *shard, js *jobState) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
+	}
+	// Injected solver stall: the worker sits on the job as a wedged
+	// search would, but still honors cancellation — a stall must never
+	// outlive the drain deadline or the job timeout.
+	if d := s.cfg.Faults.Delay(fault.SeamSolver, fault.KindStall); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
 	}
 	var aopts []res.Option
 	if !js.overrides.empty() {
@@ -1342,9 +1420,13 @@ type Metrics struct {
 	// CheckpointAttached counts accepted submissions that carried a
 	// checkpoint-ring attachment; CheckpointAnchored counts completed
 	// analyses whose search anchored on one of its checkpoints.
-	CheckpointAttached uint64       `json:"checkpoint_attached"`
-	CheckpointAnchored uint64       `json:"checkpoint_anchored"`
-	Journal            JournalStats `json:"journal,omitzero"`
+	CheckpointAttached uint64 `json:"checkpoint_attached"`
+	CheckpointAnchored uint64 `json:"checkpoint_anchored"`
+	// AttachmentsDegraded counts submissions whose evidence or checkpoint
+	// attachment failed to decode and was dropped: the analysis ran
+	// without it instead of rejecting the dump.
+	AttachmentsDegraded uint64       `json:"attachments_degraded,omitempty"`
+	Journal             JournalStats `json:"journal,omitzero"`
 	// JournalReplayed counts entries restored from the journal at startup.
 	JournalReplayed int            `json:"journal_replayed,omitempty"`
 	Shards          []ShardMetrics `json:"shards"`
@@ -1360,11 +1442,12 @@ func (s *Service) Metrics() Metrics {
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		Jobs: len(s.jobs), JobsEvicted: s.jobsEvicted,
 		Buckets: len(s.buckets), Programs: len(s.shards),
-		Draining:           s.draining,
-		JournalReplayed:    s.journalReplayed,
-		EvidenceAttached:   s.evidenceAttached,
-		CheckpointAttached: s.checkpointAttached,
-		CheckpointAnchored: s.checkpointAnchored,
+		Draining:            s.draining,
+		JournalReplayed:     s.journalReplayed,
+		EvidenceAttached:    s.evidenceAttached,
+		CheckpointAttached:  s.checkpointAttached,
+		CheckpointAnchored:  s.checkpointAnchored,
+		AttachmentsDegraded: s.attachmentsDegraded,
 	}
 	if len(s.evidenceKinds) > 0 {
 		m.EvidenceSources = make(map[string]uint64, len(s.evidenceKinds))
@@ -1433,6 +1516,8 @@ func (s *Service) MetricsSnapshot() obs.Snapshot {
 	snap = append(snap,
 		obs.Counter("resd_checkpoint_attached_total", "Accepted submissions carrying a checkpoint-ring attachment.", float64(m.CheckpointAttached)),
 		obs.Counter("resd_checkpoint_anchored_total", "Completed analyses anchored on a recorded checkpoint.", float64(m.CheckpointAnchored)),
+		obs.Counter("resd_attachments_degraded_total", "Corrupt evidence/checkpoint attachments dropped at submit; the analysis ran without them.", float64(m.AttachmentsDegraded)),
+		obs.Counter("resd_journal_corrupt_entries_total", "Corrupt mid-file journal entries skipped during replay.", float64(m.Journal.CorruptEntries)),
 		obs.Counter("resd_store_replica_hits_total", "Store gets answered by the cluster read-through fetch.", float64(m.Store.ReplicaHits)),
 		obs.Counter("resd_journal_appends_total", "Entries appended to the job journal.", float64(m.Journal.Appends)),
 		obs.Counter("resd_journal_compactions_total", "Journal compactions into a snapshot.", float64(m.Journal.Compactions)),

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"res/internal/fault"
+)
+
+func testKey(space string, n byte) Key {
+	return Key{
+		Space:   space,
+		Program: BytesFingerprint([]byte{'p', n}),
+		Dump:    BytesFingerprint([]byte{'d', n}),
+		Options: OptionsFingerprint(string([]byte{'o', n})),
+	}
+}
+
+// TestKeyIndexSurvivesRestart: keys put into a disk-backed store are
+// recoverable via Keys() by a fresh store over the same directory — the
+// property the anti-entropy sweep needs, since disk filenames alone are
+// one-way hashes of the keys.
+func TestKeyIndexSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for i := byte(0); i < 5; i++ {
+		k := testKey("result", i)
+		if err := s.Put(k, []byte{'v', i}); err != nil {
+			t.Fatal(err)
+		}
+		want[k.ID()] = true
+	}
+	reopened, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := reopened.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("reopened Keys() = %d entries, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k.ID()] {
+			t.Fatalf("unexpected key %v", k)
+		}
+		if data, ok := reopened.GetLocal(k); !ok || len(data) != 2 {
+			t.Fatalf("indexed key %s not readable: %v %v", k.ID(), data, ok)
+		}
+	}
+	// A corrupt index line is skipped, not fatal, and the rest survives.
+	idx := filepath.Join(dir, indexFile)
+	raw, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idx, append([]byte("{torn\n"), raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(again.Keys()); got != len(want) {
+		t.Fatalf("corrupt index line dropped keys: %d, want %d", got, len(want))
+	}
+}
+
+// TestDropRemovesEverywhere: Drop removes the memory entry, the disk
+// file, and the Keys() listing; a re-Put restores all three.
+func TestDropRemovesEverywhere(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("dump", 1)
+	if err := s.Put(k, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	s.Drop(k)
+	if _, ok := s.PeekLocal(k); ok {
+		t.Fatal("dropped key still readable")
+	}
+	if _, ok := s.GetByID(k.ID()); ok {
+		t.Fatal("dropped key still readable by ID")
+	}
+	if len(s.Keys()) != 0 {
+		t.Fatalf("dropped key still listed: %v", s.Keys())
+	}
+	if err := s.Put(k, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.PeekLocal(k); !ok || len(s.Keys()) != 1 {
+		t.Fatal("re-put after drop did not restore the key")
+	}
+}
+
+// TestStoreFaultSeams: injected write errors surface as Put errors,
+// injected read errors read as misses, and injected bit-flips corrupt
+// the returned bytes — each deterministic under its seed.
+func TestStoreFaultSeams(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("result", 2)
+	blob := []byte(`{"verdict":"x"}`)
+
+	s.SetFaults(fault.New(1, fault.Rule{Seam: fault.SeamStore, Kind: fault.KindWriteError, P: 1}))
+	if err := s.Put(k, blob); err == nil {
+		t.Fatal("injected write error did not surface")
+	}
+	s.SetFaults(nil)
+	if err := s.Put(k, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Memory tier hits bypass the disk seam entirely.
+	s.SetFaults(fault.New(1, fault.Rule{Seam: fault.SeamStore, Kind: fault.KindReadError, P: 1}))
+	if _, ok := s.GetLocal(k); !ok {
+		t.Fatal("memory-tier hit was affected by the disk read fault")
+	}
+	// A fresh store over the same dir must go to disk — and miss.
+	cold, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.SetFaults(fault.New(1, fault.Rule{Seam: fault.SeamStore, Kind: fault.KindReadError, P: 1}))
+	if _, ok := cold.GetLocal(k); ok {
+		t.Fatal("injected read error did not read as a miss")
+	}
+	cold.SetFaults(fault.New(1, fault.Rule{Seam: fault.SeamStore, Kind: fault.KindBitFlip, P: 1}))
+	got, ok := cold.GetLocal(k)
+	if !ok {
+		t.Fatal("bit-flip fault swallowed the read")
+	}
+	if bytes.Equal(got, blob) {
+		t.Fatal("injected bit-flip returned pristine bytes")
+	}
+
+	// Partial write: the artifact lands torn; only content verification
+	// can tell.
+	torn := testKey("dump", 3)
+	cold.SetFaults(fault.New(1, fault.Rule{Seam: fault.SeamStore, Kind: fault.KindPartialWrite, P: 1}))
+	if err := cold.PutLocal(torn, []byte("full artifact bytes")); err != nil {
+		t.Fatal(err)
+	}
+	cold.SetFaults(nil)
+	fresh, err := NewDisk(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := fresh.PeekLocal(torn); !ok || len(data) >= len("full artifact bytes") {
+		t.Fatalf("partial write stored %d bytes, want a strict prefix on disk", len(data))
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"res/internal/fault"
 )
 
 // Store is a two-tier content-addressed store. The memory tier is a
@@ -26,6 +28,20 @@ type Store struct {
 	byID  map[string]*list.Element
 	dir   string // "" = memory-only
 	stats Stats
+
+	// known is every key this store has held and not Dropped — the
+	// memory tier's population plus, for disk-backed stores, the history
+	// recorded in the persisted key index (the disk filenames are key
+	// hashes, so the keys themselves must be remembered separately for
+	// the anti-entropy sweep to walk). persisted marks the subset already
+	// appended to the index file; idxF is its append handle.
+	known     map[Key]bool
+	persisted map[Key]bool
+	idxF      *os.File
+
+	// faults, when set, injects disk-seam failures (read/write errors,
+	// partial writes, bit-flips) for chaos testing. Nil in production.
+	faults *fault.Injector
 
 	// Replication callbacks; nil outside a cluster. onPut runs after the
 	// local tiers accept a Put; fetch runs after both local tiers miss.
@@ -82,10 +98,12 @@ func New(capacity int) *Store {
 		capacity = DefaultCapacity
 	}
 	return &Store{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element),
-		byID:  make(map[string]*list.Element),
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[Key]*list.Element),
+		byID:      make(map[string]*list.Element),
+		known:     make(map[Key]bool),
+		persisted: make(map[Key]bool),
 	}
 }
 
@@ -120,7 +138,18 @@ func NewDisk(capacity int, dir string) (*Store, error) {
 	}
 	s := New(capacity)
 	s.dir = dir
+	if err := s.loadIndex(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	return s, nil
+}
+
+// SetFaults installs (or, with nil, clears) the fault injector for the
+// store seam. Chaos-testing only; the nil injector never fires.
+func (s *Store) SetFaults(in *fault.Injector) {
+	s.mu.Lock()
+	s.faults = in
+	s.mu.Unlock()
 }
 
 // Get returns the artifact stored under k, consulting the memory tier,
@@ -178,21 +207,39 @@ func (s *Store) getLocal(k Key) ([]byte, bool) {
 		return data, true
 	}
 	dir := s.dir
+	inj := s.faults
 	s.mu.Unlock()
 
 	if dir == "" {
+		return nil, false
+	}
+	if inj.Should(fault.SeamStore, fault.KindReadError) {
+		// An injected disk read error is indistinguishable from a missing
+		// file: the caller falls through to the replication fetch.
 		return nil, false
 	}
 	data, err := os.ReadFile(s.path(k))
 	if err != nil {
 		return nil, false
 	}
+	// An injected bit-flip models silent media corruption: the poisoned
+	// bytes propagate into the memory tier exactly as a real flipped
+	// sector would, and only content-address verification (the repair
+	// sweep, the cluster's pull validation) can catch them.
+	data = inj.Corrupt(fault.SeamStore, fault.KindBitFlip, data)
 	s.mu.Lock()
 	s.stats.Hits++
 	s.stats.DiskHits++
 	s.insertLocked(k, data)
 	s.mu.Unlock()
 	return data, true
+}
+
+// PeekLocal probes the local tiers like GetLocal but without counting a
+// miss: the anti-entropy sweep's read, which probes every known key and
+// must not poison the hit-rate statistics.
+func (s *Store) PeekLocal(k Key) ([]byte, bool) {
+	return s.getLocal(k)
 }
 
 // GetByID returns the artifact whose Key.ID() equals id, probing the
@@ -211,14 +258,19 @@ func (s *Store) GetByID(id string) ([]byte, bool) {
 		return data, true
 	}
 	dir := s.dir
+	inj := s.faults
 	s.mu.Unlock()
 	if dir == "" || len(id) < 3 {
+		return nil, false
+	}
+	if inj.Should(fault.SeamStore, fault.KindReadError) {
 		return nil, false
 	}
 	data, err := os.ReadFile(filepath.Join(dir, id[:2], id))
 	if err != nil {
 		return nil, false
 	}
+	data = inj.Corrupt(fault.SeamStore, fault.KindBitFlip, data)
 	s.mu.Lock()
 	s.stats.Hits++
 	s.stats.DiskHits++
@@ -269,9 +321,20 @@ func (s *Store) PutLocal(k Key, data []byte) error {
 func (s *Store) writeDisk(k Key, data []byte) error {
 	s.mu.Lock()
 	dir := s.dir
+	inj := s.faults
 	s.mu.Unlock()
 	if dir == "" {
 		return nil
+	}
+	if inj.Should(fault.SeamStore, fault.KindWriteError) {
+		return fmt.Errorf("store: injected write error")
+	}
+	if inj.Should(fault.SeamStore, fault.KindPartialWrite) {
+		// Only a prefix reaches the platter: the rename below still
+		// happens, so the disk tier now holds a torn artifact whose bytes
+		// no longer match their content address — detectable only by
+		// re-verification (the repair sweep does).
+		data = data[:len(data)/2]
 	}
 	// Write-then-rename so a crashed daemon never leaves a torn artifact
 	// for the next one to serve.
@@ -293,6 +356,7 @@ func (s *Store) writeDisk(k Key, data []byte) error {
 // insertLocked adds or refreshes the memory-tier entry and enforces the
 // LRU bound. Caller holds s.mu.
 func (s *Store) insertLocked(k Key, data []byte) {
+	s.noteKeyLocked(k)
 	if el, ok := s.items[k]; ok {
 		s.ll.MoveToFront(el)
 		el.Value.(*entry).data = data
