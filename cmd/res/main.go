@@ -82,11 +82,15 @@ func main() {
 		ignoreCk  = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
 		tracePath = flag.String("trace", "", "write the analysis span tree as Chrome trace-event JSON to this file (local analysis only)")
 		version   = flag.Bool("version", false, "print version and exit")
+		logFormat = flag.String("log-format", "text", cli.LogFormatUsage)
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.VersionString("res"))
 		return
+	}
+	if err := cli.SetupLogging(*logFormat, "", nil); err != nil {
+		cli.Fatal(err)
 	}
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()

@@ -15,6 +15,7 @@
 //	     [-max-body-mb 256] [-spool-dir dir]
 //	     [-fault-spec seam:kind:prob,...] [-fault-seed 1]
 //	     [-pprof] [-slow-analysis 5s] [-drain-timeout 30s]
+//	     [-log-format text|json] [-flightrec-events 256]
 //
 // API (JSON):
 //
@@ -26,12 +27,18 @@
 //	POST /v1/dumps/batch    {"program_id"|"program_source","dumps":[...]}
 //	                        -> {"jobs":[...]} (positional, per-item errors)
 //	GET  /v1/results/{id}   job status + deterministic report
-//	GET  /v1/jobs/{id}/trace  analysis span tree (?format=chrome for
-//	                          chrome://tracing / Perfetto trace-event JSON)
+//	GET  /v1/jobs/{id}/trace  the job's distributed trace, stitched
+//	                          across every node it touched (?format=chrome
+//	                          for chrome://tracing / Perfetto trace-event
+//	                          JSON, ?format=text for an indented summary)
 //	GET  /v1/buckets        crash-dedup buckets
 //	GET  /healthz           liveness
 //	GET  /metrics           Prometheus text metrics (counters + latency
-//	                        histograms)
+//	                        histograms + runtime gauges)
+//	GET  /internal/v1/flightrec  the always-on flight recorder: a bounded
+//	                        ring of recent spans, warnings, faults, and
+//	                        repair events, auto-dumped on panic and on
+//	                        -slow-analysis hits
 //
 // With -peers, N daemons form one logical service: every node routes
 // each program's dumps to its rendezvous owner (failing over when the
@@ -55,6 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -66,6 +74,7 @@ import (
 	"res/internal/cli"
 	"res/internal/cluster"
 	"res/internal/fault"
+	"res/internal/obs"
 	"res/internal/service"
 	"res/internal/store"
 )
@@ -103,6 +112,8 @@ func main() {
 		spoolDir     = flag.String("spool-dir", "", "directory for spooling oversized routed bodies (empty = system temp)")
 		faultSpec    = flag.String("fault-spec", "", "chaos-testing fault injection: comma-separated seam:kind:prob[:delay] rules (e.g. store:read-error:0.05)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "deterministic PRNG seed for -fault-spec")
+		logFormat    = flag.String("log-format", "text", cli.LogFormatUsage)
+		flightEvents = flag.Int("flightrec-events", obs.DefaultFlightEvents, "flight recorder ring capacity (events retained for /internal/v1/flightrec and crash dumps)")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -111,12 +122,31 @@ func main() {
 		return
 	}
 
+	// The node identity tags every log record, span, and flight event:
+	// the advertised URL in cluster mode, the bare process otherwise.
+	nodeName := *advertise
+	if nodeName == "" {
+		nodeName = "resd"
+	}
+	flightRec := obs.NewFlightRecorder(*flightEvents)
+	if err := cli.SetupLogging(*logFormat, nodeName, flightRec); err != nil {
+		cli.Fatal(err)
+	}
+	// A crash must not take the flight recorder's story with it: dump the
+	// ring to stderr before the runtime prints the stack and dies.
+	defer func() {
+		if rec := recover(); rec != nil {
+			flightRec.Dump(os.Stderr, fmt.Sprintf("panic: %v", rec))
+			panic(rec)
+		}
+	}()
+
 	faults, err := fault.Parse(*faultSpec, *faultSeed)
 	if err != nil {
 		cli.Fatal(err)
 	}
 	if faults != nil {
-		fmt.Fprintf(os.Stderr, "resd: CHAOS MODE: fault injection armed (%s, seed %d)\n", faults, *faultSeed)
+		slog.Warn("CHAOS MODE: fault injection armed", "spec", fmt.Sprint(faults), "seed", *faultSeed)
 	}
 
 	var st *store.Store
@@ -158,6 +188,8 @@ func main() {
 		SlowThreshold:  *slowAnalysis,
 		MaxRequestBody: *maxBodyMB << 20,
 		Faults:         faults,
+		Node:           nodeName,
+		FlightRec:      flightRec,
 	})
 
 	handler := http.Handler(svc.Handler())
@@ -177,13 +209,13 @@ func main() {
 			SpoolDir:         *spoolDir,
 			MaxRouteBody:     *maxBodyMB << 20,
 			Faults:           faults,
+			FlightRec:        flightRec,
 		})
 		if err != nil {
 			cli.Fatal(err)
 		}
 		handler = node.Handler()
-		fmt.Fprintf(os.Stderr, "resd: cluster of %d nodes (self %s, replicas %d)\n",
-			len(node.Peers()), node.Self(), *replicas)
+		slog.Info("cluster mode", "nodes", len(node.Peers()), "self", node.Self(), "replicas", *replicas)
 	}
 	if *pprofOn {
 		// Profiling is opt-in: the pprof endpoints expose internals and
@@ -197,13 +229,12 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		fmt.Fprintln(os.Stderr, "resd: pprof enabled at /debug/pprof/")
+		slog.Info("pprof enabled at /debug/pprof/")
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "resd: listening on %s (workers=%d queue=%d depth=%d)\n",
-			*addr, *workers, *queue, *depth)
+		slog.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "depth", *depth)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -213,7 +244,7 @@ func main() {
 	case err := <-errCh:
 		cli.Fatal(err)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "resd: %v, draining (up to %v)\n", s, *drain)
+		slog.Info("draining", "signal", s.String(), "timeout", *drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -221,15 +252,15 @@ func main() {
 	// Drain before detaching the cluster layer: analyses that complete
 	// during the drain window must still write through to their replicas.
 	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "resd: drain cut short: %v\n", err)
+		slog.Warn("drain cut short", "err", err)
 	}
 	if node != nil {
 		node.Close()
 	}
 	if err := srv.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "resd: http shutdown: %v\n", err)
+		slog.Warn("http shutdown", "err", err)
 	}
 	m := svc.Metrics()
-	fmt.Fprintf(os.Stderr, "resd: drained; %d submitted, %d completed, %d cached, %d buckets\n",
-		m.Submitted, m.Completed, m.CacheHits, m.Buckets)
+	slog.Info("drained", "submitted", m.Submitted, "completed", m.Completed,
+		"cached", m.CacheHits, "buckets", m.Buckets)
 }

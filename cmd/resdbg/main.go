@@ -37,18 +37,22 @@ import (
 
 func main() {
 	var (
-		progPath = flag.String("prog", "", "assembly source file (required)")
-		dumpPath = flag.String("dump", "", "coredump file (required)")
-		depth    = flag.Int("depth", 0, "maximum suffix length (0 = default)")
-		timeout  = flag.Duration("timeout", 0, "synthesis deadline (0 = none)")
-		searchP  = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential)")
-		ignoreCk = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
-		version  = flag.Bool("version", false, "print version and exit")
+		progPath  = flag.String("prog", "", "assembly source file (required)")
+		dumpPath  = flag.String("dump", "", "coredump file (required)")
+		depth     = flag.Int("depth", 0, "maximum suffix length (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "synthesis deadline (0 = none)")
+		searchP   = flag.Int("search-parallel", 0, "candidate-level search parallelism (0 = all cores, 1 = sequential)")
+		ignoreCk  = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
+		version   = flag.Bool("version", false, "print version and exit")
+		logFormat = flag.String("log-format", "text", cli.LogFormatUsage)
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.VersionString("resdbg"))
 		return
+	}
+	if err := cli.SetupLogging(*logFormat, "", nil); err != nil {
+		cli.Fatal(err)
 	}
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()

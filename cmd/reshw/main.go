@@ -22,18 +22,22 @@ import (
 
 func main() {
 	var (
-		progPath = flag.String("prog", "", "assembly source file (required)")
-		dumpPath = flag.String("dump", "", "coredump file (required)")
-		depth    = flag.Int("depth", 0, "suffix search depth (0 = default)")
-		flip     = flag.String("flip", "", "inject a memory bit flip, addr:bit")
-		flipReg  = flag.String("flip-reg", "", "inject a register bit flip, tid:reg:bit")
-		out      = flag.String("o", "", "output path for the corrupted dump (with -flip/-flip-reg)")
-		version  = flag.Bool("version", false, "print version and exit")
+		progPath  = flag.String("prog", "", "assembly source file (required)")
+		dumpPath  = flag.String("dump", "", "coredump file (required)")
+		depth     = flag.Int("depth", 0, "suffix search depth (0 = default)")
+		flip      = flag.String("flip", "", "inject a memory bit flip, addr:bit")
+		flipReg   = flag.String("flip-reg", "", "inject a register bit flip, tid:reg:bit")
+		out       = flag.String("o", "", "output path for the corrupted dump (with -flip/-flip-reg)")
+		version   = flag.Bool("version", false, "print version and exit")
+		logFormat = flag.String("log-format", "text", cli.LogFormatUsage)
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(cli.VersionString("reshw"))
 		return
+	}
+	if err := cli.SetupLogging(*logFormat, "", nil); err != nil {
+		cli.Fatal(err)
 	}
 	if *progPath == "" || *dumpPath == "" {
 		flag.Usage()

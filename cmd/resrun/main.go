@@ -56,11 +56,12 @@ func main() {
 		branchWindow = flag.Int("evidence-branch-window", 64, "conditional-branch trace window (0 = off)")
 		probeEvery   = flag.Int("probe-every", 0, "probe the -probe globals every Nth block start (0 = off)")
 
-		recordCk = flag.Bool("record-checkpoints", false, "record a checkpoint ring and attach it to the dump")
-		ckEvery  = flag.Uint64("checkpoint-every", 0, "checkpoint every Nth block step (0 = default 256)")
-		ckCap    = flag.Int("checkpoint-cap", 0, "checkpoint ring capacity before exponential thinning (0 = default 64)")
-		ckLogWin = flag.Int("checkpoint-log-window", 0, "schedule/input log window in steps (0 = default 32768)")
-		version  = flag.Bool("version", false, "print version and exit")
+		recordCk  = flag.Bool("record-checkpoints", false, "record a checkpoint ring and attach it to the dump")
+		ckEvery   = flag.Uint64("checkpoint-every", 0, "checkpoint every Nth block step (0 = default 256)")
+		ckCap     = flag.Int("checkpoint-cap", 0, "checkpoint ring capacity before exponential thinning (0 = default 64)")
+		ckLogWin  = flag.Int("checkpoint-log-window", 0, "schedule/input log window in steps (0 = default 32768)")
+		version   = flag.Bool("version", false, "print version and exit")
+		logFormat = flag.String("log-format", "text", cli.LogFormatUsage)
 	)
 	var inputs cli.InputSpecs
 	flag.Var(&inputs, "input", "input channel values, ch=v1,v2,... (repeatable)")
@@ -71,6 +72,9 @@ func main() {
 	if *version {
 		fmt.Println(cli.VersionString("resrun"))
 		return
+	}
+	if err := cli.SetupLogging(*logFormat, "", nil); err != nil {
+		cli.Fatal(err)
 	}
 	if *progPath == "" {
 		flag.Usage()

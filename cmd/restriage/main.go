@@ -47,23 +47,27 @@ import (
 
 func main() {
 	var (
-		demo     = flag.Bool("demo", false, "run on the built-in workload corpus")
-		manifest = flag.String("manifest", "", "manifest file: prog dump label per line")
-		perBug   = flag.Int("per-bug", 4, "demo: reports generated per bug")
-		depth    = flag.Int("depth", 14, "RES suffix depth budget")
-		buckets  = flag.Bool("buckets", false, "print bucket composition")
-		parallel = flag.Int("parallel", 1, "concurrent analyses (<1 = GOMAXPROCS)")
-		searchP  = flag.Int("search-parallel", 1, "candidate-level parallelism within each analysis (0 = all cores; keep 1 when -parallel already saturates the machine)")
-		timeout  = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
-		cache    = flag.Bool("cache", false, "dedup duplicate dumps through a content-addressed result store")
-		useEv    = flag.Bool("evidence", false, "prune analyses with evidence attachments (manifest 4th column or embedded in dump files)")
-		version  = flag.Bool("version", false, "print version and exit")
+		demo      = flag.Bool("demo", false, "run on the built-in workload corpus")
+		manifest  = flag.String("manifest", "", "manifest file: prog dump label per line")
+		perBug    = flag.Int("per-bug", 4, "demo: reports generated per bug")
+		depth     = flag.Int("depth", 14, "RES suffix depth budget")
+		buckets   = flag.Bool("buckets", false, "print bucket composition")
+		parallel  = flag.Int("parallel", 1, "concurrent analyses (<1 = GOMAXPROCS)")
+		searchP   = flag.Int("search-parallel", 1, "candidate-level parallelism within each analysis (0 = all cores; keep 1 when -parallel already saturates the machine)")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole corpus (0 = none)")
+		cache     = flag.Bool("cache", false, "dedup duplicate dumps through a content-addressed result store")
+		useEv     = flag.Bool("evidence", false, "prune analyses with evidence attachments (manifest 4th column or embedded in dump files)")
+		version   = flag.Bool("version", false, "print version and exit")
+		logFormat = flag.String("log-format", "text", cli.LogFormatUsage)
 	)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(cli.VersionString("restriage"))
 		return
+	}
+	if err := cli.SetupLogging(*logFormat, "", nil); err != nil {
+		cli.Fatal(err)
 	}
 	var corpus []triage.Item
 	switch {

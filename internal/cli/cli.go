@@ -5,6 +5,7 @@ package cli
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strconv"
@@ -155,4 +156,22 @@ func SaveDump(path string, d *coredump.Dump) error {
 func Fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
+}
+
+// LogFormatUsage is the shared -log-format flag help text.
+const LogFormatUsage = "structured log format: text or json"
+
+// SetupLogging installs the process-wide structured logger: slog to
+// stderr in the given format ("text" or "json"; "" = text), every record
+// tagged with the node identity when non-empty, and warn-or-worse
+// records teed into the flight recorder when one is supplied. Every
+// binary calls this right after flag parsing so all subsequent output
+// is uniformly structured.
+func SetupLogging(format, node string, fr *obs.FlightRecorder) error {
+	logger, err := obs.NewLogger(format, os.Stderr, node, fr)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	return nil
 }

@@ -23,6 +23,10 @@ import (
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
+	// onTrip, when set, observes each closed→open transition (the flight
+	// recorder hook). Called with the breaker lock held, so it must not
+	// re-enter the breaker.
+	onTrip func(peer string)
 
 	mu    sync.Mutex
 	peers map[string]*breakerPeer
@@ -87,6 +91,9 @@ func (b *breaker) observe(peer string, ok bool) {
 		bp.probing = false
 		bp.openedAt = time.Now()
 		b.trips++
+		if b.onTrip != nil {
+			b.onTrip(peer)
+		}
 	}
 }
 

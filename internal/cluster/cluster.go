@@ -73,6 +73,11 @@ type Config struct {
 	// mid-body cuts) into every intra-cluster HTTP call. Chaos-testing
 	// only; nil in production.
 	Faults *fault.Injector
+	// FlightRec, when set, receives the cluster layer's operational
+	// events (breaker trips, repair actions, replication faults) —
+	// normally the same recorder the local service writes to, so one
+	// ring holds the node's whole story. Nil disables recording.
+	FlightRec *obs.FlightRecorder
 }
 
 // DefaultReplicas keeps every artifact on two nodes: lose any one disk
@@ -105,6 +110,11 @@ type Node struct {
 	repTO    time.Duration
 	spoolDir string
 	maxBody  int64
+	fr       *obs.FlightRecorder
+	// frags holds the routing layer's trace fragments (proxy hops,
+	// read-through pulls, repair pulls) keyed by job ID, served to the
+	// cluster-wide trace stitcher alongside the service's own fragments.
+	frags *obs.FragRing
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -188,9 +198,15 @@ func New(cfg Config) (*Node, error) {
 		maxBody:   maxBody,
 		fpCache:   make(map[[sha256.Size]byte]string),
 		histProxy: obs.NewHistogram(obs.MicroBuckets),
+		fr:        cfg.FlightRec,
+		frags:     obs.NewFragRing(obs.DefaultFragJobs),
 	}
 	// Every health observation — active probe or passive report from the
-	// request path — also feeds the circuit breaker.
+	// request path — also feeds the circuit breaker; trips land in the
+	// flight recorder so a post-mortem shows when a peer went dark.
+	n.brk.onTrip = func(peer string) {
+		n.fr.Eventf("breaker", "circuit opened for peer %s", peer)
+	}
 	n.prober.onObserve = n.brk.observe
 	n.st.SetReplication(n.writeThrough, n.fetchFromPeers)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -292,6 +308,7 @@ func (n *Node) writeThrough(k store.Key, data []byte) {
 		}
 		if err := n.pushArtifact(peer, k, data); err != nil {
 			n.prober.observe(peer, false, err.Error())
+			n.fr.Eventf("fault", "write-through of %s to %s failed: %v", k.ID(), peer, err)
 			n.mu.Lock()
 			n.putErrors++
 			n.mu.Unlock()
@@ -389,7 +406,11 @@ func (n *Node) pushArtifact(peer string, k store.Key, data []byte) error {
 // fetchFromPeers is the read-through pull: both local tiers missed, so
 // ask the key's replicas (then any remaining peer, covering placement
 // drift) for the bytes. Verified against the content address before the
-// store caches them.
+// store caches them. A successful recovery leaves a trace fragment in
+// the router's ring — a result key's ID is its job ID, so the pull
+// shows up in that job's stitched trace — plus a flight-recorder event.
+// Misses stay silent beyond the counter: every fresh submission's cache
+// probe legitimately misses here.
 func (n *Node) fetchFromPeers(k store.Key) ([]byte, bool) {
 	if !replicable(k) {
 		return nil, false
@@ -402,6 +423,9 @@ func (n *Node) fetchFromPeers(k store.Key) ([]byte, bool) {
 			continue
 		}
 		tried[peer] = true
+		tr := obs.NewTraceCtx("read-through", obs.TraceContext{}, n.self)
+		tr.Root().SetStr("peer", peer)
+		tr.Root().SetStr("space", k.Space)
 		data, ok := n.pullArtifact(peer, id)
 		if !ok {
 			continue
@@ -409,6 +433,8 @@ func (n *Node) fetchFromPeers(k store.Key) ([]byte, bool) {
 		if verifyArtifact(k, data) != nil {
 			continue
 		}
+		n.frags.Add(id, tr.Finish())
+		n.fr.Eventf("repair", "read-through pulled %s %s from %s", k.Space, id, peer)
 		n.mu.Lock()
 		n.fetches++
 		n.mu.Unlock()

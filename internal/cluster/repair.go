@@ -89,6 +89,7 @@ func (n *Node) RepairNow(ctx context.Context) RepairStats {
 			n.st.Drop(k)
 			have = false
 			st.Corrupt++
+			n.fr.Eventf("fault", "sweep dropped corrupt %s %s", k.Space, k.ID())
 		}
 		if !have && want {
 			if fetched, ok := n.fetchFromPeers(k); ok {
@@ -126,6 +127,12 @@ func (n *Node) RepairNow(ctx context.Context) RepairStats {
 	n.repairPushed += uint64(st.Pushed)
 	n.repairCorrupt += uint64(st.Corrupt)
 	n.mu.Unlock()
+	if st.Pulled > 0 || st.Pushed > 0 || st.Corrupt > 0 || st.Failed > 0 {
+		// Quiet sweeps (the steady state) stay out of the ring; a sweep
+		// that actually repaired something is part of the node's story.
+		n.fr.Eventf("repair", "sweep: scanned=%d pulled=%d pushed=%d corrupt=%d failed=%d",
+			st.Scanned, st.Pulled, st.Pushed, st.Corrupt, st.Failed)
+	}
 	return st
 }
 

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"time"
 
@@ -22,6 +24,9 @@ import (
 //	GET /v1/cluster/metrics             federated cluster-wide metrics
 //	GET /internal/v1/metrics            this node's snapshot (JSON), the
 //	                                    unit the federation merges
+//	GET /internal/v1/trace/{id}         this node's trace fragments for a
+//	                                    job (service + routing layer), the
+//	                                    unit the trace stitcher merges
 //	GET /internal/v1/store/{id}         replication: serve one artifact
 //	PUT /internal/v1/store/{id}         replication: accept one artifact
 //
@@ -29,8 +34,8 @@ import (
 // owner (failing over down the preference order when the owner is
 // unreachable), result lookups try the local service, then the local
 // store's replica tier, then the peers, and bucket listings merge the
-// whole cluster's view. Trace lookups follow results: local first, then
-// the peer that ran the analysis.
+// whole cluster's view. Trace lookups stitch: every node's fragments
+// for the job are gathered and merged into one tree.
 func (n *Node) Handler() http.Handler {
 	local := n.svc.Handler()
 	mux := http.NewServeMux()
@@ -46,12 +51,32 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/route/{program}", n.handleRoute)
 	mux.HandleFunc("GET /v1/cluster/metrics", n.handleClusterMetrics)
 	mux.HandleFunc("GET /internal/v1/metrics", n.handleNodeMetrics)
+	mux.HandleFunc("GET /internal/v1/trace/{id}", n.handleTraceFragments)
 	mux.HandleFunc("GET /internal/v1/store/{id}", n.handleStoreGet)
 	mux.HandleFunc("PUT /internal/v1/store/{id}", n.handleStorePut)
 	mux.HandleFunc("GET /internal/v1/store-index", n.handleStoreIndex)
 	mux.HandleFunc("POST /internal/v1/repair", n.handleRepair)
 	mux.Handle("/", local)
-	return mux
+	return n.recoverPanics(mux)
+}
+
+// recoverPanics converts a routing-layer panic into a 500 after dumping
+// the flight recorder, mirroring the service's own recovery for the
+// handlers the cluster mux serves itself.
+func (n *Node) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil || rec == http.ErrAbortHandler {
+				return
+			}
+			slog.Error("cluster handler panic", "node", n.self, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+			n.fr.Record(obs.FlightEvent{Kind: "panic", Msg: fmt.Sprintf("%s: %v", r.URL.Path, rec)})
+			n.fr.Dump(os.Stderr, "panic in "+r.URL.Path)
+			writeErr(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -112,6 +137,8 @@ func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
 		n.mu.Unlock()
 	}
 	if forwarded(r) {
+		// The proxying node already routed (and traced) this hop; the
+		// traceparent header it set rides into the local service intact.
 		n.serveSpool(w, r, sp)
 		return
 	}
@@ -125,7 +152,30 @@ func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	n.routeToOwner(w, r, sp, fp)
+	// This node is the ingest edge: adopt the client's trace context when
+	// it sent one, mint the request's trace ID otherwise, and record the
+	// routing decision as this node's fragment of the distributed trace.
+	tr := obs.NewTraceCtx("route", obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)), n.self)
+	tr.Root().SetStr("program", fp)
+	if sp.spilled() {
+		tr.Root().SetStr("spooled", "true")
+	}
+	n.routeToOwner(w, r, sp, fp, tr)
+}
+
+// recordRouteFrag files the ingest edge's trace fragment once the
+// response has been written, keyed by the job ID the serving node
+// reported in its response headers. Cache hits are skipped — their
+// trace endpoint 404s by design, and a routing fragment would turn
+// that into a misleading one-span "trace".
+func (n *Node) recordRouteFrag(w http.ResponseWriter, tr *obs.Trace) {
+	if w.Header().Get(service.CachedHeader) == "true" {
+		return
+	}
+	if jobID := w.Header().Get(service.JobHeader); jobID != "" {
+		n.frags.Add(jobID, tr.Finish())
+		slog.Info("submission routed", "trace_id", tr.ID(), "job_id", jobID, "node", n.self)
+	}
 }
 
 // submitHead is the routing-relevant prefix of a submission body.
@@ -220,8 +270,10 @@ func skipJSONValue(dec *json.Decoder) error {
 // routable peer gets a proxy attempt, down nodes are skipped, and
 // transport failures and draining targets (503) fail over to the next
 // candidate. A request served by anyone but order[0] counts as a
-// failover.
-func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, sp *spool, programFP string) {
+// failover. Every attempt — the failed ones included — gets a span in
+// the routing fragment tr, and the serving hop's traceparent rides the
+// forwarded request so the serving node's fragment parents under it.
+func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, sp *spool, programFP string, tr *obs.Trace) {
 	order := rank(n.peers, programFP)
 	var lastErr string
 	for i, target := range order {
@@ -229,20 +281,31 @@ func (n *Node) routeToOwner(w http.ResponseWriter, r *http.Request, sp *spool, p
 			if i > 0 {
 				n.countFailover()
 			}
+			span := tr.Root().Child("local")
+			span.SetInt("attempt", int64(i))
+			r.Header.Set(obs.TraceparentHeader, tr.Context(span).Traceparent())
 			n.serveSpool(w, r, sp)
+			span.End()
+			n.recordRouteFrag(w, tr)
 			return
 		}
 		if !n.routable(target) {
 			lastErr = target + " is down"
 			continue
 		}
-		ok, errMsg := n.proxy(w, r, sp, target)
+		span := tr.Root().Child("proxy")
+		span.SetStr("peer", target)
+		span.SetInt("attempt", int64(i))
+		ok, errMsg := n.proxy(w, r, sp, target, tr.Context(span).Traceparent())
+		span.End()
 		if ok {
 			if i > 0 {
 				n.countFailover()
 			}
+			n.recordRouteFrag(w, tr)
 			return
 		}
+		span.SetStr("error", errMsg)
 		lastErr = errMsg
 		n.prober.observe(target, false, errMsg)
 	}
@@ -259,8 +322,11 @@ func (n *Node) countFailover() {
 // the response was delivered; false means the caller may fail over (the
 // target was unreachable or draining — nothing was written to w). The
 // spool's rewind is what makes the failover safe: a target that died
-// mid-transfer consumed a throwaway reader, not the body.
-func (n *Node) proxy(w http.ResponseWriter, r *http.Request, sp *spool, target string) (bool, string) {
+// mid-transfer consumed a throwaway reader, not the body. traceparent,
+// when non-empty, carries the routing span's context to the target; the
+// job/trace/cached response headers are relayed back so the ingest edge
+// (and the client) learn the job identity this hop produced.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, sp *spool, target, traceparent string) (bool, string) {
 	t0 := time.Now()
 	defer func() { n.histProxy.Observe(time.Since(t0).Seconds()) }()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, sp.NewReader())
@@ -271,6 +337,9 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, sp *spool, target s
 	req.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(sp.NewReader()), nil }
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
 	req.Header.Set(forwardedHeader, n.self)
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return false, err.Error()
@@ -286,6 +355,11 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, sp *spool, target s
 	n.mu.Unlock()
 	n.prober.observe(target, true, "")
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	for _, h := range []string{service.JobHeader, service.TraceHeader, service.CachedHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	return true, ""
@@ -364,6 +438,11 @@ func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if data, ok := n.st.GetByID(id); ok && id != journalSnapshotID && looksLikeReport(data) {
+		// The replica tier is the answer of last resort: every node that
+		// knew the job's metadata is gone, so the recovery is worth a
+		// flight-recorder entry.
+		n.fr.Record(obs.FlightEvent{Kind: "repair", JobID: id,
+			Msg: "result served from the replica tier (no node knows the job)"})
 		writeJSON(w, http.StatusOK, service.Job{
 			ID:     id,
 			Status: service.StatusDone,
@@ -441,50 +520,75 @@ func flushCopy(w http.ResponseWriter, r io.Reader) {
 	}
 }
 
-// handleJobTrace serves a job's analysis span tree: locally when this
-// node ran the job, otherwise proxied from the peer that did (the trace
-// lives only in the analyzing process's memory, so only that node can
-// answer).
+// localFragments gathers everything this node recorded for a job: the
+// routing layer's fragments (proxy hops, read-through and repair pulls)
+// plus the service's (the request fragment and the analysis span tree).
+func (n *Node) localFragments(id string) []*obs.TraceData {
+	return append(n.frags.Get(id), n.svc.TraceFragments(id)...)
+}
+
+// handleJobTrace is the cluster-wide trace stitcher: it gathers every
+// node's span fragments for the job — this node's routing and service
+// fragments plus each routable peer's via GET /internal/v1/trace/{id} —
+// and serves them merged into one tree. Any node can answer for any
+// job: the ingest edge holds the routing fragment, the analyzing node
+// the request and analysis fragments, and repair or read-through pulls
+// may have scattered more. Jobs with no fragments anywhere (cache hits,
+// replayed records) fall through to the local service's canonical 404.
 func (n *Node) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := n.svc.Trace(id); ok || forwarded(r) {
+	frags := n.localFragments(id)
+	if !forwarded(r) {
+		for _, peer := range n.peers {
+			if peer == n.self || !n.routable(peer) {
+				continue
+			}
+			frags = append(frags, n.peerFragments(r, peer, id)...)
+		}
+	}
+	tr := obs.Stitch(frags)
+	if tr == nil {
+		// The local service renders the canonical answer: a no-trace 404
+		// for a job it knows (a cache hit), or unknown job.
 		n.svc.Handler().ServeHTTP(w, r)
 		return
 	}
-	path := "/v1/jobs/" + id + "/trace"
-	if r.URL.RawQuery != "" {
-		path += "?" + r.URL.RawQuery
+	service.WriteTrace(w, r, tr)
+}
+
+// peerFragments fetches one peer's raw fragments for a job.
+func (n *Node) peerFragments(r *http.Request, peer, id string) []*obs.TraceData {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+"/internal/v1/trace/"+id, nil)
+	if err != nil {
+		return nil
 	}
-	for _, peer := range n.peers {
-		if peer == n.self || !n.routable(peer) {
-			continue
-		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, peer+path, nil)
-		if err != nil {
-			continue
-		}
-		req.Header.Set(forwardedHeader, n.self)
-		resp, err := n.hc.Do(req)
-		if err != nil {
-			n.prober.observe(peer, false, err.Error())
-			continue
-		}
-		if resp.StatusCode == http.StatusOK {
-			n.mu.Lock()
-			n.proxied++
-			n.mu.Unlock()
-			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-			w.WriteHeader(http.StatusOK)
-			io.Copy(w, resp.Body)
-			resp.Body.Close()
-			return
-		}
+	req.Header.Set(forwardedHeader, n.self)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		n.prober.observe(peer, false, err.Error())
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		return nil
 	}
-	// No peer has it either: the local service renders the canonical
-	// answer (a no-trace 404, or unknown job).
-	n.svc.Handler().ServeHTTP(w, r)
+	var frags []*obs.TraceData
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&frags); err != nil {
+		return nil
+	}
+	return frags
+}
+
+// handleTraceFragments serves this node's fragments for a job — the
+// routing layer's ring plus the service's — to a stitching peer. An
+// empty list is a 200: "nothing recorded here" is an answer.
+func (n *Node) handleTraceFragments(w http.ResponseWriter, r *http.Request) {
+	frags := n.localFragments(r.PathValue("id"))
+	if frags == nil {
+		frags = []*obs.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, frags)
 }
 
 // journalSnapshotID is the one store ID that must never leave the node:

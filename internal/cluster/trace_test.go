@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"res/internal/obs"
+	"res/internal/service"
+	"res/internal/store"
+	"res/internal/workload"
+)
+
+// ownerIndex returns which node of tc owns the bug's program.
+func ownerIndex(t *testing.T, tc *testCluster, bug *workload.Bug) int {
+	t.Helper()
+	owner := rank(tc.urls, programFP(t, bug))[0]
+	for i, u := range tc.urls {
+		if u == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %s not in %v", owner, tc.urls)
+	return -1
+}
+
+// bugOwnedBy finds a workload whose program rendezvous-hashes to node
+// want, so a submission via the other node must cross the proxy.
+func bugOwnedBy(t *testing.T, tc *testCluster, want int) *workload.Bug {
+	t.Helper()
+	candidates := []*workload.Bug{
+		workload.RaceCounter(), workload.Fig1(), workload.AtomViolation(),
+		workload.WriteWriteRace(), workload.MultiSiteRace(), workload.UseAfterFree(),
+	}
+	for k := 4; k <= 24; k++ {
+		candidates = append(candidates, workload.DistanceChain(k))
+	}
+	for _, bug := range candidates {
+		if ownerIndex(t, tc, bug) == want {
+			return bug
+		}
+	}
+	t.Fatalf("no candidate program owned by node %d", want)
+	return nil
+}
+
+// TestClusterTraceStitch is the tentpole acceptance test: a dump
+// submitted through the NON-owner carries one trace ID across the
+// router hop on the ingest node and the analysis on the owner, and
+// GET /v1/jobs/{id}/trace — asked of EITHER node — serves the stitched
+// tree: route → proxy → request → analyze → analysis, with spans from
+// both nodes under one trace ID.
+func TestClusterTraceStitch(t *testing.T) {
+	recs := make([]*obs.FlightRecorder, 2)
+	tc := startCluster(t, 2, func(tc *testCluster, i int) service.Config {
+		cfg := tc.nodeConfig(i)
+		cfg.Node = tc.urls[i]
+		recs[i] = obs.NewFlightRecorder(128)
+		cfg.FlightRec = recs[i]
+		if tc.clusterCfg == nil {
+			tc.clusterCfg = func(j int, c Config) Config {
+				c.FlightRec = recs[j]
+				return c
+			}
+		}
+		return cfg
+	})
+	bug := bugOwnedBy(t, tc, 0)
+	dump := failingDumps(t, bug, 1)[0]
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Submit via node 1, the non-owner: the dump crosses the proxy to
+	// node 0, which runs the analysis.
+	ingest := service.NewClient(tc.urls[1])
+	job, err := ingest.SubmitSource(ctx, bug.Name, bug.Source, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.TraceID == "" {
+		t.Fatal("submitted job carries no trace ID")
+	}
+	done, err := ingest.PollResult(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != service.StatusDone {
+		t.Fatalf("job = %+v, want done", done)
+	}
+
+	// The stitched tree must be identical in shape from either entry
+	// point: any node answers any trace.
+	for i := range tc.urls {
+		td, err := service.NewClient(tc.urls[i]).Trace(ctx, job.ID)
+		if err != nil {
+			t.Fatalf("trace via node %d: %v", i, err)
+		}
+		if td.TraceID != job.TraceID {
+			t.Fatalf("node %d: stitched trace ID %q != job trace ID %q", i, td.TraceID, job.TraceID)
+		}
+		if len(td.Spans) == 0 || td.Spans[0].Name != "route" {
+			t.Fatalf("node %d: stitched root = %+v, want the ingest route span", i, td.Spans)
+		}
+		for _, want := range []string{"route", "proxy", "request", "analyze", "analysis"} {
+			if len(td.ByName(want)) == 0 {
+				t.Fatalf("node %d: stitched trace has no %q span:\n%s", i, want, td.Summary())
+			}
+		}
+		// Cross-node parent links: the owner's request fragment hangs
+		// under the ingest node's proxy span, the engine's analysis tree
+		// under the request fragment's analyze span.
+		if got := td.ByName("request")[0].Parent; got != td.ByName("proxy")[0].ID {
+			t.Fatalf("node %d: request parent = %d, want proxy %d:\n%s",
+				i, got, td.ByName("proxy")[0].ID, td.Summary())
+		}
+		if got := td.ByName("analysis")[0].Parent; got != td.ByName("analyze")[0].ID {
+			t.Fatalf("node %d: analysis parent = %d, want analyze %d", i, got, td.ByName("analyze")[0].ID)
+		}
+		if nodes := td.Nodes(); len(nodes) != 2 || nodes[0] != tc.urls[0] && nodes[1] != tc.urls[0] {
+			t.Fatalf("node %d: trace spans nodes %v, want both of %v", i, nodes, tc.urls)
+		}
+		sum := fetchText(t, tc.urls[i], "/v1/jobs/"+job.ID+"/trace?format=text")
+		for _, u := range tc.urls {
+			if !strings.Contains(sum, "node="+u) {
+				t.Fatalf("node %d: text summary lacks spans from %s:\n%s", i, u, sum)
+			}
+		}
+	}
+
+	// The ingest node's fragment endpoint serves its routing fragment;
+	// the flight recorders on both nodes saw the request.
+	var frags []*obs.TraceData
+	if err := json.Unmarshal([]byte(fetchText(t, tc.urls[1], "/internal/v1/trace/"+job.ID)), &frags); err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) == 0 || frags[0].Node != tc.urls[1] {
+		t.Fatalf("ingest node fragments = %+v, want its route fragment", frags)
+	}
+	evs, _ := recs[0].Snapshot()
+	var sawSpan bool
+	for _, ev := range evs {
+		if ev.Kind == "span" && ev.JobID == job.ID {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Fatalf("owner flight recorder has no span event for job %s: %+v", job.ID, evs)
+	}
+	var fr struct {
+		Events []obs.FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(fetchText(t, tc.urls[0], "/internal/v1/flightrec")), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Events) == 0 {
+		t.Fatal("flight recorder endpoint served no events")
+	}
+}
+
+// TestCacheHitTraceViaNonOwner404 pins the satellite contract: a job
+// served from the result store never ran a traced analysis, so fetching
+// its trace through a NON-owner node must produce a clean 404 — the
+// stitcher finds no fragments anywhere and must not 500.
+func TestCacheHitTraceViaNonOwner404(t *testing.T) {
+	tc := startCluster(t, 2, (*testCluster).nodeConfig)
+	bug := bugOwnedBy(t, tc, 0)
+	dump := failingDumps(t, bug, 1)[0]
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Analyze once, directly on the owner (node 1 stays out of the
+	// request path entirely).
+	owner := service.NewClient(tc.urls[0])
+	job, err := owner.SubmitSource(ctx, bug.Name, bug.Source, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.PollResult(ctx, job.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the owner with a fresh process memory (no journal) over
+	// the same disk store: the result survives, every trace fragment
+	// and job record does not.
+	tc.stop(0)
+	st, err := store.NewDisk(0, filepath.Join(tc.dir, "store-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.boot(0, service.Config{Analysis: testAnalysis, ShardWorkers: 2, Store: st})
+
+	// Resubmitting the same dump through the non-owner proxies to the
+	// owner and hits the store.
+	hit, err := service.NewClient(tc.urls[1]).SubmitSource(ctx, bug.Name, bug.Source, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.ID != job.ID {
+		t.Fatalf("resubmission = %+v, want a cache hit of job %s", hit, job.ID)
+	}
+
+	for i, base := range tc.urls {
+		resp, err := http.Get(base + "/v1/jobs/" + hit.ID + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("node %d: cache-hit trace = %d, want 404\n%s", i, resp.StatusCode, body)
+		}
+		if !json.Valid(body) || !strings.Contains(string(body), "error") {
+			t.Fatalf("node %d: 404 body is not a clean error envelope: %s", i, body)
+		}
+	}
+}

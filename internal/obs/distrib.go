@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// TraceparentHeader is the HTTP header carrying trace context between
+// nodes, in the W3C Trace Context wire form:
+//
+//	00-<32-hex trace id>-<16-hex parent span ref>-01
+//
+// The parent field carries a Span.Ref, so the receiving node's fragment
+// knows exactly which remote span to hang under when stitched.
+const TraceparentHeader = "Traceparent"
+
+// TraceContext identifies a request's distributed trace: the trace ID
+// shared by every fragment, and the Ref of the span the next fragment
+// should parent under. The zero value means "no trace context" — a
+// fragment built from it mints a fresh trace ID and becomes a root.
+type TraceContext struct {
+	TraceID   string
+	ParentRef string
+}
+
+// NewTraceID mints a random 32-hex trace ID.
+func NewTraceID() string { return randHex(32) }
+
+func randHex(n int) string {
+	b := make([]byte, (n+1)/2)
+	rand.Read(b)
+	return hex.EncodeToString(b)[:n]
+}
+
+// Traceparent renders the context as a traceparent header value. Empty
+// when there is no trace ID, so callers can set the header
+// unconditionally.
+func (tc TraceContext) Traceparent() string {
+	if tc.TraceID == "" {
+		return ""
+	}
+	ref := tc.ParentRef
+	if ref == "" {
+		ref = "0000000000000000"
+	}
+	return "00-" + tc.TraceID + "-" + ref + "-01"
+}
+
+// ParseTraceparent extracts trace context from a traceparent header
+// value. Malformed or absent values yield the zero context — the edge
+// then mints a fresh trace instead of failing the request.
+func ParseTraceparent(v string) TraceContext {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return TraceContext{}
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return TraceContext{}
+	}
+	tc := TraceContext{TraceID: parts[1]}
+	if parts[2] != "0000000000000000" {
+		tc.ParentRef = parts[2]
+	}
+	return tc
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Stitch merges per-node trace fragments of one request into a single
+// tree. A fragment whose ParentRef matches a Ref in another fragment is
+// grafted under that span, with its clock rebased so it nests inside
+// the parent span (node clocks are not synchronized; nesting at the
+// parent's start is the honest approximation). Fragments whose parent
+// cannot be resolved — the ingest root, or orphans such as repair
+// pulls recorded without request context — are unified into one tree:
+// the unresolvable fragment with the largest resolvable subtree (ties
+// broken by list order) becomes the root, and the rest graft under it.
+// The ingest-edge fragment carries the whole request chain, so it wins
+// the root no matter where it sits in the list.
+func Stitch(frags []*TraceData) *TraceData {
+	var fs []*TraceData
+	for _, f := range frags {
+		if f != nil && len(f.Spans) > 0 {
+			fs = append(fs, f)
+		}
+	}
+	if len(fs) == 0 {
+		return nil
+	}
+
+	// Resolve each fragment's parent: ref -> fragment/span location.
+	type loc struct{ frag, span int }
+	refs := make(map[string]loc)
+	for i, f := range fs {
+		for j, s := range f.Spans {
+			if s.Ref != "" {
+				refs[s.Ref] = loc{i, j}
+			}
+		}
+	}
+	parent := make([]loc, len(fs)) // frag == -1 when unresolved
+	children := make([][]int, len(fs))
+	var roots []int
+	for i, f := range fs {
+		parent[i] = loc{frag: -1}
+		if l, ok := refs[f.ParentRef]; ok && f.ParentRef != "" && l.frag != i {
+			parent[i] = l
+			children[l.frag] = append(children[l.frag], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	// Root election: the unresolvable fragment that carries the biggest
+	// subtree. A lone orphan (a repair pull, a read-through) can then
+	// never displace the ingest edge as the stitched tree's root.
+	var weigh func(i int, seen []bool) int
+	weigh = func(i int, seen []bool) int {
+		if seen[i] {
+			return 0
+		}
+		seen[i] = true
+		total := 1
+		for _, c := range children[i] {
+			total += weigh(c, seen)
+		}
+		return total
+	}
+	best := 0
+	for idx, r := range roots {
+		if w := weigh(r, make([]bool, len(fs))); w > best {
+			best = w
+			roots[0], roots[idx] = roots[idx], roots[0]
+		}
+	}
+
+	out := &TraceData{}
+	for _, f := range fs {
+		if f.TraceID != "" {
+			out.TraceID = f.TraceID
+			break
+		}
+	}
+
+	// Walk fragments depth-first from the first root so parents are
+	// always emitted before children; remaining roots (orphans) graft
+	// under the first root's root span.
+	offset := make([]int, len(fs))   // fragment -> global ID base
+	rebase := make([]int64, len(fs)) // fragment -> StartUS shift
+	emitted := make([]bool, len(fs))
+	var emit func(i int)
+	emit = func(i int) {
+		if emitted[i] {
+			return
+		}
+		emitted[i] = true
+		f := fs[i]
+		offset[i] = len(out.Spans)
+		parentID := -1
+		if p := parent[i]; p.frag >= 0 {
+			parentID = offset[p.frag] + p.span
+			rebase[i] = out.Spans[parentID].StartUS
+		}
+		for _, s := range f.Spans {
+			s.ID += offset[i]
+			if s.Parent >= 0 {
+				s.Parent += offset[i]
+			} else {
+				s.Parent = parentID
+			}
+			s.StartUS += rebase[i]
+			if s.Node == "" {
+				s.Node = f.Node
+			}
+			out.Spans = append(out.Spans, s)
+		}
+		// Child fragments emit in the order the caller supplied, so the
+		// stitched tree is deterministic for a given fragment list.
+		for _, c := range children[i] {
+			emit(c)
+		}
+	}
+	emit(roots[0])
+	for _, r := range roots[1:] {
+		parent[r] = loc{frag: roots[0], span: 0}
+		emit(r)
+	}
+	// Any fragments reachable only through an orphan cycle (ParentRef
+	// loops) still need emitting.
+	for i := range fs {
+		if !emitted[i] {
+			parent[i] = loc{frag: roots[0], span: 0}
+			emit(i)
+		}
+	}
+	return out
+}
+
+// Nodes returns the distinct node names appearing in the trace, sorted.
+func (td *TraceData) Nodes() []string {
+	if td == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, s := range td.Spans {
+		if s.Node != "" {
+			set[s.Node] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

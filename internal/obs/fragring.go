@@ -1,0 +1,67 @@
+package obs
+
+import "sync"
+
+// FragRing holds recent trace fragments keyed by job ID, bounded by
+// job count with oldest-job eviction — the per-node store the trace
+// stitcher reads. Routing hops, read-through resolutions, and repair
+// pulls each drop a fragment here; the stitcher later gathers every
+// node's fragments for a job and merges them. A nil *FragRing is
+// valid and inert.
+type FragRing struct {
+	mu     sync.Mutex
+	cap    int
+	perJob int
+	order  []string // insertion order for FIFO eviction
+	frags  map[string][]*TraceData
+}
+
+// Per-ring defaults: jobs retained, and fragments per job (a job that
+// keeps accumulating fragments — e.g. result GETs — stops recording
+// rather than evicting other jobs).
+const (
+	DefaultFragJobs   = 512
+	DefaultFragPerJob = 32
+)
+
+// NewFragRing builds a ring retaining fragments for the last jobs
+// jobs.
+func NewFragRing(jobs int) *FragRing {
+	if jobs <= 0 {
+		jobs = DefaultFragJobs
+	}
+	return &FragRing{cap: jobs, perJob: DefaultFragPerJob, frags: make(map[string][]*TraceData)}
+}
+
+// Add records one fragment for the given job. Nil-safe; nil fragments
+// are ignored.
+func (r *FragRing) Add(jobID string, td *TraceData) {
+	if r == nil || td == nil || jobID == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.frags[jobID]
+	if !ok {
+		if len(r.order) >= r.cap {
+			evict := r.order[0]
+			r.order = r.order[1:]
+			delete(r.frags, evict)
+		}
+		r.order = append(r.order, jobID)
+	}
+	if len(cur) >= r.perJob {
+		return
+	}
+	r.frags[jobID] = append(cur, td)
+}
+
+// Get returns the fragments recorded for a job, newest last.
+func (r *FragRing) Get(jobID string) []*TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*TraceData(nil), r.frags[jobID]...)
+}

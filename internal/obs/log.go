@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// LogFormats lists the values -log-format accepts.
+const LogFormats = "text|json"
+
+// NewLogger builds the process-wide structured logger. format selects
+// the slog handler ("text" or "json"); node is attached to every
+// record so multi-node log streams stay attributable; fr, when
+// non-nil, receives a copy of every warn-or-worse record so the flight
+// recorder holds recent trouble even when stderr has scrolled away.
+//
+// Call sites attach request identity per record:
+//
+//	slog.Warn("slow analysis", "trace_id", tid, "job_id", id, "program", p)
+//
+// so a grep by trace_id reconstructs one request across every node's
+// logs regardless of format.
+func NewLogger(format string, w io.Writer, node string, fr *FlightRecorder) (*slog.Logger, error) {
+	var h slog.Handler
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want %s)", format, LogFormats)
+	}
+	if fr != nil {
+		h = &teeHandler{Handler: h, fr: fr}
+	}
+	l := slog.New(h)
+	if node != "" {
+		l = l.With("node", node)
+	}
+	return l, nil
+}
+
+// teeHandler copies warn-or-worse records into the flight recorder
+// before delegating to the real handler.
+type teeHandler struct {
+	slog.Handler
+	fr *FlightRecorder
+}
+
+func (t *teeHandler) Handle(ctx context.Context, r slog.Record) error {
+	if r.Level >= slog.LevelWarn {
+		ev := FlightEvent{TimeUS: r.Time.UnixMicro(), Kind: "log", Msg: r.Message}
+		r.Attrs(func(a slog.Attr) bool {
+			switch a.Key {
+			case "trace_id":
+				ev.TraceID = a.Value.String()
+			case "job_id":
+				ev.JobID = a.Value.String()
+			default:
+				if ev.Attrs == nil {
+					ev.Attrs = make(map[string]string, 4)
+				}
+				ev.Attrs[a.Key] = a.Value.String()
+			}
+			return true
+		})
+		t.fr.Record(ev)
+	}
+	return t.Handler.Handle(ctx, r)
+}
+
+func (t *teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &teeHandler{Handler: t.Handler.WithAttrs(attrs), fr: t.fr}
+}
+
+func (t *teeHandler) WithGroup(name string) slog.Handler {
+	return &teeHandler{Handler: t.Handler.WithGroup(name), fr: t.fr}
+}

@@ -72,9 +72,14 @@ type HistData struct {
 	Count  uint64    `json:"count"`
 }
 
-// Merge folds another histogram into this one. Histograms with
-// different bucket layouts cannot be merged bucket-wise; their sum and
-// count still aggregate so totals stay truthful.
+// Merge folds another histogram into this one. Identical bucket
+// layouts merge bucket-wise. Mismatched layouts — nodes running
+// different builds during a rolling upgrade — re-bucket: each of o's
+// buckets lands in the first of h's buckets whose bound is >= its own
+// upper bound (the +Inf bucket when none is). Every observation in
+// o's bucket is <= that bucket's bound, so the mapping is
+// conservative: no count can migrate below the bound it was observed
+// under, quantile estimates only widen, and sum/count stay exact.
 func (h *HistData) Merge(o *HistData) {
 	if o == nil {
 		return
@@ -94,6 +99,18 @@ func (h *HistData) Merge(o *HistData) {
 			h.Sum += o.Sum
 			h.Count += o.Count
 			return
+		}
+	}
+	for i, c := range o.Counts {
+		if c == 0 {
+			continue
+		}
+		target := len(h.Bounds) // +Inf
+		if i < len(o.Bounds) {
+			target = sort.SearchFloat64s(h.Bounds, o.Bounds[i])
+		}
+		if target < len(h.Counts) {
+			h.Counts[target] += c
 		}
 	}
 	h.Sum += o.Sum

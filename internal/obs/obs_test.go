@@ -307,3 +307,56 @@ func TestSpanEndIdempotent(t *testing.T) {
 		t.Fatalf("second End moved duration: %d != %d", first.Spans[1].DurUS, second.Spans[1].DurUS)
 	}
 }
+
+// TestMergeFederationMismatchedBuckets pins the rolling-upgrade
+// contract at the federation level: two nodes exposing the same
+// histogram under DIFFERENT bucket layouts still merge — sum and count
+// stay exact, and each foreign bucket lands at the first local bound
+// that covers it (conservatively, so quantile estimates only widen and
+// the rendered cumulative series stays monotone).
+func TestMergeFederationMismatchedBuckets(t *testing.T) {
+	old := NodeSnapshot{Node: "a:1", Metrics: Snapshot{
+		HistogramMetric("lat_seconds", "L.", &HistData{
+			Bounds: []float64{0.1, 1}, Counts: []uint64{3, 2, 1}, Sum: 4.2, Count: 6}),
+	}}
+	upgraded := NodeSnapshot{Node: "b:2", Metrics: Snapshot{
+		HistogramMetric("lat_seconds", "L.", &HistData{
+			Bounds: []float64{0.05, 0.5, 5}, Counts: []uint64{1, 1, 1, 1}, Sum: 6.0, Count: 4}),
+	}}
+	merged := Merge([]NodeSnapshot{old, upgraded})
+	if len(merged) != 1 || merged[0].Hist == nil {
+		t.Fatalf("merged = %+v, want one histogram series", merged)
+	}
+	h := merged[0].Hist
+	if h.Count != 10 || h.Sum != 10.2 {
+		t.Fatalf("count=%d sum=%v, want exact 10 and 10.2", h.Count, h.Sum)
+	}
+	// b's buckets re-home into a's layout: 0.05→le=0.1, 0.5→le=1, and
+	// both 5 and +Inf land in +Inf.
+	for i, want := range []uint64{4, 3, 3} {
+		if h.Counts[i] != want {
+			t.Fatalf("merged counts = %v, want [4 3 3]", h.Counts)
+		}
+	}
+	// The first node's layout wins; neither source snapshot is mutated.
+	if got := old.Metrics[0].Hist.Counts[0]; got != 3 {
+		t.Fatalf("Merge mutated the old node's histogram: %d", got)
+	}
+	if got := upgraded.Metrics[0].Hist.Counts[0]; got != 1 {
+		t.Fatalf("Merge mutated the upgraded node's histogram: %d", got)
+	}
+	var b strings.Builder
+	WriteProm(&b, merged)
+	out := b.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.1"} 4`,
+		`lat_seconds_bucket{le="1"} 7`,
+		`lat_seconds_bucket{le="+Inf"} 10`,
+		"lat_seconds_count 10",
+		"lat_seconds_sum 10.2",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// runtimeSamples are the runtime/metrics series backing the process
+// gauges on /metrics.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+}
+
+// RuntimeMetrics samples the Go runtime and returns the process-health
+// series for /metrics: goroutine count, live heap bytes, cumulative GC
+// pause seconds, and uptime since start. Gauges federate tagged per
+// node; the pause total is a counter and sums cluster-wide.
+func RuntimeMetrics(start time.Time) Snapshot {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	var goroutines, heapBytes, gcPause float64
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		goroutines = float64(samples[0].Value.Uint64())
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		heapBytes = float64(samples[1].Value.Uint64())
+	}
+	if samples[2].Value.Kind() == metrics.KindFloat64Histogram {
+		gcPause = histogramTotal(samples[2].Value.Float64Histogram())
+	}
+	return Snapshot{
+		Gauge("resd_goroutines", "Live goroutines in this process.", goroutines),
+		Gauge("resd_heap_bytes", "Bytes of live heap objects.", heapBytes),
+		Counter("resd_gc_pause_seconds_total", "Approximate cumulative stop-the-world GC pause time.", gcPause),
+		Gauge("resd_uptime_seconds", "Seconds since the process started serving.", time.Since(start).Seconds()),
+	}
+}
+
+// histogramTotal approximates the sum of a runtime float64 histogram's
+// observations as count-weighted bucket midpoints; the unbounded edge
+// buckets fall back to their finite bound.
+func histogramTotal(h *metrics.Float64Histogram) float64 {
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		} else if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		total += float64(n) * mid
+	}
+	return total
+}

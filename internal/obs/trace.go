@@ -35,6 +35,16 @@ type Trace struct {
 	mu    sync.Mutex
 	start time.Time
 	spans []*Span
+	// Distributed-trace identity. id is the W3C-style 32-hex trace ID
+	// shared by every fragment of one request; node names the process
+	// that recorded this fragment; parentRef is the Ref of the remote
+	// span this fragment hangs under when fragments are stitched.
+	id        string
+	node      string
+	parentRef string
+	// refPrefix is this fragment's random 8-hex namespace for span
+	// refs, so refs minted on different nodes never collide.
+	refPrefix string
 }
 
 // Span is one timed node in the trace tree. The zero value is not
@@ -53,6 +63,9 @@ type Span struct {
 	start  time.Duration
 	end    time.Duration
 	done   bool
+	// ref is the span's 16-hex cross-node handle, minted lazily by Ref
+	// so spans that never propagate pay nothing for it.
+	ref string
 	// shared marks the attribute slices as referenced by a Finish
 	// snapshot; the next in-place update copies them first
 	// (copy-on-write), so snapshots stay immutable without Finish
@@ -71,6 +84,39 @@ func NewTrace(root string) *Trace {
 	t := &Trace{start: time.Now(), spans: make([]*Span, 0, 16)}
 	t.newSpan(root, -1, 0)
 	return t
+}
+
+// NewTraceCtx starts a trace fragment that belongs to a distributed
+// request: tc carries the request's trace ID (minted when empty) and
+// the Ref of the remote parent span, node names this process. The
+// fragment later reassembles with its siblings via Stitch.
+func NewTraceCtx(root string, tc TraceContext, node string) *Trace {
+	t := NewTrace(root)
+	if tc.TraceID == "" {
+		tc.TraceID = NewTraceID()
+	}
+	t.id = tc.TraceID
+	t.node = node
+	t.parentRef = tc.ParentRef
+	return t
+}
+
+// ID returns the distributed trace ID, or "" for a local-only trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Context returns the propagation context for a child hop whose remote
+// span tree should hang under span s (usually the span wrapping the
+// outbound call). On a nil trace it returns the zero TraceContext.
+func (t *Trace) Context(s *Span) TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: t.id, ParentRef: s.Ref()}
 }
 
 func (t *Trace) newSpan(name string, parent int, start time.Duration) *Span {
@@ -182,6 +228,27 @@ func (s *Span) SetStr(key, v string) {
 	s.tr.mu.Unlock()
 }
 
+// Ref returns the span's stable 16-hex handle for cross-node parent
+// links: an 8-hex per-fragment prefix plus the span's index. It is
+// minted on first use, carried into the traceparent header of outbound
+// hops, and resolved again by Stitch. Nil-safe ("" when tracing is
+// off).
+func (s *Span) Ref() string {
+	if s == nil {
+		return ""
+	}
+	s.tr.mu.Lock()
+	if s.ref == "" {
+		if s.tr.refPrefix == "" {
+			s.tr.refPrefix = randHex(8)
+		}
+		s.ref = fmt.Sprintf("%s%08x", s.tr.refPrefix, s.id)
+	}
+	r := s.ref
+	s.tr.mu.Unlock()
+	return r
+}
+
 // End closes the span. Idempotent; spans still open when the trace is
 // finished are closed at the trace end time, so early returns in
 // instrumented code never leak unterminated spans.
@@ -206,7 +273,12 @@ func (t *Trace) Finish() *TraceData {
 	now := time.Since(t.start)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	td := &TraceData{Spans: make([]SpanData, len(t.spans))}
+	td := &TraceData{
+		TraceID:   t.id,
+		Node:      t.node,
+		ParentRef: t.parentRef,
+		Spans:     make([]SpanData, len(t.spans)),
+	}
 	for i, s := range t.spans {
 		end := s.end
 		if !s.done {
@@ -216,6 +288,7 @@ func (t *Trace) Finish() *TraceData {
 			ID:      s.id,
 			Parent:  s.parent,
 			Name:    s.name,
+			Ref:     s.ref,
 			StartUS: s.start.Microseconds(),
 			DurUS:   (end - s.start).Microseconds(),
 		}
@@ -338,6 +411,8 @@ type SpanData struct {
 	ID       int      `json:"id"`
 	Parent   int      `json:"parent"`
 	Name     string   `json:"name"`
+	Ref      string   `json:"ref,omitempty"`
+	Node     string   `json:"node,omitempty"`
 	StartUS  int64    `json:"start_us"`
 	DurUS    int64    `json:"dur_us"`
 	Attrs    Attrs    `json:"attrs,omitempty"`
@@ -351,9 +426,15 @@ func (s SpanData) Int(key string) int64 { return s.Attrs.Get(key) }
 func (s SpanData) Str(key string) string { return s.StrAttrs.Get(key) }
 
 // TraceData is the canonical wire form of a finished trace: spans in
-// creation order, root first.
+// creation order, root first. For distributed traces each node
+// produces one or more such fragments (TraceID shared, Node naming the
+// producer, ParentRef pointing at the remote span the fragment hangs
+// under); Stitch merges them back into one tree.
 type TraceData struct {
-	Spans []SpanData `json:"spans"`
+	TraceID   string     `json:"trace_id,omitempty"`
+	Node      string     `json:"node,omitempty"`
+	ParentRef string     `json:"parent_ref,omitempty"`
+	Spans     []SpanData `json:"spans"`
 }
 
 // ByName returns all spans with the given name, in creation order.
@@ -407,8 +488,11 @@ func (td *TraceData) ChromeTrace() []byte {
 		}
 		depth[s.ID] = d
 		ev := event{Name: s.Name, Ph: "X", TS: s.StartUS, Dur: s.DurUS, PID: 1, TID: d + 1}
-		if len(s.Attrs) > 0 || len(s.StrAttrs) > 0 {
-			ev.Args = make(map[string]any, len(s.Attrs)+len(s.StrAttrs))
+		if len(s.Attrs) > 0 || len(s.StrAttrs) > 0 || s.Node != "" {
+			ev.Args = make(map[string]any, len(s.Attrs)+len(s.StrAttrs)+1)
+			if s.Node != "" {
+				ev.Args["node"] = s.Node
+			}
 			for _, kv := range s.Attrs {
 				ev.Args[kv.Key] = kv.Val
 			}
@@ -442,6 +526,9 @@ func (td *TraceData) Summary() string {
 			out = append(out, ' ', ' ')
 		}
 		out = append(out, fmt.Sprintf("%s %.3fms", s.Name, float64(s.DurUS)/1000)...)
+		if s.Node != "" {
+			out = append(out, (" node=" + s.Node)...)
+		}
 		if len(s.Attrs) > 0 {
 			b, _ := json.Marshal(s.Attrs)
 			out = append(out, ' ')

@@ -3,7 +3,10 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 
 	"res/internal/obs"
 )
@@ -81,6 +84,12 @@ type errorResponse struct {
 //	GET  /v1/buckets          crash-dedup buckets
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             Prometheus-style text metrics
+//
+// plus the node-internal observability endpoints:
+//
+//	GET  /internal/v1/trace/{id}  this node's raw span fragments for a
+//	                              job (what the cluster stitcher reads)
+//	GET  /internal/v1/flightrec   the flight recorder ring
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/programs", s.handleRegister)
@@ -92,7 +101,28 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/buckets", s.handleBuckets)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /internal/v1/trace/{id}", s.handleTraceFragments)
+	mux.HandleFunc("GET /internal/v1/flightrec", s.handleFlightRec)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a 500 after dumping the
+// flight recorder: the ring holds the moments leading up to the panic,
+// which is exactly when it must not be lost.
+func (s *Service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil || rec == http.ErrAbortHandler {
+				return
+			}
+			slog.Error("handler panic", "path", r.URL.Path, "panic", fmt.Sprint(rec))
+			s.cfg.FlightRec.Record(obs.FlightEvent{Kind: "panic", Msg: fmt.Sprintf("%s: %v", r.URL.Path, rec)})
+			s.cfg.FlightRec.Dump(os.Stderr, "panic in "+r.URL.Path)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -177,16 +207,41 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := s.SubmitEvidenceCheckpoints(programID, req.Dump, req.Evidence, req.Checkpoints, req.Options)
+	job, err := s.SubmitTraced(programID, req.Dump, req.Evidence, req.Checkpoints, req.Options,
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	setSubmitHeaders(w, job)
 	code := http.StatusAccepted
 	if job.Status.Terminal() {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, job)
+}
+
+// Response headers the routing layer reads off a proxied submission:
+// the job ID keys the router's trace fragment, the trace ID propagates
+// back to the ingest edge, and the cached marker lets the router skip
+// recording fragments for jobs that never ran (their trace endpoint
+// 404s by design).
+const (
+	JobHeader    = "X-Resd-Job"
+	TraceHeader  = "X-Resd-Trace"
+	CachedHeader = "X-Resd-Cached"
+)
+
+func setSubmitHeaders(w http.ResponseWriter, job Job) {
+	if job.ID != "" {
+		w.Header().Set(JobHeader, job.ID)
+	}
+	if job.TraceID != "" {
+		w.Header().Set(TraceHeader, job.TraceID)
+	}
+	if job.Cached {
+		w.Header().Set(CachedHeader, "true")
+	}
 }
 
 // handleSubmitBatch ingests a burst of dumps for one program in a single
@@ -225,7 +280,17 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "checkpoints must be positional with dumps"})
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: s.SubmitBatch(programID, req.Dumps, req.Evidence, req.Checkpoints, req.Options)})
+	items := s.SubmitBatchTraced(programID, req.Dumps, req.Evidence, req.Checkpoints, req.Options,
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
+	// The headers carry the first accepted job so the routing layer can
+	// key its trace fragment; the per-item outcomes are in the body.
+	for _, it := range items {
+		if it.Error == "" {
+			setSubmitHeaders(w, it.Job)
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchSubmitResponse{Jobs: items})
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -273,15 +338,17 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJobTrace serves a finished analysis's span tree: the canonical
-// wire form by default, Chrome trace-event JSON (loadable in
-// chrome://tracing or Perfetto) with ?format=chrome. Jobs that never
-// ran an analysis in this process — cache hits, journal-replayed or
-// evicted records — have no trace and return 404.
+// handleJobTrace serves a job's stitched span tree — the request
+// fragment with the analysis span tree grafted under its analyze span:
+// the canonical wire form by default, Chrome trace-event JSON
+// (loadable in chrome://tracing or Perfetto) with ?format=chrome, an
+// indented text summary with ?format=text. Jobs that never ran an
+// analysis in this process — cache hits, journal-replayed or evicted
+// records — have no trace and return 404.
 func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	tr, ok := s.Trace(id)
-	if !ok {
+	tr := obs.Stitch(s.TraceFragments(id))
+	if tr == nil {
 		if _, exists := s.Job(id); exists {
 			writeJSON(w, http.StatusNotFound, errorResponse{
 				Error: "no trace for job " + id + " (cached, replayed, or not yet finished)"})
@@ -290,12 +357,44 @@ func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if r.URL.Query().Get("format") == "chrome" {
+	WriteTrace(w, r, tr)
+}
+
+// WriteTrace renders a span tree in the format the ?format query
+// selects; the cluster stitcher reuses it for merged traces.
+func WriteTrace(w http.ResponseWriter, r *http.Request, tr *obs.TraceData) {
+	switch r.URL.Query().Get("format") {
+	case "chrome":
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(tr.ChromeTrace())
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(tr.Summary()))
+	default:
+		writeJSON(w, http.StatusOK, tr)
+	}
+}
+
+// handleTraceFragments serves this node's raw fragments for a job —
+// the stitcher's per-node fetch. An empty list is a 200, not a 404:
+// "this node recorded nothing" is an answer, and the cluster stitcher
+// distinguishes it from "job unknown everywhere".
+func (s *Service) handleTraceFragments(w http.ResponseWriter, r *http.Request) {
+	frags := s.TraceFragments(r.PathValue("id"))
+	if frags == nil {
+		frags = []*obs.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, frags)
+}
+
+// handleFlightRec serves the flight recorder ring.
+func (s *Service) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.FlightRec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "flight recorder not enabled"})
 		return
 	}
-	writeJSON(w, http.StatusOK, tr)
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.FlightRec.WriteJSON(w)
 }
 
 func (s *Service) handleBuckets(w http.ResponseWriter, r *http.Request) {

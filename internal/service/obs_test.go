@@ -46,13 +46,22 @@ func TestTraceEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(td.Spans) == 0 || td.Spans[0].Name != "analysis" {
-		t.Fatalf("trace root = %+v, want an \"analysis\" span first", td.Spans)
+	if len(td.Spans) == 0 || td.Spans[0].Name != "request" {
+		t.Fatalf("trace root = %+v, want a \"request\" span first", td.Spans)
 	}
-	for _, want := range []string{"checkpoint-bisect", "search", "depth"} {
+	if td.TraceID == "" || td.TraceID != job.TraceID {
+		t.Fatalf("stitched trace ID %q != job trace ID %q", td.TraceID, job.TraceID)
+	}
+	for _, want := range []string{"analyze", "analysis", "checkpoint-bisect", "search", "depth"} {
 		if len(td.ByName(want)) == 0 {
 			t.Errorf("trace has no %q span:\n%s", want, td.Summary())
 		}
+	}
+	// The engine's span tree must hang under the request fragment's
+	// analyze span, not float as a second root.
+	anal := td.ByName("analysis")[0]
+	if anal.Parent != td.ByName("analyze")[0].ID {
+		t.Fatalf("analysis span parent = %d, want the analyze span", anal.Parent)
 	}
 	// The report body carries no trace — it lives on the endpoint only,
 	// so stored and cached reports stay byte-identical.
@@ -245,5 +254,77 @@ func TestMetricsHistogramsAndBuildInfo(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Logf("metrics body:\n%s", text)
+	}
+}
+
+// TestEventsChurnAccounting hammers one watcher with a publisher that
+// far outruns it and checks the drop accounting balances exactly: every
+// published event is either delivered, covered by a gap record, or
+// still pending in the subscriber's residual counter — and the global
+// resd_events_dropped_total equals the sum of the losses. NDJSON
+// watchers under churn lose events, never count.
+func TestEventsChurnAccounting(t *testing.T) {
+	svc := New(Config{Analysis: AnalysisConfig{MaxDepth: 8}})
+	defer svc.Shutdown(context.Background())
+
+	js := &jobState{}
+	sub := &progressSub{ch: make(chan ProgressEvent, 4)}
+	js.subs = []*progressSub{sub}
+
+	const total = 5000
+	// Overflow before the consumer starts so the run is guaranteed to
+	// contain gaps whatever the scheduler does.
+	for i := 0; i < 8; i++ {
+		svc.publish(js, res.Event{Kind: res.EventDepth, Depth: i})
+	}
+
+	var delivered, gapSum uint64
+	take := func(ev ProgressEvent) {
+		if ev.Kind == "dropped" {
+			gapSum += ev.Dropped
+		} else {
+			delivered++
+		}
+	}
+	done := make(chan struct{})
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		n := 0
+		for {
+			select {
+			case ev := <-sub.ch:
+				take(ev)
+				if n++; n%64 == 0 {
+					time.Sleep(50 * time.Microsecond) // stay slower than the publisher
+				}
+			case <-done:
+				for { // the publisher is finished; drain what's buffered
+					select {
+					case ev := <-sub.ch:
+						take(ev)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	for i := 8; i < total; i++ {
+		svc.publish(js, res.Event{Kind: res.EventDepth, Depth: i})
+	}
+	close(done)
+	<-consumed
+
+	residual := sub.dropped.Load()
+	if delivered+gapSum+residual != total {
+		t.Fatalf("accounting leak: delivered=%d + gaps=%d + residual=%d != published=%d",
+			delivered, gapSum, residual, total)
+	}
+	if got := svc.eventsDropped.Load(); got != gapSum+residual {
+		t.Fatalf("resd_events_dropped_total = %d, want gaps+residual = %d", got, gapSum+residual)
+	}
+	if gapSum+residual == 0 {
+		t.Fatal("churn produced no drops; the test exercised nothing")
 	}
 }

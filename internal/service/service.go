@@ -21,8 +21,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand/v2"
+	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -176,6 +177,13 @@ type Config struct {
 	// (SeamSolver) and corruption of attachment wire bytes at submit
 	// (SeamDecode). Chaos-testing only; nil is free.
 	Faults *fault.Injector
+	// Node names this process in distributed traces and structured logs
+	// (the cluster passes the advertise URL); "" means "local".
+	Node string
+	// FlightRec, when set, receives span summaries and operational
+	// events for the always-on per-node flight recorder
+	// (GET /internal/v1/flightrec). Nil is inert.
+	FlightRec *obs.FlightRecorder
 
 	// BeforeAnalyze, when set, runs in the worker just before each
 	// analysis. Test-only: it lets lifecycle tests hold a worker busy
@@ -235,7 +243,12 @@ type Job struct {
 	ID          string `json:"id"`
 	Program     string `json:"program"` // program fingerprint (hex)
 	ProgramName string `json:"program_name,omitempty"`
-	Status      Status `json:"status"`
+	// TraceID identifies the distributed request trace this submission
+	// joined (minted at the ingest edge, or inherited from the caller's
+	// traceparent header). Grep any node's logs for it to reconstruct
+	// the request; GET /v1/jobs/{id}/trace stitches its spans.
+	TraceID string `json:"trace_id,omitempty"`
+	Status  Status `json:"status"`
 	// Cached marks a response served from the store without analysis.
 	Cached bool `json:"cached"`
 	// Partial marks a result cut short by drain or JobTimeout.
@@ -276,6 +289,12 @@ type jobState struct {
 	// this process) and replayed/evicted records. Guarded by the service
 	// mutex; immutable once set.
 	trace *obs.TraceData
+	// reqTrace is the live request-scoped fragment for fresh work: a
+	// "request" root opened at submit under the caller's trace context,
+	// with the analysis span tree later linked under its "analyze"
+	// child. Guarded by the service mutex (the pointer; the Trace itself
+	// is internally synchronized).
+	reqTrace *obs.Trace
 	// subs fan the job's analysis progress out to event-stream watchers;
 	// guarded by the service mutex.
 	subs []*progressSub
@@ -299,6 +318,7 @@ type Service struct {
 	cfg   Config
 	store *store.Store
 	optFP store.Fingerprint
+	start time.Time // process start, backs resd_uptime_seconds
 
 	baseCtx context.Context // canceled when a drain deadline forces cut-off
 	cancel  context.CancelFunc
@@ -532,6 +552,7 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		store:   cfg.Store,
 		optFP:   cfg.Analysis.Fingerprint(),
+		start:   time.Now(),
 		baseCtx: ctx,
 		cancel:  cancel,
 		shards:  make(map[string]*shard),
@@ -718,6 +739,26 @@ func (s *Service) SubmitEvidence(programID string, dumpBytes, evidenceBytes []by
 // instead of the execution length. Like evidence, the ring's content
 // fingerprint is part of the result's cache identity.
 func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenceBytes, checkpointBytes []byte, o *SubmitOverrides) (Job, error) {
+	return s.SubmitTraced(programID, dumpBytes, evidenceBytes, checkpointBytes, o, obs.TraceContext{})
+}
+
+// node names this process in trace fragments and flight events.
+func (s *Service) node() string {
+	if s.cfg.Node != "" {
+		return s.cfg.Node
+	}
+	return "local"
+}
+
+// SubmitTraced is SubmitEvidenceCheckpoints under an explicit
+// distributed trace context: tc carries the request's trace ID (minted
+// here when empty, so the service is also a valid ingest edge) and the
+// remote span the request fragment should hang under — the router's
+// proxy span when the submission was forwarded. Every path stamps the
+// job's TraceID; fresh work additionally opens the request-scoped span
+// fragment that the trace stitcher later merges with the engine's span
+// tree and the router's routing fragment.
+func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, checkpointBytes []byte, o *SubmitOverrides, tc obs.TraceContext) (Job, error) {
 	progFP, err := store.ParseFingerprint(programID)
 	if err != nil {
 		return Job{}, ErrUnknownProgram
@@ -763,7 +804,9 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		s.mu.Lock()
 		s.attachmentsDegraded += uint64(len(warnings))
 		s.mu.Unlock()
-		log.Printf("service: degraded submission for program %s: %s", programID, strings.Join(warnings, "; "))
+		slog.Warn("degraded submission: corrupt attachment dropped",
+			"trace_id", tc.TraceID, "program", programID,
+			"warnings", strings.Join(warnings, "; "))
 	}
 	if o.empty() {
 		o = nil
@@ -774,6 +817,11 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 	}
 	key := store.ResultKey(progFP, dumpFP, optFP)
 	id := key.ID()
+	if tc.TraceID == "" {
+		// This process is the ingest edge: mint the request's trace ID
+		// here so even single-node deployments get grep-able identity.
+		tc.TraceID = obs.NewTraceID()
+	}
 
 	// Probe the store before taking the service lock (the disk tier does
 	// IO). A concurrent duplicate submission is serialized below.
@@ -802,6 +850,13 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		// warnings (the stored record keeps its own): the submitter whose
 		// attachment was dropped must hear about it even on a cache hit.
 		snap.Warnings = append(warnings, snap.Warnings...)
+		// Likewise this submission's trace identity: the stored record
+		// keeps the trace that caused the analysis (whose fragments the
+		// trace endpoint stitches), but the response belongs to the
+		// caller's request.
+		if snap.TraceID == "" {
+			snap.TraceID = tc.TraceID
+		}
 		switch {
 		case !snap.Status.Terminal():
 			s.submitted++
@@ -851,7 +906,8 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		js := &jobState{
 			job: Job{
 				ID: id, Program: programID, ProgramName: sh.name,
-				Status: StatusDone, Cached: true, Report: cachedRep,
+				TraceID: tc.TraceID,
+				Status:  StatusDone, Cached: true, Report: cachedRep,
 				Bucket:       bucketFromReport(sh.name, cachedRep),
 				Evidence:     evSet.Kinds(),
 				Checkpointed: !ring.Empty(),
@@ -870,10 +926,18 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		s.journalAppend(journalEntry{T: "job", Job: rec})
 		return js.job, nil
 	}
+	// Fresh work: open the request-scoped trace fragment. Its root spans
+	// submit-to-terminal; the analysis span tree links under the
+	// "analyze" child, and when the submission was routed here the whole
+	// fragment hangs under the router's proxy span via tc.ParentRef.
+	reqTrace := obs.NewTraceCtx("request", tc, s.node())
+	reqTrace.Root().SetStr("job", id)
+	reqTrace.Root().SetStr("program", sh.name)
 	js := &jobState{
 		job: Job{
 			ID: id, Program: programID, ProgramName: sh.name,
-			Status: StatusQueued, Evidence: evSet.Kinds(),
+			TraceID: tc.TraceID,
+			Status:  StatusQueued, Evidence: evSet.Kinds(),
 			Checkpointed: !ring.Empty(), Warnings: warnings,
 			SubmittedAt: now,
 		},
@@ -882,6 +946,7 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 		overrides:   o,
 		evidence:    evSet,
 		checkpoints: ring,
+		reqTrace:    reqTrace,
 		done:        make(chan struct{}),
 	}
 	select {
@@ -903,6 +968,7 @@ func (s *Service) SubmitEvidenceCheckpoints(programID string, dumpBytes, evidenc
 	s.jobs[id] = js
 	snap := js.job
 	s.mu.Unlock()
+	slog.Info("job accepted", "trace_id", tc.TraceID, "job_id", id, "program", sh.name)
 
 	// Persist the dump blob as the service's ingest archive — only when
 	// the store has a disk tier. In a memory-only store the blob would
@@ -935,7 +1001,17 @@ type BatchItem struct {
 // are reported in place — one poisoned dump does not fail the rest of
 // the batch.
 func (s *Service) SubmitBatch(programID string, dumps [][]byte, ev, cks [][]byte, o *SubmitOverrides) []BatchItem {
+	return s.SubmitBatchTraced(programID, dumps, ev, cks, o, obs.TraceContext{})
+}
+
+// SubmitBatchTraced is SubmitBatch under one shared trace context:
+// every fresh job in the batch records its fragment under the same
+// request trace, so a routed batch reconstructs as one tree.
+func (s *Service) SubmitBatchTraced(programID string, dumps [][]byte, ev, cks [][]byte, o *SubmitOverrides, tc obs.TraceContext) []BatchItem {
 	items := make([]BatchItem, len(dumps))
+	if tc.TraceID == "" {
+		tc.TraceID = obs.NewTraceID()
+	}
 	seen := make(map[[sha256.Size]byte]int, len(dumps))
 	for i, db := range dumps {
 		var evb, ckb []byte
@@ -965,7 +1041,7 @@ func (s *Service) SubmitBatch(programID string, dumps [][]byte, ev, cks [][]byte
 			continue
 		}
 		seen[hk] = i
-		job, err := s.SubmitEvidenceCheckpoints(programID, db, evb, ckb, o)
+		job, err := s.SubmitTraced(programID, db, evb, ckb, o, tc)
 		items[i].Job = job
 		if err != nil {
 			items[i].Error = err.Error()
@@ -1083,6 +1159,13 @@ func (s *Service) run(sh *shard, js *jobState) {
 	submitted := js.job.SubmittedAt
 	s.mu.Unlock()
 	s.histQueueWait.Observe(start.Sub(submitted).Seconds())
+	// The request fragment's root accumulates per-attempt children, so a
+	// retried job's trace shows every attempt.
+	reqRoot := js.reqTrace.Root()
+	analyzeSpan := reqRoot.Child("analyze")
+	analyzeSpan.SetInt("queue_wait_us", start.Sub(submitted).Microseconds())
+	analyzeSpan.SetInt("attempt", int64(js.retries))
+	defer analyzeSpan.End()
 
 	if s.cfg.BeforeAnalyze != nil {
 		s.cfg.BeforeAnalyze()
@@ -1156,9 +1239,16 @@ func (s *Service) run(sh *shard, js *jobState) {
 	}
 	// Detach the trace before rendering: stored and cached reports must
 	// stay byte-deterministic, and the span tree (wall-clock timings) is
-	// served separately via GET /v1/jobs/{id}/trace.
+	// served separately via GET /v1/jobs/{id}/trace. Stamp the engine's
+	// fragment with the request's trace identity so the stitcher hangs
+	// it under this attempt's analyze span.
 	tr := r.Trace
 	r.Trace = nil
+	if tr != nil {
+		tr.TraceID = js.job.TraceID
+		tr.Node = s.node()
+		tr.ParentRef = analyzeSpan.Ref()
+	}
 	rep, jerr := r.JSON()
 	if jerr != nil {
 		s.finish(sh, js, func(j *Job) {
@@ -1169,9 +1259,18 @@ func (s *Service) run(sh *shard, js *jobState) {
 	}
 	s.histAnalysis.Observe(r.Elapsed.Seconds())
 	s.observeTrace(tr)
+	slog.Info("analysis complete",
+		"trace_id", js.job.TraceID, "job_id", js.job.ID, "program", sh.name,
+		"elapsed", r.Elapsed.Round(time.Millisecond).String())
 	if s.cfg.SlowThreshold > 0 && r.Elapsed >= s.cfg.SlowThreshold {
-		log.Printf("service: slow analysis job=%s program=%s elapsed=%s\n%s",
-			js.job.ID, sh.name, r.Elapsed.Round(time.Millisecond), tr.Summary())
+		slog.Warn("slow analysis",
+			"trace_id", js.job.TraceID, "job_id", js.job.ID, "program", sh.name,
+			"elapsed", r.Elapsed.Round(time.Millisecond).String(),
+			"summary", tr.Summary())
+		// A slow analysis is an incident worth a post-mortem: dump the
+		// flight recorder so the surrounding context (breaker trips,
+		// repair churn, other slow spans) is captured alongside it.
+		s.cfg.FlightRec.Dump(os.Stderr, "slow-analysis job "+js.job.ID)
 	}
 	s.mu.Lock()
 	js.trace = tr
@@ -1232,6 +1331,31 @@ func (s *Service) Trace(id string) (*obs.TraceData, bool) {
 	return js.trace, true
 }
 
+// TraceFragments returns every span fragment this node recorded for a
+// job: the request-scoped fragment (snapshotted live, so an in-flight
+// job already shows its submit and queue spans) followed by the
+// finished analysis's span tree. Empty for cache hits and replayed or
+// evicted records — this node did no traced work for those.
+func (s *Service) TraceFragments(id string) []*obs.TraceData {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	var reqTrace *obs.Trace
+	var analysis *obs.TraceData
+	if ok {
+		reqTrace = js.reqTrace
+		analysis = js.trace
+	}
+	s.mu.Unlock()
+	var frags []*obs.TraceData
+	if f := reqTrace.Finish(); f != nil {
+		frags = append(frags, f)
+	}
+	if analysis != nil {
+		frags = append(frags, analysis)
+	}
+	return frags
+}
+
 // finish applies the terminal mutation, updates counters and buckets,
 // journals the outcome, releases waiters, and ends any progress streams
 // with a terminal status event.
@@ -1261,7 +1385,16 @@ func (s *Service) finish(sh *shard, js *jobState, mut func(*Job)) {
 	subs := js.subs
 	js.subs = nil
 	status := js.job.Status
+	elapsed := js.job.FinishedAt.Sub(js.job.SubmittedAt)
 	s.mu.Unlock()
+	if root := js.reqTrace.Root(); root != nil {
+		root.SetStr("status", string(status))
+		root.End()
+	}
+	s.cfg.FlightRec.Record(obs.FlightEvent{
+		Kind: "span", TraceID: js.job.TraceID, JobID: js.job.ID,
+		Msg: fmt.Sprintf("request %s in %s (program %s)", status, elapsed.Round(time.Millisecond), js.job.ProgramName),
+	})
 	s.journalAppend(journalEntry{T: "job", Job: rec})
 	close(js.done)
 	// Detaching the subscribers above made this goroutine each channel's
@@ -1552,6 +1685,7 @@ func (s *Service) MetricsSnapshot() obs.Snapshot {
 		snap = append(snap, obs.Counter("resd_shard_cached_total", "Cache-hit responses per program shard.",
 			float64(sh.Cached)).With("program", sh.Program, "name", sh.Name))
 	}
+	snap = append(snap, obs.RuntimeMetrics(s.start)...)
 	return snap
 }
 
