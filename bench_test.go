@@ -1013,3 +1013,47 @@ func work:
 		})
 	}
 }
+
+// BenchmarkMinimize measures the delta-debugging loop that shrinks a
+// recorded failure's redundant evidence set to a 1-minimal repro (the
+// closing-the-loop subsystem). ns/op is dominated by the analyzer
+// re-runs ddmin schedules, so the series to watch is analyzer-runs/op
+// (how many re-analyses one minimization costs) and reductions/op (how
+// much of the attachment set it sheds); the cause key is asserted
+// byte-identical every iteration, so the benchmark doubles as a
+// soundness check under -benchtime stress.
+func BenchmarkMinimize(b *testing.B) {
+	bug := workload.RaceCounter()
+	p := bug.Program()
+	d, set, _, err := bug.FindFailureRecorded(60, evidence.RecordConfig{EventEvery: 3, EventWindow: 64, BranchWindow: 64})
+	if err != nil {
+		b.Fatalf("%s: %v", bug.Name, err)
+	}
+	srcs := append([]res.EvidenceSource{}, set...)
+	srcs = append(srcs, res.EvidenceLBR(res.LBRRecordAll), res.EvidenceOutputLog())
+	opts := []res.Option{res.WithMaxDepth(10), res.WithMaxNodes(2500), res.WithEvidence(srcs...)}
+	ctx := context.Background()
+	base, err := res.NewAnalyzer(p).Analyze(ctx, d, opts...)
+	if err != nil || base.Cause == nil {
+		b.Fatalf("baseline analysis: %v (cause %v)", err, base)
+	}
+	key := base.Cause.Key()
+
+	var runs, reductions, kept int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := res.Minimize(ctx, p, d, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.CauseKey != key {
+			b.Fatalf("minimized cause key %q != baseline %q", m.CauseKey, key)
+		}
+		runs += m.Runs
+		reductions += m.Reductions
+		kept += m.MinSources
+	}
+	b.ReportMetric(float64(runs)/float64(b.N), "analyzer-runs/op")
+	b.ReportMetric(float64(reductions)/float64(b.N), "reductions/op")
+	b.ReportMetric(float64(kept)/float64(b.N), "sources-kept/op")
+}

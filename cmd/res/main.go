@@ -8,6 +8,7 @@
 //	res -prog crash.s -dump core.dump [-lbr] [-outputs] [-depth 24]
 //	    [-timeout 30s] [-progress] [-json]
 //	res -prog crash.s -dump core.dump -evidence crash.ev [-json]
+//	res -prog crash.s -dump core.dump -minimize [-minimize-out min.repro]
 //	res -prog crash.s -dump core.dump -submit host:8467 [-progress] [-json]
 //	res -prog crash.s -dump a.dump,b.dump,c.dump -submit host:8467
 //
@@ -32,6 +33,16 @@
 // Anchoring bounds the search's suffix depth by the checkpoint interval
 // instead of the execution length, and the ring ships with the dump on
 // -submit, where it too becomes part of the result's cache identity.
+//
+// With -minimize the analysis is followed by delta debugging: the
+// evidence attachment set, checkpoint ring, and search budgets are
+// minimized (ddmin over sources, bisection over budgets) while requiring
+// every reduction to re-analyze to the byte-identical root-cause key.
+// The resulting minimal repro is described on stdout and, with
+// -minimize-out, written in its canonical wire form (RESMINR1) for
+// archival or fix verification (see resfix). With -submit, minimization
+// runs server-side instead (POST /v1/jobs/{id}/minimize; the daemon
+// needs -cache-dir to archive dumps).
 //
 // With -submit the analysis runs remotely: the program source and dump are
 // shipped to a resd ingestion daemon, which dedups the dump against its
@@ -81,6 +92,8 @@ func main() {
 		ckPath    = flag.String("checkpoints", "", "checkpoint ring file(s), comma-separated positional with -dump (overrides embedded attachments; \"\" entries for none)")
 		ignoreCk  = flag.Bool("ignore-checkpoints", false, "drop any checkpoint ring embedded in the dump file")
 		tracePath = flag.String("trace", "", "write the analysis span tree as Chrome trace-event JSON to this file (local analysis only)")
+		minimize  = flag.Bool("minimize", false, "delta-debug the tuple into a minimal repro preserving the root-cause key")
+		minOut    = flag.String("minimize-out", "", "write the minimal repro's canonical wire bytes (RESMINR1) to this file (implies -minimize)")
 		version   = flag.Bool("version", false, "print version and exit")
 		logFormat = flag.String("log-format", "text", cli.LogFormatUsage)
 	)
@@ -111,9 +124,19 @@ func main() {
 			cli.Fatal(fmt.Errorf("-checkpoints names %d files for %d dumps", len(ckPaths), len(dumpPaths)))
 		}
 	}
+	if *minOut != "" {
+		*minimize = true
+	}
 	if *submit != "" {
 		if *tracePath != "" {
 			cli.Fatal(fmt.Errorf("-trace applies to local analysis; for remote jobs fetch GET /v1/jobs/{id}/trace from the daemon"))
+		}
+		if *minimize {
+			if len(dumpPaths) > 1 {
+				cli.Fatal(fmt.Errorf("-minimize with -submit takes a single dump"))
+			}
+			submitRemoteMinimize(*submit, *progPath, *dumpPath, evidencePathAt(evPaths, 0), evidencePathAt(ckPaths, 0), *ignoreEv, *ignoreCk, *timeout, *minOut, *jsonOut)
+			return
 		}
 		if len(dumpPaths) > 1 {
 			submitRemoteBatch(*submit, *progPath, dumpPaths, evPaths, ckPaths, *ignoreEv, *ignoreCk, *timeout, *jsonOut)
@@ -238,6 +261,19 @@ func main() {
 	if r.Replay != nil && r.Replay.Matches {
 		fmt.Println("replay: suffix deterministically reproduces the coredump")
 	}
+	if *minimize {
+		m, merr := res.Minimize(ctx, p, d, opts...)
+		if merr != nil {
+			cli.Fatal(merr)
+		}
+		fmt.Println(res.DescribeMinimalRepro(m))
+		if *minOut != "" {
+			if werr := os.WriteFile(*minOut, m.Encode(), 0o644); werr != nil {
+				cli.Fatal(werr)
+			}
+			fmt.Fprintf(os.Stderr, "minimal repro written to %s (fingerprint %s)\n", *minOut, m.Fingerprint())
+		}
+	}
 }
 
 // evidencePathAt returns the i-th -evidence entry, or "".
@@ -353,6 +389,84 @@ func submitRemote(addr, progPath, dumpPath, evPath, ckPath string, ignoreEv, ign
 		cli.Fatal(fmt.Errorf("remote analysis failed: %s", job.Error))
 	default:
 		cli.Fatal(fmt.Errorf("job %s ended %s: %s", job.ID, job.Status, job.Error))
+	}
+}
+
+// submitRemoteMinimize runs the analyze-then-minimize loop server-side:
+// submit the tuple, wait for the analysis, then POST
+// /v1/jobs/{id}/minimize and wait for the minimal repro. The daemon must
+// archive dumps (-cache-dir) for the second step to find the tuple.
+func submitRemoteMinimize(addr, progPath, dumpPath, evPath, ckPath string, ignoreEv, ignoreCk bool, timeout time.Duration, minOut string, jsonOut bool) {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	dump, evBytes, ckBytes, err := cli.SplitDumpFile(dumpPath)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if evBytes, err = resolveEvidence(evBytes, evPath, ignoreEv); err != nil {
+		cli.Fatal(err)
+	}
+	if ckBytes, err = resolveEvidence(ckBytes, ckPath, ignoreCk); err != nil {
+		cli.Fatal(err)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	c := service.NewClient(addr)
+	job, err := c.SubmitSourceEvidenceCheckpoints(ctx, filepath.Base(progPath), string(src), dump, evBytes, ckBytes)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if !job.Status.Terminal() {
+		fmt.Fprintf(os.Stderr, "submitted job %s (status %s), waiting for analysis...\n", job.ID, job.Status)
+		if job, err = c.PollResult(ctx, job.ID, 250*time.Millisecond); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	if job.Status != service.StatusDone {
+		cli.Fatal(fmt.Errorf("job %s ended %s: %s", job.ID, job.Status, job.Error))
+	}
+	mj, err := c.MinimizeJob(ctx, job.ID, nil)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if !mj.Status.Terminal() {
+		fmt.Fprintf(os.Stderr, "minimize job %s (status %s), waiting...\n", mj.ID, mj.Status)
+		if mj, err = c.PollResult(ctx, mj.ID, 250*time.Millisecond); err != nil {
+			cli.Fatal(err)
+		}
+	}
+	if mj.Status != service.StatusDone {
+		cli.Fatal(fmt.Errorf("minimize job %s ended %s: %s", mj.ID, mj.Status, mj.Error))
+	}
+	if mj.Cached {
+		fmt.Fprintln(os.Stderr, "served from the result store (cache hit)")
+	}
+	if jsonOut {
+		fmt.Println(string(mj.Report))
+		return
+	}
+	var rep struct {
+		Repro []byte `json:"repro"`
+	}
+	if err := json.Unmarshal(mj.Report, &rep); err != nil {
+		cli.Fatal(err)
+	}
+	m, err := res.DecodeMinimalRepro(rep.Repro)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Println(res.DescribeMinimalRepro(m))
+	if minOut != "" {
+		if werr := os.WriteFile(minOut, m.Encode(), 0o644); werr != nil {
+			cli.Fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "minimal repro written to %s (fingerprint %s)\n", minOut, m.Fingerprint())
 	}
 }
 

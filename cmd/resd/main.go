@@ -26,6 +26,17 @@
 //	                           429 queue full, 503 draining)
 //	POST /v1/dumps/batch    {"program_id"|"program_source","dumps":[...]}
 //	                        -> {"jobs":[...]} (positional, per-item errors)
+//	POST /v1/fixes          {"program_id"|"program_source","patch":base64,
+//	                         "dump":base64} -> verdict job; the report is
+//	                        a fixed/not-fixed/inconclusive fix-verification
+//	                        verdict, cached by the (program, dump, options,
+//	                        patch) tuple
+//	POST /v1/jobs/{id}/minimize  delta-debug a finished analysis job's
+//	                        tuple into a minimal repro preserving the
+//	                        root-cause key (needs -cache-dir so the
+//	                        ingest archive still holds the dump);
+//	                        -> minimize job whose report carries the
+//	                        canonical RESMINR1 repro bytes
 //	GET  /v1/results/{id}   job status + deterministic report
 //	GET  /v1/jobs/{id}/trace  the job's distributed trace, stitched
 //	                          across every node it touched (?format=chrome

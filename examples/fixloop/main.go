@@ -1,0 +1,123 @@
+// Closing the loop: analyze a failure, delta-debug it into a minimal
+// repro, and verify candidate fixes against the reproduced suffix. The
+// analyzer's answer is not a report to read but an artifact to compute
+// with: the minimal repro re-analyzes to the byte-identical root-cause
+// key with a fraction of the evidence, and a patch is judged by whether
+// the failure can still fire in the replayed window — a broken candidate
+// comes back not-fixed, the real fix comes back fixed.
+//
+// Run with: go run ./examples/fixloop
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"res"
+	"res/internal/evidence"
+	"res/internal/workload"
+)
+
+// The candidate fixes, both patching the same labeled region of the
+// atom-violation workload's source. Patches are keyed by assembler
+// label: replace/insert/delete <label> ... end.
+const (
+	brokenPatch = `replace check
+    loadg r2, &x
+    const r3, 3
+    cmpeq r4, r2, r3
+end
+`
+	goodPatch = `replace check
+    loadg r2, &x
+    const r3, 5
+    cmpeq r4, r2, r3
+end
+`
+)
+
+// buggySrc is a deterministic distillation of a stale-check bug: the
+// check region asserts a value the program no longer stores.
+const buggySrc = `
+.global x 1
+func main:
+    const r1, 5
+    storeg r1, &x
+check:
+    loadg r2, &x
+    const r3, 4
+    cmpeq r4, r2, r3
+site:
+    assert r4
+    halt
+`
+
+func main() {
+	ctx := context.Background()
+	fmt.Println("=== Closing the loop: repro minimization + fix verification ===")
+
+	// --- 1. Minimize: a recorded failure with a redundant evidence set.
+	bug := workload.RaceCounter()
+	p := bug.Program()
+	d, set, _, err := bug.FindFailureRecorded(60, evidence.RecordConfig{
+		EventEvery: 3, EventWindow: 64, BranchWindow: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srcs := append([]res.EvidenceSource{}, set...)
+	srcs = append(srcs, res.EvidenceLBR(res.LBRRecordAll), res.EvidenceOutputLog())
+	opts := []res.Option{res.WithMaxDepth(10), res.WithMaxNodes(2500), res.WithEvidence(srcs...)}
+
+	base, err := res.NewAnalyzer(p).Analyze(ctx, d, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalysis:  %s\n", base.Cause)
+	fmt.Printf("evidence:  %d sources attached (deliberately redundant)\n", len(srcs))
+
+	m, err := res.Minimize(ctx, p, d, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimized: %s\n", res.DescribeMinimalRepro(m))
+	fmt.Printf("           %d analyzer runs, %d reductions, cause key unchanged (%s)\n",
+		m.Runs, m.Reductions, m.CauseKey)
+	wire := m.Encode()
+	fmt.Printf("           wire form: %d bytes, fingerprint %s\n", len(wire), m.Fingerprint()[:16])
+
+	// --- 2. Verify: replay the reproduced suffix through candidate fixes.
+	bp := res.MustAssemble(buggySrc)
+	bd, err := res.Run(bp, res.RunConfig{MaxSteps: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	br, err := res.NewAnalyzer(bp).Analyze(ctx, bd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecond bug: %s (cause %s)\n", bd.Fault, br.Cause)
+
+	for _, cand := range []struct{ name, text string }{
+		{"broken candidate (compares against 3)", brokenPatch},
+		{"real fix (compares against 5)", goodPatch},
+	} {
+		patch, err := res.ParsePatch(cand.text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := res.VerifyFix(buggySrc, patch, br, bd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", cand.name)
+		fmt.Printf("  patch:   %s\n", patch.Fingerprint()[:16])
+		fmt.Printf("  verdict: %s — %s\n", v.Verdict, v.Reason)
+		if v.Residual != "" {
+			fmt.Printf("  residual constraint %s satisfiable: %v\n", v.Residual, v.ResidualSat)
+		}
+	}
+	fmt.Println("\nThe loop closes: record once, minimize the repro, iterate on the")
+	fmt.Println("fix against the same reproduced window until the verdict is fixed.")
+}

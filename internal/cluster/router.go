@@ -41,6 +41,8 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/dumps", n.routeSubmit)
 	mux.HandleFunc("POST /v1/dumps/batch", n.routeSubmit)
+	mux.HandleFunc("POST /v1/fixes", n.routeSubmit)
+	mux.HandleFunc("POST /v1/jobs/{id}/minimize", n.handleMinimize)
 	mux.HandleFunc("POST /v1/programs", n.handleRegister)
 	mux.HandleFunc("GET /v1/results/{id}", n.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", n.handleJobEvents)
@@ -210,7 +212,7 @@ func parseSubmitHead(r io.Reader) (submitHead, error) {
 		// Once a routing key is known, stop before the payload fields —
 		// decoding a 100MB base64 dump token to discard it is the exact
 		// cost this parser exists to avoid.
-		if (key == "dump" || key == "dumps" || key == "evidence" || key == "checkpoints") &&
+		if (key == "dump" || key == "dumps" || key == "evidence" || key == "checkpoints" || key == "patch") &&
 			(h.ProgramID != "" || h.ProgramSource != "") {
 			return h, nil
 		}
@@ -497,6 +499,64 @@ func (n *Node) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// No peer knows the job either: the local service renders the
 	// canonical answer (a store-backed status, or 404).
 	n.svc.Handler().ServeHTTP(w, r)
+}
+
+// handleMinimize routes a minimize request to the node that holds the
+// job's input tuple: locally when this node knows the job, otherwise to
+// the peer that does. Minimization needs the retained attachments and
+// the archived dump, which only the node that ran (or cache-served) the
+// analysis holds — the cluster routes by job, not by program, because
+// the job ID alone identifies where that state lives.
+func (n *Node) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if _, ok := n.svc.Job(id); ok || forwarded(r) {
+		n.serveLocal(w, r, body)
+		return
+	}
+	for _, peer := range n.peers {
+		if peer == n.self || !n.routable(peer) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, peer+"/v1/jobs/"+id+"/minimize", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		req.Header.Set(forwardedHeader, n.self)
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			n.prober.observe(peer, false, err.Error())
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			// This peer does not know the job; keep looking.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		n.mu.Lock()
+		n.proxied++
+		n.mu.Unlock()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		for _, h := range []string{service.JobHeader, service.TraceHeader, service.CachedHeader} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	// No node knows the job: the local service renders the canonical 404.
+	n.serveLocal(w, r, body)
 }
 
 // flushCopy streams r to w, flushing after every chunk so proxied

@@ -1,0 +1,204 @@
+package fixverify
+
+import (
+	"fmt"
+	"strings"
+
+	"res/internal/asm"
+	"res/internal/prog"
+)
+
+// Applied is the result of applying a patch to a program's source: the
+// patched source and program, plus the instruction mapping the verifier
+// needs to drive the original suffix through the patched code.
+type Applied struct {
+	// Source is the patched assembly source.
+	Source string
+	// Program is the assembled patched program.
+	Program *prog.Program
+	// PCMap maps original instruction indexes to patched instruction
+	// indexes for every instruction the patch left untouched. Original
+	// instructions deleted or replaced by the patch have no entry.
+	PCMap map[int]int
+	// Touched marks patched-program instruction indexes the patch
+	// introduced (from replace/insert bodies).
+	Touched map[int]bool
+	// OrigInstrs is the original program's instruction count.
+	OrigInstrs int
+	// Identity reports a patch with no instruction-level effect: every
+	// original instruction survives and nothing new was introduced.
+	Identity bool
+}
+
+// srcLine is one line of source text tagged with its provenance: the
+// original line index, or -1 for patch-introduced lines.
+type srcLine struct {
+	text string
+	orig int
+}
+
+// stripLine removes comments and surrounding space, mirroring the
+// assembler's tokenizer.
+func stripLine(s string) string {
+	if idx := strings.IndexAny(s, ";#"); idx >= 0 {
+		s = s[:idx]
+	}
+	return strings.TrimSpace(s)
+}
+
+// lineClass classifies a source line the way the assembler's two passes
+// do: blank/comment, .global directive, func header, label, or
+// instruction.
+type lineClass uint8
+
+const (
+	classBlank lineClass = iota
+	classGlobal
+	classFunc
+	classLabel
+	classInstr
+)
+
+func classify(s string) (lineClass, string) {
+	s = stripLine(s)
+	if s == "" {
+		return classBlank, ""
+	}
+	fields := strings.Fields(strings.ReplaceAll(s, ",", " "))
+	switch {
+	case fields[0] == ".global":
+		return classGlobal, ""
+	case fields[0] == "func" && strings.HasSuffix(fields[len(fields)-1], ":"):
+		return classFunc, strings.TrimSuffix(fields[len(fields)-1], ":")
+	case len(fields) == 1 && strings.HasSuffix(fields[0], ":"):
+		return classLabel, strings.TrimSuffix(fields[0], ":")
+	}
+	return classInstr, ""
+}
+
+// findRegion locates a label's region in the current text: the label's
+// line index plus the half-open body range (labelIdx+1, end) that runs to
+// the next label, function header, or .global directive.
+func findRegion(lines []srcLine, label string) (labelIdx, end int, err error) {
+	labelIdx = -1
+	for i, ln := range lines {
+		c, name := classify(ln.text)
+		if (c == classLabel || c == classFunc) && name == label {
+			labelIdx = i
+			break
+		}
+	}
+	if labelIdx < 0 {
+		return 0, 0, fmt.Errorf("fixverify: patch names unknown label %q", label)
+	}
+	end = len(lines)
+	for i := labelIdx + 1; i < len(lines); i++ {
+		c, _ := classify(lines[i].text)
+		if c == classLabel || c == classFunc || c == classGlobal {
+			end = i
+			break
+		}
+	}
+	return labelIdx, end, nil
+}
+
+// checkBodyLines rejects patch bodies that would change the program's
+// data layout or function table: .global directives and func headers are
+// structure, not code, and patching them would invalidate the synthesized
+// pre-state the verifier replays from.
+func checkBodyLines(op Op) error {
+	for _, ln := range op.Lines {
+		switch c, _ := classify(ln); c {
+		case classGlobal:
+			return fmt.Errorf("fixverify: op %s %s: patches must not declare globals", op.Kind, op.Label)
+		case classFunc:
+			return fmt.Errorf("fixverify: op %s %s: patches must not declare functions", op.Kind, op.Label)
+		}
+	}
+	return nil
+}
+
+// Apply applies the patch to the program's assembly source, assembles the
+// result, and computes the original→patched instruction mapping. Ops
+// apply in order, each against the text the previous ops produced.
+func Apply(source string, p *Patch) (*Applied, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var lines []srcLine
+	for i, t := range strings.Split(source, "\n") {
+		lines = append(lines, srcLine{text: t, orig: i})
+	}
+	for _, op := range p.Ops {
+		if err := checkBodyLines(op); err != nil {
+			return nil, err
+		}
+		labelIdx, end, err := findRegion(lines, op.Label)
+		if err != nil {
+			return nil, err
+		}
+		body := make([]srcLine, len(op.Lines))
+		for i, t := range op.Lines {
+			body[i] = srcLine{text: t, orig: -1}
+		}
+		switch op.Kind {
+		case OpReplace:
+			lines = splice(lines, labelIdx+1, end, body)
+		case OpInsert:
+			lines = splice(lines, labelIdx+1, labelIdx+1, body)
+		case OpDelete:
+			lines = splice(lines, labelIdx+1, end, nil)
+		}
+	}
+
+	texts := make([]string, len(lines))
+	for i, ln := range lines {
+		texts[i] = ln.text
+	}
+	patchedSrc := strings.Join(texts, "\n")
+	patched, err := asm.Assemble(patchedSrc)
+	if err != nil {
+		return nil, fmt.Errorf("fixverify: patched program does not assemble: %w", err)
+	}
+
+	// Instruction mapping by line provenance: the i-th instruction line of
+	// a source is instruction i, so untouched lines map original PCs to
+	// patched PCs directly.
+	origPCByLine := make(map[int]int)
+	origInstrs := 0
+	for i, t := range strings.Split(source, "\n") {
+		if c, _ := classify(t); c == classInstr {
+			origPCByLine[i] = origInstrs
+			origInstrs++
+		}
+	}
+	ap := &Applied{
+		Source:     patchedSrc,
+		Program:    patched,
+		PCMap:      make(map[int]int),
+		Touched:    make(map[int]bool),
+		OrigInstrs: origInstrs,
+	}
+	pc := 0
+	for _, ln := range lines {
+		if c, _ := classify(ln.text); c != classInstr {
+			continue
+		}
+		if ln.orig >= 0 {
+			ap.PCMap[origPCByLine[ln.orig]] = pc
+		} else {
+			ap.Touched[pc] = true
+		}
+		pc++
+	}
+	ap.Identity = len(ap.Touched) == 0 && len(ap.PCMap) == origInstrs
+	return ap, nil
+}
+
+func splice(lines []srcLine, from, to int, body []srcLine) []srcLine {
+	out := make([]srcLine, 0, len(lines)-(to-from)+len(body))
+	out = append(out, lines[:from]...)
+	out = append(out, body...)
+	out = append(out, lines[to:]...)
+	return out
+}

@@ -1,0 +1,78 @@
+package fixverify
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPatchDecode guards the patch wire decoder the way FuzzEvidenceDecode
+// guards the evidence codec: arbitrary bytes must never panic, anything
+// that decodes must re-encode to a canonical form that is a fixed point
+// under another decode/encode cycle, and the content fingerprint must be
+// stable across the trip — the service caches fix verdicts by patch
+// fingerprint, so instability would split or collide cache entries. The
+// seed corpus under testdata/fuzz/FuzzPatchDecode is checked in.
+func FuzzPatchDecode(f *testing.F) {
+	seeds := []*Patch{
+		{},
+		{Ops: []Op{{Kind: OpDelete, Label: "dead"}}},
+		{Ops: []Op{{Kind: OpReplace, Label: "check", Lines: []string{"    const r3, 5", "    cmpeq r4, r2, r3"}}}},
+		{Ops: []Op{
+			{Kind: OpInsert, Label: "init", Lines: []string{"    const r9, 1"}},
+			{Kind: OpReplace, Label: "site", Lines: []string{"    halt"}},
+			{Kind: OpDelete, Label: "old"},
+		}},
+	}
+	for _, p := range seeds {
+		f.Add(p.Encode())
+	}
+	f.Add([]byte("RESPATCH1"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // not a patch; rejecting is the correct behavior
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("decoded patch fails validation: %v", verr)
+		}
+		canon := p.Encode()
+		p2, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if canon2 := p2.Encode(); !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %x\nsecond: %x", canon, canon2)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Fatal("fingerprint changed across round trip")
+		}
+		if len(p.Ops) != len(p2.Ops) {
+			t.Fatalf("round trip changed op count: %d vs %d", len(p.Ops), len(p2.Ops))
+		}
+	})
+}
+
+// FuzzPatchText guards the human text parser: arbitrary text must never
+// panic, and anything it accepts must survive a FormatText/ParseText
+// round trip with the same fingerprint.
+func FuzzPatchText(f *testing.F) {
+	f.Add("replace check\n    const r3, 5\nend\n")
+	f.Add("delete dead\n")
+	f.Add("# comment\ninsert a\n    nop\nend\ndelete b\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParseText(text)
+		if err != nil {
+			return
+		}
+		p2, err := ParseText(p.FormatText())
+		if err != nil {
+			t.Fatalf("FormatText output failed to reparse: %v", err)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Fatal("text round trip changed the patch")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package fixverify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseText parses the human-authored patch format into a Patch. The
+// format is line-oriented:
+//
+//	# comments and blank lines between ops are ignored
+//	replace <label>
+//	    <assembly line>
+//	    ...
+//	end
+//	insert <label>
+//	    <assembly line>
+//	    ...
+//	end
+//	delete <label>
+//
+// Body lines are taken verbatim (the assembler's own ;/# comment rules
+// apply to them later); a body runs until a line consisting of "end".
+// delete takes no body.
+func ParseText(src string) (*Patch, error) {
+	p := &Patch{}
+	lines := strings.Split(src, "\n")
+	i := 0
+	for i < len(lines) {
+		raw := lines[i]
+		s := strings.TrimSpace(raw)
+		i++
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fixverify: patch line %d: want \"replace|insert|delete <label>\", got %q", i, s)
+		}
+		var kind OpKind
+		switch fields[0] {
+		case "replace":
+			kind = OpReplace
+		case "insert":
+			kind = OpInsert
+		case "delete":
+			kind = OpDelete
+		default:
+			return nil, fmt.Errorf("fixverify: patch line %d: unknown op %q", i, fields[0])
+		}
+		op := Op{Kind: kind, Label: strings.TrimSuffix(fields[1], ":")}
+		if kind != OpDelete {
+			closed := false
+			for i < len(lines) {
+				body := lines[i]
+				i++
+				if strings.TrimSpace(body) == "end" {
+					closed = true
+					break
+				}
+				op.Lines = append(op.Lines, strings.TrimRight(body, " \t\r"))
+			}
+			if !closed {
+				return nil, fmt.Errorf("fixverify: patch op %s %s: missing \"end\"", kind, op.Label)
+			}
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FormatText renders a patch in the ParseText format.
+func (p *Patch) FormatText() string {
+	var b strings.Builder
+	for _, op := range p.Ops {
+		fmt.Fprintf(&b, "%s %s\n", op.Kind, op.Label)
+		if op.Kind == OpDelete {
+			continue
+		}
+		for _, ln := range op.Lines {
+			fmt.Fprintf(&b, "%s\n", ln)
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+// DecodeAny accepts a patch in either form: canonical RESPATCH1 wire
+// bytes or the ParseText source format.
+func DecodeAny(b []byte) (*Patch, error) {
+	if len(b) >= len(wireMagic) && string(b[:len(wireMagic)]) == wireMagic {
+		return Decode(b)
+	}
+	return ParseText(string(b))
+}

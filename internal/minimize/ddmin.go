@@ -1,0 +1,124 @@
+// Package minimize implements delta-debugged minimal repros: the ddmin
+// algorithm over a failure tuple's reducible dimensions (evidence
+// attachment set, checkpoint ring, search budgets) plus the canonical
+// MinimalRepro wire form (RESMINR1) that names the smallest tuple still
+// reproducing the analyzed root cause. The analyzer-driving loop lives in
+// the public res package (res.Minimize); this package is the mechanism.
+package minimize
+
+// DDMin runs Zeller's ddmin over the index set [0, n): it returns a
+// subset of indexes, in ascending order, such that keep(subset) is true
+// and the subset is 1-minimal with respect to the chunk granularity
+// schedule (removing any single tried chunk breaks it). keep must be
+// deterministic; it is never called with the full set (the caller has
+// already established the full set reproduces) and never with the same
+// subset twice in one descent path.
+//
+// keep is called O(n²) times in the worst case; RES evidence sets are
+// capped at 64 sources, so the bound is immaterial.
+func DDMin(n int, keep func(sub []int) bool) []int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	if n == 0 {
+		return cur
+	}
+	// Fast path first: the empty set. Evidence is often entirely
+	// redundant once the dump alone pins the cause.
+	if keep(nil) {
+		return []int{}
+	}
+	gran := 2
+	for len(cur) >= 2 {
+		chunks := split(cur, gran)
+		reduced := false
+		// Try each chunk alone ("reduce to subset").
+		for _, c := range chunks {
+			if len(c) < len(cur) && keep(c) {
+				cur = c
+				gran = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced && gran > 2 {
+			// Try each complement ("reduce to complement").
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if len(comp) < len(cur) && keep(comp) {
+					cur = comp
+					gran--
+					reduced = true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if gran >= len(cur) {
+			break // 1-minimal at the finest granularity
+		}
+		gran *= 2
+		if gran > len(cur) {
+			gran = len(cur)
+		}
+	}
+	// Final singleton sweep: drop elements one at a time to a fixed
+	// point, so the result is 1-minimal even off ddmin's chunk grid.
+	for i := 0; i < len(cur); {
+		trial := make([]int, 0, len(cur)-1)
+		trial = append(trial, cur[:i]...)
+		trial = append(trial, cur[i+1:]...)
+		if len(trial) > 0 && keep(trial) {
+			cur = trial
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// split partitions s into k contiguous chunks of near-equal size.
+func split(s []int, k int) [][]int {
+	if k > len(s) {
+		k = len(s)
+	}
+	out := make([][]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * len(s) / k
+		hi := (i + 1) * len(s) / k
+		if lo < hi {
+			out = append(out, s[lo:hi])
+		}
+	}
+	return out
+}
+
+// complement concatenates every chunk except chunks[i].
+func complement(chunks [][]int, i int) []int {
+	var out []int
+	for j, c := range chunks {
+		if j != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}
+
+// BisectMin finds the smallest v in [lo, hi] with ok(v) true, assuming
+// monotonicity (ok(hi) must hold); it is the budget-shrinking analogue of
+// ddmin for scalar dimensions like the suffix depth bound. Returns hi
+// unchanged when lo >= hi.
+func BisectMin(lo, hi int, ok func(v int) bool) int {
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}

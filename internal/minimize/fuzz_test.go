@@ -1,0 +1,68 @@
+package minimize
+
+import (
+	"bytes"
+	"testing"
+
+	"res/internal/evidence"
+)
+
+// FuzzMinimalReproDecode guards the RESMINR1 decoder: arbitrary bytes
+// must never panic, anything that decodes must re-encode byte-identically
+// (decode∘encode fixed point — the repro's fingerprint is a content
+// address), and the embedded attachment sub-encodings must themselves be
+// canonical. The seed corpus under testdata/fuzz/FuzzMinimalReproDecode
+// is checked in.
+func FuzzMinimalReproDecode(f *testing.F) {
+	seeds := []*MinimalRepro{
+		{CauseKey: "assertion-failure@7"},
+		{
+			CauseKey:    "atomicity-violation@addr12",
+			ProgramFP:   "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+			DumpFP:      "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210",
+			MaxDepth:    6,
+			MaxNodes:    120,
+			SuffixDepth: 6,
+			OrigSources: 4,
+			MinSources:  1,
+			Runs:        17,
+			Reductions:  5,
+			Evidence:    evidence.Set{evidence.LBR{Mode: 1}}.Encode(),
+		},
+		{
+			CauseKey: "data-race@addr3",
+			Evidence: evidence.Set{
+				evidence.OutputLog{},
+				evidence.EventLog{Records: []evidence.EventRec{{Index: 2, Tid: 1, Block: 4}}},
+			}.Encode(),
+			OrigSources: 2,
+			MinSources:  2,
+		},
+	}
+	for _, m := range seeds {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte("RESMINR1"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // not a repro; rejecting is the correct behavior
+		}
+		canon := m.Encode()
+		m2, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if canon2 := m2.Encode(); !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %x\nsecond: %x", canon, canon2)
+		}
+		if m.Fingerprint() != m2.Fingerprint() {
+			t.Fatal("fingerprint changed across round trip")
+		}
+		if m2.MinSources > m2.OrigSources {
+			t.Fatal("decoded repro violates MinSources <= OrigSources")
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package minimize
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"res/internal/checkpoint"
+	"res/internal/evidence"
+)
+
+// MinimalRepro is a delta-debugged minimal reproduction: the smallest
+// attachment set and tightest search budgets that still re-analyze to
+// the same root-cause key as the original failure tuple. It is the
+// artifact a bug report ships instead of the full production evidence.
+type MinimalRepro struct {
+	// CauseKey is the preserved root-cause bucketing key; every reduction
+	// kept during minimization re-analyzed to exactly this key.
+	CauseKey string
+	// ProgramFP and DumpFP name the tuple the repro reduces (hex SHA-256
+	// content fingerprints; either may be empty when unknown).
+	ProgramFP string
+	DumpFP    string
+	// Evidence is the minimized evidence attachment in canonical wire
+	// form (nil when the dump alone reproduces the cause).
+	Evidence []byte
+	// Checkpoints is the minimized checkpoint ring in canonical wire form
+	// (nil when the ring was dropped or never present).
+	Checkpoints []byte
+	// MaxDepth and MaxNodes are the minimized search budgets that still
+	// reproduce.
+	MaxDepth int
+	MaxNodes int
+	// SuffixDepth is the shortest suffix depth at which the cause was
+	// re-identified.
+	SuffixDepth int
+	// OrigSources and MinSources count the evidence attachment set before
+	// and after minimization.
+	OrigSources int
+	MinSources  int
+	// Runs counts the analyzer re-runs the minimization spent; Reductions
+	// counts the reductions it kept.
+	Runs       int
+	Reductions int
+}
+
+// The wire form is a canonical container: magic, the cause key and tuple
+// fingerprints, the minimized budgets and stats, then the minimized
+// attachments as length-prefixed canonical sub-encodings. Decode
+// re-validates the sub-encodings against their own codecs (and rejects
+// non-canonical bytes), so decode∘encode is the identity on canonical
+// bytes and the fingerprint is a true content address.
+const wireMagic = "RESMINR1"
+
+const (
+	maxKey      = 1 << 10
+	maxFP       = 64
+	maxInt      = 1 << 30
+	maxAttach   = 1 << 26
+	maxSrcCount = 1 << 20
+)
+
+// Encode renders the repro in its canonical wire form.
+func (m *MinimalRepro) Encode() []byte {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	str := func(s string) {
+		uv(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	buf.WriteString(wireMagic)
+	str(m.CauseKey)
+	str(m.ProgramFP)
+	str(m.DumpFP)
+	uv(uint64(m.MaxDepth))
+	uv(uint64(m.MaxNodes))
+	uv(uint64(m.SuffixDepth))
+	uv(uint64(m.OrigSources))
+	uv(uint64(m.MinSources))
+	uv(uint64(m.Runs))
+	uv(uint64(m.Reductions))
+	uv(uint64(len(m.Evidence)))
+	buf.Write(m.Evidence)
+	uv(uint64(len(m.Checkpoints)))
+	buf.Write(m.Checkpoints)
+	return buf.Bytes()
+}
+
+// Decode parses wire-form minimal-repro bytes, enforcing canonicality:
+// the magic, bounded fields, hex fingerprints, and attachment
+// sub-encodings that round-trip byte-identically through their own
+// codecs.
+func Decode(b []byte) (*MinimalRepro, error) {
+	if len(b) < len(wireMagic) || string(b[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("minimize: bad repro magic")
+	}
+	r := bytes.NewReader(b[len(wireMagic):])
+	var derr error
+	uv := func(max uint64) uint64 {
+		if derr != nil {
+			return 0
+		}
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			derr = fmt.Errorf("minimize: %w", err)
+			return 0
+		}
+		if v > max {
+			derr = fmt.Errorf("minimize: field out of range (%d)", v)
+			return 0
+		}
+		return v
+	}
+	str := func(max uint64) string {
+		n := uv(max)
+		if derr != nil {
+			return ""
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(r, s); err != nil {
+			derr = fmt.Errorf("minimize: %w", err)
+			return ""
+		}
+		return string(s)
+	}
+	bs := func(max uint64) []byte {
+		n := uv(max)
+		if derr != nil || n == 0 {
+			return nil
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(r, s); err != nil {
+			derr = fmt.Errorf("minimize: %w", err)
+			return nil
+		}
+		return s
+	}
+	m := &MinimalRepro{
+		CauseKey:    str(maxKey),
+		ProgramFP:   str(maxFP),
+		DumpFP:      str(maxFP),
+		MaxDepth:    int(uv(maxInt)),
+		MaxNodes:    int(uv(maxInt)),
+		SuffixDepth: int(uv(maxInt)),
+		OrigSources: int(uv(maxSrcCount)),
+		MinSources:  int(uv(maxSrcCount)),
+		Runs:        int(uv(maxInt)),
+		Reductions:  int(uv(maxInt)),
+		Evidence:    bs(maxAttach),
+		Checkpoints: bs(maxAttach),
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("minimize: %d trailing bytes", r.Len())
+	}
+	if m.CauseKey == "" {
+		return nil, fmt.Errorf("minimize: repro carries no cause key")
+	}
+	if !validFP(m.ProgramFP) || !validFP(m.DumpFP) {
+		return nil, fmt.Errorf("minimize: malformed tuple fingerprint")
+	}
+	if m.MinSources > m.OrigSources {
+		return nil, fmt.Errorf("minimize: minimized source count %d exceeds original %d", m.MinSources, m.OrigSources)
+	}
+	// The attachments must themselves be canonical: decode through their
+	// codecs and require a byte-identical re-encoding.
+	if m.Evidence != nil {
+		set, err := evidence.Decode(m.Evidence)
+		if err != nil {
+			return nil, fmt.Errorf("minimize: evidence attachment: %w", err)
+		}
+		if !bytes.Equal(set.Encode(), m.Evidence) {
+			return nil, fmt.Errorf("minimize: evidence attachment is not canonical")
+		}
+	}
+	if m.Checkpoints != nil {
+		ring, err := checkpoint.Decode(m.Checkpoints)
+		if err != nil {
+			return nil, fmt.Errorf("minimize: checkpoint attachment: %w", err)
+		}
+		if !bytes.Equal(ring.Encode(), m.Checkpoints) {
+			return nil, fmt.Errorf("minimize: checkpoint attachment is not canonical")
+		}
+	}
+	return m, nil
+}
+
+// validFP accepts the empty string or a 64-char lowercase hex SHA-256.
+func validFP(s string) bool {
+	if s == "" {
+		return true
+	}
+	if len(s) != maxFP {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	if err != nil {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'F' {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint is the content address of the repro: the hex SHA-256 of
+// its canonical encoding.
+func (m *MinimalRepro) Fingerprint() string {
+	sum := sha256.Sum256(m.Encode())
+	return hex.EncodeToString(sum[:])
+}

@@ -140,6 +140,32 @@ func (c *Client) SubmitSourceEvidenceCheckpoints(ctx context.Context, name, sour
 	return job, err
 }
 
+// SubmitFix submits a candidate fix for verification against a failing
+// dump (POST /v1/fixes). The returned job's report, once done, is a
+// fixed/not-fixed/inconclusive verdict; verdicts are cached by the
+// (program, dump, options, patch) tuple server-side.
+func (c *Client) SubmitFix(ctx context.Context, req SubmitFixRequest) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/fixes", req, &job)
+	return job, err
+}
+
+// MinimizeJob asks the daemon to delta-debug a finished analysis job's
+// tuple into a minimal repro (POST /v1/jobs/{id}/minimize). The returned
+// ModeMinimize job is polled like any other; its report carries the
+// canonical repro bytes.
+func (c *Client) MinimizeJob(ctx context.Context, id string, o *SubmitOverrides) (Job, error) {
+	var body any
+	if !o.empty() {
+		body = struct {
+			Options *SubmitOverrides `json:"options"`
+		}{Options: o}
+	}
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/minimize", body, &job)
+	return job, err
+}
+
 // SubmitBatch ships a burst of dumps for one program in a single request
 // (POST /v1/dumps/batch). The returned items are positional with
 // req.Dumps; per-dump failures are reported in place, not as an error.

@@ -34,6 +34,25 @@ type SubmitRequest struct {
 	Checkpoints []byte `json:"checkpoints,omitempty"`
 }
 
+// SubmitFixRequest is the POST /v1/fixes body: one failing dump plus a
+// candidate fix to verify against it. Patch is accepted in either patch
+// form — canonical RESPATCH1 wire bytes or the human text format
+// (replace/insert/delete <label> ... end) — base64 on the wire. The
+// program is named like a dump submission: ProgramID for a registered
+// program, or ProgramSource to register on first sight. Verification
+// needs the program's assembly source (patches are keyed by its labels);
+// it comes from ProgramSource or from an earlier source registration.
+// The field order keeps the small identifying fields ahead of the bulk
+// payloads for the cluster router's streaming head parser.
+type SubmitFixRequest struct {
+	ProgramID     string           `json:"program_id,omitempty"`
+	ProgramName   string           `json:"program_name,omitempty"`
+	ProgramSource string           `json:"program_source,omitempty"`
+	Options       *SubmitOverrides `json:"options,omitempty"`
+	Patch         []byte           `json:"patch"`
+	Dump          []byte           `json:"dump"`
+}
+
 // BatchSubmitRequest is the POST /v1/dumps/batch body: one program, many
 // dumps, optional shared per-request option overrides.
 type BatchSubmitRequest struct {
@@ -77,6 +96,12 @@ type errorResponse struct {
 //	POST /v1/programs         register a program, returns its program_id
 //	POST /v1/dumps            submit a dump (202 queued, 200 done/cached,
 //	                          429 queue full, 503 draining)
+//	POST /v1/fixes            submit a candidate fix for verification
+//	                          against a failing dump; the job's report is
+//	                          a fixed/not-fixed/inconclusive verdict
+//	POST /v1/jobs/{id}/minimize  delta-debug a finished analysis job's
+//	                          tuple into a minimal repro (409 when the
+//	                          tuple is no longer reconstructible)
 //	GET  /v1/results/{id}     job status + report
 //	GET  /v1/jobs/{id}/events NDJSON stream of analysis progress events
 //	GET  /v1/jobs/{id}/trace  the analysis's span tree (?format=chrome
@@ -95,6 +120,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/programs", s.handleRegister)
 	mux.HandleFunc("POST /v1/dumps", s.handleSubmit)
 	mux.HandleFunc("POST /v1/dumps/batch", s.handleSubmitBatch)
+	mux.HandleFunc("POST /v1/fixes", s.handleSubmitFix)
+	mux.HandleFunc("POST /v1/jobs/{id}/minimize", s.handleMinimize)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -140,8 +167,11 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownProgram), errors.Is(err, ErrUnknownJob):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrBadDump), errors.Is(err, ErrBadEvidence), errors.Is(err, ErrBadCheckpoint):
+	case errors.Is(err, ErrBadDump), errors.Is(err, ErrBadEvidence), errors.Is(err, ErrBadCheckpoint),
+		errors.Is(err, ErrBadPatch), errors.Is(err, ErrNoSource):
 		code = http.StatusBadRequest
+	case errors.Is(err, ErrMinimizeUnavailable):
+		code = http.StatusConflict
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
@@ -208,6 +238,82 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	job, err := s.SubmitTraced(programID, req.Dump, req.Evidence, req.Checkpoints, req.Options,
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	setSubmitHeaders(w, job)
+	code := http.StatusAccepted
+	if job.Status.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job)
+}
+
+// handleSubmitFix submits a candidate fix for verification. The response
+// shape mirrors dump submission: 202 queued / 200 terminal (cached
+// verdicts are 200 immediately), with the same routing headers.
+func (s *Service) handleSubmitFix(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
+	var req SubmitFixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Dump) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "dump is required"})
+		return
+	}
+	if len(req.Patch) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "patch is required"})
+		return
+	}
+	programID := req.ProgramID
+	if programID == "" {
+		if req.ProgramSource == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "program_id or program_source is required"})
+			return
+		}
+		var err error
+		programID, err = s.RegisterSource(req.ProgramName, req.ProgramSource)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	job, err := s.SubmitFixTraced(programID, req.Dump, req.Patch, req.ProgramSource, req.Options,
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	setSubmitHeaders(w, job)
+	code := http.StatusAccepted
+	if job.Status.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job)
+}
+
+// handleMinimize starts a minimization of a finished analysis job. The
+// new ModeMinimize job is returned like a submission: 202 queued, 200
+// when the minimal repro was already cached, 409 when the input tuple
+// can no longer be reconstructed on this node.
+func (s *Service) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
+	var o *SubmitOverrides
+	if r.ContentLength != 0 {
+		var req struct {
+			Options *SubmitOverrides `json:"options,omitempty"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		o = req.Options
+	}
+	job, err := s.MinimizeJobTraced(r.PathValue("id"), o,
 		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
 	if err != nil {
 		writeError(w, err)

@@ -109,6 +109,7 @@ type JournalJob struct {
 	Partial     bool       `json:"partial,omitempty"`
 	Bucket      string     `json:"bucket,omitempty"`
 	Error       string     `json:"error,omitempty"`
+	Mode        string     `json:"mode,omitempty"`
 	Evidence    []string   `json:"evidence,omitempty"`
 	Warnings    []string   `json:"warnings,omitempty"`
 	Key         JournalKey `json:"key"`
@@ -299,6 +300,7 @@ func journalJobRecord(js *jobState) *JournalJob {
 		Partial:     js.job.Partial,
 		Bucket:      js.job.Bucket,
 		Error:       js.job.Error,
+		Mode:        js.job.Mode,
 		Evidence:    js.job.Evidence,
 		Warnings:    js.job.Warnings,
 		Key:         journalKey(js.key),
@@ -356,7 +358,7 @@ func (s *Service) journalSnapshotLocked() journalSnapshot {
 	for id, rec := range s.evicted {
 		snap.Jobs = append(snap.Jobs, JournalJob{
 			ID: id, Program: rec.program, ProgramName: rec.programName,
-			Status: StatusDone, Bucket: rec.bucket,
+			Status: StatusDone, Bucket: rec.bucket, Mode: rec.mode,
 			Key: journalKey(rec.key), FinishedAt: rec.finished,
 		})
 	}
@@ -447,7 +449,7 @@ func (s *Service) replayJob(jj JournalJob) {
 	if jj.Status == StatusDone && !jj.Partial {
 		s.insertEvictedLocked(jj.ID, evictedRec{
 			key: key, program: jj.Program, programName: jj.ProgramName,
-			bucket: jj.Bucket, finished: jj.FinishedAt,
+			bucket: jj.Bucket, mode: jj.Mode, finished: jj.FinishedAt,
 		})
 		s.addBucketLocked(jj.Bucket, jj.ID)
 		return
@@ -458,8 +460,8 @@ func (s *Service) replayJob(jj JournalJob) {
 		job: Job{
 			ID: jj.ID, Program: jj.Program, ProgramName: jj.ProgramName,
 			Status: jj.Status, Partial: jj.Partial, Bucket: jj.Bucket,
-			Error: jj.Error, Evidence: jj.Evidence, Warnings: jj.Warnings,
-			FinishedAt: jj.FinishedAt,
+			Error: jj.Error, Mode: jj.Mode, Evidence: jj.Evidence,
+			Warnings: jj.Warnings, FinishedAt: jj.FinishedAt,
 		},
 		key:  key,
 		done: done,

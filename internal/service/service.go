@@ -36,6 +36,7 @@ import (
 	"res/internal/checkpoint"
 	"res/internal/evidence"
 	"res/internal/fault"
+	"res/internal/fixverify"
 	"res/internal/obs"
 	"res/internal/store"
 )
@@ -260,6 +261,11 @@ type Job struct {
 	// Retries counts how many times a failed analysis of this tuple was
 	// re-queued by the retry policy.
 	Retries int `json:"retries,omitempty"`
+	// Mode distinguishes the service's job flavors: "" is a plain
+	// analysis, ModeFixVerify a fix-verification job (the report is a
+	// fix verdict), ModeMinimize a delta-debugging job (the report is a
+	// minimal repro).
+	Mode string `json:"mode,omitempty"`
 	// Evidence lists the kinds of the evidence sources attached to the
 	// submission, in application order.
 	Evidence []string `json:"evidence,omitempty"`
@@ -284,6 +290,18 @@ type jobState struct {
 	checkpoints *checkpoint.Ring // per-request checkpoint attachment, nil = none
 	retries     int
 	done        chan struct{}
+	// mode mirrors Job.Mode; it selects the worker's execution path.
+	mode string
+	// patch is the decoded candidate fix for ModeFixVerify jobs.
+	patch *fixverify.Patch
+	// src is the program's assembly source for ModeFixVerify jobs
+	// (patches are applied to source; labels key the operations).
+	src string
+	// evidenceBytes/checkpointBytes retain the attachments' canonical
+	// wire bytes past finish() — unlike the decoded forms they are small,
+	// and MinimizeJob needs them to rebuild a finished job's exact tuple.
+	evidenceBytes   []byte
+	checkpointBytes []byte
 	// trace is the finished analysis's span tree, served by
 	// GET /v1/jobs/{id}/trace. Nil for cache hits (no analysis ran in
 	// this process) and replayed/evicted records. Guarded by the service
@@ -305,6 +323,7 @@ type jobState struct {
 type shard struct {
 	fp       store.Fingerprint
 	name     string
+	prog     *res.Program // the registered image; minimize jobs re-analyze it
 	analyzer *res.Analyzer
 	queue    chan *jobState
 
@@ -374,6 +393,15 @@ type Service struct {
 	// attachmentsDegraded counts corrupt evidence/checkpoint attachments
 	// dropped at submit so the dump could still be analyzed plain.
 	attachmentsDegraded uint64
+	// fixverifyTotal counts completed fix verifications; fixverifyVerdicts
+	// breaks them down per verdict.
+	fixverifyTotal    uint64
+	fixverifyVerdicts map[string]uint64
+	// minimizeTotal counts completed minimizations; minimizeRuns the
+	// analyzer re-runs they spent; minimizeReductions the reductions kept.
+	minimizeTotal      uint64
+	minimizeRuns       uint64
+	minimizeReductions uint64
 
 	// eventsDropped counts progress events lost to slow NDJSON watchers
 	// across all streams (resd_events_dropped_total). Atomic: drops are
@@ -406,6 +434,7 @@ type evictedRec struct {
 	program     string
 	programName string
 	bucket      string
+	mode        string
 	finished    time.Time
 	seq         uint64
 }
@@ -489,7 +518,7 @@ func (s *Service) evictJobsLocked() {
 		if js.job.Status == StatusDone && !js.job.Partial {
 			s.insertEvictedLocked(ent.id, evictedRec{
 				key: js.key, program: js.job.Program, programName: js.job.ProgramName,
-				bucket: js.job.Bucket, finished: js.job.FinishedAt,
+				bucket: js.job.Bucket, mode: js.job.Mode, finished: js.job.FinishedAt,
 			})
 		}
 	}
@@ -526,7 +555,7 @@ func (s *Service) evictedJob(id string) (Job, bool) {
 	return Job{
 		ID: id, Program: rec.program, ProgramName: rec.programName,
 		Status: StatusDone, Cached: true, Report: rep,
-		Bucket: rec.bucket, FinishedAt: rec.finished,
+		Bucket: rec.bucket, Mode: rec.mode, FinishedAt: rec.finished,
 	}, true
 }
 
@@ -601,11 +630,12 @@ func (s *Service) effectiveAnalysis(o *SubmitOverrides) (AnalysisConfig, store.F
 	return eff, eff.Fingerprint()
 }
 
-// optionsFingerprint folds the attachments' content fingerprints into
-// the analysis-options fingerprint: evidence and checkpoints change what
-// the search may conclude, so they are part of the result's cache
-// identity.
-func optionsFingerprint(eff AnalysisConfig, ev evidence.Set, ck *checkpoint.Ring) store.Fingerprint {
+// optionsDesc folds the attachments' content fingerprints into the
+// canonical analysis-options description: evidence and checkpoints change
+// what the search may conclude, so they are part of the result's cache
+// identity. Mode-specific suffixes (fix verification's patch fingerprint,
+// minimization's mode marker) are appended by the caller before hashing.
+func optionsDesc(eff AnalysisConfig, ev evidence.Set, ck *checkpoint.Ring) string {
 	desc := eff.Canonical()
 	if fp := ev.Fingerprint(); fp != "" {
 		desc += " evidence=" + fp
@@ -613,7 +643,13 @@ func optionsFingerprint(eff AnalysisConfig, ev evidence.Set, ck *checkpoint.Ring
 	if fp := ck.Fingerprint(); fp != "" {
 		desc += " checkpoints=" + fp
 	}
-	return store.OptionsFingerprint(desc)
+	return desc
+}
+
+// optionsFingerprint hashes optionsDesc into the options component of the
+// store key.
+func optionsFingerprint(eff AnalysisConfig, ev evidence.Set, ck *checkpoint.Ring) store.Fingerprint {
+	return store.OptionsFingerprint(optionsDesc(eff, ev, ck))
 }
 
 // noteEvidenceLocked counts an accepted submission's attachments.
@@ -668,6 +704,7 @@ func (s *Service) RegisterProgram(name string, p *res.Program) (string, error) {
 	sh := &shard{
 		fp:       fp,
 		name:     name,
+		prog:     p,
 		analyzer: res.NewAnalyzer(p, aopts...),
 		queue:    make(chan *jobState, s.cfg.QueueDepth),
 	}
@@ -759,6 +796,37 @@ func (s *Service) node() string {
 // fragment that the trace stitcher later merges with the engine's span
 // tree and the router's routing fragment.
 func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, checkpointBytes []byte, o *SubmitOverrides, tc obs.TraceContext) (Job, error) {
+	return s.submitTuple(programID, dumpBytes, evidenceBytes, checkpointBytes, o, tc, submitExtras{})
+}
+
+// retainAttachments stores the attachments' canonical wire bytes on the
+// job record. They survive finish() — which drops the decoded forms —
+// so MinimizeJob can rebuild a finished job's exact tuple later.
+func retainAttachments(js *jobState, ev evidence.Set, ck *checkpoint.Ring) {
+	if len(ev) > 0 {
+		js.evidenceBytes = ev.Encode()
+	}
+	if ck != nil && !ck.Empty() {
+		js.checkpointBytes = ck.Encode()
+	}
+}
+
+// submitExtras carries the mode-specific parts of a submission through
+// the shared ingest flow: empty for a plain analysis, the decoded patch
+// and program source for a fix verification, the mode marker alone for a
+// minimization. Everything in it is folded into the job's cache identity
+// by submitTuple.
+type submitExtras struct {
+	mode  string
+	patch *fixverify.Patch
+	src   string
+}
+
+// submitTuple is the shared ingest flow behind SubmitTraced,
+// SubmitFixTraced, and MinimizeJob: canonicalize and dedup the tuple,
+// coalesce onto in-flight work, serve complete answers from the store,
+// or queue fresh work on the program's shard.
+func (s *Service) submitTuple(programID string, dumpBytes, evidenceBytes, checkpointBytes []byte, o *SubmitOverrides, tc obs.TraceContext, ex submitExtras) (Job, error) {
 	progFP, err := store.ParseFingerprint(programID)
 	if err != nil {
 		return Job{}, ErrUnknownProgram
@@ -812,8 +880,17 @@ func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, check
 		o = nil
 	}
 	eff, optFP := s.effectiveAnalysis(o)
-	if len(evSet) > 0 || !ring.Empty() {
-		optFP = optionsFingerprint(eff, evSet, ring)
+	if len(evSet) > 0 || !ring.Empty() || ex.mode != "" {
+		desc := optionsDesc(eff, evSet, ring)
+		if ex.patch != nil {
+			// The patch is part of the verdict's cache identity: the same
+			// tuple under a different candidate fix is a different job.
+			desc += " patch=" + ex.patch.Fingerprint()
+		}
+		if ex.mode != "" {
+			desc += " mode=" + ex.mode
+		}
+		optFP = store.OptionsFingerprint(desc)
 	}
 	key := store.ResultKey(progFP, dumpFP, optFP)
 	id := key.ID()
@@ -912,11 +989,14 @@ func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, check
 				Evidence:     evSet.Kinds(),
 				Checkpointed: !ring.Empty(),
 				Warnings:     warnings,
+				Mode:         ex.mode,
 				SubmittedAt:  now, FinishedAt: now,
 			},
 			key:  key,
+			mode: ex.mode,
 			done: make(chan struct{}),
 		}
+		retainAttachments(js, evSet, ring)
 		close(js.done)
 		s.jobs[id] = js
 		s.addBucketLocked(js.job.Bucket, id)
@@ -939,6 +1019,7 @@ func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, check
 			TraceID: tc.TraceID,
 			Status:  StatusQueued, Evidence: evSet.Kinds(),
 			Checkpointed: !ring.Empty(), Warnings: warnings,
+			Mode:        ex.mode,
 			SubmittedAt: now,
 		},
 		key:         key,
@@ -946,9 +1027,13 @@ func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, check
 		overrides:   o,
 		evidence:    evSet,
 		checkpoints: ring,
+		mode:        ex.mode,
+		patch:       ex.patch,
+		src:         ex.src,
 		reqTrace:    reqTrace,
 		done:        make(chan struct{}),
 	}
+	retainAttachments(js, evSet, ring)
 	select {
 	case sh.queue <- js:
 	default:
@@ -968,7 +1053,11 @@ func (s *Service) SubmitTraced(programID string, dumpBytes, evidenceBytes, check
 	s.jobs[id] = js
 	snap := js.job
 	s.mu.Unlock()
-	slog.Info("job accepted", "trace_id", tc.TraceID, "job_id", id, "program", sh.name)
+	if ex.mode != "" {
+		slog.Info("job accepted", "trace_id", tc.TraceID, "job_id", id, "program", sh.name, "mode", ex.mode)
+	} else {
+		slog.Info("job accepted", "trace_id", tc.TraceID, "job_id", id, "program", sh.name)
+	}
 
 	// Persist the dump blob as the service's ingest archive — only when
 	// the store has a disk tier. In a memory-only store the blob would
@@ -1153,6 +1242,10 @@ func (s *Service) run(sh *shard, js *jobState) {
 		})
 		return
 	}
+	if js.mode == ModeMinimize {
+		s.runMinimize(sh, js)
+		return
+	}
 	start := time.Now()
 	s.mu.Lock()
 	js.job.Status = StatusRunning
@@ -1275,6 +1368,13 @@ func (s *Service) run(sh *shard, js *jobState) {
 	s.mu.Lock()
 	js.trace = tr
 	s.mu.Unlock()
+	if js.mode == ModeFixVerify {
+		// The analysis only reproduced the failure; the verdict — the
+		// job's actual report — comes from replaying the synthesized
+		// suffix through the patched program.
+		s.completeFixVerify(sh, js, r)
+		return
+	}
 	// Only complete, deterministic results enter the store: a partial
 	// (drained or timed-out) report depends on where the cut fell and
 	// must not be served to future submitters as the answer.
@@ -1558,8 +1658,18 @@ type Metrics struct {
 	// AttachmentsDegraded counts submissions whose evidence or checkpoint
 	// attachment failed to decode and was dropped: the analysis ran
 	// without it instead of rejecting the dump.
-	AttachmentsDegraded uint64       `json:"attachments_degraded,omitempty"`
-	Journal             JournalStats `json:"journal,omitzero"`
+	AttachmentsDegraded uint64 `json:"attachments_degraded,omitempty"`
+	// FixVerifyTotal counts completed fix verifications; FixVerifyVerdicts
+	// breaks them down per verdict.
+	FixVerifyTotal    uint64            `json:"fixverify_total,omitempty"`
+	FixVerifyVerdicts map[string]uint64 `json:"fixverify_verdicts,omitempty"`
+	// MinimizeTotal counts completed minimizations; MinimizeRuns the
+	// analyzer re-runs they spent; MinimizeReductions the reductions that
+	// survived (kept because the cause key was preserved).
+	MinimizeTotal      uint64       `json:"minimize_total,omitempty"`
+	MinimizeRuns       uint64       `json:"minimize_runs,omitempty"`
+	MinimizeReductions uint64       `json:"minimize_reductions,omitempty"`
+	Journal            JournalStats `json:"journal,omitzero"`
 	// JournalReplayed counts entries restored from the journal at startup.
 	JournalReplayed int            `json:"journal_replayed,omitempty"`
 	Shards          []ShardMetrics `json:"shards"`
@@ -1581,6 +1691,16 @@ func (s *Service) Metrics() Metrics {
 		CheckpointAttached:  s.checkpointAttached,
 		CheckpointAnchored:  s.checkpointAnchored,
 		AttachmentsDegraded: s.attachmentsDegraded,
+		FixVerifyTotal:      s.fixverifyTotal,
+		MinimizeTotal:       s.minimizeTotal,
+		MinimizeRuns:        s.minimizeRuns,
+		MinimizeReductions:  s.minimizeReductions,
+	}
+	if len(s.fixverifyVerdicts) > 0 {
+		m.FixVerifyVerdicts = make(map[string]uint64, len(s.fixverifyVerdicts))
+		for k, v := range s.fixverifyVerdicts {
+			m.FixVerifyVerdicts[k] = v
+		}
 	}
 	if len(s.evidenceKinds) > 0 {
 		m.EvidenceSources = make(map[string]uint64, len(s.evidenceKinds))
@@ -1646,6 +1766,24 @@ func (s *Service) MetricsSnapshot() obs.Snapshot {
 			"Evidence sources attached to accepted submissions, per kind.",
 			float64(m.EvidenceSources[k])).With("kind", k))
 	}
+	snap = append(snap,
+		obs.Counter("resd_fixverify_total", "Completed fix verifications.", float64(m.FixVerifyTotal)),
+	)
+	verdicts := make([]string, 0, len(m.FixVerifyVerdicts))
+	for v := range m.FixVerifyVerdicts {
+		verdicts = append(verdicts, v)
+	}
+	sort.Strings(verdicts)
+	for _, v := range verdicts {
+		snap = append(snap, obs.Counter("resd_fixverify_verdicts_total",
+			"Completed fix verifications, per verdict.",
+			float64(m.FixVerifyVerdicts[v])).With("verdict", v))
+	}
+	snap = append(snap,
+		obs.Counter("resd_minimize_total", "Completed minimizations.", float64(m.MinimizeTotal)),
+		obs.Counter("resd_minimize_runs_total", "Analyzer re-runs spent by minimizations.", float64(m.MinimizeRuns)),
+		obs.Counter("resd_minimize_reductions_total", "Reductions kept by minimizations (cause key preserved).", float64(m.MinimizeReductions)),
+	)
 	snap = append(snap,
 		obs.Counter("resd_checkpoint_attached_total", "Accepted submissions carrying a checkpoint-ring attachment.", float64(m.CheckpointAttached)),
 		obs.Counter("resd_checkpoint_anchored_total", "Completed analyses anchored on a recorded checkpoint.", float64(m.CheckpointAnchored)),
@@ -1775,6 +1913,15 @@ func bucketSignature(app string, r *res.Result) string {
 // bucketSignature over the report's exported schema, res.ReportJSON, so
 // a cached job lands in the same bucket a fresh analysis would.
 func bucketFromReport(app string, rep []byte) string {
+	// Service-mode reports (fix verdicts, minimal repros) carry a "kind"
+	// discriminator that analysis reports never do; they describe work on
+	// a failure, not a failure, so they never join crash buckets.
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(rep, &probe); err == nil && probe.Kind != "" {
+		return ""
+	}
 	var parsed res.ReportJSON
 	if err := json.Unmarshal(rep, &parsed); err != nil {
 		return app + "|unparseable-report"

@@ -1,0 +1,173 @@
+package res
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"res/internal/minimize"
+	"res/internal/store"
+)
+
+// MinimalRepro is a delta-debugged minimal reproduction: the smallest
+// evidence attachment set and tightest search budgets that still
+// re-analyze to the same root-cause key as the original failure tuple.
+// Encode/Decode give its canonical wire form (RESMINR1) and Fingerprint
+// its content address.
+type MinimalRepro = minimize.MinimalRepro
+
+// DecodeMinimalRepro parses wire-form minimal-repro bytes (RESMINR1),
+// rejecting non-canonical encodings.
+func DecodeMinimalRepro(b []byte) (*MinimalRepro, error) { return minimize.Decode(b) }
+
+// Minimize delta-debugs a failure tuple: it analyzes (p, d) under the
+// supplied options to pin the root-cause key, then runs ddmin over the
+// evidence attachment set, tries dropping the checkpoint ring, and
+// bisects the depth and node budgets downward — re-running the analyzer
+// after every candidate reduction and keeping only reductions that
+// re-analyze to the byte-identical cause key. The result is the smallest
+// tuple that still reproduces the analysis, suitable for attaching to a
+// bug report in place of the full production recording.
+//
+// Minimization preserves the cause key by construction: every kept
+// reduction was verified by a full re-analysis. The options are the same
+// ones Analyze takes; observer and trace options are not propagated to
+// the internal re-runs.
+func Minimize(ctx context.Context, p *Program, d *Dump, opts ...Option) (*MinimalRepro, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	srcs := cfg.sources()
+	ring := cfg.checkpoints
+	a := NewAnalyzer(p)
+
+	runs := 0
+	var best *Result
+	run := func(sub []EvidenceSource, ring *CheckpointRing, depth, nodes int) (*Result, error) {
+		runs++
+		return a.Analyze(ctx, d,
+			WithMaxDepth(depth),
+			WithMaxNodes(nodes),
+			WithBeamWidth(cfg.beamWidth),
+			WithSolverOptions(cfg.solver),
+			WithSearchParallelism(cfg.parallelism),
+			WithCheckpoints(ring),
+			WithEvidence(sub...),
+		)
+	}
+
+	r0, err := run(srcs, ring, cfg.maxDepth, cfg.maxNodes)
+	if err != nil {
+		return nil, fmt.Errorf("res: minimize baseline analysis: %w", err)
+	}
+	if r0.Cause == nil {
+		return nil, errors.New("res: nothing to minimize: baseline analysis identified no root cause")
+	}
+	if r0.Partial {
+		return nil, errors.New("res: nothing to minimize: baseline analysis was interrupted")
+	}
+	key := r0.Cause.Key()
+	best = r0
+
+	// ok re-analyzes under a candidate reduction and accepts it only when
+	// the analysis completes with the byte-identical cause key.
+	ok := func(sub []EvidenceSource, ring *CheckpointRing, depth, nodes int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		r, err := run(sub, ring, depth, nodes)
+		if err != nil || r.Cause == nil || r.Partial || r.Cause.Key() != key {
+			return false
+		}
+		best = r
+		return true
+	}
+
+	// Dimension 1: ddmin the evidence attachment set.
+	pick := func(idx []int) []EvidenceSource {
+		out := make([]EvidenceSource, 0, len(idx))
+		for _, i := range idx {
+			out = append(out, srcs[i])
+		}
+		return out
+	}
+	keptIdx := minimize.DDMin(len(srcs), func(sub []int) bool {
+		return ok(pick(sub), ring, cfg.maxDepth, cfg.maxNodes)
+	})
+	kept := pick(keptIdx)
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
+	// Dimension 2: the checkpoint ring, kept only if dropping it loses
+	// the cause.
+	ringDropped := false
+	if ring != nil && ok(kept, nil, cfg.maxDepth, cfg.maxNodes) {
+		ring = nil
+		ringDropped = true
+	}
+
+	// Dimension 3: the depth budget, bisected down from the depth the
+	// cause was actually found at.
+	minDepth := cfg.maxDepth
+	if minDepth == 0 {
+		minDepth = best.CauseDepth
+	}
+	depthReduced := false
+	if hi := best.CauseDepth; hi >= 1 && ok(kept, ring, hi, cfg.maxNodes) {
+		minDepth = minimize.BisectMin(1, hi, func(v int) bool {
+			return ok(kept, ring, v, cfg.maxNodes)
+		})
+		depthReduced = true
+	}
+
+	// Dimension 4: the node budget, tightened to the attempts the
+	// minimized analysis actually spent.
+	minNodes := cfg.maxNodes
+	nodesReduced := false
+	if att := best.Report.Stats.Attempts; att > 0 && ok(kept, ring, minDepth, att) {
+		minNodes = att
+		nodesReduced = true
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
+	m := &MinimalRepro{
+		CauseKey:    key,
+		MaxDepth:    minDepth,
+		MaxNodes:    minNodes,
+		SuffixDepth: best.CauseDepth,
+		OrigSources: len(srcs),
+		MinSources:  len(kept),
+		Runs:        runs,
+		Reductions:  (len(srcs) - len(kept)) + int(b2i(ringDropped)+b2i(depthReduced)+b2i(nodesReduced)),
+	}
+	if len(kept) > 0 {
+		m.Evidence = EncodeEvidence(kept...)
+	}
+	if ring != nil {
+		m.Checkpoints = ring.Encode()
+	}
+	if fp, err := store.ProgramFingerprint(p); err == nil {
+		m.ProgramFP = fp.String()
+	}
+	if fp, _, err := store.DumpFingerprint(d); err == nil {
+		m.DumpFP = fp.String()
+	}
+	return m, nil
+}
+
+// DescribeMinimalRepro renders a minimal repro for humans.
+func DescribeMinimalRepro(m *MinimalRepro) string {
+	s := fmt.Sprintf("minimal repro for %s: %d/%d evidence sources, depth %d, nodes %d",
+		m.CauseKey, m.MinSources, m.OrigSources, m.MaxDepth, m.MaxNodes)
+	if m.Checkpoints == nil {
+		s += ", no checkpoint ring"
+	} else {
+		s += ", checkpoint ring kept"
+	}
+	s += fmt.Sprintf(" (%d reductions in %d analyzer runs)", m.Reductions, m.Runs)
+	return s
+}

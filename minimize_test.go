@@ -1,0 +1,168 @@
+package res_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"res"
+	"res/internal/checkpoint"
+	"res/internal/evidence"
+	"res/internal/workload"
+)
+
+// minimizeWorkload is the acceptance harness for res.Minimize: analyze a
+// recorded failure under a deliberately redundant evidence set, minimize,
+// and require (a) the byte-identical cause key, (b) a strictly smaller
+// attachment set, (c) that the minimized tuple — decoded from its own
+// wire form — re-analyzes to the same key under the minimized budgets.
+func minimizeWorkload(t *testing.T, bug *workload.Bug) {
+	t.Helper()
+	ctx := context.Background()
+	p := bug.Program()
+	d, set, _, err := bug.FindFailureRecorded(60, evidence.RecordConfig{EventEvery: 3, EventWindow: 64, BranchWindow: 64})
+	if err != nil {
+		t.Fatalf("no failing dump: %v", err)
+	}
+	// Redundant attachment set: the recorded evidence plus the classic
+	// dump hints, which largely duplicate it.
+	srcs := append([]res.EvidenceSource{}, set...)
+	srcs = append(srcs, res.EvidenceLBR(res.LBRRecordAll), res.EvidenceOutputLog())
+	opts := []res.Option{res.WithMaxDepth(10), res.WithMaxNodes(2500), res.WithEvidence(srcs...)}
+
+	base, err := res.NewAnalyzer(p).Analyze(ctx, d, opts...)
+	if err != nil {
+		t.Fatalf("baseline analysis: %v", err)
+	}
+	if base.Cause == nil {
+		t.Fatal("baseline analysis found no cause")
+	}
+	key := base.Cause.Key()
+
+	m, err := res.Minimize(ctx, p, d, opts...)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if m.CauseKey != key {
+		t.Fatalf("minimized cause key %q != baseline %q", m.CauseKey, key)
+	}
+	if m.OrigSources != len(srcs) {
+		t.Fatalf("OrigSources = %d; want %d", m.OrigSources, len(srcs))
+	}
+	if m.MinSources >= m.OrigSources {
+		t.Fatalf("minimization kept all %d sources; redundant set must shrink strictly", m.OrigSources)
+	}
+	if m.Runs < 2 {
+		t.Fatalf("Runs = %d; minimization must re-run the analyzer", m.Runs)
+	}
+	if m.Reductions < 1 {
+		t.Fatalf("Reductions = %d; want at least the evidence reduction", m.Reductions)
+	}
+
+	// The wire form is a canonical fixed point.
+	wire := m.Encode()
+	dec, err := res.DecodeMinimalRepro(wire)
+	if err != nil {
+		t.Fatalf("DecodeMinimalRepro: %v", err)
+	}
+	if !bytes.Equal(dec.Encode(), wire) {
+		t.Fatal("minimal repro decode∘encode is not a fixed point")
+	}
+	if dec.Fingerprint() != m.Fingerprint() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+
+	// The minimized tuple reproduces the byte-identical cause key.
+	reOpts := []res.Option{res.WithMaxDepth(dec.MaxDepth), res.WithMaxNodes(dec.MaxNodes)}
+	if dec.Evidence != nil {
+		minSet, err := res.DecodeEvidence(dec.Evidence)
+		if err != nil {
+			t.Fatalf("decode minimized evidence: %v", err)
+		}
+		if len(minSet) != dec.MinSources {
+			t.Fatalf("minimized evidence has %d sources; repro says %d", len(minSet), dec.MinSources)
+		}
+		reOpts = append(reOpts, res.WithEvidence(minSet...))
+	} else if dec.MinSources != 0 {
+		t.Fatalf("repro has no evidence attachment but MinSources = %d", dec.MinSources)
+	}
+	if dec.Checkpoints != nil {
+		ring, err := res.DecodeCheckpoints(dec.Checkpoints)
+		if err != nil {
+			t.Fatalf("decode minimized checkpoints: %v", err)
+		}
+		reOpts = append(reOpts, res.WithCheckpoints(ring))
+	}
+	re, err := res.NewAnalyzer(p).Analyze(ctx, d, reOpts...)
+	if err != nil {
+		t.Fatalf("re-analysis of minimized tuple: %v", err)
+	}
+	if re.Cause == nil || re.Cause.Key() != key {
+		t.Fatalf("minimized tuple re-analyzes to %v; want cause key %q", re.Cause, key)
+	}
+}
+
+func TestMinimizePreservesCauseKeyRaceCounter(t *testing.T) {
+	minimizeWorkload(t, workload.RaceCounter())
+}
+
+func TestMinimizePreservesCauseKeyAtomViolation(t *testing.T) {
+	minimizeWorkload(t, workload.AtomViolation())
+}
+
+func TestMinimizeWithCheckpointRing(t *testing.T) {
+	ctx := context.Background()
+	bug := workload.RaceCounter()
+	p := bug.Program()
+	d, ring, _, err := bug.FindFailureCheckpointed(60, checkpoint.Config{Every: 16})
+	if err != nil {
+		t.Fatalf("no failing dump: %v", err)
+	}
+	opts := []res.Option{
+		res.WithMaxDepth(10), res.WithMaxNodes(2500),
+		res.WithEvidence(res.EvidenceLBR(res.LBRRecordAll), res.EvidenceOutputLog()),
+		res.WithCheckpoints(ring),
+	}
+	base, err := res.NewAnalyzer(p).Analyze(ctx, d, opts...)
+	if err != nil || base.Cause == nil {
+		t.Fatalf("baseline analysis: %v, %+v", err, base)
+	}
+	m, err := res.Minimize(ctx, p, d, opts...)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if m.CauseKey != base.Cause.Key() {
+		t.Fatalf("minimized cause key %q != baseline %q", m.CauseKey, base.Cause.Key())
+	}
+	// The ring either survived as a canonical attachment or was dropped
+	// as redundant; both are valid minimizations.
+	if m.Checkpoints != nil {
+		if _, err := res.DecodeCheckpoints(m.Checkpoints); err != nil {
+			t.Fatalf("kept checkpoint attachment does not decode: %v", err)
+		}
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	// The service caches minimize jobs by their input fingerprint, so the
+	// same tuple must minimize to byte-identical repro bytes every time.
+	ctx := context.Background()
+	bug := workload.AtomViolation()
+	p := bug.Program()
+	d, set, _, err := bug.FindFailureRecorded(60, evidence.RecordConfig{EventEvery: 3, EventWindow: 64, BranchWindow: 64})
+	if err != nil {
+		t.Fatalf("no failing dump: %v", err)
+	}
+	opts := []res.Option{res.WithMaxDepth(10), res.WithMaxNodes(2500), res.WithEvidence(set...)}
+	m1, err := res.Minimize(ctx, p, d, opts...)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	m2, err := res.Minimize(ctx, p, d, opts...)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if !bytes.Equal(m1.Encode(), m2.Encode()) {
+		t.Fatalf("minimization is not deterministic:\nfirst:  %x\nsecond: %x", m1.Encode(), m2.Encode())
+	}
+}
